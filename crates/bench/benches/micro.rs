@@ -1,0 +1,131 @@
+//! Criterion microbenchmarks for the hot paths: relation/index updates,
+//! view-tree single-tuple maintenance, factorized enumeration, and the
+//! triangle kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ivm_core::{EagerFactEngine, Maintainer};
+use ivm_data::ops::lift_one;
+use ivm_data::{sym, tup, Database, GroupedIndex, Relation, Schema, Update};
+use ivm_ivme::{QhEpsEngine, Rel, TriangleDelta, TriangleIvmEps, TriangleMaintainer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_relation_ops(c: &mut Criterion) {
+    let schema = Schema::from(ivm_data::vars(["mb_a", "mb_b"]));
+    c.bench_function("relation_apply_insert_delete", |b| {
+        let mut rel: Relation<i64> = Relation::new(schema.clone());
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            let t = tup![i % 1000, i % 97];
+            rel.apply(black_box(t.clone()), &1);
+            rel.apply(black_box(t), &-1);
+        });
+    });
+
+    c.bench_function("grouped_index_apply", |b| {
+        let key = Schema::from([schema.vars()[0]]);
+        let mut idx: GroupedIndex<i64> = GroupedIndex::new(schema.clone(), key);
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            let t = tup![i % 1000, i % 97];
+            idx.apply(black_box(&t), &1);
+            idx.apply(black_box(&t), &-1);
+        });
+    });
+}
+
+fn bench_viewtree(c: &mut Criterion) {
+    let q = ivm_query::examples::fig3_query();
+    let (rn, sn) = (sym("f3_R"), sym("f3_S"));
+
+    c.bench_function("viewtree_apply_fig3", |b| {
+        let mut eng = EagerFactEngine::<i64>::new(q.clone(), &Database::new(), lift_one).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        // Preload.
+        for _ in 0..50_000 {
+            let y = rng.gen_range(0..5000i64);
+            let v = rng.gen_range(0..5000i64);
+            eng.apply(&Update::insert(rn, tup![y, v])).unwrap();
+            eng.apply(&Update::insert(sn, tup![y, v])).unwrap();
+        }
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            let t = tup![i % 5000, i % 4999];
+            eng.apply(&Update::insert(rn, black_box(t.clone()))).unwrap();
+            eng.apply(&Update::delete(rn, black_box(t))).unwrap();
+        });
+    });
+
+    c.bench_function("viewtree_enumerate_1k", |b| {
+        let mut eng = EagerFactEngine::<i64>::new(q.clone(), &Database::new(), lift_one).unwrap();
+        for y in 0..1000i64 {
+            eng.apply(&Update::insert(rn, tup![y, y])).unwrap();
+            eng.apply(&Update::insert(sn, tup![y, y + 1])).unwrap();
+        }
+        b.iter(|| {
+            let mut n = 0usize;
+            eng.for_each_output(&mut |_, _| n += 1);
+            black_box(n)
+        });
+    });
+}
+
+fn bench_triangles(c: &mut Criterion) {
+    for (name, build) in [
+        ("triangle_delta_update", true),
+        ("triangle_ivmeps_update", false),
+    ] {
+        c.bench_function(name, |b| {
+            let mut delta = TriangleDelta::new();
+            let mut eps = TriangleIvmEps::new(0.5);
+            let eng: &mut dyn TriangleMaintainer =
+                if build { &mut delta } else { &mut eps };
+            let mut rng = StdRng::seed_from_u64(2);
+            for _ in 0..30_000 {
+                let a = rng.gen_range(0..2000u64);
+                let bb = rng.gen_range(0..2000u64);
+                eng.apply(Rel::R, a, bb, 1);
+                eng.apply(Rel::S, a, bb, 1);
+                eng.apply(Rel::T, a, bb, 1);
+            }
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                eng.apply(Rel::R, i % 2000, (i * 7) % 2000, 1);
+                eng.apply(Rel::R, i % 2000, (i * 7) % 2000, -1);
+                black_box(eng.count())
+            });
+        });
+    }
+}
+
+fn bench_qh(c: &mut Criterion) {
+    c.bench_function("qh_eps_update", |b| {
+        let mut eng = QhEpsEngine::new(0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50_000 {
+            eng.apply_r(rng.gen_range(0..5000), rng.gen_range(0..5000), 1);
+        }
+        for bb in 0..5000u64 {
+            eng.apply_s(bb, 1);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            eng.apply_r(i % 5000, (i * 13) % 5000, 1);
+            eng.apply_r(i % 5000, (i * 13) % 5000, -1);
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_relation_ops,
+    bench_viewtree,
+    bench_triangles,
+    bench_qh
+);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! **Sec 4.4**: the TPC-H classification study.
+//!
+//! The paper reports (from the SPROUT study \[35\]) that 8 Boolean / 13
+//! non-Boolean TPC-H queries are hierarchical, and that the schema's
+//! functional dependencies rescue 4 more of each. We run our classifier
+//! over join-structure encodings of all 22 queries, with and without the
+//! schema FDs. Encodings flatten outer joins and nested subqueries, so
+//! exact counts can differ from \[35\]; the *shape* — FDs rescue a
+//! substantial block of the workload — is the claim under test.
+//!
+//! Run: `cargo run --release -p ivm-bench --bin tpch_classify`
+
+use ivm_bench::Table;
+use ivm_query::tpch::{classify_tpch, tpch_fds, tpch_queries};
+
+fn main() {
+    let fds = tpch_fds();
+    println!("# TPC-H classification (hierarchical / q-hierarchical), with and without FDs\n");
+    let mut table = Table::new(&[
+        "query",
+        "atoms",
+        "bool",
+        "bool+FDs",
+        "full",
+        "full+FDs",
+    ]);
+    let mut counts = [0usize; 4];
+    for (name, q) in tpch_queries() {
+        let v = classify_tpch(&q, &fds);
+        counts[0] += usize::from(v.bool_plain);
+        counts[1] += usize::from(v.bool_fds);
+        counts[2] += usize::from(v.full_plain);
+        counts[3] += usize::from(v.full_fds);
+        let tick = |b: bool| if b { "yes" } else { "-" }.to_string();
+        table.row(vec![
+            name,
+            q.atoms.len().to_string(),
+            tick(v.bool_plain),
+            tick(v.bool_fds),
+            tick(v.full_plain),
+            tick(v.full_fds),
+        ]);
+    }
+    table.print();
+    println!(
+        "\ntotals over 22 queries: Boolean hierarchical {} → {} with FDs; \
+         full q-hierarchical {} → {} with FDs",
+        counts[0], counts[1], counts[2], counts[3]
+    );
+    println!(
+        "Paper ([35], Sec 4.4): Boolean 8 → 12, non-Boolean 13 → 17. Our \
+         encodings flatten subqueries/outer joins, so absolute counts may \
+         shift; the FD rescue block is the reproduced effect."
+    );
+}

@@ -1,0 +1,102 @@
+//! **Sec 3.1–3.3**: single-tuple update cost of the four triangle
+//! maintainers as the database grows.
+//!
+//! Paper's claims (worst-case): recomputation O(N^{3/2}), first-order
+//! delta O(N), pairwise materialized views O(N) time / O(N²) space, IVMε
+//! O(√N) amortized at ε = ½. Worst cases are realized by *hub* updates:
+//! we probe with insert/delete of edges incident to the Zipf hub, where
+//! the delta query must intersect two Θ(N)-sized lists.
+//!
+//! Run: `cargo run --release -p ivm-bench --bin tri_scaling`
+
+use ivm_bench::{empirical_exponent, fmt, ns_per, scaled, time, Table};
+use ivm_ivme::{
+    Rel, TriangleDelta, TriangleIvmEps, TriangleMaintainer, TrianglePairwiseMv,
+    TriangleRecount,
+};
+use ivm_workloads::graphs::EdgeStream;
+
+/// Load a skewed graph of `n` edges, then probe with hub-edge updates.
+fn run(engine: &mut dyn TriangleMaintainer, n: usize, probe: usize) -> (f64, f64) {
+    let hub = 0u64;
+    let stream = EdgeStream::zipf((n / 8).max(32) as u64, n, 0.9, 3);
+    for &(a, b) in &stream.edges {
+        engine.apply(Rel::R, a, b, 1);
+        engine.apply(Rel::S, a, b, 1);
+        engine.apply(Rel::T, a, b, 1);
+    }
+    let w0 = engine.work();
+    let (_, d) = time(|| {
+        for i in 0..probe {
+            // δR(hub, hub): the delta query intersects S's hub row with
+            // T's hub column — both Θ(N) under the Zipf skew.
+            let rel = Rel::ALL[i % 3];
+            engine.apply(rel, hub, hub, 1);
+            engine.apply(rel, hub, hub, -1);
+        }
+    });
+    let ops = probe * 2;
+    ((engine.work() - w0) as f64 / ops as f64, ns_per(d, ops))
+}
+
+fn main() {
+    let sizes = [scaled(4_000, 500), scaled(16_000, 2_000), scaled(64_000, 8_000)];
+    let probe = scaled(500, 50);
+    println!("# Triangle update-cost scaling on hub updates (work = inner-loop ops/update)\n");
+    let mut table = Table::new(&[
+        "engine",
+        "N1 work",
+        "N2 work",
+        "N3 work",
+        "exp (N1→N3)",
+        "ns/upd @N3",
+        "paper",
+    ]);
+
+    for name in ["recount", "delta", "pairwise-mv", "ivm-eps(0.5)"] {
+        let mut works = Vec::new();
+        let mut last_ns = 0.0;
+        for (si, &n) in sizes.iter().enumerate() {
+            // Recount is Θ(N^{3/2}) per update: cap its sizes and probes.
+            if name == "recount" && si > 1 {
+                works.push(f64::NAN);
+                continue;
+            }
+            let mut eng: Box<dyn TriangleMaintainer> = match name {
+                "recount" => Box::new(TriangleRecount::new()),
+                "delta" => Box::new(TriangleDelta::new()),
+                "pairwise-mv" => Box::new(TrianglePairwiseMv::new()),
+                _ => Box::new(TriangleIvmEps::new(0.5)),
+            };
+            let p = if name == "recount" { 10 } else { probe };
+            let (w, ns) = run(eng.as_mut(), n, p);
+            works.push(w);
+            last_ns = ns;
+        }
+        let exp = if works[2].is_nan() {
+            empirical_exponent(sizes[0], works[0], sizes[1], works[1])
+        } else {
+            empirical_exponent(sizes[0], works[0], sizes[2], works[2])
+        };
+        let expected = match name {
+            "recount" => "N^1.5",
+            "delta" => "N^1",
+            "pairwise-mv" => "N^1",
+            _ => "N^0.5",
+        };
+        table.row(vec![
+            name.to_string(),
+            fmt(works[0]),
+            fmt(works[1]),
+            if works[2].is_nan() { "-".into() } else { fmt(works[2]) },
+            format!("{exp:.2}"),
+            fmt(last_ns),
+            expected.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nExpected shape (paper): ivm-eps grows ~N^0.5 on hub updates; \
+         delta and pairwise-mv grow ~N^1; recount fastest-growing."
+    );
+}

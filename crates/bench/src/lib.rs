@@ -1,0 +1,139 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! Every binary regenerates one figure or measurable claim of the paper
+//! (see DESIGN.md §3 for the experiment index and EXPERIMENTS.md for the
+//! recorded results). Output is a markdown table on stdout so runs can be
+//! pasted into EXPERIMENTS.md directly.
+
+use std::time::{Duration, Instant};
+
+/// Scale factor for experiment sizes, read from `RIVM_SCALE` (default 1.0).
+/// Use e.g. `RIVM_SCALE=0.2` for a quick smoke run.
+pub fn scale() -> f64 {
+    std::env::var("RIVM_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// `n` scaled by [`scale`], at least `min`.
+pub fn scaled(n: usize, min: usize) -> usize {
+    ((n as f64 * scale()) as usize).max(min)
+}
+
+/// Time a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Nanoseconds per operation.
+pub fn ns_per(d: Duration, ops: usize) -> f64 {
+    if ops == 0 {
+        0.0
+    } else {
+        d.as_nanos() as f64 / ops as f64
+    }
+}
+
+/// Throughput in operations per second.
+pub fn per_sec(d: Duration, ops: usize) -> f64 {
+    if d.as_secs_f64() == 0.0 {
+        f64::INFINITY
+    } else {
+        ops as f64 / d.as_secs_f64()
+    }
+}
+
+/// A simple markdown table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Print as github-flavored markdown.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let padded: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            println!("| {} |", padded.join(" | "));
+        };
+        line(&self.headers);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        println!("|-{}-|", sep.join("-|-"));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Format a float compactly.
+pub fn fmt(v: f64) -> String {
+    if v == f64::INFINITY {
+        "inf".into()
+    } else if v >= 1e6 {
+        format!("{:.2e}", v)
+    } else if v >= 100.0 {
+        format!("{:.0}", v)
+    } else {
+        format!("{:.2}", v)
+    }
+}
+
+/// log_N of a ratio: the empirical exponent `log(v2/v1)/log(n2/n1)` used
+/// to compare measured scaling against the paper's O(N^x) claims.
+pub fn empirical_exponent(n1: usize, v1: f64, n2: usize, v2: f64) -> f64 {
+    if v1 <= 0.0 || v2 <= 0.0 || n1 == n2 {
+        return f64::NAN;
+    }
+    (v2 / v1).ln() / ((n2 as f64) / (n1 as f64)).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponent_math() {
+        // Doubling n quadruples v → exponent 2.
+        let e = empirical_exponent(100, 10.0, 200, 40.0);
+        assert!((e - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_renders() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.print(); // smoke: no panic
+    }
+
+    #[test]
+    fn scaled_respects_min() {
+        assert!(scaled(100, 10) >= 10);
+    }
+}

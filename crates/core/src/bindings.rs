@@ -1,0 +1,103 @@
+//! Small variable-to-value binding environments used during delta
+//! propagation and enumeration.
+//!
+//! Queries have a handful of variables, so a linear-scanned vector beats a
+//! hash map and allocates once per engine (the buffer is reused across
+//! updates).
+
+use ivm_data::{Schema, Sym, Tuple, Value};
+
+/// A set of variable bindings.
+#[derive(Clone, Debug, Default)]
+pub struct Bindings {
+    entries: Vec<(Sym, Value)>,
+}
+
+impl Bindings {
+    /// An empty environment.
+    pub fn new() -> Self {
+        Bindings {
+            entries: Vec::with_capacity(8),
+        }
+    }
+
+    /// Remove all bindings, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// The value bound to `v`, if any.
+    pub fn get(&self, v: Sym) -> Option<&Value> {
+        self.entries
+            .iter()
+            .find(|(s, _)| *s == v)
+            .map(|(_, val)| val)
+    }
+
+    /// Bind `v := val`; replaces an existing binding.
+    pub fn set(&mut self, v: Sym, val: Value) {
+        if let Some(slot) = self.entries.iter_mut().find(|(s, _)| *s == v) {
+            slot.1 = val;
+        } else {
+            self.entries.push((v, val));
+        }
+    }
+
+    /// Remove the binding for `v` (no-op when absent).
+    pub fn unset(&mut self, v: Sym) {
+        self.entries.retain(|(s, _)| *s != v);
+    }
+
+    /// Bind a whole tuple against its schema.
+    pub fn bind_tuple(&mut self, schema: &Schema, t: &Tuple) {
+        debug_assert_eq!(schema.arity(), t.arity());
+        for (i, &v) in schema.vars().iter().enumerate() {
+            self.set(v, t.at(i).clone());
+        }
+    }
+
+    /// Project the bindings onto a schema, `None` when a variable is
+    /// unbound.
+    pub fn project(&self, schema: &Schema) -> Option<Tuple> {
+        let mut vals = Vec::with_capacity(schema.arity());
+        for &v in schema.vars() {
+            vals.push(self.get(v)?.clone());
+        }
+        Some(Tuple::new(vals))
+    }
+
+    /// Whether every variable in `schema` is bound.
+    pub fn covers(&self, schema: &Schema) -> bool {
+        schema.vars().iter().all(|&v| self.get(v).is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivm_data::{tup, vars};
+
+    #[test]
+    fn set_get_unset() {
+        let [a, b] = vars(["bi_A", "bi_B"]);
+        let mut bs = Bindings::new();
+        bs.set(a, Value::from(1i64));
+        assert_eq!(bs.get(a), Some(&Value::from(1i64)));
+        assert_eq!(bs.get(b), None);
+        bs.set(a, Value::from(2i64));
+        assert_eq!(bs.get(a), Some(&Value::from(2i64)));
+        bs.unset(a);
+        assert_eq!(bs.get(a), None);
+    }
+
+    #[test]
+    fn bind_and_project() {
+        let [a, b, c] = vars(["bi_A2", "bi_B2", "bi_C2"]);
+        let mut bs = Bindings::new();
+        bs.bind_tuple(&Schema::from([a, b]), &tup![1i64, 2i64]);
+        assert_eq!(bs.project(&Schema::from([b, a])), Some(tup![2i64, 1i64]));
+        assert_eq!(bs.project(&Schema::from([c])), None);
+        assert!(bs.covers(&Schema::from([a, b])));
+        assert!(!bs.covers(&Schema::from([a, c])));
+    }
+}

@@ -1,0 +1,35 @@
+//! The common maintenance interface (Fig 1 of the paper): preprocess,
+//! update, enumerate.
+
+use crate::error::EngineError;
+use ivm_data::{Relation, Tuple, Update};
+use ivm_query::Query;
+use ivm_ring::Semiring;
+
+/// A maintenance engine for one query.
+///
+/// The trait mirrors the paper's cost decomposition: construction +
+/// [`Maintainer::apply`] cover preprocessing and update time, while
+/// [`Maintainer::for_each_output`] exposes enumeration (the callback is
+/// invoked once per output tuple; delay is the gap between invocations).
+///
+/// `for_each_output` takes `&mut self` because lazy engines refresh their
+/// state on an enumeration request.
+pub trait Maintainer<R: Semiring> {
+    /// The maintained query.
+    fn query(&self) -> &Query;
+
+    /// Apply a single-tuple update.
+    fn apply(&mut self, upd: &Update<R>) -> Result<(), EngineError>;
+
+    /// Enumerate the current output, one `(tuple, payload)` per call.
+    fn for_each_output(&mut self, f: &mut dyn FnMut(&Tuple, &R));
+
+    /// Materialize the output (convenience for tests and oracles).
+    fn output(&mut self) -> Relation<R> {
+        let free = self.query().free.clone();
+        let mut out = Relation::new(free);
+        self.for_each_output(&mut |t, r| out.apply(t.clone(), r));
+        out
+    }
+}

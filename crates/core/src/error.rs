@@ -1,0 +1,55 @@
+//! Engine errors.
+
+use ivm_data::Sym;
+use ivm_query::VarOrderError;
+use std::fmt;
+
+/// Why an engine could not be built or an operation was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The chosen maintenance strategy requires a q-hierarchical query
+    /// (or a variable order with the stated properties) and the query is
+    /// not one.
+    NotSupported(String),
+    /// The variable order is invalid for the query.
+    VarOrder(VarOrderError),
+    /// Updates must target a known dynamic relation.
+    UnknownRelation(Sym),
+    /// The relation is declared static (Sec. 4.5) and cannot be updated.
+    StaticRelation(Sym),
+    /// View trees require globally unique relation names (self-join-free).
+    DuplicateRelation(Sym),
+    /// A single-tuple update on this atom would not propagate in constant
+    /// time under the chosen variable order.
+    NonConstantUpdate {
+        /// The offending relation.
+        relation: Sym,
+        /// Human-readable reason (which view key is not covered).
+        detail: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::NotSupported(m) => write!(f, "not supported: {m}"),
+            EngineError::VarOrder(e) => write!(f, "invalid variable order: {e}"),
+            EngineError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            EngineError::StaticRelation(r) => write!(f, "relation {r} is static"),
+            EngineError::DuplicateRelation(r) => {
+                write!(f, "relation {r} occurs in several atoms (self-join)")
+            }
+            EngineError::NonConstantUpdate { relation, detail } => {
+                write!(f, "updates to {relation} are not constant-time: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<VarOrderError> for EngineError {
+    fn from(e: VarOrderError) -> Self {
+        EngineError::VarOrder(e)
+    }
+}

@@ -1,0 +1,29 @@
+//! Relations over rings, following the data model of the paper (Sec. 2).
+//!
+//! A relation over schema `S` and ring `D` is a finite-support function
+//! `R : Dom(S) → D` mapping *keys* (tuples) to *payloads* (ring values).
+//! Relations are hash maps, so lookup/insert/delete run in amortized
+//! constant time and entries enumerate with constant delay. [`GroupedIndex`]
+//! adds the projection indexes the paper requires: constant-delay
+//! enumeration of all tuples agreeing on a given projection, with amortized
+//! constant-time maintenance.
+//!
+//! Updates are ordinary tuples with ring payloads: inserts carry positive
+//! values, deletes negative ones, so batches commute (Sec. 2).
+
+pub mod database;
+pub mod hash;
+pub mod ops;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod update;
+pub mod value;
+
+pub use database::Database;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use relation::{GroupedIndex, Relation};
+pub use schema::{sym, vars, Schema, Sym};
+pub use tuple::Tuple;
+pub use update::{Batch, Update};
+pub use value::Value;

@@ -1,0 +1,142 @@
+//! Tuples: the keys of relations.
+
+use crate::value::Value;
+use std::fmt;
+
+/// An ordered tuple of [`Value`]s over some schema.
+///
+/// Stored as a boxed slice (two words on the stack) — tuples are hash-map
+/// keys and get cloned on insertion, so compactness matters more than
+/// in-place mutation, which never happens.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple(Box<[Value]>);
+
+impl Tuple {
+    /// The empty tuple `()` over the empty schema.
+    pub fn empty() -> Self {
+        Tuple(Box::from([]))
+    }
+
+    /// Build a tuple from values.
+    pub fn new(values: impl IntoIterator<Item = Value>) -> Self {
+        Tuple(values.into_iter().collect())
+    }
+
+    /// Arity of the tuple.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether this is the empty tuple.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The value at position `i`.
+    pub fn at(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+
+    /// All values.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Project onto the given positions (π in the paper's notation, with
+    /// positions resolved from schemas by the caller).
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple(positions.iter().map(|&p| self.0[p].clone()).collect())
+    }
+
+    /// Concatenate two tuples (used when joining on disjoint schemas).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        Tuple(self.0.iter().chain(other.0.iter()).cloned().collect())
+    }
+}
+
+impl<V: Into<Value>, const N: usize> From<[V; N]> for Tuple {
+    fn from(values: [V; N]) -> Self {
+        Tuple(values.into_iter().map(Into::into).collect())
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Build a [`Tuple`] from a heterogeneous list of values.
+///
+/// ```
+/// use ivm_data::tup;
+/// let t = tup![1i64, "a", 3i64];
+/// assert_eq!(t.arity(), 3);
+/// ```
+#[macro_export]
+macro_rules! tup {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new([$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tuple::from([1i64, 2, 3]);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.at(1), &Value::from(2i64));
+    }
+
+    #[test]
+    fn empty_tuple() {
+        let t = Tuple::empty();
+        assert!(t.is_empty());
+        assert_eq!(t, Tuple::new([]));
+    }
+
+    #[test]
+    fn projection() {
+        let t = tup![10i64, "x", 30i64];
+        assert_eq!(t.project(&[2, 0]), tup![30i64, 10i64]);
+        assert_eq!(t.project(&[]), Tuple::empty());
+    }
+
+    #[test]
+    fn concat() {
+        let a = tup![1i64];
+        let b = tup!["y", 2i64];
+        assert_eq!(a.concat(&b), tup![1i64, "y", 2i64]);
+    }
+
+    #[test]
+    fn macro_mixes_types() {
+        let t = tup![7i64, "abc"];
+        assert_eq!(t.at(0).as_int(), Some(7));
+        assert_eq!(t.at(1).as_str(), Some("abc"));
+    }
+
+    #[test]
+    fn hash_eq_projection_consistent() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(tup![1i64, 2i64].project(&[0]));
+        assert!(set.contains(&tup![1i64]));
+    }
+}

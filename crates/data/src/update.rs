@@ -1,0 +1,89 @@
+//! Updates and batches.
+//!
+//! An update is a tuple with a ring payload: positive for inserts, negative
+//! for deletes (Sec. 2). Because payloads live in a ring, a batch's
+//! cumulative effect is independent of execution order — the property the
+//! paper leverages for out-of-order and distributed execution.
+
+use crate::schema::Sym;
+use crate::tuple::Tuple;
+use ivm_ring::{Ring, Semiring};
+
+/// A single-tuple update to one relation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Update<R> {
+    /// The relation being updated.
+    pub relation: Sym,
+    /// The affected tuple.
+    pub tuple: Tuple,
+    /// The payload delta (`+k` insert, `-k` delete in `Z`).
+    pub payload: R,
+}
+
+impl<R: Semiring> Update<R> {
+    /// Insert one derivation of `tuple` into `relation`.
+    pub fn insert(relation: Sym, tuple: Tuple) -> Self {
+        Update {
+            relation,
+            tuple,
+            payload: R::one(),
+        }
+    }
+
+    /// An update with an explicit payload delta.
+    pub fn with_payload(relation: Sym, tuple: Tuple, payload: R) -> Self {
+        Update {
+            relation,
+            tuple,
+            payload,
+        }
+    }
+}
+
+impl<R: Ring> Update<R> {
+    /// Delete one derivation of `tuple` from `relation`.
+    pub fn delete(relation: Sym, tuple: Tuple) -> Self {
+        Update {
+            relation,
+            tuple,
+            payload: R::one().neg(),
+        }
+    }
+
+    /// The inverse update (insert ↔ delete).
+    pub fn inverse(&self) -> Self {
+        Update {
+            relation: self.relation,
+            tuple: self.tuple.clone(),
+            payload: self.payload.neg(),
+        }
+    }
+}
+
+/// An ordered sequence of single-tuple updates.
+pub type Batch<R> = Vec<Update<R>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::sym;
+    use crate::tup;
+
+    #[test]
+    fn insert_delete_payloads() {
+        let r = sym("upd_R");
+        let ins: Update<i64> = Update::insert(r, tup![1i64]);
+        let del: Update<i64> = Update::delete(r, tup![1i64]);
+        assert_eq!(ins.payload, 1);
+        assert_eq!(del.payload, -1);
+        assert_eq!(ins.inverse(), del);
+    }
+
+    #[test]
+    fn explicit_payload() {
+        let r = sym("upd_R");
+        let u: Update<i64> = Update::with_payload(r, tup![2i64], -2);
+        assert_eq!(u.payload, -2);
+        assert_eq!(u.inverse().payload, 2);
+    }
+}

@@ -1,0 +1,152 @@
+//! Two-column `u64` relations with forward/backward adjacency indexes and
+//! degree tracking — the storage layer of the IVMε kernels.
+
+use ivm_data::FxHashMap;
+
+/// A binary relation over `u64` keys with `i64` multiplicities, indexed in
+/// both directions.
+///
+/// `fwd[x][y]` and `bwd[y][x]` always mirror each other; zero
+/// multiplicities are pruned so `deg_fwd(x) = |σ_{first=x}|` matches the
+/// paper's degree notion.
+#[derive(Clone, Debug, Default)]
+pub struct Adjacency {
+    fwd: FxHashMap<u64, FxHashMap<u64, i64>>,
+    bwd: FxHashMap<u64, FxHashMap<u64, i64>>,
+    len: usize,
+}
+
+impl Adjacency {
+    /// Empty relation.
+    pub fn new() -> Self {
+        Adjacency::default()
+    }
+
+    /// Number of tuples with non-zero multiplicity.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Multiplicity of `(x, y)`.
+    #[inline]
+    pub fn get(&self, x: u64, y: u64) -> i64 {
+        self.fwd.get(&x).and_then(|m| m.get(&y)).copied().unwrap_or(0)
+    }
+
+    /// Add `m` to the multiplicity of `(x, y)`; returns the new degree of
+    /// `x` (distinct `y` partners).
+    pub fn apply(&mut self, x: u64, y: u64, m: i64) -> usize {
+        if m != 0 {
+            let delta = apply_one(&mut self.fwd, x, y, m);
+            apply_one(&mut self.bwd, y, x, m);
+            self.len = self.len.checked_add_signed(delta).expect("len underflow");
+        }
+        self.deg_fwd(x)
+    }
+
+    /// Distinct partners of `x` in the first column.
+    #[inline]
+    pub fn deg_fwd(&self, x: u64) -> usize {
+        self.fwd.get(&x).map_or(0, |m| m.len())
+    }
+
+    /// Distinct partners of `y` in the second column.
+    #[inline]
+    pub fn deg_bwd(&self, y: u64) -> usize {
+        self.bwd.get(&y).map_or(0, |m| m.len())
+    }
+
+    /// Iterate `(y, m)` partners of `x`.
+    pub fn row(&self, x: u64) -> impl Iterator<Item = (u64, i64)> + '_ {
+        self.fwd.get(&x).into_iter().flatten().map(|(&y, &m)| (y, m))
+    }
+
+    /// Iterate `(x, m)` partners of `y` (reverse direction).
+    pub fn col(&self, y: u64) -> impl Iterator<Item = (u64, i64)> + '_ {
+        self.bwd.get(&y).into_iter().flatten().map(|(&x, &m)| (x, m))
+    }
+
+    /// Iterate all `(x, y, m)` tuples.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64, i64)> + '_ {
+        self.fwd
+            .iter()
+            .flat_map(|(&x, row)| row.iter().map(move |(&y, &m)| (x, y, m)))
+    }
+
+    /// Iterate the distinct first-column values.
+    pub fn keys_fwd(&self) -> impl Iterator<Item = u64> + '_ {
+        self.fwd.keys().copied()
+    }
+}
+
+/// Returns the tuple-count delta (+1 new tuple, −1 pruned, 0 otherwise).
+fn apply_one(map: &mut FxHashMap<u64, FxHashMap<u64, i64>>, x: u64, y: u64, m: i64) -> isize {
+    let row = map.entry(x).or_default();
+    let e = row.entry(y).or_insert(0);
+    let was_zero = *e == 0;
+    *e += m;
+    
+    if *e == 0 {
+        row.remove(&y);
+        if row.is_empty() {
+            map.remove(&x);
+        }
+        if was_zero {
+            0
+        } else {
+            -1
+        }
+    } else if was_zero {
+        1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_invariant() {
+        let mut a = Adjacency::new();
+        a.apply(1, 2, 3);
+        a.apply(1, 3, 1);
+        a.apply(2, 2, 1);
+        assert_eq!(a.get(1, 2), 3);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.deg_fwd(1), 2);
+        assert_eq!(a.deg_bwd(2), 2);
+        let col: Vec<_> = a.col(2).collect();
+        assert_eq!(col.len(), 2);
+    }
+
+    #[test]
+    fn cancellation_prunes() {
+        let mut a = Adjacency::new();
+        a.apply(1, 2, 2);
+        a.apply(1, 2, -2);
+        assert_eq!(a.len(), 0);
+        assert_eq!(a.deg_fwd(1), 0);
+        assert_eq!(a.get(1, 2), 0);
+        assert!(a.row(1).next().is_none());
+    }
+
+    #[test]
+    fn degrees_track_distinct_partners() {
+        let mut a = Adjacency::new();
+        for y in 0..10 {
+            a.apply(7, y, 1);
+        }
+        assert_eq!(a.deg_fwd(7), 10);
+        a.apply(7, 0, 5); // same partner, higher multiplicity
+        assert_eq!(a.deg_fwd(7), 10);
+        a.apply(7, 0, -6);
+        assert_eq!(a.deg_fwd(7), 9);
+    }
+}

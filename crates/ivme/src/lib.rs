@@ -1,0 +1,24 @@
+//! IVMε (Sec. 3.3 and Sec. 5 of the paper): worst-case optimal incremental
+//! maintenance via heavy/light data partitioning.
+//!
+//! Two specialized kernels over raw `u64` keys (DESIGN.md §5 explains why
+//! these bypass the generic `Value`-tuple engine):
+//!
+//! * [`triangle`] — the triangle count query
+//!   `Q = Σ_{A,B,C} R(A,B)·S(B,C)·T(C,A)` with O(N^max(ε,1−ε)) amortized
+//!   single-tuple updates (O(√N) at ε = ½), plus the three baselines the
+//!   paper discusses: full recount, first-order deltas, and pairwise
+//!   materialized views;
+//! * [`qh`] — the simplest non-q-hierarchical query
+//!   `Q(A) = Σ_B R(A,B)·S(B)` (Ex 5.1), realizing every point
+//!   (1, ε, 1−ε) of the preprocessing/update/delay trade-off of Fig 7.
+
+pub mod adjacency;
+pub mod qh;
+pub mod triangle;
+
+pub use qh::QhEpsEngine;
+pub use triangle::{
+    Rel, TriangleDelta, TriangleIvmEps, TriangleMaintainer, TrianglePairwiseMv,
+    TriangleRecount,
+};

@@ -1,0 +1,120 @@
+//! A minimal fixed-length bitset (`Vec<u64>` words).
+
+/// A fixed-length bit vector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// All-zero vector of length `n`.
+    pub fn new(n: usize) -> Self {
+        BitVec {
+            words: vec![0; n.div_ceil(64)],
+            len: n,
+        }
+    }
+
+    /// Length in bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether every bit is zero.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Set bit `i`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Clear bit `i`.
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Read bit `i`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Whether `self ∧ other` is non-zero (word-parallel).
+    pub fn intersects(&self, other: &BitVec) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(&a, &b)| a & b != 0)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate the indices of set bits.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut v = BitVec::new(130);
+        v.set(0);
+        v.set(64);
+        v.set(129);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert!(!v.get(1));
+        v.clear(64);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    fn iter_ones_in_order() {
+        let mut v = BitVec::new(200);
+        for &i in &[3, 64, 65, 199] {
+            v.set(i);
+        }
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![3, 64, 65, 199]);
+    }
+
+    #[test]
+    fn intersects() {
+        let mut a = BitVec::new(100);
+        let mut b = BitVec::new(100);
+        a.set(70);
+        assert!(!a.intersects(&b));
+        b.set(70);
+        assert!(a.intersects(&b));
+        assert!(!BitVec::new(10).intersects(&BitVec::new(10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut v = BitVec::new(10);
+        v.set(10);
+    }
+}

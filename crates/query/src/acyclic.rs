@@ -1,0 +1,197 @@
+//! α-acyclicity (GYO reduction) and free-connexity.
+//!
+//! The q-hierarchical queries form a strict subclass of the free-connex
+//! α-acyclic queries (Sec. 4.1); α-acyclicity is also the condition under
+//! which insert-only maintenance achieves amortized constant time per
+//! insert (Sec. 4.6).
+
+use crate::ast::Query;
+use ivm_data::Schema;
+
+/// Whether a hypergraph (a list of hyperedges over variables) is α-acyclic,
+/// decided by the GYO reduction: repeatedly (1) delete vertices occurring
+/// in at most one edge ("ear vertices") and (2) delete edges contained in
+/// other edges, until fixpoint; acyclic iff everything vanishes.
+pub fn gyo_acyclic(edges: &[Schema]) -> bool {
+    let mut edges: Vec<Vec<ivm_data::Sym>> = edges
+        .iter()
+        .map(|s| s.vars().to_vec())
+        .filter(|e| !e.is_empty())
+        .collect();
+    loop {
+        let mut changed = false;
+
+        // Rule 1: remove vertices occurring in exactly one edge.
+        let mut counts: ivm_data::FxHashMap<ivm_data::Sym, usize> = Default::default();
+        for e in &edges {
+            for &v in e {
+                *counts.entry(v).or_insert(0) += 1;
+            }
+        }
+        for e in &mut edges {
+            let before = e.len();
+            e.retain(|v| counts[v] > 1);
+            if e.len() != before {
+                changed = true;
+            }
+        }
+        edges.retain(|e| !e.is_empty());
+
+        // Rule 2: remove edges contained in another edge.
+        let mut keep = vec![true; edges.len()];
+        for i in 0..edges.len() {
+            if !keep[i] {
+                continue;
+            }
+            for j in 0..edges.len() {
+                if i == j || !keep[j] {
+                    continue;
+                }
+                let contained = edges[i].iter().all(|v| edges[j].contains(v));
+                // Break ties (equal edges) by index so only one survives.
+                let strict = contained
+                    && (edges[i].len() < edges[j].len()
+                        || (edges[i].len() == edges[j].len() && i > j));
+                if strict {
+                    keep[i] = false;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        let mut it = keep.iter();
+        edges.retain(|_| *it.next().unwrap());
+
+        if edges.is_empty() {
+            return true;
+        }
+        if !changed {
+            return false;
+        }
+    }
+}
+
+/// Whether the query's hypergraph is α-acyclic.
+pub fn is_acyclic(q: &Query) -> bool {
+    let edges: Vec<Schema> = q.atoms.iter().map(|a| a.schema.clone()).collect();
+    gyo_acyclic(&edges)
+}
+
+/// Whether the query is free-connex: acyclic, and still acyclic after
+/// adding the head (free variables) as an extra hyperedge.
+pub fn is_free_connex(q: &Query) -> bool {
+    if !is_acyclic(q) {
+        return false;
+    }
+    let mut edges: Vec<Schema> = q.atoms.iter().map(|a| a.schema.clone()).collect();
+    if !q.free.is_empty() {
+        edges.push(q.free.clone());
+    }
+    gyo_acyclic(&edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Atom;
+    use ivm_data::{sym, vars};
+
+    #[test]
+    fn triangle_is_cyclic() {
+        let [a, b, c] = vars(["gy_A", "gy_B", "gy_C"]);
+        let q = Query::new(
+            "gy_tri",
+            [],
+            vec![
+                Atom::new(sym("gy_R"), [a, b]),
+                Atom::new(sym("gy_S"), [b, c]),
+                Atom::new(sym("gy_T"), [c, a]),
+            ],
+        );
+        assert!(!is_acyclic(&q));
+    }
+
+    #[test]
+    fn path_is_acyclic() {
+        let [a, b, c, d] = vars(["gy_A2", "gy_B2", "gy_C2", "gy_D2"]);
+        let q = Query::new(
+            "gy_path",
+            [a, d],
+            vec![
+                Atom::new(sym("gy_R2"), [a, b]),
+                Atom::new(sym("gy_S2"), [b, c]),
+                Atom::new(sym("gy_T2"), [c, d]),
+            ],
+        );
+        assert!(is_acyclic(&q));
+    }
+
+    /// Q(A, D) over a path R(A,B)·S(B,C)·T(C,D) is acyclic but not
+    /// free-connex: the head edge {A, D} closes a cycle.
+    #[test]
+    fn path_endpoints_not_free_connex() {
+        let [a, b, c, d] = vars(["gy_A3", "gy_B3", "gy_C3", "gy_D3"]);
+        let q = Query::new(
+            "gy_path3",
+            [a, d],
+            vec![
+                Atom::new(sym("gy_R3"), [a, b]),
+                Atom::new(sym("gy_S3"), [b, c]),
+                Atom::new(sym("gy_T3"), [c, d]),
+            ],
+        );
+        assert!(is_acyclic(&q));
+        assert!(!is_free_connex(&q));
+    }
+
+    /// Full output keeps the path free-connex.
+    #[test]
+    fn full_path_free_connex() {
+        let [a, b, c] = vars(["gy_A4", "gy_B4", "gy_C4"]);
+        let q = Query::new(
+            "gy_path4",
+            [a, b, c],
+            vec![
+                Atom::new(sym("gy_R4"), [a, b]),
+                Atom::new(sym("gy_S4"), [b, c]),
+            ],
+        );
+        assert!(is_free_connex(&q));
+    }
+
+    /// Every q-hierarchical query is free-connex α-acyclic (strict
+    /// inclusion stated in Sec. 4.1) — spot-check on the Fig 3 query.
+    #[test]
+    fn q_hierarchical_implies_free_connex() {
+        let [x, y, z] = vars(["gy_X5", "gy_Y5", "gy_Z5"]);
+        let q = Query::new(
+            "gy_q5",
+            [y, x, z],
+            vec![
+                Atom::new(sym("gy_R5"), [y, x]),
+                Atom::new(sym("gy_S5"), [y, z]),
+            ],
+        );
+        assert!(crate::hierarchy::is_q_hierarchical(&q));
+        assert!(is_free_connex(&q));
+    }
+
+    #[test]
+    fn duplicate_edges_reduce() {
+        let [a, b] = vars(["gy_A6", "gy_B6"]);
+        let edges = vec![Schema::from([a, b]), Schema::from([a, b])];
+        assert!(gyo_acyclic(&edges));
+    }
+
+    #[test]
+    fn loomis_whitney_4_is_cyclic() {
+        let [a, b, c, d] = vars(["gy_A7", "gy_B7", "gy_C7", "gy_D7"]);
+        let edges = vec![
+            Schema::from([a, b, c]),
+            Schema::from([a, b, d]),
+            Schema::from([a, c, d]),
+            Schema::from([b, c, d]),
+        ];
+        assert!(!gyo_acyclic(&edges));
+    }
+}

@@ -1,0 +1,212 @@
+//! Cascading q-hierarchical queries (Sec. 4.2).
+//!
+//! A non-q-hierarchical query `Q1` can sometimes be rewritten to use a
+//! q-hierarchical query `Q2` as a subquery (Ex 4.5): if `Q2`'s atoms embed
+//! identically into `Q1` and `Q2` exposes every variable its atoms share
+//! with the rest of `Q1`, then `Q1' = Q2 · rest` is equivalent to `Q1`.
+//! When `Q1'` is itself q-hierarchical (treating `Q2`'s output as a base
+//! relation), both queries can be maintained with amortized constant update
+//! time and constant delay, provided `Q2`'s output is enumerated before
+//! `Q1`'s — the enumeration piggybacks the propagation of `Q2`'s output
+//! tuples into `Q1'`'s view tree.
+
+use crate::ast::{Atom, Query};
+use crate::hierarchy::is_q_hierarchical;
+use ivm_data::Schema;
+
+/// A successful cascade rewriting of `q1` through `q2`.
+#[derive(Clone, Debug)]
+pub struct CascadeRewriting {
+    /// The q-hierarchical subquery.
+    pub q2: Query,
+    /// Atoms of `q1` not covered by `q2`.
+    pub rest: Vec<Atom>,
+    /// The rewriting `Q1'(free(Q1)) = Q2(free(Q2)) · rest` —
+    /// q-hierarchical with `Q2` treated as a base relation.
+    pub rewritten: Query,
+}
+
+/// Attempt to rewrite `q1` using `q2` (identity homomorphism, as in
+/// Ex 4.5). Returns `None` when any precondition fails:
+///
+/// 1. `q2` is q-hierarchical (it must be maintainable on its own);
+/// 2. every atom of `q2` occurs in `q1` (same name and schema);
+/// 3. `free(q2)` covers both `q1`'s free variables inside `q2` and every
+///    variable shared between `q2`'s atoms and the rest of `q1`
+///    (equivalence of the rewriting);
+/// 4. the rewriting is q-hierarchical.
+pub fn rewrite_with(q1: &Query, q2: &Query) -> Option<CascadeRewriting> {
+    if !is_q_hierarchical(q2) {
+        return None;
+    }
+    // Condition 2: identity embedding of atoms.
+    let mut rest: Vec<Atom> = q1.atoms.clone();
+    for a2 in &q2.atoms {
+        let pos = rest
+            .iter()
+            .position(|a1| a1.name == a2.name && a1.schema == a2.schema)?;
+        rest.remove(pos);
+    }
+    // Condition 3: interface coverage.
+    let q2_vars = q2.variables();
+    let mut rest_vars = Schema::empty();
+    for a in &rest {
+        rest_vars = rest_vars.union(&a.schema);
+    }
+    let interface = q2_vars.intersect(&rest_vars);
+    if !interface.subset_of(&q2.free) {
+        return None;
+    }
+    let q1_free_in_q2 = q1.free.intersect(&q2_vars);
+    if !q1_free_in_q2.subset_of(&q2.free) {
+        return None;
+    }
+    // Condition 4: the rewriting is q-hierarchical.
+    let mut atoms = vec![Atom::new(q2.name, q2.free.clone())];
+    atoms.extend(rest.iter().cloned());
+    let rewritten = Query {
+        name: ivm_data::sym(&format!("{}'", q1.name)),
+        free: q1.free.clone(),
+        input: q1.input.clone(),
+        atoms,
+    };
+    if !is_q_hierarchical(&rewritten) {
+        return None;
+    }
+    Some(CascadeRewriting {
+        q2: q2.clone(),
+        rest,
+        rewritten,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::is_hierarchical;
+    use ivm_data::{sym, vars};
+
+    fn ex45() -> (Query, Query) {
+        let [a, b, c, d] = vars(["cs_A", "cs_B", "cs_C", "cs_D"]);
+        let (r, s, t) = (sym("cs_R"), sym("cs_S"), sym("cs_T"));
+        let q1 = Query::new(
+            "cs_Q1",
+            [a, b, c, d],
+            vec![
+                Atom::new(r, [a, b]),
+                Atom::new(s, [b, c]),
+                Atom::new(t, [c, d]),
+            ],
+        );
+        let q2 = Query::new(
+            "cs_Q2",
+            [a, b, c],
+            vec![Atom::new(r, [a, b]), Atom::new(s, [b, c])],
+        );
+        (q1, q2)
+    }
+
+    /// Ex 4.5: Q1 is not hierarchical, Q2 is q-hierarchical, and the
+    /// rewriting Q1' = Q2(A,B,C)·T(C,D) is q-hierarchical.
+    #[test]
+    fn example_4_5_rewrites() {
+        let (q1, q2) = ex45();
+        assert!(!is_hierarchical(&q1));
+        assert!(is_q_hierarchical(&q2));
+        let rw = rewrite_with(&q1, &q2).expect("rewriting must exist");
+        assert_eq!(rw.rest.len(), 1);
+        assert!(is_q_hierarchical(&rw.rewritten));
+        assert_eq!(rw.rewritten.atoms.len(), 2);
+    }
+
+    /// A subquery hiding the interface variable cannot be used: Q2 with
+    /// free vars {A} only does not expose C, which the rest needs.
+    #[test]
+    fn interface_must_be_exposed() {
+        let (q1, _) = ex45();
+        let [a, b, c] = vars(["cs_A", "cs_B", "cs_C"]);
+        let (r, s) = (sym("cs_R"), sym("cs_S"));
+        let q2_hidden = Query::new(
+            "cs_Q2h",
+            [a],
+            vec![Atom::new(r, [a, b]), Atom::new(s, [b, c])],
+        );
+        // (Also not q-hierarchical since C is bound and dominated... the
+        // subquery fails either way.)
+        assert!(rewrite_with(&q1, &q2_hidden).is_none());
+    }
+
+    /// A q2 whose atoms are not in q1 is rejected.
+    #[test]
+    fn atoms_must_embed() {
+        let (q1, _) = ex45();
+        let [x, y] = vars(["cs_X2", "cs_Y2"]);
+        let q2 = Query::new("cs_Qx", [x, y], vec![Atom::new(sym("cs_U"), [x, y])]);
+        assert!(rewrite_with(&q1, &q2).is_none());
+    }
+
+    /// A non-q-hierarchical q2 is rejected immediately.
+    #[test]
+    fn q2_must_be_q_hierarchical() {
+        let (q1, _) = ex45();
+        let [a, b, c, d] = vars(["cs_A", "cs_B", "cs_C", "cs_D"]);
+        let (r, s, t) = (sym("cs_R"), sym("cs_S"), sym("cs_T"));
+        // q2 = q1 itself (not hierarchical).
+        let q2 = Query::new(
+            "cs_Qall",
+            [a, b, c, d],
+            vec![
+                Atom::new(r, [a, b]),
+                Atom::new(s, [b, c]),
+                Atom::new(t, [c, d]),
+            ],
+        );
+        assert!(rewrite_with(&q1, &q2).is_none());
+    }
+
+    /// Longer paths cascade too: Q1 = R·S·T·U via Q2 = R·S, then the
+    /// rewriting is again non-hierarchical — rewriting is not always
+    /// enough with one cascade level.
+    #[test]
+    fn four_path_needs_more_levels() {
+        let [a, b, c, d, e] = vars(["cs_A3", "cs_B3", "cs_C3", "cs_D3", "cs_E3"]);
+        let (r, s, t, u) = (sym("cs_R3"), sym("cs_S3"), sym("cs_T3"), sym("cs_U3"));
+        let q1 = Query::new(
+            "cs_Q13",
+            [a, b, c, d, e],
+            vec![
+                Atom::new(r, [a, b]),
+                Atom::new(s, [b, c]),
+                Atom::new(t, [c, d]),
+                Atom::new(u, [d, e]),
+            ],
+        );
+        let q2 = Query::new(
+            "cs_Q23",
+            [a, b, c],
+            vec![Atom::new(r, [a, b]), Atom::new(s, [b, c])],
+        );
+        // Q2(A,B,C)·T(C,D)·U(D,E) is still a 3-path: not hierarchical.
+        assert!(rewrite_with(&q1, &q2).is_none());
+        // But cascading twice works: Q3 = Q2·T is q-hierarchical as a
+        // rewriting target of the tail.
+        let q3 = Query::new(
+            "cs_Q33",
+            [a, b, c, d],
+            vec![
+                Atom::new(sym("cs_Q23"), [a, b, c]),
+                Atom::new(t, [c, d]),
+            ],
+        );
+        assert!(is_q_hierarchical(&q3));
+        let q1_via_q3 = Query::new(
+            "cs_Q13b",
+            [a, b, c, d, e],
+            vec![
+                Atom::new(sym("cs_Q33"), [a, b, c, d]),
+                Atom::new(u, [d, e]),
+            ],
+        );
+        assert!(is_q_hierarchical(&q1_via_q3));
+    }
+}

@@ -1,0 +1,291 @@
+//! Conjunctive queries with free access patterns (Sec. 4.3): the fracture
+//! construction (Def. 4.7) and the tractability dichotomy (Theorem 4.8).
+//!
+//! A CQAP `Q(O | I)` returns tuples over the output variables `O` given a
+//! binding of the input variables `I`. The *fracture* `Q†` splits the query
+//! at its input variables: each occurrence of an input variable becomes a
+//! fresh variable, connected components are computed, and within each
+//! component the fresh copies of one input variable are re-unified. `Q` is
+//! tractable iff `Q†` is hierarchical, free-dominant, and input-dominant.
+
+use crate::ast::{Atom, Query};
+use crate::hierarchy::{is_free_dominant, is_hierarchical, is_input_dominant};
+use ivm_data::{sym, FxHashMap, Schema, Sym};
+
+/// The fracture `Q†` of a CQAP, together with the mapping from fresh
+/// input-variable copies back to the original input variables.
+#[derive(Clone, Debug)]
+pub struct Fracture {
+    /// The fractured query. Its atoms are partitioned into connected
+    /// components; `component[i]` is the component id of atom `i`.
+    pub query: Query,
+    /// Component id per atom (indices align with `query.atoms`).
+    pub component: Vec<usize>,
+    /// For each fresh variable in the fracture, the original variable it
+    /// replaces (identity for non-input variables).
+    pub origin: FxHashMap<Sym, Sym>,
+}
+
+/// Compute the fracture of a CQAP (Def. 4.7).
+pub fn fracture(q: &Query) -> Fracture {
+    // Step 1: replace each *occurrence* of an input variable by a fresh
+    // variable (one per atom occurrence).
+    let mut occ_atoms: Vec<Vec<Sym>> = Vec::with_capacity(q.atoms.len());
+    let mut origin: FxHashMap<Sym, Sym> = FxHashMap::default();
+    for (i, atom) in q.atoms.iter().enumerate() {
+        let mut schema = Vec::new();
+        for &v in atom.schema.vars() {
+            if q.is_input(v) {
+                let fresh = sym(&format!("{}#{}@{}", v, q.name, i));
+                origin.insert(fresh, v);
+                schema.push(fresh);
+            } else {
+                origin.insert(v, v);
+                schema.push(v);
+            }
+        }
+        occ_atoms.push(schema);
+    }
+
+    // Step 2: connected components of the modified query (atoms share a
+    // non-fresh variable; fresh variables are singletons per occurrence so
+    // they never connect atoms).
+    let n = occ_atoms.len();
+    let mut comp: Vec<usize> = (0..n).collect();
+    fn find(comp: &mut Vec<usize>, i: usize) -> usize {
+        if comp[i] != i {
+            let r = find(comp, comp[i]);
+            comp[i] = r;
+        }
+        comp[i]
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            let shared = occ_atoms[i].iter().any(|v| occ_atoms[j].contains(v));
+            if shared {
+                let (ri, rj) = (find(&mut comp, i), find(&mut comp, j));
+                if ri != rj {
+                    comp[ri] = rj;
+                }
+            }
+        }
+    }
+    let mut roots: Vec<usize> = Vec::new();
+    let mut component = vec![0usize; n];
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..n {
+        let r = find(&mut comp, i);
+        let id = match roots.iter().position(|&x| x == r) {
+            Some(p) => p,
+            None => {
+                roots.push(r);
+                roots.len() - 1
+            }
+        };
+        component[i] = id;
+    }
+
+    // Step 3: within each component, re-unify the fresh copies of each
+    // original input variable into one fresh input variable.
+    let mut unified: FxHashMap<(usize, Sym), Sym> = FxHashMap::default();
+    let mut final_origin: FxHashMap<Sym, Sym> = FxHashMap::default();
+    let mut atoms = Vec::with_capacity(n);
+    for (i, schema) in occ_atoms.iter().enumerate() {
+        let cid = component[i];
+        let mut vars = Vec::with_capacity(schema.len());
+        for &v in schema {
+            let orig = origin[&v];
+            let out = if q.is_input(orig) {
+                *unified
+                    .entry((cid, orig))
+                    .or_insert_with(|| sym(&format!("{}†{}@{}", orig, q.name, cid)))
+            } else {
+                v
+            };
+            final_origin.insert(out, orig);
+            vars.push(out);
+        }
+        // Re-unification can create duplicate variables within one atom
+        // (two occurrences of the same input variable in one atom); schemas
+        // are sets, so deduplicate.
+        let mut dedup: Vec<Sym> = Vec::with_capacity(vars.len());
+        for v in vars {
+            if !dedup.contains(&v) {
+                dedup.push(v);
+            }
+        }
+        atoms.push(Atom {
+            name: q.atoms[i].name,
+            schema: Schema::new(dedup),
+            dynamic: q.atoms[i].dynamic,
+        });
+    }
+
+    // Free variables of the fracture: original output variables plus every
+    // per-component input variable (all inputs stay free and input).
+    let mut free: Vec<Sym> = q.output().vars().to_vec();
+    let mut input: Vec<Sym> = Vec::new();
+    for atom in &atoms {
+        for &v in atom.schema.vars() {
+            if q.is_input(final_origin[&v]) && !input.contains(&v) {
+                input.push(v);
+                free.push(v);
+            }
+        }
+    }
+
+    let query = Query {
+        name: sym(&format!("{}†", q.name)),
+        free: Schema::new(free),
+        input: Schema::new(input),
+        atoms,
+    };
+    Fracture {
+        query,
+        component,
+        origin: final_origin,
+    }
+}
+
+/// Theorem 4.8: a CQAP is tractable iff its fracture is hierarchical,
+/// free-dominant, and input-dominant.
+pub fn is_tractable_cqap(q: &Query) -> bool {
+    let f = fracture(q);
+    is_hierarchical(&f.query) && is_free_dominant(&f.query) && is_input_dominant(&f.query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivm_data::vars;
+
+    /// Ex 4.6: triangle detection Q(·|A,B,C) = E(A,B)·E(B,C)·E(C,A) is a
+    /// tractable CQAP — the fracture splits into three components, each a
+    /// single binary atom.
+    #[test]
+    fn triangle_detection_tractable() {
+        let [a, b, c] = vars(["cq_A", "cq_B", "cq_C"]);
+        let e = sym("cq_E");
+        let q = Query::with_access_pattern(
+            "cq_tridet",
+            [],
+            [a, b, c],
+            vec![
+                Atom::new(e, [a, b]),
+                Atom::new(e, [b, c]),
+                Atom::new(e, [c, a]),
+            ],
+        );
+        let f = fracture(&q);
+        // Three disconnected components — all shared variables were inputs.
+        assert_eq!(
+            f.component.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
+        assert!(is_tractable_cqap(&q));
+    }
+
+    /// Ex 4.6: edge triangle listing Q(C|A,B) is NOT a tractable CQAP.
+    #[test]
+    fn edge_triangle_listing_not_tractable() {
+        let [a, b, c] = vars(["cq_A2", "cq_B2", "cq_C2"]);
+        let e = sym("cq_E2");
+        let q = Query::with_access_pattern(
+            "cq_trilist",
+            [c],
+            [a, b],
+            vec![
+                Atom::new(e, [a, b]),
+                Atom::new(e, [b, c]),
+                Atom::new(e, [c, a]),
+            ],
+        );
+        // C connects E(B,C) and E(C,A) into one component; the fracture
+        // stays cyclic/non-hierarchical.
+        assert!(!is_tractable_cqap(&q));
+    }
+
+    /// Ex 4.6: Q(A|B) = S(A,B)·T(B) is tractable.
+    #[test]
+    fn lookup_join_tractable() {
+        let [a, b] = vars(["cq_A3", "cq_B3"]);
+        let q = Query::with_access_pattern(
+            "cq_lookup",
+            [a],
+            [b],
+            vec![
+                Atom::new(sym("cq_S3"), [a, b]),
+                Atom::new(sym("cq_T3"), [b]),
+            ],
+        );
+        assert!(is_tractable_cqap(&q));
+    }
+
+    /// A CQAP with no input variables is tractable iff q-hierarchical
+    /// (Sec. 4.3: "q-hierarchical queries are the tractable CQAPs without
+    /// input variables").
+    #[test]
+    fn no_input_reduces_to_q_hierarchical() {
+        let [x, y, z] = vars(["cq_X4", "cq_Y4", "cq_Z4"]);
+        let qh = Query::new(
+            "cq_qh",
+            [y, x, z],
+            vec![
+                Atom::new(sym("cq_R4"), [y, x]),
+                Atom::new(sym("cq_S4"), [y, z]),
+            ],
+        );
+        assert!(is_tractable_cqap(&qh));
+        assert!(crate::hierarchy::is_q_hierarchical(&qh));
+
+        let not_qh = Query::new(
+            "cq_nqh",
+            [x],
+            vec![
+                Atom::new(sym("cq_R5"), [x, y]),
+                Atom::new(sym("cq_S5"), [y]),
+            ],
+        );
+        assert!(!is_tractable_cqap(&not_qh));
+    }
+
+    /// Fracturing the non-hierarchical Q(X) = Σ_Y R(X,Y)·S(Y) at input X
+    /// makes it tractable: Q(·|X) with X input is fine because the fracture
+    /// is still connected through Y but X's copy is input-dominant.
+    #[test]
+    fn fracture_preserves_non_input_connectivity() {
+        let [x, y] = vars(["cq_X6", "cq_Y6"]);
+        let q = Query::with_access_pattern(
+            "cq_q6",
+            [],
+            [x],
+            vec![
+                Atom::new(sym("cq_R6"), [x, y]),
+                Atom::new(sym("cq_S6"), [y]),
+            ],
+        );
+        let f = fracture(&q);
+        // Single component: R and S share the non-input Y.
+        assert!(f.component.iter().all(|&c| c == 0));
+        // atoms(Y) = {R,S} ⊃ atoms(X') = {R}: Y dominates X'. X' is input
+        // and Y is not, violating input-dominance... but X' is also free
+        // while Y is bound, violating free-dominance first.
+        assert!(!is_tractable_cqap(&q));
+    }
+
+    /// Fresh variables are deterministic: fracturing twice gives equal
+    /// structures.
+    #[test]
+    fn fracture_deterministic() {
+        let [a, b] = vars(["cq_A7", "cq_B7"]);
+        let q = Query::with_access_pattern(
+            "cq_q7",
+            [a],
+            [b],
+            vec![Atom::new(sym("cq_S7"), [a, b])],
+        );
+        let f1 = fracture(&q);
+        let f2 = fracture(&q);
+        assert_eq!(f1.query, f2.query);
+    }
+}

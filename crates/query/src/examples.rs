@@ -1,0 +1,312 @@
+//! Constructors for every query named in the paper, shared by tests,
+//! examples, and benchmarks. Relation and variable names are namespaced
+//! (`ret_`, `tri_`, …) so concurrent tests never collide in the interner.
+
+use crate::ast::{Atom, Query};
+use ivm_data::{sym, Sym};
+
+/// The Boolean triangle count `Q = Σ_{A,B,C} R(A,B)·S(B,C)·T(C,A)`
+/// (Sec. 3) over relation names `tri_R`, `tri_S`, `tri_T`.
+pub fn triangle_count() -> Query {
+    let [a, b, c] = ivm_data::vars(["tri_A", "tri_B", "tri_C"]);
+    Query::new(
+        "tri_Q",
+        [],
+        vec![
+            Atom::new(sym("tri_R"), [a, b]),
+            Atom::new(sym("tri_S"), [b, c]),
+            Atom::new(sym("tri_T"), [c, a]),
+        ],
+    )
+}
+
+/// Ex 4.6: triangle detection with all nodes given,
+/// `Q(·|A,B,C) = E(A,B)·E(B,C)·E(C,A)` — a tractable CQAP.
+pub fn triangle_detect_cqap() -> Query {
+    let [a, b, c] = ivm_data::vars(["tdc_A", "tdc_B", "tdc_C"]);
+    let e = sym("tdc_E");
+    Query::with_access_pattern(
+        "tdc_Q",
+        [],
+        [a, b, c],
+        vec![
+            Atom::new(e, [a, b]),
+            Atom::new(e, [b, c]),
+            Atom::new(e, [c, a]),
+        ],
+    )
+}
+
+/// Ex 4.6: edge triangle listing `Q(C|A,B)` — not a tractable CQAP.
+pub fn edge_triangle_listing_cqap() -> Query {
+    let [a, b, c] = ivm_data::vars(["etl_A", "etl_B", "etl_C"]);
+    let e = sym("etl_E");
+    Query::with_access_pattern(
+        "etl_Q",
+        [c],
+        [a, b],
+        vec![
+            Atom::new(e, [a, b]),
+            Atom::new(e, [b, c]),
+            Atom::new(e, [c, a]),
+        ],
+    )
+}
+
+/// Ex 4.6: `Q(A|B) = S(A,B)·T(B)` — a tractable CQAP.
+pub fn lookup_cqap() -> Query {
+    let [a, b] = ivm_data::vars(["lk_A", "lk_B"]);
+    Query::with_access_pattern(
+        "lk_Q",
+        [a],
+        [b],
+        vec![
+            Atom::new(sym("lk_S"), [a, b]),
+            Atom::new(sym("lk_T"), [b]),
+        ],
+    )
+}
+
+/// Fig 3 / Ex 4.4: `Q(Y,X,Z) = R(Y,X)·S(Y,Z)` — q-hierarchical.
+pub fn fig3_query() -> Query {
+    let [x, y, z] = ivm_data::vars(["f3_X", "f3_Y", "f3_Z"]);
+    Query::new(
+        "f3_Q",
+        [y, x, z],
+        vec![
+            Atom::new(sym("f3_R"), [y, x]),
+            Atom::new(sym("f3_S"), [y, z]),
+        ],
+    )
+}
+
+/// Ex 4.3: `Q = Σ_{X,Y} R(X)·S(X,Y)·T(Y)` — the simplest non-hierarchical
+/// query.
+pub fn ex43_non_hierarchical() -> Query {
+    let [x, y] = ivm_data::vars(["e43_X", "e43_Y"]);
+    Query::new(
+        "e43_Q",
+        [],
+        vec![
+            Atom::new(sym("e43_R"), [x]),
+            Atom::new(sym("e43_S"), [x, y]),
+            Atom::new(sym("e43_T"), [y]),
+        ],
+    )
+}
+
+/// Ex 4.3 / Ex 5.1: `Q(X) = Σ_Y R(X,Y)·S(Y)` — hierarchical but not
+/// q-hierarchical; the simplest query with a preprocessing/update/delay
+/// trade-off (Fig 7).
+pub fn ex51_query() -> Query {
+    let [x, y] = ivm_data::vars(["e51_A", "e51_B"]);
+    Query::new(
+        "e51_Q",
+        [x],
+        vec![
+            Atom::new(sym("e51_R"), [x, y]),
+            Atom::new(sym("e51_S"), [y]),
+        ],
+    )
+}
+
+/// Ex 4.5: the cascade pair `(Q1, Q2)` with
+/// `Q1(A,B,C,D) = R(A,B)·S(B,C)·T(C,D)` and `Q2(A,B,C) = R(A,B)·S(B,C)`.
+pub fn ex45_pair() -> (Query, Query) {
+    let [a, b, c, d] = ivm_data::vars(["e45_A", "e45_B", "e45_C", "e45_D"]);
+    let (r, s, t) = (sym("e45_R"), sym("e45_S"), sym("e45_T"));
+    let q1 = Query::new(
+        "e45_Q1",
+        [a, b, c, d],
+        vec![
+            Atom::new(r, [a, b]),
+            Atom::new(s, [b, c]),
+            Atom::new(t, [c, d]),
+        ],
+    );
+    let q2 = Query::new(
+        "e45_Q2",
+        [a, b, c],
+        vec![Atom::new(r, [a, b]), Atom::new(s, [b, c])],
+    );
+    (q1, q2)
+}
+
+/// Ex 4.12: `Q(Z,Y,X,W) = R(X,W)·S(X,Y)·T(Y,Z)` with FDs `X→Y`, `Y→Z`.
+pub fn ex412_query() -> (Query, Vec<crate::fd::Fd>) {
+    let [w, x, y, z] = ivm_data::vars(["e412_W", "e412_X", "e412_Y", "e412_Z"]);
+    let q = Query::new(
+        "e412_Q",
+        [z, y, x, w],
+        vec![
+            Atom::new(sym("e412_R"), [x, w]),
+            Atom::new(sym("e412_S"), [x, y]),
+            Atom::new(sym("e412_T"), [y, z]),
+        ],
+    );
+    let sigma = vec![
+        crate::fd::Fd::new([x], [y]),
+        crate::fd::Fd::new([y], [z]),
+    ];
+    (q, sigma)
+}
+
+/// Ex 4.14: `Q(A,B,C) = Σ_D R^d(A,D)·S^d(A,B)·T^s(B,C)` — tractable with
+/// static `T`, intractable all-dynamic.
+pub fn ex414_query() -> Query {
+    let [a, b, c, d] = ivm_data::vars(["e414_A", "e414_B", "e414_C", "e414_D"]);
+    Query::new(
+        "e414_Q",
+        [a, b, c],
+        vec![
+            Atom::new(sym("e414_R"), [a, d]),
+            Atom::new(sym("e414_S"), [a, b]),
+            Atom::new_static(sym("e414_T"), [b, c]),
+        ],
+    )
+}
+
+/// Names of the Retailer relations used by the Fig 4 experiment.
+pub struct RetailerNames {
+    /// Inventory(locn, dateid, ksn) — the frequently updated fact table.
+    pub inventory: Sym,
+    /// Sales(locn, dateid, ksn, units).
+    pub sales: Sym,
+    /// Weather(locn, dateid, rain).
+    pub weather: Sym,
+    /// Location(locn, zip).
+    pub location: Sym,
+    /// Census(locn, zip, population) — materialized Σ-reduct of
+    /// Census(zip, population) under the FD `zip → locn` (Ex 4.10).
+    pub census: Sym,
+}
+
+/// The Fig 4 q-hierarchical 5-relation Retailer join.
+///
+/// The paper's query is non-hierarchical as written but becomes
+/// q-hierarchical under the FD `zip → locn` (Ex 4.10); as Theorem 4.11
+/// prescribes, the engines run on the Σ-reduct, whose only schema change is
+/// the extension of Census by the FD-implied `locn` column. Our generator
+/// materializes that column, so the query below is the reduct.
+pub fn retailer_query() -> (Query, RetailerNames) {
+    let [locn, dateid, ksn, units, rain, zip, pop] = ivm_data::vars([
+        "ret_locn",
+        "ret_dateid",
+        "ret_ksn",
+        "ret_units",
+        "ret_rain",
+        "ret_zip",
+        "ret_population",
+    ]);
+    let names = RetailerNames {
+        inventory: sym("ret_Inventory"),
+        sales: sym("ret_Sales"),
+        weather: sym("ret_Weather"),
+        location: sym("ret_Location"),
+        census: sym("ret_Census"),
+    };
+    let q = Query::new(
+        "ret_Q",
+        [locn, dateid, ksn, units, rain, zip, pop],
+        vec![
+            Atom::new(names.inventory, [locn, dateid, ksn]),
+            Atom::new(names.sales, [locn, dateid, ksn, units]),
+            Atom::new(names.weather, [locn, dateid, rain]),
+            Atom::new(names.location, [locn, zip]),
+            Atom::new(names.census, [locn, zip, pop]),
+        ],
+    );
+    (q, names)
+}
+
+/// Ex 4.13: the JOB-style PK–FK join
+/// `Q = Title(m)·MovieCompanies(m,c)·CompanyName(c)` (non-join columns
+/// elided; `m`/`c` are the movie/company keys).
+pub fn job_pkfk_query() -> Query {
+    let [m, c] = ivm_data::vars(["job_movie", "job_company"]);
+    Query::new(
+        "job_Q",
+        [],
+        vec![
+            Atom::new(sym("job_Title"), [m]),
+            Atom::new(sym("job_MovieCompanies"), [m, c]),
+            Atom::new(sym("job_CompanyName"), [c]),
+        ],
+    )
+}
+
+/// The 3-path join used by the insert-only experiment (Sec. 4.6):
+/// `Q(A,B,C,D) = R(A,B)·S(B,C)·T(C,D)` — α-acyclic, not q-hierarchical.
+pub fn path3_query() -> Query {
+    let [a, b, c, d] = ivm_data::vars(["p3_A", "p3_B", "p3_C", "p3_D"]);
+    Query::new(
+        "p3_Q",
+        [a, b, c, d],
+        vec![
+            Atom::new(sym("p3_R"), [a, b]),
+            Atom::new(sym("p3_S"), [b, c]),
+            Atom::new(sym("p3_T"), [c, d]),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acyclic::{is_acyclic, is_free_connex};
+    use crate::cqap::is_tractable_cqap;
+    use crate::fd::reduct_is_q_hierarchical;
+    use crate::hierarchy::{is_hierarchical, is_q_hierarchical};
+
+    /// The complete classification table of the paper's example queries —
+    /// each verdict is stated in the text.
+    #[test]
+    fn paper_classification_table() {
+        assert!(!is_hierarchical(&triangle_count()));
+        assert!(!is_acyclic(&triangle_count()));
+
+        assert!(is_tractable_cqap(&triangle_detect_cqap()));
+        assert!(!is_tractable_cqap(&edge_triangle_listing_cqap()));
+        assert!(is_tractable_cqap(&lookup_cqap()));
+
+        assert!(is_q_hierarchical(&fig3_query()));
+        assert!(!is_hierarchical(&ex43_non_hierarchical()));
+        assert!(is_hierarchical(&ex51_query()));
+        assert!(!is_q_hierarchical(&ex51_query()));
+
+        let (q1, q2) = ex45_pair();
+        assert!(!is_hierarchical(&q1));
+        assert!(is_q_hierarchical(&q2));
+
+        let (q412, sigma) = ex412_query();
+        assert!(!is_hierarchical(&q412));
+        assert!(reduct_is_q_hierarchical(&q412, &sigma));
+
+        assert!(is_q_hierarchical(&retailer_query().0));
+
+        assert!(!is_q_hierarchical(&job_pkfk_query()));
+        assert!(is_acyclic(&job_pkfk_query()));
+
+        assert!(is_acyclic(&path3_query()));
+        assert!(is_free_connex(&path3_query()));
+        assert!(!is_q_hierarchical(&path3_query()));
+    }
+
+    /// The Retailer query admits a canonical view tree with constant
+    /// updates for all five relations.
+    #[test]
+    fn retailer_has_constant_update_tree() {
+        let (q, _) = retailer_query();
+        let vo = crate::varorder::VarOrder::canonical(&q).unwrap();
+        assert!(vo.free_top(&q));
+        assert!(vo.constant_update_atoms(&q).iter().all(|&b| b));
+    }
+
+    /// Ex 4.14 is tractable static-dynamic but not all-dynamic.
+    #[test]
+    fn ex414_static_dynamic() {
+        let q = ex414_query();
+        assert!(!is_q_hierarchical(&q));
+        assert!(crate::varorder::is_tractable_static_dynamic(&q));
+    }
+}

@@ -1,0 +1,182 @@
+//! Functional dependencies and the Σ-reduct (Sec. 4.4, Def. 4.9).
+//!
+//! Databases in practice satisfy integrity constraints, and non-hierarchical
+//! queries may *behave* hierarchically over such databases. The Σ-reduct
+//! extends every atom schema (and the free variables) with their closure
+//! under a set Σ of functional dependencies; if the reduct is
+//! q-hierarchical, the original query admits the best possible maintenance
+//! (Theorem 4.11).
+
+use crate::ast::{Atom, Query};
+use crate::hierarchy::is_q_hierarchical;
+use ivm_data::Schema;
+
+/// A functional dependency `lhs → rhs`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fd {
+    /// Determinant variables.
+    pub lhs: Schema,
+    /// Determined variables.
+    pub rhs: Schema,
+}
+
+impl Fd {
+    /// `lhs → rhs` with single variables.
+    pub fn new(lhs: impl Into<Schema>, rhs: impl Into<Schema>) -> Self {
+        Fd {
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+        }
+    }
+}
+
+/// The closure `C_Σ(S)` of a variable set under a set of FDs: the least
+/// fixpoint of applying every dependency whose determinant is contained in
+/// the set.
+pub fn closure(sigma: &[Fd], s: &Schema) -> Schema {
+    let mut acc = s.clone();
+    loop {
+        let mut grown = false;
+        for fd in sigma {
+            if fd.lhs.subset_of(&acc) && !fd.rhs.subset_of(&acc) {
+                acc = acc.union(&fd.rhs);
+                grown = true;
+            }
+        }
+        if !grown {
+            return acc;
+        }
+    }
+}
+
+/// The Σ-reduct of a query (Def. 4.9): each atom schema and the free
+/// variable set are replaced by their closure under Σ (restricted to the
+/// query's variables, which closures cannot leave anyway since FDs only
+/// mention query variables in practice).
+pub fn sigma_reduct(q: &Query, sigma: &[Fd]) -> Query {
+    let atoms = q
+        .atoms
+        .iter()
+        .map(|a| Atom {
+            name: a.name,
+            schema: closure(sigma, &a.schema),
+            dynamic: a.dynamic,
+        })
+        .collect();
+    Query {
+        name: ivm_data::sym(&format!("{}_reduct", q.name)),
+        free: closure(sigma, &q.free),
+        input: q.input.clone(),
+        atoms,
+    }
+}
+
+/// Theorem 4.11 precondition: the query's Σ-reduct is q-hierarchical, so
+/// the original query can be maintained with O(|D|) preprocessing, O(1)
+/// update, and O(1) delay over databases satisfying Σ.
+pub fn reduct_is_q_hierarchical(q: &Query, sigma: &[Fd]) -> bool {
+    is_q_hierarchical(&sigma_reduct(q, sigma))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::is_hierarchical;
+    use ivm_data::{sym, vars};
+
+    #[test]
+    fn closure_fixpoint() {
+        // Σ = {A → C; BC → D}; C_Σ({A, B}) = {A, B, C, D} (paper example).
+        let [a, b, c, d] = vars(["fd_A", "fd_B", "fd_C", "fd_D"]);
+        let sigma = vec![
+            Fd::new([a], [c]),
+            Fd::new([b, c], [d]),
+        ];
+        let cl = closure(&sigma, &Schema::from([a, b]));
+        assert_eq!(cl, Schema::from([a, b, c, d]));
+    }
+
+    #[test]
+    fn closure_is_monotone_and_idempotent() {
+        let [a, b, c] = vars(["fd_A2", "fd_B2", "fd_C2"]);
+        let sigma = vec![Fd::new([a], [b]), Fd::new([b], [c])];
+        let s = Schema::from([a]);
+        let cl = closure(&sigma, &s);
+        assert!(s.subset_of(&cl));
+        assert_eq!(closure(&sigma, &cl), cl);
+    }
+
+    /// Ex 4.12: Q(Z,Y,X,W) = R(X,W)·S(X,Y)·T(Y,Z) with Σ = {X→Y, Y→Z} is
+    /// non-hierarchical, but its Σ-reduct is q-hierarchical.
+    #[test]
+    fn example_4_12_chain() {
+        let [w, x, y, z] = vars(["fd_W3", "fd_X3", "fd_Y3", "fd_Z3"]);
+        let q = Query::new(
+            "fd_q3",
+            [z, y, x, w],
+            vec![
+                Atom::new(sym("fd_R3"), [x, w]),
+                Atom::new(sym("fd_S3"), [x, y]),
+                Atom::new(sym("fd_T3"), [y, z]),
+            ],
+        );
+        assert!(!is_hierarchical(&q));
+        let sigma = vec![Fd::new([x], [y]), Fd::new([y], [z])];
+        let reduct = sigma_reduct(&q, &sigma);
+        // R'(X,W,Y,Z), S'(X,Y,Z), T'(Y,Z): hierarchical with X on top.
+        assert!(is_hierarchical(&reduct));
+        assert!(is_q_hierarchical(&reduct));
+        assert!(reduct_is_q_hierarchical(&q, &sigma));
+    }
+
+    /// Ex 4.10: the Retailer join is non-hierarchical, but the FD
+    /// `zip → locn` makes the reduct hierarchical.
+    #[test]
+    fn example_4_10_retailer() {
+        let [locn, dateid, ksn, zip] = vars(["fd_locn", "fd_dateid", "fd_ksn", "fd_zip"]);
+        let q = Query::new(
+            "fd_retailer",
+            [],
+            vec![
+                Atom::new(sym("fd_Inventory"), [locn, dateid, ksn]),
+                Atom::new(sym("fd_Weather"), [locn, dateid]),
+                Atom::new(sym("fd_Location"), [locn, zip]),
+                Atom::new(sym("fd_Census"), [zip]),
+            ],
+        );
+        assert!(!is_hierarchical(&q));
+        let sigma = vec![Fd::new([zip], [locn])];
+        assert!(is_hierarchical(&sigma_reduct(&q, &sigma)));
+    }
+
+    /// Without the FD the reduct is the query itself.
+    #[test]
+    fn empty_sigma_reduct_is_identity_modulo_name() {
+        let [a, b] = vars(["fd_A4", "fd_B4"]);
+        let q = Query::new("fd_q4", [a], vec![Atom::new(sym("fd_R4"), [a, b])]);
+        let r = sigma_reduct(&q, &[]);
+        assert_eq!(r.free, q.free);
+        assert_eq!(r.atoms[0].schema, q.atoms[0].schema);
+    }
+
+    /// Built-in predicate example from Sec. 4.4: A + B = C yields the FDs
+    /// AB → C, AC → B, BC → A; the closure of any two is all three.
+    #[test]
+    fn arithmetic_fd_closure() {
+        let [a, b, c] = vars(["fd_A5", "fd_B5", "fd_C5"]);
+        let sigma = vec![
+            Fd::new([a, b], [c]),
+            Fd::new([a, c], [b]),
+            Fd::new([b, c], [a]),
+        ];
+        assert_eq!(
+            closure(&sigma, &Schema::from([a, b])),
+            Schema::from([a, b, c])
+        );
+        assert_eq!(
+            closure(&sigma, &Schema::from([b, c])),
+            Schema::from([b, c, a])
+        );
+        assert_eq!(closure(&sigma, &Schema::from([a])), Schema::from([a]));
+    }
+}

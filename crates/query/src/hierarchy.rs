@@ -1,0 +1,276 @@
+//! Hierarchical and q-hierarchical queries (Def. 4.2) and the dominance
+//! relations used by the CQAP dichotomy (Def. 4.7).
+//!
+//! These checks run in time polynomial in the query size and decide which
+//! maintenance strategy applies:
+//!
+//! * q-hierarchical ⟹ O(|D|) preprocessing, O(1) update, O(1) delay
+//!   (Theorem 4.1, upper bound);
+//! * otherwise (self-join free) no algorithm gets both update time and
+//!   delay below O(|D|^{1/2−γ}) unless the OuMv conjecture fails
+//!   (Theorem 4.1, lower bound).
+
+use crate::ast::Query;
+use ivm_data::Sym;
+
+/// Relationship between `atoms(X)` and `atoms(Y)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AtomSetRel {
+    /// `atoms(X) = atoms(Y)`.
+    Equal,
+    /// `atoms(X) ⊂ atoms(Y)` (strict).
+    Subset,
+    /// `atoms(X) ⊃ atoms(Y)` (strict).
+    Superset,
+    /// `atoms(X) ∩ atoms(Y) = ∅`.
+    Disjoint,
+    /// Properly overlapping — the witness of non-hierarchy.
+    Crossing,
+}
+
+/// Compare `atoms(X)` and `atoms(Y)` in a query.
+pub fn atom_set_relation(q: &Query, x: Sym, y: Sym) -> AtomSetRel {
+    let ax = q.atoms_of(x);
+    let ay = q.atoms_of(y);
+    if ax == ay {
+        AtomSetRel::Equal
+    } else if ax & ay == ax {
+        AtomSetRel::Subset
+    } else if ax & ay == ay {
+        AtomSetRel::Superset
+    } else if ax & ay == 0 {
+        AtomSetRel::Disjoint
+    } else {
+        AtomSetRel::Crossing
+    }
+}
+
+/// Whether the query is *hierarchical*: for any two variables `X`, `Y`,
+/// `atoms(X) ⊆ atoms(Y)`, `atoms(Y) ⊆ atoms(X)`, or they are disjoint.
+pub fn is_hierarchical(q: &Query) -> bool {
+    hierarchy_violation(q).is_none()
+}
+
+/// A witness pair violating the hierarchy condition, if any.
+pub fn hierarchy_violation(q: &Query) -> Option<(Sym, Sym)> {
+    let vs = q.variables();
+    for (i, &x) in vs.vars().iter().enumerate() {
+        for &y in &vs.vars()[i + 1..] {
+            if atom_set_relation(q, x, y) == AtomSetRel::Crossing {
+                return Some((x, y));
+            }
+        }
+    }
+    None
+}
+
+/// Whether `b` *dominates* `a`: `atoms(a) ⊂ atoms(b)` strictly (Def. 4.7).
+pub fn dominates(q: &Query, b: Sym, a: Sym) -> bool {
+    atom_set_relation(q, a, b) == AtomSetRel::Subset
+}
+
+/// Whether the query is *free-dominant*: whenever `B` dominates `A` and `A`
+/// is free, `B` is free. For hierarchical queries this is exactly the
+/// "q" condition of Def. 4.2 (footnote 4 of the paper).
+pub fn is_free_dominant(q: &Query) -> bool {
+    let vs = q.variables();
+    for &a in vs.vars() {
+        if !q.is_free(a) {
+            continue;
+        }
+        for &b in vs.vars() {
+            if b != a && dominates(q, b, a) && !q.is_free(b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether the query is *input-dominant*: whenever `B` dominates `A` and
+/// `A` is an input variable, `B` is an input variable (Def. 4.7).
+pub fn is_input_dominant(q: &Query) -> bool {
+    let vs = q.variables();
+    for &a in vs.vars() {
+        if !q.is_input(a) {
+            continue;
+        }
+        for &b in vs.vars() {
+            if b != a && dominates(q, b, a) && !q.is_input(b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether the query is *q-hierarchical* (Def. 4.2): hierarchical, and for
+/// any `X`, `Y` with `atoms(X) ⊃ atoms(Y)`, if `Y` is free then `X` is free.
+pub fn is_q_hierarchical(q: &Query) -> bool {
+    is_hierarchical(q) && is_free_dominant(q)
+}
+
+/// The verdict of Theorem 4.1 for a self-join-free query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dichotomy {
+    /// O(|D|) preprocessing, O(1) single-tuple update, O(1) delay.
+    Tractable,
+    /// No O(|D|^{1/2−γ}) update + delay, conditioned on OuMv.
+    Hard,
+}
+
+/// Classify a self-join-free query per Theorem 4.1.
+pub fn classify(q: &Query) -> Dichotomy {
+    if is_q_hierarchical(q) {
+        Dichotomy::Tractable
+    } else {
+        Dichotomy::Hard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Atom;
+    use ivm_data::{sym, vars};
+
+    /// Ex 4.3: Q = Σ_{X,Y} R(X)·S(X,Y)·T(Y) is non-hierarchical.
+    #[test]
+    fn example_4_3_non_hierarchical() {
+        let [x, y] = vars(["h_X", "h_Y"]);
+        let q = Query::new(
+            "h_q1",
+            [],
+            vec![
+                Atom::new(sym("h_R"), [x]),
+                Atom::new(sym("h_S"), [x, y]),
+                Atom::new(sym("h_T"), [y]),
+            ],
+        );
+        assert!(!is_hierarchical(&q));
+        let (a, b) = hierarchy_violation(&q).unwrap();
+        assert!((a == x && b == y) || (a == y && b == x));
+        assert_eq!(classify(&q), Dichotomy::Hard);
+    }
+
+    /// Ex 4.3: dropping any atom makes it hierarchical.
+    #[test]
+    fn example_4_3_drop_atom_hierarchical() {
+        let [x, y] = vars(["h_X2", "h_Y2"]);
+        let q = Query::new(
+            "h_q2",
+            [],
+            vec![
+                Atom::new(sym("h_S2"), [x, y]),
+                Atom::new(sym("h_T2"), [y]),
+            ],
+        );
+        assert!(is_hierarchical(&q));
+        assert!(is_q_hierarchical(&q)); // Boolean: no free vars to dominate.
+    }
+
+    /// Ex 4.3: Q(X) = Σ_Y R(X,Y)·S(Y) is hierarchical but not q-hierarchical.
+    #[test]
+    fn example_4_3_hierarchical_not_q() {
+        let [x, y] = vars(["h_X3", "h_Y3"]);
+        let q = Query::new(
+            "h_q3",
+            [x],
+            vec![
+                Atom::new(sym("h_R3"), [x, y]),
+                Atom::new(sym("h_S3"), [y]),
+            ],
+        );
+        assert!(is_hierarchical(&q));
+        // atoms(X) = {R} ⊂ atoms(Y) = {R, S}; Y dominates X... check
+        // direction: X free, Y bound, atoms(Y) ⊃ atoms(X) means Y dominates
+        // X, so Y must be free — it is not.
+        assert!(!is_free_dominant(&q));
+        assert!(!is_q_hierarchical(&q));
+        assert_eq!(classify(&q), Dichotomy::Hard);
+    }
+
+    /// Fig 3: Q(Y,X,Z) = R(Y,X)·S(Y,Z) is q-hierarchical.
+    #[test]
+    fn fig3_query_q_hierarchical() {
+        let [x, y, z] = vars(["h_X4", "h_Y4", "h_Z4"]);
+        let q = Query::new(
+            "h_q4",
+            [y, x, z],
+            vec![
+                Atom::new(sym("h_R4"), [y, x]),
+                Atom::new(sym("h_S4"), [y, z]),
+            ],
+        );
+        assert!(is_q_hierarchical(&q));
+        assert_eq!(classify(&q), Dichotomy::Tractable);
+    }
+
+    /// Ex 4.5: Q2(A,B,C) = R(A,B)·S(B,C) is q-hierarchical; the path
+    /// Q1(A,B,C,D) = R(A,B)·S(B,C)·T(C,D) is not hierarchical.
+    #[test]
+    fn example_4_5_cascade_pair() {
+        let [a, b, c, d] = vars(["h_A5", "h_B5", "h_C5", "h_D5"]);
+        let (r, s, t) = (sym("h_R5"), sym("h_S5"), sym("h_T5"));
+        let q2 = Query::new(
+            "h_q2of5",
+            [a, b, c],
+            vec![Atom::new(r, [a, b]), Atom::new(s, [b, c])],
+        );
+        assert!(is_q_hierarchical(&q2));
+        let q1 = Query::new(
+            "h_q1of5",
+            [a, b, c, d],
+            vec![
+                Atom::new(r, [a, b]),
+                Atom::new(s, [b, c]),
+                Atom::new(t, [c, d]),
+            ],
+        );
+        assert!(!is_hierarchical(&q1));
+    }
+
+    /// The triangle count query is not hierarchical.
+    #[test]
+    fn triangle_not_hierarchical() {
+        let [a, b, c] = vars(["h_A6", "h_B6", "h_C6"]);
+        let q = Query::new(
+            "h_tri",
+            [],
+            vec![
+                Atom::new(sym("h_R6"), [a, b]),
+                Atom::new(sym("h_S6"), [b, c]),
+                Atom::new(sym("h_T6"), [c, a]),
+            ],
+        );
+        assert!(!is_hierarchical(&q));
+    }
+
+    /// Equal atom sets never violate q-hierarchy regardless of freeness.
+    #[test]
+    fn equal_atom_sets_are_fine() {
+        let [a, b] = vars(["h_A7", "h_B7"]);
+        let q = Query::new("h_q7", [a], vec![Atom::new(sym("h_R7"), [a, b])]);
+        assert!(is_q_hierarchical(&q));
+    }
+
+    /// Input dominance on Q(A|B) = S(A,B)·T(B): atoms(A) = {S} ⊂ {S,T} =
+    /// atoms(B); B input, A output. B dominates A; A is free so B must be
+    /// free (it is); A is not input so input-dominance holds.
+    #[test]
+    fn input_dominance_example() {
+        let [a, b] = vars(["h_A8", "h_B8"]);
+        let q = Query::with_access_pattern(
+            "h_q8",
+            [a],
+            [b],
+            vec![
+                Atom::new(sym("h_S8"), [a, b]),
+                Atom::new(sym("h_T8"), [b]),
+            ],
+        );
+        assert!(is_hierarchical(&q));
+        assert!(is_free_dominant(&q));
+        assert!(is_input_dominant(&q));
+    }
+}

@@ -1,0 +1,30 @@
+//! Conjunctive queries with aggregates and the syntactic analyses behind
+//! the IVM dichotomies of the paper.
+//!
+//! The analyses decide, in time polynomial in the query size, which
+//! maintenance strategy the engines in `ivm-core` may use:
+//!
+//! | Analysis | Paper | Decides |
+//! |---|---|---|
+//! | [`hierarchy::is_q_hierarchical`] | Thm 4.1 | O(1) update + O(1) delay |
+//! | [`acyclic::is_acyclic`] | Sec 4.6 | amortized O(1) insert-only |
+//! | [`cqap::is_tractable_cqap`] | Thm 4.8 | O(1) update + O(1) access |
+//! | [`fd::reduct_is_q_hierarchical`] | Thm 4.11 | O(1) under FDs |
+//! | [`varorder::is_tractable_static_dynamic`] | Sec 4.5 | O(1) w/ static relations |
+//! | [`cascade::rewrite_with`] | Sec 4.2 | piggybacked maintenance |
+
+pub mod acyclic;
+pub mod ast;
+pub mod cascade;
+pub mod cqap;
+pub mod examples;
+pub mod fd;
+pub mod hierarchy;
+pub mod tpch;
+pub mod varorder;
+
+pub use ast::{Atom, Query};
+pub use cqap::{fracture, is_tractable_cqap, Fracture};
+pub use fd::{closure, sigma_reduct, Fd};
+pub use hierarchy::{is_free_dominant, is_hierarchical, is_input_dominant, is_q_hierarchical};
+pub use varorder::{Node, NodeId, VarOrder, VarOrderBuilder, VarOrderError};

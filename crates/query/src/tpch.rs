@@ -1,0 +1,524 @@
+//! The TPC-H classification study of Sec. 4.4.
+//!
+//! The paper reports (citing the SPROUT study \[35\]): of the 22 TPC-H
+//! queries, 8 Boolean and 13 non-Boolean versions are hierarchical; the
+//! functional dependencies of the TPC-H schema make 4 more of each
+//! hierarchical. This module encodes the *join structure* of all 22
+//! queries (equi-join graphs over the TPC-H schema, selections elided,
+//! nested aggregates flattened into their correlating join) plus the
+//! schema's key FDs, so the classifier can be run over the whole workload.
+//!
+//! The encoding necessarily simplifies (outer joins become joins, NOT
+//! EXISTS subqueries are dropped), so measured counts can differ slightly
+//! from \[35\]; EXPERIMENTS.md records measured vs. paper.
+
+use crate::ast::{Atom, Query};
+use crate::fd::Fd;
+use ivm_data::{sym, Schema, Sym};
+
+/// Variable vocabulary shared by all query encodings.
+#[allow(missing_docs)]
+pub struct Vars {
+    pub ok: Sym,     // order key
+    pub pk: Sym,     // part key
+    pub sk: Sym,     // supplier key
+    pub ck: Sym,     // customer key
+    pub lk: Sym,     // line number
+    pub nk_s: Sym,   // supplier's nation
+    pub nk_c: Sym,   // customer's nation
+    pub rk: Sym,     // region key
+    pub odate: Sym,  // order date
+    pub opri: Sym,   // order priority
+    pub sdate: Sym,  // ship date
+    pub rf: Sym,     // return flag
+    pub ls: Sym,     // line status
+    pub qty: Sym,
+    pub price: Sym,
+    pub disc: Sym,
+    pub p_type: Sym,
+    pub p_brand: Sym,
+    pub p_size: Sym,
+    pub ps_cost: Sym,
+    pub s_name: Sym,
+    pub c_name: Sym,
+    pub n_name_s: Sym,
+    pub n_name_c: Sym,
+    pub r_name: Sym,
+    pub c_phone: Sym,
+    pub c_acct: Sym,
+    pub ship_pri: Sym,
+    pub smode: Sym,
+}
+
+/// The shared variable vocabulary.
+pub fn tpch_vars() -> Vars {
+    Vars {
+        ok: sym("th_ok"),
+        pk: sym("th_pk"),
+        sk: sym("th_sk"),
+        ck: sym("th_ck"),
+        lk: sym("th_lk"),
+        nk_s: sym("th_nk_s"),
+        nk_c: sym("th_nk_c"),
+        rk: sym("th_rk"),
+        odate: sym("th_odate"),
+        opri: sym("th_opri"),
+        sdate: sym("th_sdate"),
+        rf: sym("th_rf"),
+        ls: sym("th_ls"),
+        qty: sym("th_qty"),
+        price: sym("th_price"),
+        disc: sym("th_disc"),
+        p_type: sym("th_p_type"),
+        p_brand: sym("th_p_brand"),
+        p_size: sym("th_p_size"),
+        ps_cost: sym("th_ps_cost"),
+        s_name: sym("th_s_name"),
+        c_name: sym("th_c_name"),
+        n_name_s: sym("th_n_name_s"),
+        n_name_c: sym("th_n_name_c"),
+        r_name: sym("th_r_name"),
+        c_phone: sym("th_c_phone"),
+        c_acct: sym("th_c_acct"),
+        ship_pri: sym("th_ship_pri"),
+        smode: sym("th_smode"),
+    }
+}
+
+/// The key FDs of the TPC-H schema, expressed over [`tpch_vars`]:
+/// each table's primary key determines its attributes (including the
+/// foreign keys it carries).
+pub fn tpch_fds() -> Vec<Fd> {
+    let v = tpch_vars();
+    vec![
+        // orders: ok → customer, date, priority, ship priority
+        Fd::new([v.ok], [v.ck]),
+        Fd::new([v.ok], [v.odate]),
+        Fd::new([v.ok], [v.opri]),
+        Fd::new([v.ok], [v.ship_pri]),
+        // lineitem: (ok, lk) → everything on the line
+        Fd::new(Schema::from([v.ok, v.lk]), [v.pk]),
+        Fd::new(Schema::from([v.ok, v.lk]), [v.sk]),
+        Fd::new(Schema::from([v.ok, v.lk]), [v.qty]),
+        Fd::new(Schema::from([v.ok, v.lk]), [v.price]),
+        Fd::new(Schema::from([v.ok, v.lk]), [v.disc]),
+        Fd::new(Schema::from([v.ok, v.lk]), [v.sdate]),
+        Fd::new(Schema::from([v.ok, v.lk]), [v.rf]),
+        Fd::new(Schema::from([v.ok, v.lk]), [v.ls]),
+        Fd::new(Schema::from([v.ok, v.lk]), [v.smode]),
+        // customer: ck → nation, name, phone, balance
+        Fd::new([v.ck], [v.nk_c]),
+        Fd::new([v.ck], [v.c_name]),
+        Fd::new([v.ck], [v.c_phone]),
+        Fd::new([v.ck], [v.c_acct]),
+        // supplier: sk → nation, name
+        Fd::new([v.sk], [v.nk_s]),
+        Fd::new([v.sk], [v.s_name]),
+        // nation (both roles): nk → region, name
+        Fd::new([v.nk_s], [v.rk]),
+        Fd::new([v.nk_s], [v.n_name_s]),
+        Fd::new([v.nk_c], [v.rk]),
+        Fd::new([v.nk_c], [v.n_name_c]),
+        // part: pk → type, brand, size
+        Fd::new([v.pk], [v.p_type]),
+        Fd::new([v.pk], [v.p_brand]),
+        Fd::new([v.pk], [v.p_size]),
+        // partsupp: (pk, sk) → supply cost
+        Fd::new(Schema::from([v.pk, v.sk]), [v.ps_cost]),
+    ]
+}
+
+fn q(name: &str, free: Vec<Sym>, atoms: Vec<Atom>) -> Query {
+    Query {
+        name: sym(name),
+        free: Schema::new(free),
+        input: Schema::empty(),
+        atoms,
+    }
+}
+
+/// The 22 TPC-H queries as (name, non-Boolean version) pairs; the Boolean
+/// version of a query is the same body with an empty head.
+pub fn tpch_queries() -> Vec<(String, Query)> {
+    let v = tpch_vars();
+    // Table atoms, parameterized by the attributes each query touches.
+    let li = |extra: &[Sym]| {
+        let mut s = vec![v.ok, v.lk, v.pk, v.sk];
+        s.extend_from_slice(extra);
+        Atom::new(sym("th_lineitem"), Schema::new(s))
+    };
+    let ord = |extra: &[Sym]| {
+        let mut s = vec![v.ok, v.ck];
+        s.extend_from_slice(extra);
+        Atom::new(sym("th_orders"), Schema::new(s))
+    };
+    let cust = |extra: &[Sym]| {
+        let mut s = vec![v.ck, v.nk_c];
+        s.extend_from_slice(extra);
+        Atom::new(sym("th_customer"), Schema::new(s))
+    };
+    let supp = |extra: &[Sym]| {
+        let mut s = vec![v.sk, v.nk_s];
+        s.extend_from_slice(extra);
+        Atom::new(sym("th_supplier"), Schema::new(s))
+    };
+    let part = |extra: &[Sym]| {
+        let mut s = vec![v.pk];
+        s.extend_from_slice(extra);
+        Atom::new(sym("th_part"), Schema::new(s))
+    };
+    let psupp = |extra: &[Sym]| {
+        let mut s = vec![v.pk, v.sk];
+        s.extend_from_slice(extra);
+        Atom::new(sym("th_partsupp"), Schema::new(s))
+    };
+    let nat_s = |extra: &[Sym]| {
+        let mut s = vec![v.nk_s, v.rk];
+        s.extend_from_slice(extra);
+        Atom::new(sym("th_nation_s"), Schema::new(s))
+    };
+    let nat_c = |extra: &[Sym]| {
+        let mut s = vec![v.nk_c, v.rk];
+        s.extend_from_slice(extra);
+        Atom::new(sym("th_nation_c"), Schema::new(s))
+    };
+    let reg = || Atom::new(sym("th_region"), Schema::new(vec![v.rk, v.r_name]));
+
+    vec![
+        // Q1: pricing summary — lineitem only.
+        (
+            "Q1".into(),
+            q("th_Q1", vec![v.rf, v.ls], vec![li(&[v.rf, v.ls, v.qty, v.price, v.disc])]),
+        ),
+        // Q2: minimum-cost supplier.
+        (
+            "Q2".into(),
+            q(
+                "th_Q2",
+                vec![v.s_name, v.pk],
+                vec![
+                    part(&[v.p_size, v.p_type]),
+                    psupp(&[v.ps_cost]),
+                    supp(&[v.s_name]),
+                    nat_s(&[v.n_name_s]),
+                    reg(),
+                ],
+            ),
+        ),
+        // Q3: shipping priority.
+        (
+            "Q3".into(),
+            q(
+                "th_Q3",
+                vec![v.ok, v.odate, v.ship_pri],
+                vec![
+                    cust(&[]),
+                    ord(&[v.odate, v.ship_pri]),
+                    li(&[v.price, v.disc, v.sdate]),
+                ],
+            ),
+        ),
+        // Q4: order priority checking (EXISTS lineitem).
+        (
+            "Q4".into(),
+            q("th_Q4", vec![v.opri], vec![ord(&[v.odate, v.opri]), li(&[])]),
+        ),
+        // Q5: local supplier volume (customer and supplier share nation).
+        (
+            "Q5".into(),
+            q(
+                "th_Q5",
+                vec![v.n_name_s],
+                vec![
+                    cust(&[]),
+                    ord(&[v.odate]),
+                    // join condition c_nationkey = s_nationkey: share nk.
+                    Atom::new(
+                        sym("th_lineitem"),
+                        Schema::new(vec![v.ok, v.lk, v.pk, v.sk, v.price, v.disc]),
+                    ),
+                    {
+                        // supplier with s_nk = c_nk: encode both via nk_c.
+                        Atom::new(sym("th_supplier"), Schema::new(vec![v.sk, v.nk_c]))
+                    },
+                    {
+                        Atom::new(
+                            sym("th_nation_s"),
+                            Schema::new(vec![v.nk_c, v.rk, v.n_name_s]),
+                        )
+                    },
+                    reg(),
+                ],
+            ),
+        ),
+        // Q6: forecasting revenue — lineitem only.
+        (
+            "Q6".into(),
+            q("th_Q6", vec![], vec![li(&[v.qty, v.price, v.disc, v.sdate])]),
+        ),
+        // Q7: volume shipping (two nation roles).
+        (
+            "Q7".into(),
+            q(
+                "th_Q7",
+                vec![v.n_name_s, v.n_name_c],
+                vec![
+                    supp(&[]),
+                    li(&[v.price, v.disc, v.sdate]),
+                    ord(&[]),
+                    cust(&[]),
+                    Atom::new(sym("th_nation_s"), Schema::new(vec![v.nk_s, v.n_name_s])),
+                    Atom::new(sym("th_nation_c"), Schema::new(vec![v.nk_c, v.n_name_c])),
+                ],
+            ),
+        ),
+        // Q8: national market share.
+        (
+            "Q8".into(),
+            q(
+                "th_Q8",
+                vec![v.odate],
+                vec![
+                    part(&[v.p_type]),
+                    li(&[v.price, v.disc]),
+                    supp(&[]),
+                    ord(&[v.odate]),
+                    cust(&[]),
+                    Atom::new(sym("th_nation_c"), Schema::new(vec![v.nk_c, v.rk])),
+                    Atom::new(sym("th_nation_s"), Schema::new(vec![v.nk_s, v.n_name_s])),
+                    reg(),
+                ],
+            ),
+        ),
+        // Q9: product type profit.
+        (
+            "Q9".into(),
+            q(
+                "th_Q9",
+                vec![v.n_name_s, v.odate],
+                vec![
+                    part(&[v.p_type]),
+                    psupp(&[v.ps_cost]),
+                    li(&[v.qty, v.price, v.disc]),
+                    supp(&[]),
+                    ord(&[v.odate]),
+                    nat_s(&[v.n_name_s]),
+                ],
+            ),
+        ),
+        // Q10: returned items.
+        (
+            "Q10".into(),
+            q(
+                "th_Q10",
+                vec![v.ck, v.c_name],
+                vec![
+                    cust(&[v.c_name, v.c_acct, v.c_phone]),
+                    ord(&[v.odate]),
+                    li(&[v.price, v.disc, v.rf]),
+                    nat_c(&[v.n_name_c]),
+                ],
+            ),
+        ),
+        // Q11: important stock.
+        (
+            "Q11".into(),
+            q(
+                "th_Q11",
+                vec![v.pk],
+                vec![psupp(&[v.ps_cost, v.qty]), supp(&[]), nat_s(&[v.n_name_s])],
+            ),
+        ),
+        // Q12: shipping modes.
+        (
+            "Q12".into(),
+            q("th_Q12", vec![v.smode], vec![ord(&[v.opri]), li(&[v.smode, v.sdate])]),
+        ),
+        // Q13: customer distribution (outer join flattened).
+        (
+            "Q13".into(),
+            q("th_Q13", vec![v.ck], vec![cust(&[]), ord(&[])]),
+        ),
+        // Q14: promotion effect.
+        (
+            "Q14".into(),
+            q(
+                "th_Q14",
+                vec![],
+                vec![li(&[v.price, v.disc, v.sdate]), part(&[v.p_type])],
+            ),
+        ),
+        // Q15: top supplier (revenue view flattened).
+        (
+            "Q15".into(),
+            q(
+                "th_Q15",
+                vec![v.sk, v.s_name],
+                vec![supp(&[v.s_name]), li(&[v.price, v.disc, v.sdate])],
+            ),
+        ),
+        // Q16: parts/supplier relationship.
+        (
+            "Q16".into(),
+            q(
+                "th_Q16",
+                vec![v.p_brand, v.p_type, v.p_size],
+                vec![psupp(&[]), part(&[v.p_brand, v.p_type, v.p_size])],
+            ),
+        ),
+        // Q17: small-quantity-order revenue.
+        (
+            "Q17".into(),
+            q(
+                "th_Q17",
+                vec![],
+                vec![li(&[v.qty, v.price]), part(&[v.p_brand])],
+            ),
+        ),
+        // Q18: large volume customers.
+        (
+            "Q18".into(),
+            q(
+                "th_Q18",
+                vec![v.c_name, v.ck, v.ok, v.odate],
+                vec![cust(&[v.c_name]), ord(&[v.odate]), li(&[v.qty])],
+            ),
+        ),
+        // Q19: discounted revenue.
+        (
+            "Q19".into(),
+            q(
+                "th_Q19",
+                vec![],
+                vec![li(&[v.qty, v.price, v.disc]), part(&[v.p_brand, v.p_size])],
+            ),
+        ),
+        // Q20: potential part promotion.
+        (
+            "Q20".into(),
+            q(
+                "th_Q20",
+                vec![v.s_name],
+                vec![
+                    supp(&[v.s_name]),
+                    nat_s(&[v.n_name_s]),
+                    psupp(&[v.qty]),
+                    part(&[v.p_brand]),
+                ],
+            ),
+        ),
+        // Q21: suppliers who kept orders waiting.
+        (
+            "Q21".into(),
+            q(
+                "th_Q21",
+                vec![v.s_name],
+                vec![
+                    supp(&[v.s_name]),
+                    li(&[]),
+                    ord(&[]),
+                    nat_s(&[v.n_name_s]),
+                ],
+            ),
+        ),
+        // Q22: global sales opportunity.
+        (
+            "Q22".into(),
+            q("th_Q22", vec![v.c_phone], vec![cust(&[v.c_phone, v.c_acct])]),
+        ),
+    ]
+}
+
+/// Classification of one query under the four regimes the paper compares.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TpchVerdict {
+    /// Boolean version hierarchical, without FDs.
+    pub bool_plain: bool,
+    /// Boolean version hierarchical under the schema FDs.
+    pub bool_fds: bool,
+    /// Non-Boolean version q-hierarchical, without FDs.
+    pub full_plain: bool,
+    /// Non-Boolean version q-hierarchical under the schema FDs.
+    pub full_fds: bool,
+}
+
+/// Classify a query per the Sec. 4.4 study.
+pub fn classify_tpch(query: &Query, fds: &[Fd]) -> TpchVerdict {
+    use crate::fd::sigma_reduct;
+    use crate::hierarchy::{is_hierarchical, is_q_hierarchical};
+    let boolean = Query {
+        name: sym(&format!("{}_bool", query.name)),
+        free: Schema::empty(),
+        input: Schema::empty(),
+        atoms: query.atoms.clone(),
+    };
+    TpchVerdict {
+        bool_plain: is_hierarchical(&boolean),
+        bool_fds: is_hierarchical(&sigma_reduct(&boolean, fds)),
+        full_plain: is_q_hierarchical(query),
+        full_fds: is_q_hierarchical(&sigma_reduct(query, fds)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_queries_build() {
+        let qs = tpch_queries();
+        assert_eq!(qs.len(), 22);
+        for (name, q) in &qs {
+            assert!(!q.atoms.is_empty(), "{name}");
+        }
+    }
+
+    /// Single-relation queries are trivially hierarchical in all regimes.
+    #[test]
+    fn single_atom_queries_hierarchical() {
+        let fds = tpch_fds();
+        for (name, qq) in tpch_queries() {
+            if qq.atoms.len() == 1 {
+                let v = classify_tpch(&qq, &fds);
+                assert!(v.bool_plain && v.bool_fds, "{name}");
+            }
+        }
+    }
+
+    /// Q3 (customer ⋈ orders ⋈ lineitem) is the textbook FD rescue: not
+    /// hierarchical as written, hierarchical under ok → ck.
+    #[test]
+    fn q3_rescued_by_fds() {
+        let fds = tpch_fds();
+        let (_, q3) = tpch_queries().into_iter().nth(2).unwrap();
+        let v = classify_tpch(&q3, &fds);
+        assert!(!v.bool_plain, "Q3 plain must not be hierarchical");
+        assert!(v.bool_fds, "Q3 must become hierarchical under FDs");
+    }
+
+    /// FDs never *destroy* hierarchy: reducts only merge atom sets upward.
+    #[test]
+    fn fds_are_monotone_on_this_workload() {
+        let fds = tpch_fds();
+        for (name, qq) in tpch_queries() {
+            let v = classify_tpch(&qq, &fds);
+            assert!(!v.bool_plain || v.bool_fds, "{name}: FDs lost hierarchy");
+        }
+    }
+
+    /// The headline shape of the study: FDs strictly increase the number
+    /// of hierarchical queries in both the Boolean and full versions.
+    #[test]
+    fn fds_rescue_queries() {
+        let fds = tpch_fds();
+        let mut bool_gain = 0usize;
+        let mut full_gain = 0usize;
+        for (_, qq) in tpch_queries() {
+            let v = classify_tpch(&qq, &fds);
+            bool_gain += usize::from(!v.bool_plain && v.bool_fds);
+            full_gain += usize::from(!v.full_plain && v.full_fds);
+        }
+        assert!(bool_gain >= 3, "expect several Boolean rescues, got {bool_gain}");
+        assert!(full_gain >= 3, "expect several full rescues, got {full_gain}");
+    }
+}

@@ -1,0 +1,805 @@
+//! Variable orders and view-tree shapes.
+//!
+//! A *variable order* is a forest over the query variables; each atom hangs
+//! as a leaf under the lowest of its variables, and an atom's variables
+//! must form a chain of ancestors (the standard shape for hierarchical
+//! queries; Fig 3 and Ex 4.14 of the paper are both such forests). The
+//! incremental engines in `ivm-core` build one grouped view per variable
+//! node, keyed by the node's *dependency set* `dep(X)` — the ancestors of
+//! `X` that co-occur with `X`'s subtree.
+//!
+//! This module provides:
+//!
+//! * [`VarOrder::canonical`] — the canonical order for hierarchical
+//!   queries (free variables first), which yields constant-time updates
+//!   and constant-delay enumeration exactly for q-hierarchical queries;
+//! * [`VarOrderBuilder`] — manual construction for the mixed
+//!   static-dynamic trees of Sec. 4.5;
+//! * validation and the operational checks (`constant_update_atoms`,
+//!   `free_top`) that the engines rely on;
+//! * [`find_tractable_order`] — exhaustive search over forests for small
+//!   queries, used to decide static-dynamic tractability (Sec. 4.5).
+
+use crate::ast::Query;
+use crate::hierarchy::is_hierarchical;
+use ivm_data::{Schema, Sym};
+
+/// Index of a node within a [`VarOrder`] arena.
+pub type NodeId = usize;
+
+/// A node of a variable order.
+#[derive(Clone, Debug)]
+pub enum Node {
+    /// A variable node; its grouped view is keyed by `dep`.
+    Var {
+        /// The variable.
+        var: Sym,
+        /// `dep(X)`: ancestors co-occurring with the subtree's atoms.
+        dep: Schema,
+        /// Children (variable nodes or atom leaves).
+        children: Vec<NodeId>,
+    },
+    /// An atom leaf (index into `Query::atoms`).
+    Atom {
+        /// Index into the query's atom list.
+        atom: usize,
+    },
+}
+
+/// A variable order: a forest over the query variables with atoms at the
+/// leaves.
+#[derive(Clone, Debug)]
+pub struct VarOrder {
+    /// Node arena.
+    pub nodes: Vec<Node>,
+    /// Root nodes (one per connected component).
+    pub roots: Vec<NodeId>,
+}
+
+/// Why a variable order could not be built or validated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VarOrderError {
+    /// The query is not hierarchical (canonical construction only).
+    NotHierarchical,
+    /// An atom's variables do not form a chain of ancestors.
+    AtomNotOnPath(usize),
+    /// A variable or atom is missing or duplicated.
+    Malformed(String),
+}
+
+impl std::fmt::Display for VarOrderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VarOrderError::NotHierarchical => write!(f, "query is not hierarchical"),
+            VarOrderError::AtomNotOnPath(i) => {
+                write!(f, "atom #{i}'s variables are not a chain of ancestors")
+            }
+            VarOrderError::Malformed(m) => write!(f, "malformed variable order: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VarOrderError {}
+
+impl VarOrder {
+    /// The variable of a node, if it is a variable node.
+    pub fn var_of(&self, id: NodeId) -> Option<Sym> {
+        match &self.nodes[id] {
+            Node::Var { var, .. } => Some(*var),
+            Node::Atom { .. } => None,
+        }
+    }
+
+    /// The dependency set of a variable node.
+    pub fn dep_of(&self, id: NodeId) -> &Schema {
+        match &self.nodes[id] {
+            Node::Var { dep, .. } => dep,
+            Node::Atom { .. } => panic!("dep_of on atom leaf"),
+        }
+    }
+
+    /// Children of a node (empty for leaves).
+    pub fn children_of(&self, id: NodeId) -> &[NodeId] {
+        match &self.nodes[id] {
+            Node::Var { children, .. } => children,
+            Node::Atom { .. } => &[],
+        }
+    }
+
+    /// Parent map (computed on demand; trees are tiny).
+    pub fn parents(&self) -> Vec<Option<NodeId>> {
+        let mut p = vec![None; self.nodes.len()];
+        for (id, n) in self.nodes.iter().enumerate() {
+            if let Node::Var { children, .. } = n {
+                for &c in children {
+                    p[c] = Some(id);
+                }
+            }
+        }
+        p
+    }
+
+    /// The path of node ids from `id` up to (and including) its root.
+    pub fn path_to_root(&self, id: NodeId) -> Vec<NodeId> {
+        let parents = self.parents();
+        let mut path = vec![id];
+        let mut cur = id;
+        while let Some(p) = parents[cur] {
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+
+    /// The node id of the leaf for atom index `i`.
+    pub fn atom_leaf(&self, i: usize) -> Option<NodeId> {
+        self.nodes.iter().position(
+            |n| matches!(n, Node::Atom { atom } if *atom == i),
+        )
+    }
+
+    /// All variable ancestors of a node (nearest first), excluding itself.
+    pub fn var_ancestors(&self, id: NodeId) -> Vec<Sym> {
+        self.path_to_root(id)
+            .into_iter()
+            .skip(1)
+            .filter_map(|n| self.var_of(n))
+            .collect()
+    }
+
+    /// Validate the order against its query and recompute dependency sets.
+    ///
+    /// Checks: every atom appears exactly once; every variable appears
+    /// exactly once; each atom's schema is contained in its variable
+    /// ancestors; each variable occurs in at least one atom of its subtree.
+    pub fn validate_and_finish(mut self, q: &Query) -> Result<VarOrder, VarOrderError> {
+        // Atom occurrence checks.
+        let mut seen_atoms = vec![0usize; q.atoms.len()];
+        let mut seen_vars: Vec<Sym> = Vec::new();
+        for n in &self.nodes {
+            match n {
+                Node::Atom { atom } => {
+                    if *atom >= q.atoms.len() {
+                        return Err(VarOrderError::Malformed(format!(
+                            "atom index {atom} out of range"
+                        )));
+                    }
+                    seen_atoms[*atom] += 1;
+                }
+                Node::Var { var, .. } => {
+                    if seen_vars.contains(var) {
+                        return Err(VarOrderError::Malformed(format!(
+                            "variable {var} appears twice"
+                        )));
+                    }
+                    seen_vars.push(*var);
+                }
+            }
+        }
+        if seen_atoms.iter().any(|&c| c != 1) {
+            return Err(VarOrderError::Malformed(
+                "every atom must appear exactly once".into(),
+            ));
+        }
+        for &v in q.variables().vars() {
+            if !seen_vars.contains(&v) {
+                return Err(VarOrderError::Malformed(format!(
+                    "variable {v} missing from order"
+                )));
+            }
+        }
+
+        // Each atom's schema must lie on its ancestor path.
+        for i in 0..q.atoms.len() {
+            let leaf = self.atom_leaf(i).expect("checked above");
+            let anc = self.var_ancestors(leaf);
+            let ok = q.atoms[i].schema.vars().iter().all(|v| anc.contains(v));
+            if !ok {
+                return Err(VarOrderError::AtomNotOnPath(i));
+            }
+        }
+
+        // Recompute dep sets: dep(X) = ancestors(X) ∩ vars(subtree atoms),
+        // ordered root-to-leaf along the ancestor path (stable keys).
+        let subtree_vars = self.subtree_atom_vars(q);
+        let node_ids: Vec<NodeId> = (0..self.nodes.len()).collect();
+        for id in node_ids {
+            if self.var_of(id).is_some() {
+                let mut anc = self.var_ancestors(id);
+                anc.reverse(); // root first
+                let dep: Vec<Sym> = anc
+                    .into_iter()
+                    .filter(|v| subtree_vars[id].contains(*v))
+                    .collect();
+                // Every variable must occur in its own subtree's atoms;
+                // otherwise its view is unconstrained (invalid order).
+                let var = self.var_of(id).unwrap();
+                if !subtree_vars[id].contains(var) {
+                    return Err(VarOrderError::Malformed(format!(
+                        "variable {var} does not occur in any atom of its subtree"
+                    )));
+                }
+                if let Node::Var { dep: d, .. } = &mut self.nodes[id] {
+                    *d = Schema::new(dep);
+                }
+            }
+        }
+        Ok(self)
+    }
+
+    /// For each node, the set of variables occurring in atoms of its
+    /// subtree.
+    fn subtree_atom_vars(&self, q: &Query) -> Vec<Schema> {
+        let mut out = vec![Schema::empty(); self.nodes.len()];
+        // Post-order accumulate.
+        fn rec(vo: &VarOrder, q: &Query, id: NodeId, out: &mut Vec<Schema>) {
+            match &vo.nodes[id] {
+                Node::Atom { atom } => {
+                    out[id] = q.atoms[*atom].schema.clone();
+                }
+                Node::Var { children, .. } => {
+                    let mut acc = Schema::empty();
+                    for &c in children.clone().iter() {
+                        rec(vo, q, c, out);
+                        acc = acc.union(&out[c]);
+                    }
+                    out[id] = acc;
+                }
+            }
+        }
+        for &r in &self.roots {
+            rec(self, q, r, &mut out);
+        }
+        out
+    }
+
+    /// Canonical variable order for a hierarchical query: within each
+    /// connected component, the variables occurring in all atoms form the
+    /// top chain (free variables first), and the construction recurses on
+    /// the remaining variables.
+    pub fn canonical(q: &Query) -> Result<VarOrder, VarOrderError> {
+        if !is_hierarchical(q) {
+            return Err(VarOrderError::NotHierarchical);
+        }
+        let mut b = VarOrderBuilder::new();
+        let all_atoms: Vec<usize> = (0..q.atoms.len()).collect();
+        let avail = q.variables();
+        let roots = canonical_rec(q, &mut b, &all_atoms, &avail)?;
+        b.finish(roots, q)
+    }
+
+    /// Whether free variables are upward-closed in the forest (a bound
+    /// variable never sits above a free one). Required for constant-delay
+    /// enumeration; holds for canonical orders of q-hierarchical queries.
+    pub fn free_top(&self, q: &Query) -> bool {
+        for (id, n) in self.nodes.iter().enumerate() {
+            if let Node::Var { var, .. } = n {
+                if q.is_free(*var) {
+                    let anc = self.var_ancestors(id);
+                    if anc.iter().any(|&a| !q.is_free(a)) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Per atom: whether a single-tuple update to it propagates in constant
+    /// time, i.e. for every variable ancestor `X` of the atom's leaf,
+    /// `dep(X) ∪ {X} ⊆ schema(atom)` — all view keys and sibling lookups
+    /// along the path are determined by the update tuple.
+    pub fn constant_update_atoms(&self, q: &Query) -> Vec<bool> {
+        (0..q.atoms.len())
+            .map(|i| {
+                let leaf = self.atom_leaf(i).expect("validated order");
+                let schema = &q.atoms[i].schema;
+                for node in self.path_to_root(leaf).into_iter().skip(1) {
+                    if let Node::Var { var, dep, .. } = &self.nodes[node] {
+                        if !schema.contains(*var) || !dep.subset_of(schema) {
+                            return false;
+                        }
+                        // Sibling lookups at this node need keys within
+                        // dep ∪ {var} ⊆ schema, which the two checks above
+                        // already guarantee (sibling deps ⊆ dep ∪ {var}).
+                    }
+                }
+                true
+            })
+            .collect()
+    }
+
+    /// Whether all *dynamic* atoms have constant-time updates under this
+    /// order (the Sec. 4.5 condition specialized to our engine).
+    pub fn supports_constant_updates(&self, q: &Query) -> bool {
+        let ok = self.constant_update_atoms(q);
+        q.dynamic_atoms().into_iter().all(|i| ok[i])
+    }
+}
+
+fn canonical_rec(
+    q: &Query,
+    b: &mut VarOrderBuilder,
+    atoms: &[usize],
+    avail: &Schema,
+) -> Result<Vec<NodeId>, VarOrderError> {
+    // Split into connected components via available variables.
+    let comps = components(q, atoms, avail);
+    let mut roots = Vec::new();
+    for comp in comps {
+        // Variables of this component still available.
+        let mut comp_vars = Schema::empty();
+        for &a in &comp {
+            comp_vars = comp_vars.union(&q.atoms[a].schema.intersect(avail));
+        }
+        if comp_vars.is_empty() {
+            // Atoms with no remaining variables become leaves here.
+            for &a in &comp {
+                roots.push(b.atom(a));
+            }
+            continue;
+        }
+        // Variables occurring in every atom of the component.
+        let common: Vec<Sym> = comp_vars
+            .vars()
+            .iter()
+            .copied()
+            .filter(|&v| comp.iter().all(|&a| q.atoms[a].schema.contains(v)))
+            .collect();
+        if common.is_empty() {
+            // Connected multi-atom component with no common variable:
+            // impossible for hierarchical queries.
+            return Err(VarOrderError::NotHierarchical);
+        }
+        // Chain order: free variables first (in the query's output order),
+        // then bound.
+        let mut chain: Vec<Sym> = Vec::new();
+        for &v in q.free.vars() {
+            if common.contains(&v) {
+                chain.push(v);
+            }
+        }
+        for &v in &common {
+            if !chain.contains(&v) {
+                chain.push(v);
+            }
+        }
+        let remaining = {
+            let common_schema = Schema::new(common.iter().copied());
+            avail.difference(&common_schema)
+        };
+        let below = canonical_rec(q, b, &comp, &remaining)?;
+        // Build the chain bottom-up.
+        let mut children = below;
+        for &v in chain.iter().rev() {
+            let node = b.var(v, children);
+            children = vec![node];
+        }
+        roots.push(children[0]);
+    }
+    Ok(roots)
+}
+
+/// Connected components of `atoms` where atoms are adjacent when they share
+/// a variable in `avail`.
+fn components(q: &Query, atoms: &[usize], avail: &Schema) -> Vec<Vec<usize>> {
+    let n = atoms.len();
+    let mut comp: Vec<usize> = (0..n).collect();
+    fn find(c: &mut Vec<usize>, i: usize) -> usize {
+        if c[i] != i {
+            let r = find(c, c[i]);
+            c[i] = r;
+        }
+        c[i]
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            let share = q.atoms[atoms[i]]
+                .schema
+                .vars()
+                .iter()
+                .any(|&v| avail.contains(v) && q.atoms[atoms[j]].schema.contains(v));
+            if share {
+                let (ri, rj) = (find(&mut comp, i), find(&mut comp, j));
+                if ri != rj {
+                    comp[ri] = rj;
+                }
+            }
+        }
+    }
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut root_of: Vec<(usize, usize)> = Vec::new(); // (root, group idx)
+    for i in 0..n {
+        let r = find(&mut comp, i);
+        match root_of.iter().find(|(rr, _)| *rr == r) {
+            Some(&(_, g)) => groups[g].push(atoms[i]),
+            None => {
+                root_of.push((r, groups.len()));
+                groups.push(vec![atoms[i]]);
+            }
+        }
+    }
+    groups
+}
+
+/// Incremental builder for manual variable orders (Ex 4.14-style trees).
+#[derive(Default)]
+pub struct VarOrderBuilder {
+    nodes: Vec<Node>,
+}
+
+impl VarOrderBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        VarOrderBuilder { nodes: Vec::new() }
+    }
+
+    /// Add an atom leaf for atom index `i`.
+    pub fn atom(&mut self, i: usize) -> NodeId {
+        self.nodes.push(Node::Atom { atom: i });
+        self.nodes.len() - 1
+    }
+
+    /// Add a variable node over `children`. Dependency sets are computed
+    /// by [`VarOrderBuilder::finish`].
+    pub fn var(&mut self, var: Sym, children: Vec<NodeId>) -> NodeId {
+        self.nodes.push(Node::Var {
+            var,
+            dep: Schema::empty(),
+            children,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Finish with the given roots, validating against the query.
+    pub fn finish(self, roots: Vec<NodeId>, q: &Query) -> Result<VarOrder, VarOrderError> {
+        VarOrder {
+            nodes: self.nodes,
+            roots,
+        }
+        .validate_and_finish(q)
+    }
+}
+
+/// Exhaustive search for a variable order under which (a) every atom's
+/// schema is an ancestor chain, (b) free variables are on top, and (c) all
+/// dynamic atoms enjoy constant-time updates. Returns the first such order.
+///
+/// This decides the engine-level tractability of the mixed static-dynamic
+/// setting (Sec. 4.5) for small queries (≤ 8 variables; the search is over
+/// all parent functions, O((n+1)^n) with early pruning).
+pub fn find_tractable_order(q: &Query) -> Option<VarOrder> {
+    let vars: Vec<Sym> = q.variables().vars().to_vec();
+    let n = vars.len();
+    assert!(n <= 8, "find_tractable_order supports at most 8 variables");
+    // parent[i] = n means root.
+    let mut parent = vec![n; n];
+    search_orders(q, &vars, &mut parent, 0)
+}
+
+fn search_orders(
+    q: &Query,
+    vars: &[Sym],
+    parent: &mut Vec<usize>,
+    i: usize,
+) -> Option<VarOrder> {
+    let n = vars.len();
+    if i == n {
+        return try_build_order(q, vars, parent);
+    }
+    for p in 0..=n {
+        if p == i {
+            continue;
+        }
+        // Cycle check: follow already-assigned parents from p; indices > i
+        // are unassigned (still n) and cannot close a cycle.
+        let mut cur = p;
+        let mut cyc = false;
+        while cur != n {
+            if cur == i {
+                cyc = true;
+                break;
+            }
+            if cur > i {
+                break;
+            }
+            cur = parent[cur];
+        }
+        if cyc {
+            continue;
+        }
+        parent[i] = p;
+        if let Some(v) = search_orders(q, vars, parent, i + 1) {
+            return Some(v);
+        }
+    }
+    parent[i] = n;
+    None
+}
+
+fn try_build_order(q: &Query, vars: &[Sym], parent: &[usize]) -> Option<VarOrder> {
+    let n = vars.len();
+    // Reject cyclic parent functions.
+    for start in 0..n {
+        let mut cur = start;
+        let mut steps = 0;
+        while parent[cur] != n {
+            cur = parent[cur];
+            steps += 1;
+            if steps > n {
+                return None;
+            }
+        }
+    }
+    // Build nodes.
+    let mut b = VarOrderBuilder::new();
+    let mut var_node: Vec<NodeId> = Vec::with_capacity(n);
+    for &v in vars {
+        var_node.push(b.var(v, vec![]));
+    }
+    // Attach atoms under their lowest variable: the schema variable all of
+    // whose other schema variables are its ancestors.
+    let anc_of = |i: usize| -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut cur = i;
+        while parent[cur] != n {
+            cur = parent[cur];
+            out.push(cur);
+        }
+        out
+    };
+    let mut atom_parent: Vec<usize> = Vec::with_capacity(q.atoms.len());
+    for atom in &q.atoms {
+        let idxs: Vec<usize> = atom
+            .schema
+            .vars()
+            .iter()
+            .map(|v| vars.iter().position(|w| w == v).unwrap())
+            .collect();
+        let lowest = idxs.iter().copied().find(|&i| {
+            let anc = anc_of(i);
+            idxs.iter().all(|&j| j == i || anc.contains(&j))
+        })?;
+        atom_parent.push(lowest);
+    }
+    #[allow(clippy::needless_range_loop)]
+    let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for (ai, &p) in atom_parent.iter().enumerate() {
+        let leaf = b.atom(ai);
+        children[p].push(leaf);
+    }
+    for i in 0..n {
+        if parent[i] != n {
+            children[parent[i]].push(var_node[i]);
+        }
+    }
+    // Assign children; rebuild the builder's nodes with children attached.
+    let mut nodes = b.nodes;
+    for i in 0..n {
+        if let Node::Var { children: c, .. } = &mut nodes[var_node[i]] {
+            *c = std::mem::take(&mut children[i]);
+        }
+    }
+    let roots: Vec<NodeId> = (0..n)
+        .filter(|&i| parent[i] == n)
+        .map(|i| var_node[i])
+        .collect();
+    let vo = VarOrder { nodes, roots }.validate_and_finish(q).ok()?;
+    if vo.free_top(q) && vo.supports_constant_updates(q) {
+        Some(vo)
+    } else {
+        None
+    }
+}
+
+/// Whether the query is tractable in the mixed static-dynamic setting:
+/// some variable order gives constant-time updates for all dynamic atoms
+/// and constant-delay enumeration. Coincides with q-hierarchy when all
+/// atoms are dynamic (Sec. 4.5: strict superset of q-hierarchical).
+pub fn is_tractable_static_dynamic(q: &Query) -> bool {
+    find_tractable_order(q).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Atom;
+    use crate::hierarchy::is_q_hierarchical;
+    use ivm_data::{sym, vars};
+
+    /// Fig 3: Q(Y,X,Z) = R(Y,X)·S(Y,Z) — canonical order has Y on top with
+    /// X and Z below, R under X, S under Z, dep(X) = dep(Z) = {Y}.
+    #[test]
+    fn canonical_fig3() {
+        let [x, y, z] = vars(["vo_X", "vo_Y", "vo_Z"]);
+        let q = Query::new(
+            "vo_fig3",
+            [y, x, z],
+            vec![
+                Atom::new(sym("vo_R"), [y, x]),
+                Atom::new(sym("vo_S"), [y, z]),
+            ],
+        );
+        let vo = VarOrder::canonical(&q).unwrap();
+        assert_eq!(vo.roots.len(), 1);
+        let root = vo.roots[0];
+        assert_eq!(vo.var_of(root), Some(y));
+        let kids = vo.children_of(root);
+        assert_eq!(kids.len(), 2);
+        for &k in kids {
+            let v = vo.var_of(k).unwrap();
+            assert!(v == x || v == z);
+            assert_eq!(vo.dep_of(k), &Schema::from([y]));
+            assert_eq!(vo.children_of(k).len(), 1);
+        }
+        assert!(vo.free_top(&q));
+        assert!(vo.supports_constant_updates(&q));
+    }
+
+    /// Non-hierarchical queries are rejected.
+    #[test]
+    fn canonical_rejects_non_hierarchical() {
+        let [x, y] = vars(["vo_X2", "vo_Y2"]);
+        let q = Query::new(
+            "vo_nh",
+            [],
+            vec![
+                Atom::new(sym("vo_R2"), [x]),
+                Atom::new(sym("vo_S2"), [x, y]),
+                Atom::new(sym("vo_T2"), [y]),
+            ],
+        );
+        assert_eq!(
+            VarOrder::canonical(&q).unwrap_err(),
+            VarOrderError::NotHierarchical
+        );
+    }
+
+    /// Hierarchical-not-q query: canonical order exists, free vars are on
+    /// top only if q-hierarchical — here X free sits below bound Y?  No:
+    /// free-first applies within a common chain. Q(X) = Σ_Y R(X,Y)·S(Y):
+    /// common of {R,S} is {Y} only, so Y is the root and X hangs below —
+    /// free_top fails, matching non-q-hierarchy.
+    #[test]
+    fn hierarchical_not_q_fails_free_top() {
+        let [x, y] = vars(["vo_X3", "vo_Y3"]);
+        let q = Query::new(
+            "vo_hnq",
+            [x],
+            vec![
+                Atom::new(sym("vo_R3"), [x, y]),
+                Atom::new(sym("vo_S3"), [y]),
+            ],
+        );
+        assert!(!is_q_hierarchical(&q));
+        let vo = VarOrder::canonical(&q).unwrap();
+        assert!(!vo.free_top(&q));
+    }
+
+    /// Disconnected queries produce a forest.
+    #[test]
+    fn disconnected_forest() {
+        let [a, b] = vars(["vo_A4", "vo_B4"]);
+        let q = Query::new(
+            "vo_disc",
+            [a, b],
+            vec![
+                Atom::new(sym("vo_R4"), [a]),
+                Atom::new(sym("vo_S4"), [b]),
+            ],
+        );
+        let vo = VarOrder::canonical(&q).unwrap();
+        assert_eq!(vo.roots.len(), 2);
+    }
+
+    /// Ex 4.14: manual tree for Q(A,B,C) = Σ_D R(A,D)·S(A,B)·T(B,C) with
+    /// static T. Constant updates for R and S; T would be linear.
+    #[test]
+    fn ex414_manual_tree() {
+        let [a, b, c, d] = vars(["vo_A5", "vo_B5", "vo_C5", "vo_D5"]);
+        let q = Query::new(
+            "vo_ex414",
+            [a, b, c],
+            vec![
+                Atom::new(sym("vo_R5"), [a, d]),
+                Atom::new(sym("vo_S5"), [a, b]),
+                Atom::new_static(sym("vo_T5"), [b, c]),
+            ],
+        );
+        let mut bld = VarOrderBuilder::new();
+        let r_leaf = bld.atom(0);
+        let s_leaf = bld.atom(1);
+        let t_leaf = bld.atom(2);
+        let d_node = bld.var(d, vec![r_leaf]);
+        let c_node = bld.var(c, vec![t_leaf]);
+        let b_node = bld.var(b, vec![s_leaf, c_node]);
+        let a_node = bld.var(a, vec![d_node, b_node]);
+        let vo = bld.finish(vec![a_node], &q).unwrap();
+
+        assert_eq!(vo.dep_of(d_node), &Schema::from([a]));
+        assert_eq!(vo.dep_of(b_node), &Schema::from([a]));
+        assert_eq!(vo.dep_of(c_node), &Schema::from([b]));
+
+        let cu = vo.constant_update_atoms(&q);
+        assert!(cu[0], "R updates are constant");
+        assert!(cu[1], "S updates are constant");
+        assert!(!cu[2], "T updates would be linear (dep(B)={{A}} ⊄ {{B,C}})");
+        assert!(vo.supports_constant_updates(&q), "T is static");
+        // D is bound below free A — bound-below-free is fine; free-top
+        // requires no bound var ABOVE a free one.
+        assert!(vo.free_top(&q));
+    }
+
+    /// The static-dynamic search finds the Ex 4.14 tree automatically and
+    /// rejects the all-dynamic version.
+    #[test]
+    fn static_dynamic_search() {
+        let [a, b, c, d] = vars(["vo_A6", "vo_B6", "vo_C6", "vo_D6"]);
+        let mk = |t_dynamic: bool| {
+            Query::new(
+                if t_dynamic { "vo_sd_dyn" } else { "vo_sd_static" },
+                [a, b, c],
+                vec![
+                    Atom::new(sym("vo_R6"), [a, d]),
+                    Atom::new(sym("vo_S6"), [a, b]),
+                    if t_dynamic {
+                        Atom::new(sym("vo_T6"), [b, c])
+                    } else {
+                        Atom::new_static(sym("vo_T6"), [b, c])
+                    },
+                ],
+            )
+        };
+        assert!(is_tractable_static_dynamic(&mk(false)));
+        assert!(!is_tractable_static_dynamic(&mk(true)));
+    }
+
+    /// With all atoms dynamic, static-dynamic tractability coincides with
+    /// q-hierarchy on the paper's examples.
+    #[test]
+    fn all_dynamic_matches_q_hierarchical() {
+        let [x, y, z] = vars(["vo_X7", "vo_Y7", "vo_Z7"]);
+        let qh = Query::new(
+            "vo_qh7",
+            [y, x, z],
+            vec![
+                Atom::new(sym("vo_R7"), [y, x]),
+                Atom::new(sym("vo_S7"), [y, z]),
+            ],
+        );
+        assert!(is_q_hierarchical(&qh));
+        assert!(is_tractable_static_dynamic(&qh));
+
+        let nqh = Query::new(
+            "vo_nqh7",
+            [x],
+            vec![
+                Atom::new(sym("vo_R8"), [x, y]),
+                Atom::new(sym("vo_S8"), [y]),
+            ],
+        );
+        assert!(!is_q_hierarchical(&nqh));
+        assert!(!is_tractable_static_dynamic(&nqh));
+    }
+
+    /// Validation rejects atoms whose schema is off-path.
+    #[test]
+    fn validation_rejects_off_path_atom() {
+        let [a, b] = vars(["vo_A9", "vo_B9"]);
+        let q = Query::new(
+            "vo_bad9",
+            [a, b],
+            vec![Atom::new(sym("vo_R9"), [a, b])],
+        );
+        let mut bld = VarOrderBuilder::new();
+        let leaf = bld.atom(0);
+        // Hang R(A,B) under A only, with B elsewhere: invalid.
+        let a_node = bld.var(a, vec![leaf]);
+        let b_node = bld.var(b, vec![]);
+        let err = bld.finish(vec![a_node, b_node], &q).unwrap_err();
+        assert!(matches!(
+            err,
+            VarOrderError::AtomNotOnPath(0) | VarOrderError::Malformed(_)
+        ));
+    }
+}

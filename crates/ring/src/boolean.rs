@@ -1,0 +1,64 @@
+//! The Boolean semiring `({false, true}, ∨, ∧, false, true)`.
+//!
+//! Used for *detection*-style queries (e.g. the Boolean triangle query `Qb`
+//! of Sec. 3.4) in the insert-only setting. It is not a ring — `true` has no
+//! additive inverse — so insert-delete engines instead run over `Z` and test
+//! `count > 0`, exactly as the paper does for triangle detection.
+
+use crate::semiring::Semiring;
+
+/// Boolean semiring element.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct BoolSemiring(pub bool);
+
+impl Semiring for BoolSemiring {
+    #[inline]
+    fn zero() -> Self {
+        BoolSemiring(false)
+    }
+    #[inline]
+    fn one() -> Self {
+        BoolSemiring(true)
+    }
+    #[inline]
+    fn plus(&self, other: &Self) -> Self {
+        BoolSemiring(self.0 || other.0)
+    }
+    #[inline]
+    fn times(&self, other: &Self) -> Self {
+        BoolSemiring(self.0 && other.0)
+    }
+    #[inline]
+    fn is_zero(&self) -> bool {
+        !self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_table() {
+        let t = BoolSemiring(true);
+        let f = BoolSemiring(false);
+        assert_eq!(t.plus(&f), t);
+        assert_eq!(f.plus(&f), f);
+        assert_eq!(t.times(&f), f);
+        assert_eq!(t.times(&t), t);
+    }
+
+    #[test]
+    fn identities() {
+        let t = BoolSemiring(true);
+        assert_eq!(t.plus(&BoolSemiring::zero()), t);
+        assert_eq!(t.times(&BoolSemiring::one()), t);
+        assert!(BoolSemiring::zero().is_zero());
+    }
+
+    #[test]
+    fn plus_is_idempotent() {
+        let t = BoolSemiring(true);
+        assert_eq!(t.plus(&t), t);
+    }
+}

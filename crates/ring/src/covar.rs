@@ -1,0 +1,231 @@
+//! The degree-2 *covariance ring* used for in-database machine learning.
+//!
+//! F-IVM [22, 33, 34] maintains the gradient aggregates of linear regression
+//! inside a single view tree by swapping the payload ring: instead of tuple
+//! counts, payloads are triples `(c, s, Q)` where
+//!
+//! * `c ∈ Z` is a count,
+//! * `s ∈ R^D` accumulates per-feature sums `Σ x_i`, and
+//! * `Q ∈ R^{D×D}` accumulates second moments `Σ x_i · x_j`
+//!
+//! over the (unmaterialized) join result. Maintaining one view tree over
+//! this ring under updates keeps a regression model's normal equations
+//! fresh without ever enumerating the join.
+//!
+//! Ring structure (all sums over derivations of a tuple):
+//!
+//! ```text
+//! 0 = (0, 0, 0)           1 = (1, 0, 0)
+//! (c1,s1,Q1) + (c2,s2,Q2) = (c1+c2, s1+s2, Q1+Q2)
+//! (c1,s1,Q1) * (c2,s2,Q2) = (c1*c2, c2*s1 + c1*s2,
+//!                            c2*Q1 + c1*Q2 + s1 s2ᵀ + s2 s1ᵀ)
+//! ```
+//!
+//! A value `x` of feature `i` is lifted to `g_i(x) = (1, x·e_i, x²·E_ii)`.
+
+use crate::semiring::{Ring, Semiring};
+
+/// An element of the degree-2 covariance ring over `D` features.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Covar<const D: usize> {
+    /// Count of derivations.
+    pub c: i64,
+    /// Per-feature linear sums.
+    pub s: [f64; D],
+    /// Second-moment matrix (symmetric).
+    pub q: [[f64; D]; D],
+}
+
+impl<const D: usize> Covar<D> {
+    /// Lift feature `i` with value `x`: `(1, x·e_i, x²·E_ii)`.
+    ///
+    /// # Panics
+    /// Panics if `i >= D`.
+    pub fn lift(i: usize, x: f64) -> Self {
+        assert!(i < D, "feature index {i} out of bounds for D={D}");
+        let mut s = [0.0; D];
+        let mut q = [[0.0; D]; D];
+        s[i] = x;
+        q[i][i] = x * x;
+        Covar { c: 1, s, q }
+    }
+
+    /// Count of contributing derivations (`SUM(1)` over the join).
+    pub fn count(&self) -> i64 {
+        self.c
+    }
+
+    /// `Σ x_i` over the join.
+    pub fn sum(&self, i: usize) -> f64 {
+        self.s[i]
+    }
+
+    /// `Σ x_i · x_j` over the join.
+    pub fn moment(&self, i: usize, j: usize) -> f64 {
+        self.q[i][j]
+    }
+
+    /// Sample mean of feature `i`, or `None` on an empty aggregate.
+    pub fn mean(&self, i: usize) -> Option<f64> {
+        (self.c != 0).then(|| self.s[i] / self.c as f64)
+    }
+
+    /// Sample covariance `E[x_i x_j] - E[x_i]E[x_j]`, or `None` when empty.
+    pub fn cov(&self, i: usize, j: usize) -> Option<f64> {
+        (self.c != 0).then(|| {
+            let n = self.c as f64;
+            self.q[i][j] / n - (self.s[i] / n) * (self.s[j] / n)
+        })
+    }
+}
+
+#[allow(clippy::needless_range_loop)] // index-based matrix code
+impl<const D: usize> Semiring for Covar<D> {
+    fn zero() -> Self {
+        Covar {
+            c: 0,
+            s: [0.0; D],
+            q: [[0.0; D]; D],
+        }
+    }
+
+    fn one() -> Self {
+        Covar {
+            c: 1,
+            s: [0.0; D],
+            q: [[0.0; D]; D],
+        }
+    }
+
+    fn plus(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.add_assign(other);
+        out
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        let (c1, c2) = (self.c as f64, other.c as f64);
+        let mut s = [0.0; D];
+        let mut q = [[0.0; D]; D];
+        for i in 0..D {
+            s[i] = c2 * self.s[i] + c1 * other.s[i];
+        }
+        for i in 0..D {
+            for j in 0..D {
+                q[i][j] = c2 * self.q[i][j]
+                    + c1 * other.q[i][j]
+                    + self.s[i] * other.s[j]
+                    + other.s[i] * self.s[j];
+            }
+        }
+        Covar {
+            c: self.c * other.c,
+            s,
+            q,
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.c == 0
+            && self.s.iter().all(|v| *v == 0.0)
+            && self.q.iter().all(|row| row.iter().all(|v| *v == 0.0))
+    }
+
+    fn add_assign(&mut self, other: &Self) {
+        self.c += other.c;
+        for i in 0..D {
+            self.s[i] += other.s[i];
+        }
+        for i in 0..D {
+            for j in 0..D {
+                self.q[i][j] += other.q[i][j];
+            }
+        }
+    }
+}
+
+#[allow(clippy::needless_range_loop)]
+impl<const D: usize> Ring for Covar<D> {
+    fn neg(&self) -> Self {
+        let mut out = self.clone();
+        out.c = -out.c;
+        for i in 0..D {
+            out.s[i] = -out.s[i];
+        }
+        for i in 0..D {
+            for j in 0..D {
+                out.q[i][j] = -out.q[i][j];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lift_encodes_first_and_second_moment() {
+        let g = Covar::<3>::lift(1, 4.0);
+        assert_eq!(g.count(), 1);
+        assert_eq!(g.sum(1), 4.0);
+        assert_eq!(g.moment(1, 1), 16.0);
+        assert_eq!(g.sum(0), 0.0);
+    }
+
+    #[test]
+    fn product_of_two_features_gives_cross_moment() {
+        // Tuple with features x0 = 2, x1 = 3 (one derivation).
+        let g = Covar::<2>::lift(0, 2.0).times(&Covar::<2>::lift(1, 3.0));
+        assert_eq!(g.count(), 1);
+        assert_eq!(g.sum(0), 2.0);
+        assert_eq!(g.sum(1), 3.0);
+        assert_eq!(g.moment(0, 0), 4.0);
+        assert_eq!(g.moment(1, 1), 9.0);
+        assert_eq!(g.moment(0, 1), 6.0);
+        assert_eq!(g.moment(1, 0), 6.0);
+    }
+
+    #[test]
+    fn sum_of_tuples_accumulates_statistics() {
+        // Two tuples: (x0, x1) = (2, 3) and (1, 5).
+        let t1 = Covar::<2>::lift(0, 2.0).times(&Covar::<2>::lift(1, 3.0));
+        let t2 = Covar::<2>::lift(0, 1.0).times(&Covar::<2>::lift(1, 5.0));
+        let agg = t1.plus(&t2);
+        assert_eq!(agg.count(), 2);
+        assert_eq!(agg.sum(0), 3.0);
+        assert_eq!(agg.sum(1), 8.0);
+        assert_eq!(agg.moment(0, 1), 2.0 * 3.0 + 1.0 * 5.0);
+        assert_eq!(agg.mean(0), Some(1.5));
+    }
+
+    #[test]
+    fn delete_cancels_insert() {
+        let t = Covar::<2>::lift(0, 2.0).times(&Covar::<2>::lift(1, 3.0));
+        let zero = t.plus(&t.neg());
+        assert!(zero.is_zero());
+    }
+
+    #[test]
+    fn multiplying_by_count_scales() {
+        // A multiplicity-2 tuple is `2 * one()` times the lifted value.
+        let two = Covar::<1> {
+            c: 2,
+            ..Covar::one()
+        };
+        let g = Covar::<1>::lift(0, 5.0);
+        let scaled = two.times(&g);
+        assert_eq!(scaled.count(), 2);
+        assert_eq!(scaled.sum(0), 10.0);
+        assert_eq!(scaled.moment(0, 0), 50.0);
+    }
+
+    #[test]
+    fn cov_of_constant_feature_is_zero() {
+        let t1 = Covar::<1>::lift(0, 4.0);
+        let t2 = Covar::<1>::lift(0, 4.0);
+        let agg = t1.plus(&t2);
+        assert_eq!(agg.cov(0, 0), Some(0.0));
+    }
+}

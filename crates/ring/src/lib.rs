@@ -1,0 +1,66 @@
+//! Payload algebras for incremental view maintenance.
+//!
+//! Following the data model of the paper (Sec. 2), a relation maps tuples
+//! (*keys*) to values (*payloads*) drawn from a ring `(D, +, *, 0, 1)`.
+//! Inserts map tuples to positive ring values and deletes to negative ones,
+//! which makes update batches commutative: the cumulative effect of a batch
+//! is independent of execution order.
+//!
+//! This crate provides:
+//!
+//! * [`Semiring`] — the `(0, 1, +, *)` fragment, enough for insert-only
+//!   maintenance and for monotone analytics (e.g. tropical semirings);
+//! * [`Ring`] — adds additive inverses, required for deletes;
+//! * concrete instances: the integer ring `Z` ([`i64`], [`i32`], [`i128`]),
+//!   reals ([`F64`]), the Boolean semiring ([`BoolSemiring`]), tropical
+//!   min-plus ([`MinPlus`]), product rings (tuples), and the degree-2
+//!   covariance ring [`Covar`] used for in-database machine learning in
+//!   F-IVM-style systems.
+//!
+//! The integer ring is the workhorse: payloads are tuple multiplicities,
+//! an output tuple's multiplicity is its number of derivations, and a zero
+//! multiplicity means "absent".
+
+pub mod boolean;
+pub mod covar;
+pub mod numeric;
+pub mod product;
+pub mod semiring;
+pub mod tropical;
+
+pub use boolean::BoolSemiring;
+pub use covar::Covar;
+pub use numeric::F64;
+pub use semiring::{Ring, Semiring};
+pub use tropical::MinPlus;
+
+/// Sum a stream of ring values. Convenience over `fold` with [`Semiring::plus`].
+pub fn sum<R: Semiring>(items: impl IntoIterator<Item = R>) -> R {
+    let mut acc = R::zero();
+    for it in items {
+        acc.add_assign(&it);
+    }
+    acc
+}
+
+/// Multiply a stream of ring values.
+pub fn prod<R: Semiring>(items: impl IntoIterator<Item = R>) -> R {
+    let mut acc = R::one();
+    for it in items {
+        acc = acc.times(&it);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_and_prod_over_integers() {
+        assert_eq!(sum::<i64>([1, 2, 3]), 6);
+        assert_eq!(prod::<i64>([2, 3, 4]), 24);
+        assert_eq!(sum::<i64>(std::iter::empty()), 0);
+        assert_eq!(prod::<i64>(std::iter::empty()), 1);
+    }
+}

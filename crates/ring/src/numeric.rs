@@ -1,0 +1,136 @@
+//! Numeric ring instances: the integer ring `Z` and floating-point reals.
+
+use crate::semiring::{Ring, Semiring};
+
+macro_rules! int_ring {
+    ($($t:ty),*) => {$(
+        impl Semiring for $t {
+            #[inline]
+            fn zero() -> Self { 0 }
+            #[inline]
+            fn one() -> Self { 1 }
+            #[inline]
+            fn plus(&self, other: &Self) -> Self { self.wrapping_add(*other) }
+            #[inline]
+            fn times(&self, other: &Self) -> Self { self.wrapping_mul(*other) }
+            #[inline]
+            fn is_zero(&self) -> bool { *self == 0 }
+            #[inline]
+            fn add_assign(&mut self, other: &Self) { *self = self.wrapping_add(*other); }
+        }
+
+        impl Ring for $t {
+            #[inline]
+            fn neg(&self) -> Self { self.wrapping_neg() }
+        }
+    )*};
+}
+
+// The ring of integers (Z, +, *, 0, 1): the standard multiplicity ring used
+// by DBToaster and F-IVM. Wrapping arithmetic keeps the ring laws total;
+// realistic multiplicities are nowhere near the i64 boundary.
+int_ring!(i32, i64, i128);
+
+/// `f64` wrapper forming the ring of reals.
+///
+/// A wrapper (rather than a blanket impl on `f64`) so that payload equality
+/// is total: `NaN` is normalized to zero on construction, which keeps
+/// `PartialEq`-based zero-pruning sound.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct F64(pub f64);
+
+impl F64 {
+    /// Wrap a float, normalizing `NaN` to `0.0`.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        if v.is_nan() {
+            F64(0.0)
+        } else {
+            F64(v)
+        }
+    }
+
+    /// The wrapped value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl From<f64> for F64 {
+    fn from(v: f64) -> Self {
+        F64::new(v)
+    }
+}
+
+impl Semiring for F64 {
+    #[inline]
+    fn zero() -> Self {
+        F64(0.0)
+    }
+    #[inline]
+    fn one() -> Self {
+        F64(1.0)
+    }
+    #[inline]
+    fn plus(&self, other: &Self) -> Self {
+        F64::new(self.0 + other.0)
+    }
+    #[inline]
+    fn times(&self, other: &Self) -> Self {
+        F64::new(self.0 * other.0)
+    }
+    #[inline]
+    fn is_zero(&self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl Ring for F64 {
+    #[inline]
+    fn neg(&self) -> Self {
+        F64::new(-self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_ring_basics() {
+        assert_eq!(<i64 as Semiring>::zero(), 0);
+        assert_eq!(<i64 as Semiring>::one(), 1);
+        assert_eq!(2i64.plus(&3), 5);
+        assert_eq!(2i64.times(&3), 6);
+        assert_eq!(5i64.neg(), -5);
+    }
+
+    #[test]
+    fn i128_ring_basics() {
+        assert_eq!(3i128.times(&4).plus(&1), 13);
+        assert_eq!((-7i128).neg(), 7);
+    }
+
+    #[test]
+    fn f64_normalizes_nan() {
+        assert_eq!(F64::new(f64::NAN), F64::zero());
+        assert!(F64::new(0.0).is_zero());
+    }
+
+    #[test]
+    fn f64_arith() {
+        let a = F64::new(1.5);
+        let b = F64::new(2.0);
+        assert_eq!(a.plus(&b), F64::new(3.5));
+        assert_eq!(a.times(&b), F64::new(3.0));
+        assert_eq!(a.minus(&b), F64::new(-0.5));
+    }
+
+    #[test]
+    fn wrapping_keeps_laws_total() {
+        let big = i64::MAX;
+        // Associativity survives overflow under wrapping semantics.
+        assert_eq!(big.plus(&1).plus(&1), big.plus(&2));
+    }
+}

@@ -1,0 +1,115 @@
+//! Product rings: component-wise combination of payload algebras.
+//!
+//! A product of (semi)rings is again a (semi)ring. Products let one view
+//! tree maintain several aggregates at once — e.g. `(count, sum)` pairs for
+//! AVG, or `(Z, Covar)` for multiplicity-aware model training.
+
+use crate::semiring::{Ring, Semiring};
+
+impl<A: Semiring, B: Semiring> Semiring for (A, B) {
+    #[inline]
+    fn zero() -> Self {
+        (A::zero(), B::zero())
+    }
+    #[inline]
+    fn one() -> Self {
+        (A::one(), B::one())
+    }
+    #[inline]
+    fn plus(&self, other: &Self) -> Self {
+        (self.0.plus(&other.0), self.1.plus(&other.1))
+    }
+    #[inline]
+    fn times(&self, other: &Self) -> Self {
+        (self.0.times(&other.0), self.1.times(&other.1))
+    }
+    #[inline]
+    fn is_zero(&self) -> bool {
+        self.0.is_zero() && self.1.is_zero()
+    }
+    #[inline]
+    fn add_assign(&mut self, other: &Self) {
+        self.0.add_assign(&other.0);
+        self.1.add_assign(&other.1);
+    }
+}
+
+impl<A: Ring, B: Ring> Ring for (A, B) {
+    #[inline]
+    fn neg(&self) -> Self {
+        (self.0.neg(), self.1.neg())
+    }
+}
+
+impl<A: Semiring, B: Semiring, C: Semiring> Semiring for (A, B, C) {
+    #[inline]
+    fn zero() -> Self {
+        (A::zero(), B::zero(), C::zero())
+    }
+    #[inline]
+    fn one() -> Self {
+        (A::one(), B::one(), C::one())
+    }
+    #[inline]
+    fn plus(&self, other: &Self) -> Self {
+        (
+            self.0.plus(&other.0),
+            self.1.plus(&other.1),
+            self.2.plus(&other.2),
+        )
+    }
+    #[inline]
+    fn times(&self, other: &Self) -> Self {
+        (
+            self.0.times(&other.0),
+            self.1.times(&other.1),
+            self.2.times(&other.2),
+        )
+    }
+    #[inline]
+    fn is_zero(&self) -> bool {
+        self.0.is_zero() && self.1.is_zero() && self.2.is_zero()
+    }
+    #[inline]
+    fn add_assign(&mut self, other: &Self) {
+        self.0.add_assign(&other.0);
+        self.1.add_assign(&other.1);
+        self.2.add_assign(&other.2);
+    }
+}
+
+impl<A: Ring, B: Ring, C: Ring> Ring for (A, B, C) {
+    #[inline]
+    fn neg(&self) -> Self {
+        (self.0.neg(), self.1.neg(), self.2.neg())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numeric::F64;
+
+    #[test]
+    fn pair_ring_componentwise() {
+        let a: (i64, F64) = (2, F64::new(1.5));
+        let b: (i64, F64) = (3, F64::new(0.5));
+        assert_eq!(a.plus(&b), (5, F64::new(2.0)));
+        assert_eq!(a.times(&b), (6, F64::new(0.75)));
+        assert_eq!(a.neg(), (-2, F64::new(-1.5)));
+    }
+
+    #[test]
+    fn pair_zero_requires_both() {
+        let half_zero: (i64, i64) = (0, 7);
+        assert!(!half_zero.is_zero());
+        assert!(<(i64, i64)>::zero().is_zero());
+    }
+
+    #[test]
+    fn triple_ring_identity() {
+        let x: (i64, i64, i64) = (1, 2, 3);
+        assert_eq!(x.times(&Semiring::one()), x);
+        assert_eq!(x.plus(&Semiring::zero()), x);
+    }
+}

@@ -1,0 +1,72 @@
+//! The [`Semiring`] and [`Ring`] traits.
+
+use std::fmt::Debug;
+
+/// A commutative semiring `(D, +, *, 0, 1)`.
+///
+/// Laws (checked by property tests in `tests/axioms.rs`):
+///
+/// * `(D, +, 0)` is a commutative monoid;
+/// * `(D, *, 1)` is a commutative monoid;
+/// * `*` distributes over `+`;
+/// * `0` annihilates: `0 * a = 0`.
+///
+/// Semirings suffice for insert-only maintenance (Sec. 4.6 of the paper);
+/// supporting deletes requires the additive inverses of [`Ring`].
+pub trait Semiring: Clone + Debug + PartialEq + Send + Sync + 'static {
+    /// The additive identity. A tuple mapped to `zero()` is absent.
+    fn zero() -> Self;
+
+    /// The multiplicative identity; the payload of a freshly inserted tuple.
+    fn one() -> Self;
+
+    /// Addition; combines payloads of a tuple derived multiple ways.
+    fn plus(&self, other: &Self) -> Self;
+
+    /// Multiplication; combines payloads of joined tuples.
+    fn times(&self, other: &Self) -> Self;
+
+    /// Whether this value is the additive identity.
+    ///
+    /// Relations prune zero payloads eagerly so that their size is the
+    /// number of *present* tuples.
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+
+    /// In-place addition. Override when `plus` allocates.
+    fn add_assign(&mut self, other: &Self) {
+        *self = self.plus(other);
+    }
+}
+
+/// A commutative ring: a [`Semiring`] with additive inverses.
+///
+/// The inverse is what encodes deletes: a single-tuple delete of `t` is the
+/// update `t ↦ -1` (in `Z`), and applying it removes one derivation of `t`.
+pub trait Ring: Semiring {
+    /// The additive inverse.
+    fn neg(&self) -> Self;
+
+    /// Subtraction, `self + (-other)`.
+    fn minus(&self, other: &Self) -> Self {
+        self.plus(&other.neg())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero_uses_eq() {
+        assert!(0i64.is_zero());
+        assert!(!3i64.is_zero());
+    }
+
+    #[test]
+    fn minus_is_plus_neg() {
+        assert_eq!(7i64.minus(&3), 4);
+        assert_eq!(3i64.minus(&7), -4);
+    }
+}

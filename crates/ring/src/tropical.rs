@@ -1,0 +1,73 @@
+//! The tropical min-plus semiring `(R ∪ {∞}, min, +, ∞, 0)`.
+//!
+//! Not used by the paper's core results (it is a semiring, not a ring), but
+//! included to exercise the insert-only maintenance path (Sec. 4.6) with a
+//! non-trivial, non-invertible payload algebra — e.g. cheapest-derivation
+//! analytics over joins.
+
+use crate::semiring::Semiring;
+
+/// A min-plus semiring element; `MinPlus::zero()` is `+∞`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MinPlus(pub f64);
+
+impl MinPlus {
+    /// A finite cost value (`NaN` is normalized to `+∞`).
+    #[inline]
+    pub fn cost(v: f64) -> Self {
+        if v.is_nan() {
+            MinPlus(f64::INFINITY)
+        } else {
+            MinPlus(v)
+        }
+    }
+}
+
+impl Semiring for MinPlus {
+    #[inline]
+    fn zero() -> Self {
+        MinPlus(f64::INFINITY)
+    }
+    #[inline]
+    fn one() -> Self {
+        MinPlus(0.0)
+    }
+    #[inline]
+    fn plus(&self, other: &Self) -> Self {
+        MinPlus(self.0.min(other.0))
+    }
+    #[inline]
+    fn times(&self, other: &Self) -> Self {
+        MinPlus(self.0 + other.0)
+    }
+    #[inline]
+    fn is_zero(&self) -> bool {
+        self.0 == f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_plus_identities() {
+        let a = MinPlus::cost(3.0);
+        assert_eq!(a.plus(&MinPlus::zero()), a);
+        assert_eq!(a.times(&MinPlus::one()), a);
+        assert_eq!(a.times(&MinPlus::zero()), MinPlus::zero());
+    }
+
+    #[test]
+    fn min_plus_combines() {
+        let a = MinPlus::cost(3.0);
+        let b = MinPlus::cost(5.0);
+        assert_eq!(a.plus(&b), a); // min
+        assert_eq!(a.times(&b), MinPlus::cost(8.0)); // sum of costs
+    }
+
+    #[test]
+    fn nan_normalized() {
+        assert!(MinPlus::cost(f64::NAN).is_zero());
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests: ring/semiring laws for every payload algebra.
+//!
+//! Floating-point algebras are tested over integer-valued floats so the
+//! laws hold exactly (f64 arithmetic on small integers is exact).
+
+use ivm_ring::{BoolSemiring, Covar, MinPlus, Ring, Semiring, F64};
+use proptest::prelude::*;
+
+fn small_i64() -> impl Strategy<Value = i64> {
+    -1000i64..1000
+}
+
+fn int_f64() -> impl Strategy<Value = F64> {
+    (-100i32..100).prop_map(|v| F64::new(v as f64))
+}
+
+fn int_minplus() -> impl Strategy<Value = MinPlus> {
+    prop_oneof![
+        (-100i32..100).prop_map(|v| MinPlus::cost(v as f64)),
+        Just(MinPlus::zero()),
+    ]
+}
+
+fn small_covar() -> impl Strategy<Value = Covar<2>> {
+    // Sums of lifted values with small integer features stay exact in f64.
+    proptest::collection::vec((0usize..2, -4i32..4), 0..4).prop_map(|items| {
+        let mut acc = Covar::<2>::zero();
+        for (i, x) in items {
+            acc.add_assign(&Covar::lift(i, x as f64));
+        }
+        acc
+    })
+}
+
+macro_rules! semiring_laws {
+    ($modname:ident, $strat:expr, $ty:ty) => {
+        mod $modname {
+            use super::*;
+
+            proptest! {
+                #[test]
+                fn add_commutative(a in $strat, b in $strat) {
+                    prop_assert_eq!(a.plus(&b), b.plus(&a));
+                }
+
+                #[test]
+                fn add_associative(a in $strat, b in $strat, c in $strat) {
+                    prop_assert_eq!(a.plus(&b).plus(&c), a.plus(&b.plus(&c)));
+                }
+
+                #[test]
+                fn add_identity(a in $strat) {
+                    prop_assert_eq!(a.plus(&<$ty>::zero()), a);
+                }
+
+                #[test]
+                fn mul_commutative(a in $strat, b in $strat) {
+                    prop_assert_eq!(a.times(&b), b.times(&a));
+                }
+
+                #[test]
+                fn mul_associative(a in $strat, b in $strat, c in $strat) {
+                    prop_assert_eq!(a.times(&b).times(&c), a.times(&b.times(&c)));
+                }
+
+                #[test]
+                fn mul_identity(a in $strat) {
+                    prop_assert_eq!(a.times(&<$ty>::one()), a);
+                }
+
+                #[test]
+                fn zero_annihilates(a in $strat) {
+                    prop_assert!(a.times(&<$ty>::zero()).is_zero());
+                }
+
+                #[test]
+                fn distributive(a in $strat, b in $strat, c in $strat) {
+                    prop_assert_eq!(
+                        a.times(&b.plus(&c)),
+                        a.times(&b).plus(&a.times(&c))
+                    );
+                }
+
+                #[test]
+                fn add_assign_matches_plus(a in $strat, b in $strat) {
+                    let mut x = a.clone();
+                    x.add_assign(&b);
+                    prop_assert_eq!(x, a.plus(&b));
+                }
+            }
+        }
+    };
+}
+
+macro_rules! ring_laws {
+    ($modname:ident, $strat:expr, $ty:ty) => {
+        mod $modname {
+            use super::*;
+
+            proptest! {
+                #[test]
+                fn neg_is_additive_inverse(a in $strat) {
+                    prop_assert!(a.plus(&a.neg()).is_zero());
+                }
+
+                #[test]
+                fn double_neg(a in $strat) {
+                    prop_assert_eq!(a.neg().neg(), a);
+                }
+
+                #[test]
+                fn minus_self_is_zero(a in $strat) {
+                    prop_assert!(a.minus(&a).is_zero());
+                }
+
+                #[test]
+                fn neg_distributes_over_mul(a in $strat, b in $strat) {
+                    prop_assert_eq!(a.neg().times(&b), a.times(&b).neg());
+                }
+            }
+        }
+    };
+}
+
+semiring_laws!(int_semiring, small_i64(), i64);
+ring_laws!(int_ring, small_i64(), i64);
+
+semiring_laws!(f64_semiring, int_f64(), F64);
+ring_laws!(f64_ring, int_f64(), F64);
+
+semiring_laws!(bool_semiring, any::<bool>().prop_map(BoolSemiring), BoolSemiring);
+
+semiring_laws!(minplus_semiring, int_minplus(), MinPlus);
+
+semiring_laws!(covar_semiring, small_covar(), Covar<2>);
+ring_laws!(covar_ring, small_covar(), Covar<2>);
+
+semiring_laws!(
+    pair_semiring,
+    (small_i64(), int_f64()),
+    (i64, F64)
+);
+ring_laws!(pair_ring, (small_i64(), int_f64()), (i64, F64));

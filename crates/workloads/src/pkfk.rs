@@ -1,0 +1,158 @@
+//! Valid out-of-order PK–FK batches (Ex 4.13).
+//!
+//! The generator emits batches over the JOB-style schema
+//! `Title(m) ⋈ MovieCompanies(m, c) ⋈ CompanyName(c)` that are *valid* —
+//! the database is consistent before and after each batch — while the
+//! updates inside a batch may arrive out of order, traversing transiently
+//! inconsistent states (fact tuples before their dimension keys, or
+//! dimension deletes before the dependent fact deletes).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One update of the PK–FK stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PkFkOp {
+    /// Insert/delete a movie key.
+    Title(u64, i64),
+    /// Insert/delete a company key.
+    Company(u64, i64),
+    /// Insert/delete a fact tuple (movie, company).
+    MovieCompany(u64, u64, i64),
+}
+
+/// Generator state: tracks the live keys so batches stay valid.
+pub struct PkFkGen {
+    rng: StdRng,
+    next_movie: u64,
+    next_company: u64,
+    /// Live companies with their movie lists.
+    companies: Vec<(u64, Vec<u64>)>,
+}
+
+impl PkFkGen {
+    /// A fresh generator.
+    pub fn new(seed: u64) -> Self {
+        PkFkGen {
+            rng: StdRng::seed_from_u64(seed),
+            next_movie: 0,
+            next_company: 0,
+            companies: Vec::new(),
+        }
+    }
+
+    /// A valid batch that inserts a new company with `fanout` movies,
+    /// *out of order*: all fact tuples first (each O(1) to maintain,
+    /// inconsistent in-between), then the company key (the O(n) fix-up
+    /// spike).
+    pub fn grow_batch(&mut self, fanout: usize) -> Vec<PkFkOp> {
+        let c = self.next_company;
+        self.next_company += 1;
+        let mut ops = Vec::with_capacity(2 * fanout + 1);
+        let mut movies = Vec::with_capacity(fanout);
+        for _ in 0..fanout {
+            let m = self.next_movie;
+            self.next_movie += 1;
+            movies.push(m);
+            ops.push(PkFkOp::Title(m, 1));
+            ops.push(PkFkOp::MovieCompany(m, c, 1));
+        }
+        ops.push(PkFkOp::Company(c, 1));
+        self.companies.push((c, movies));
+        ops
+    }
+
+    /// A valid batch that removes a random live company, again out of
+    /// order: the company key first (O(n) spike, inconsistent), then its
+    /// fact tuples and movies (each O(1)). Returns `None` when empty.
+    pub fn shrink_batch(&mut self) -> Option<Vec<PkFkOp>> {
+        if self.companies.is_empty() {
+            return None;
+        }
+        let idx = self.rng.gen_range(0..self.companies.len());
+        let (c, movies) = self.companies.swap_remove(idx);
+        let mut ops = Vec::with_capacity(2 * movies.len() + 1);
+        ops.push(PkFkOp::Company(c, -1));
+        for m in movies {
+            ops.push(PkFkOp::MovieCompany(m, c, -1));
+            ops.push(PkFkOp::Title(m, -1));
+        }
+        Some(ops)
+    }
+
+    /// Number of live companies.
+    pub fn live_companies(&self) -> usize {
+        self.companies.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn check_consistent(state: &HashMap<(u64, u64), i64>, titles: &HashMap<u64, i64>, comps: &HashMap<u64, i64>) -> bool {
+        state.iter().all(|(&(m, c), &mult)| {
+            mult == 0
+                || (titles.get(&m).copied().unwrap_or(0) > 0
+                    && comps.get(&c).copied().unwrap_or(0) > 0)
+        })
+    }
+
+    /// Batches are valid: consistent before and after, though not
+    /// necessarily in between.
+    #[test]
+    fn batches_are_valid() {
+        let mut gen = PkFkGen::new(5);
+        let mut facts: HashMap<(u64, u64), i64> = HashMap::new();
+        let mut titles: HashMap<u64, i64> = HashMap::new();
+        let mut comps: HashMap<u64, i64> = HashMap::new();
+        let apply = |ops: &[PkFkOp],
+                         facts: &mut HashMap<(u64, u64), i64>,
+                         titles: &mut HashMap<u64, i64>,
+                         comps: &mut HashMap<u64, i64>| {
+            for op in ops {
+                match *op {
+                    PkFkOp::Title(m, d) => *titles.entry(m).or_insert(0) += d,
+                    PkFkOp::Company(c, d) => *comps.entry(c).or_insert(0) += d,
+                    PkFkOp::MovieCompany(m, c, d) => {
+                        *facts.entry((m, c)).or_insert(0) += d
+                    }
+                }
+            }
+            facts.retain(|_, v| *v != 0);
+            titles.retain(|_, v| *v != 0);
+            comps.retain(|_, v| *v != 0);
+        };
+        for round in 0..20 {
+            let ops = if round % 3 == 2 {
+                gen.shrink_batch().unwrap_or_default()
+            } else {
+                gen.grow_batch(round + 1)
+            };
+            apply(&ops, &mut facts, &mut titles, &mut comps);
+            assert!(
+                check_consistent(&facts, &titles, &comps),
+                "inconsistent after batch {round}"
+            );
+        }
+    }
+
+    /// Grow batches put the dimension insert last (the spike).
+    #[test]
+    fn grow_is_out_of_order() {
+        let mut gen = PkFkGen::new(1);
+        let ops = gen.grow_batch(3);
+        assert!(matches!(ops.last(), Some(PkFkOp::Company(_, 1))));
+        assert_eq!(ops.len(), 7);
+    }
+
+    /// Shrink batches put the dimension delete first.
+    #[test]
+    fn shrink_is_out_of_order() {
+        let mut gen = PkFkGen::new(1);
+        gen.grow_batch(4);
+        let ops = gen.shrink_batch().unwrap();
+        assert!(matches!(ops.first(), Some(PkFkOp::Company(_, -1))));
+    }
+}

@@ -1,0 +1,83 @@
+//! Queries with free access patterns (Sec. 4.3): the flight-booking
+//! scenario from the paper's motivation — "to access the flights from a
+//! flight booking database behind a web interface, one has to specify the
+//! date, departure, and destination".
+//!
+//! `Q(fid | date, src, dst) = Flight(date, src, dst, fid)` is a tractable
+//! CQAP: the engine maintains it under updates and serves access requests
+//! with constant delay. Extending the query with an `OnTime(fid)` join
+//! makes it *intractable* (fid dominates the input variables but is not an
+//! input) — the classifier catches this and the engine refuses.
+//!
+//! Run: `cargo run -p ivm-bench --example flight_access_patterns`
+
+use ivm_core::cqap::CqapEngine;
+use ivm_data::ops::lift_one;
+use ivm_data::{sym, tup, vars, Update};
+use ivm_query::{is_tractable_cqap, Atom, Query};
+
+fn main() {
+    let [date, src, dst, fid] = vars(["fl_date", "fl_src", "fl_dst", "fl_fid"]);
+    let flights = sym("fl_Flight");
+    let q = Query::with_access_pattern(
+        "fl_Q",
+        [fid],
+        [date, src, dst],
+        vec![Atom::new(flights, [date, src, dst, fid])],
+    );
+    println!("CQAP: {q:?}");
+    println!("tractable (Thm 4.8): {}\n", is_tractable_cqap(&q));
+
+    let mut engine: CqapEngine<i64> = CqapEngine::new(q, lift_one).expect("tractable");
+
+    // Load a tiny schedule: (date, src, dst, flight id).
+    let rows: &[(i64, &str, &str, i64)] = &[
+        (20240501, "ZRH", "VIE", 801),
+        (20240501, "ZRH", "VIE", 803),
+        (20240501, "ZRH", "CDG", 811),
+        (20240502, "ZRH", "VIE", 801),
+        (20240501, "VIE", "ZRH", 802),
+    ];
+    for &(d, s, t, f) in rows {
+        engine
+            .apply(&Update::insert(flights, tup![d, s, t, f]))
+            .unwrap();
+    }
+
+    let ask = |engine: &CqapEngine<i64>, d: i64, s: &str, t: &str| {
+        print!("flights {s}→{t} on {d}: ");
+        let mut any = false;
+        engine.access(&tup![d, s, t], &mut |fid, _| {
+            print!("{fid:?} ");
+            any = true;
+        });
+        println!("{}", if any { "" } else { "(none)" });
+    };
+
+    ask(&engine, 20240501, "ZRH", "VIE");
+    ask(&engine, 20240501, "ZRH", "CDG");
+    ask(&engine, 20240503, "ZRH", "VIE");
+
+    // A cancellation propagates in O(1):
+    engine
+        .apply(&Update::delete(flights, tup![20240501i64, "ZRH", "VIE", 803i64]))
+        .unwrap();
+    println!("\nafter cancelling flight 803:");
+    ask(&engine, 20240501, "ZRH", "VIE");
+
+    // The extended query is intractable — the dichotomy in action.
+    let ontime = sym("fl_OnTime");
+    let q2 = Query::with_access_pattern(
+        "fl_Q2",
+        [fid],
+        [date, src, dst],
+        vec![
+            Atom::new(flights, [date, src, dst, fid]),
+            Atom::new(ontime, [fid]),
+        ],
+    );
+    println!("\nextended CQAP: {q2:?}");
+    println!("tractable: {}", is_tractable_cqap(&q2));
+    let err = CqapEngine::<i64>::new(q2, lift_one).unwrap_err();
+    println!("engine verdict: {err}");
+}

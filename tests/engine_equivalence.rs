@@ -1,0 +1,170 @@
+//! Property tests: every maintenance engine agrees with from-scratch
+//! re-evaluation on arbitrary valid update streams, across a family of
+//! q-hierarchical queries.
+
+use ivm_core::{
+    EagerFactEngine, EagerListEngine, LazyFactEngine, LazyListEngine, Maintainer,
+};
+use ivm_data::ops::{eval_join_aggregate, lift_one};
+use ivm_data::{sym, Database, Relation, Schema, Tuple, Update, Value};
+use ivm_query::{Atom, Query};
+use proptest::prelude::*;
+
+/// The query family under test: three q-hierarchical shapes of increasing
+/// width, from the paper's Fig 3 to a 3-relation star.
+fn query_family() -> Vec<Query> {
+    let [x, y, z, w] = ivm_data::vars(["eq_X", "eq_Y", "eq_Z", "eq_W"]);
+    vec![
+        // Fig 3.
+        Query::new(
+            "eq_fig3",
+            [y, x, z],
+            vec![
+                Atom::new(sym("eq_R0"), [y, x]),
+                Atom::new(sym("eq_S0"), [y, z]),
+            ],
+        ),
+        // A star with three satellites.
+        Query::new(
+            "eq_star",
+            [x, y, z, w],
+            vec![
+                Atom::new(sym("eq_R1"), [x, y]),
+                Atom::new(sym("eq_S1"), [x, z]),
+                Atom::new(sym("eq_T1"), [x, w]),
+            ],
+        ),
+        // Nested: R(X,Y,Z) with a child relation per level + aggregation.
+        Query::new(
+            "eq_nested",
+            [x, y],
+            vec![
+                Atom::new(sym("eq_R2"), [x, y, z]),
+                Atom::new(sym("eq_S2"), [x, y]),
+                Atom::new(sym("eq_T2"), [x]),
+            ],
+        ),
+    ]
+}
+
+/// An update script: (atom index, values, delete?) triples; deletes are
+/// made valid (only remove present tuples) during execution.
+type Script = Vec<(usize, Vec<i64>, bool)>;
+
+fn script_strategy(n_atoms: usize) -> impl Strategy<Value = Script> {
+    proptest::collection::vec(
+        (
+            0..n_atoms,
+            proptest::collection::vec(0i64..4, 3),
+            proptest::bool::ANY,
+        ),
+        0..60,
+    )
+}
+
+fn run_script(q: &Query, script: &Script) -> Result<(), TestCaseError> {
+    let db = Database::new();
+    let mut eager_fact = EagerFactEngine::<i64>::new(q.clone(), &db, lift_one).unwrap();
+    let mut eager_list = EagerListEngine::<i64>::new(q.clone(), &db, lift_one).unwrap();
+    let mut lazy_fact = LazyFactEngine::<i64>::new(q.clone(), &db, lift_one).unwrap();
+    let mut lazy_list = LazyListEngine::<i64>::new(q.clone(), &db, lift_one).unwrap();
+    let mut oracle: Vec<Relation<i64>> = q
+        .atoms
+        .iter()
+        .map(|a| Relation::new(a.schema.clone()))
+        .collect();
+
+    for (ai, vals, del) in script {
+        let atom = &q.atoms[*ai];
+        let tuple: Tuple = vals[..atom.schema.arity()]
+            .iter()
+            .map(|&v| Value::from(v))
+            .collect();
+        // Validity: delete only present tuples.
+        let m: i64 = if *del && oracle[*ai].get(&tuple) > 0 {
+            -1
+        } else {
+            1
+        };
+        oracle[*ai].apply(tuple.clone(), &m);
+        let upd = Update::with_payload(atom.name, tuple, m);
+        eager_fact.apply(&upd).unwrap();
+        eager_list.apply(&upd).unwrap();
+        lazy_fact.apply(&upd).unwrap();
+        lazy_list.apply(&upd).unwrap();
+    }
+
+    let refs: Vec<&Relation<i64>> = oracle.iter().collect();
+    let expect = eval_join_aggregate(&refs, &q.free, lift_one);
+    for (name, got) in [
+        ("eager-fact", eager_fact.output()),
+        ("eager-list", eager_list.output()),
+        ("lazy-fact", lazy_fact.output()),
+        ("lazy-list", lazy_list.output()),
+    ] {
+        prop_assert_eq!(got.len(), expect.len(), "{} size", name);
+        for (t, p) in expect.iter() {
+            prop_assert_eq!(&got.get(t), p, "{} at {:?}", name, t);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fig3_engines_match_oracle(script in script_strategy(2)) {
+        run_script(&query_family()[0], &script)?;
+    }
+
+    #[test]
+    fn star_engines_match_oracle(script in script_strategy(3)) {
+        run_script(&query_family()[1], &script)?;
+    }
+
+    #[test]
+    fn nested_engines_match_oracle(script in script_strategy(3)) {
+        run_script(&query_family()[2], &script)?;
+    }
+}
+
+/// The whole family is q-hierarchical (sanity of the test setup itself).
+#[test]
+fn family_is_q_hierarchical() {
+    for q in query_family() {
+        assert!(
+            ivm_query::is_q_hierarchical(&q),
+            "{q:?} must be q-hierarchical"
+        );
+    }
+}
+
+/// Boolean variants (empty free set) are also maintained correctly — the
+/// output degenerates to a single payload.
+#[test]
+fn boolean_variant() {
+    let base = &query_family()[1];
+    let q = Query {
+        name: sym("eq_star_bool"),
+        free: Schema::empty(),
+        input: Schema::empty(),
+        atoms: base.atoms.clone(),
+    };
+    let db = Database::new();
+    let mut eng = EagerFactEngine::<i64>::new(q.clone(), &db, lift_one).unwrap();
+    let mut oracle: Vec<Relation<i64>> = q
+        .atoms
+        .iter()
+        .map(|a| Relation::new(a.schema.clone()))
+        .collect();
+    for i in 0..40i64 {
+        let ai = (i % 3) as usize;
+        let tuple: Tuple = [i % 3, i % 4].iter().map(|&v| Value::from(v)).collect();
+        oracle[ai].apply(tuple.clone(), &1);
+        eng.apply(&Update::insert(q.atoms[ai].name, tuple)).unwrap();
+    }
+    let refs: Vec<&Relation<i64>> = oracle.iter().collect();
+    let expect = eval_join_aggregate(&refs, &q.free, lift_one);
+    assert_eq!(eng.output().get(&Tuple::empty()), expect.get(&Tuple::empty()));
+}
