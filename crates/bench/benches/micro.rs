@@ -54,7 +54,8 @@ fn bench_viewtree(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             let t = tup![i % 5000, i % 4999];
-            eng.apply(&Update::insert(rn, black_box(t.clone()))).unwrap();
+            eng.apply(&Update::insert(rn, black_box(t.clone())))
+                .unwrap();
             eng.apply(&Update::delete(rn, black_box(t))).unwrap();
         });
     });
@@ -81,8 +82,7 @@ fn bench_triangles(c: &mut Criterion) {
         c.bench_function(name, |b| {
             let mut delta = TriangleDelta::new();
             let mut eps = TriangleIvmEps::new(0.5);
-            let eng: &mut dyn TriangleMaintainer =
-                if build { &mut delta } else { &mut eps };
+            let eng: &mut dyn TriangleMaintainer = if build { &mut delta } else { &mut eps };
             let mut rng = StdRng::seed_from_u64(2);
             for _ in 0..30_000 {
                 let a = rng.gen_range(0..2000u64);

@@ -29,11 +29,11 @@ use std::time::{Duration, Instant};
 /// specialized to u64-ish keys for a fair (favorable) baseline.
 #[derive(Default)]
 struct EagerDirect {
-    r: FxHashMap<i64, Vec<i64>>,         // a → b's
-    r_by_b: FxHashMap<i64, Vec<i64>>,    // b → a's
-    s: FxHashMap<i64, Vec<i64>>,         // b → c's
-    s_by_c: FxHashMap<i64, Vec<i64>>,    // c → b's
-    t: FxHashMap<i64, Vec<i64>>,         // c → d's
+    r: FxHashMap<i64, Vec<i64>>,      // a → b's
+    r_by_b: FxHashMap<i64, Vec<i64>>, // b → a's
+    s: FxHashMap<i64, Vec<i64>>,      // b → c's
+    s_by_c: FxHashMap<i64, Vec<i64>>, // c → b's
+    t: FxHashMap<i64, Vec<i64>>,      // c → d's
     t_by_d: FxHashMap<i64, Vec<i64>>,
     out: FxHashMap<(i64, i64, i64, i64), i64>,
 }
@@ -92,13 +92,7 @@ fn main() {
     let gen_stream = || {
         let mut rng = StdRng::seed_from_u64(17);
         (0..n)
-            .map(|i| {
-                (
-                    i % 3,
-                    rng.gen_range(0..dom),
-                    rng.gen_range(0..dom),
-                )
-            })
+            .map(|i| (i % 3, rng.gen_range(0..dom), rng.gen_range(0..dom)))
             .collect::<Vec<_>>()
     };
     let stream = gen_stream();

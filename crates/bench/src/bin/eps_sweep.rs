@@ -54,7 +54,10 @@ fn main() {
     }
     for (name, eng) in [
         ("no-hl-views", TriangleIvmEps::new(0.5).without_hl_views()),
-        ("no-rebalance", TriangleIvmEps::new(0.5).without_rebalancing()),
+        (
+            "no-rebalance",
+            TriangleIvmEps::new(0.5).without_rebalancing(),
+        ),
     ] {
         let (w, ns, c) = run(eng, n, probe);
         table.row(vec![

@@ -11,9 +11,7 @@
 //! (`RIVM_SCALE=0.2` for a quick pass).
 
 use ivm_bench::{fmt, per_sec, scaled, Table};
-use ivm_core::{
-    EagerFactEngine, EagerListEngine, LazyFactEngine, LazyListEngine, Maintainer,
-};
+use ivm_core::{EagerFactEngine, EagerListEngine, LazyFactEngine, LazyListEngine, Maintainer};
 use ivm_data::ops::lift_one;
 use ivm_workloads::RetailerGen;
 use std::time::{Duration, Instant};
@@ -29,7 +27,13 @@ fn main() {
         "batches={total_batches} x {batch_size} inserts; enumeration every \
          INTVAL batches; DNF = exceeded {budget:?}\n"
     );
-    let mut table = Table::new(&["INTVAL", "#ENUM", "engine", "throughput (tuples/s)", "enum tuples"]);
+    let mut table = Table::new(&[
+        "INTVAL",
+        "#ENUM",
+        "engine",
+        "throughput (tuples/s)",
+        "enum tuples",
+    ]);
 
     for &intval in &intervals {
         let n_enum = total_batches / intval;

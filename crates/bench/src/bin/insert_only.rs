@@ -23,7 +23,9 @@ fn main() {
     let n = scaled(100_000, 10_000);
     let enum_every = n / 5;
     println!("# Insert-only maintenance of the 3-path full join (Sec 4.6)\n");
-    println!("{n} inserts; enumeration every {enum_every} (consuming only the first 1000 tuples)\n");
+    println!(
+        "{n} inserts; enumeration every {enum_every} (consuming only the first 1000 tuples)\n"
+    );
 
     let q = ivm_query::examples::path3_query();
     let (rn, sn, tn) = (sym("p3_R"), sym("p3_S"), sym("p3_T"));

@@ -49,11 +49,9 @@ fn main() {
                     PkFkOp::Company(cc, d) => {
                         Update::with_payload(sym("pkb_Company"), tup![cc as i64], d)
                     }
-                    PkFkOp::MovieCompany(mm, cc, d) => Update::with_payload(
-                        sym("pkb_MC"),
-                        tup![mm as i64, cc as i64],
-                        d,
-                    ),
+                    PkFkOp::MovieCompany(mm, cc, d) => {
+                        Update::with_payload(sym("pkb_MC"), tup![mm as i64, cc as i64], d)
+                    }
                 };
                 eng.apply(&upd).unwrap();
                 updates += 1;

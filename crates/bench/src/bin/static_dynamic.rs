@@ -21,7 +21,9 @@ fn main() {
     let updates = scaled(50_000, 5_000);
     let enum_every = updates / 4;
     println!("# Static vs dynamic relations (Ex 4.14)\n");
-    println!("{updates} updates to R/S; enumeration every {enum_every}; static T of growing size\n");
+    println!(
+        "{updates} updates to R/S; enumeration every {enum_every}; static T of growing size\n"
+    );
     let mut table = Table::new(&["|T|", "engine", "updates/s"]);
 
     for &tn in &t_sizes {
@@ -51,8 +53,7 @@ fn main() {
         // Static-aware view tree.
         {
             let vo = find_tractable_order(&q).expect("Ex 4.14 is tractable");
-            let mut eng =
-                EagerFactEngine::with_order(q.clone(), vo, &db, lift_one).unwrap();
+            let mut eng = EagerFactEngine::with_order(q.clone(), vo, &db, lift_one).unwrap();
             let mut outputs = 0usize;
             let (_, d) = time(|| {
                 for (i, u) in stream.iter().enumerate() {

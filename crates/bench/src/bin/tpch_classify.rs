@@ -16,14 +16,7 @@ use ivm_query::tpch::{classify_tpch, tpch_fds, tpch_queries};
 fn main() {
     let fds = tpch_fds();
     println!("# TPC-H classification (hierarchical / q-hierarchical), with and without FDs\n");
-    let mut table = Table::new(&[
-        "query",
-        "atoms",
-        "bool",
-        "bool+FDs",
-        "full",
-        "full+FDs",
-    ]);
+    let mut table = Table::new(&["query", "atoms", "bool", "bool+FDs", "full", "full+FDs"]);
     let mut counts = [0usize; 4];
     for (name, q) in tpch_queries() {
         let v = classify_tpch(&q, &fds);

@@ -11,8 +11,7 @@
 
 use ivm_bench::{empirical_exponent, fmt, ns_per, scaled, time, Table};
 use ivm_ivme::{
-    Rel, TriangleDelta, TriangleIvmEps, TriangleMaintainer, TrianglePairwiseMv,
-    TriangleRecount,
+    Rel, TriangleDelta, TriangleIvmEps, TriangleMaintainer, TrianglePairwiseMv, TriangleRecount,
 };
 use ivm_workloads::graphs::EdgeStream;
 
@@ -40,7 +39,11 @@ fn run(engine: &mut dyn TriangleMaintainer, n: usize, probe: usize) -> (f64, f64
 }
 
 fn main() {
-    let sizes = [scaled(4_000, 500), scaled(16_000, 2_000), scaled(64_000, 8_000)];
+    let sizes = [
+        scaled(4_000, 500),
+        scaled(16_000, 2_000),
+        scaled(64_000, 8_000),
+    ];
     let probe = scaled(500, 50);
     println!("# Triangle update-cost scaling on hub updates (work = inner-loop ops/update)\n");
     let mut table = Table::new(&[
@@ -88,7 +91,11 @@ fn main() {
             name.to_string(),
             fmt(works[0]),
             fmt(works[1]),
-            if works[2].is_nan() { "-".into() } else { fmt(works[2]) },
+            if works[2].is_nan() {
+                "-".into()
+            } else {
+                fmt(works[2])
+            },
             format!("{exp:.2}"),
             fmt(last_ns),
             expected.to_string(),

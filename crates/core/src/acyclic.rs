@@ -45,11 +45,7 @@ pub fn join_tree(q: &Query) -> Option<JoinTree> {
                 .vars()
                 .iter()
                 .copied()
-                .filter(|&v| {
-                    (0..n).any(|k| {
-                        k != i && !removed[k] && q.atoms[k].schema.contains(v)
-                    })
-                })
+                .filter(|&v| (0..n).any(|k| k != i && !removed[k] && q.atoms[k].schema.contains(v)))
                 .collect();
             #[allow(clippy::needless_range_loop)]
             for j in 0..n {
@@ -96,9 +92,8 @@ impl<R: Semiring> FactorizedJoin<R> {
                 "factorized join requires a full join (all variables free)".into(),
             ));
         }
-        let jt = join_tree(q).ok_or_else(|| {
-            EngineError::NotSupported(format!("{} is cyclic", q.name))
-        })?;
+        let jt = join_tree(q)
+            .ok_or_else(|| EngineError::NotSupported(format!("{} is cyclic", q.name)))?;
         let n = q.atoms.len();
         let mut reduced: Vec<Relation<R>> = relations.to_vec();
 
@@ -198,9 +193,14 @@ impl<R: Semiring> FactorizedJoin<R> {
         let residual = idx.residual_schema();
         for (res, p) in group.iter() {
             bindings.bind_tuple(&residual, res);
-            self.descend_rec(child, 0, bindings, acc.times(p), &mut |bs, m, f2| {
-                self.descend_rec(node, ci + 1, bs, m, k, f2)
-            }, f);
+            self.descend_rec(
+                child,
+                0,
+                bindings,
+                acc.times(p),
+                &mut |bs, m, f2| self.descend_rec(node, ci + 1, bs, m, k, f2),
+                f,
+            );
         }
     }
 
@@ -295,10 +295,7 @@ impl<R: Semiring> InsertOnlyEngine<R> {
     /// stale. The rebuild is O(|D|); deferred builds amortize to O(1) per
     /// insert when enumerations are spaced out (the paper's batch
     /// argument).
-    pub fn for_each_output(
-        &mut self,
-        f: &mut dyn FnMut(&Tuple, &R),
-    ) -> Result<(), EngineError> {
+    pub fn for_each_output(&mut self, f: &mut dyn FnMut(&Tuple, &R)) -> Result<(), EngineError> {
         if self.factorized.is_none() {
             self.factorized = Some(FactorizedJoin::build(&self.query, &self.relations)?);
             self.rebuilds += 1;
@@ -371,11 +368,7 @@ mod tests {
         }
         let fj = FactorizedJoin::build(&q, &rels).unwrap();
         let got = fj.output();
-        let expect = eval_join_aggregate(
-            &[&rels[0], &rels[1], &rels[2]],
-            &q.free,
-            lift_one,
-        );
+        let expect = eval_join_aggregate(&[&rels[0], &rels[1], &rels[2]], &q.free, lift_one);
         assert_eq!(got.len(), expect.len());
         for (t, p) in expect.iter() {
             assert_eq!(&got.get(t), p, "at {t:?}");
@@ -418,11 +411,7 @@ mod tests {
             rels[1].apply(tup![i % 5, i % 7], &1);
             rels[2].apply(tup![i % 7, i], &1);
         }
-        let expect = eval_join_aggregate(
-            &[&rels[0], &rels[1], &rels[2]],
-            &q.free,
-            lift_one,
-        );
+        let expect = eval_join_aggregate(&[&rels[0], &rels[1], &rels[2]], &q.free, lift_one);
         assert_eq!(out.len(), expect.len());
         assert_eq!(eng.rebuilds(), 1, "one deferred rebuild");
         // Second enumeration without new inserts: no rebuild.

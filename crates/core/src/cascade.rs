@@ -43,12 +43,7 @@ pub struct CascadeEngine<R> {
 impl<R: Ring> CascadeEngine<R> {
     /// Build from the pair; fails when no valid rewriting exists
     /// (see [`ivm_query::cascade::rewrite_with`]).
-    pub fn new(
-        q1: Query,
-        q2: Query,
-        db: &Database<R>,
-        lift: Lift<R>,
-    ) -> Result<Self, EngineError> {
+    pub fn new(q1: Query, q2: Query, db: &Database<R>, lift: Lift<R>) -> Result<Self, EngineError> {
         let rw = rewrite_with(&q1, &q2).ok_or_else(|| {
             EngineError::NotSupported(format!(
                 "{} has no q-hierarchical rewriting through {}",
@@ -144,7 +139,11 @@ impl<R: Ring> CascadeEngine<R> {
         }
         for (t, old) in self.q2_materialized.iter() {
             if !fresh.contains(t) {
-                deltas.push(Update::with_payload(self.q2_atom_name, t.clone(), old.neg()));
+                deltas.push(Update::with_payload(
+                    self.q2_atom_name,
+                    t.clone(),
+                    old.neg(),
+                ));
             }
         }
         for d in deltas {
@@ -185,7 +184,6 @@ impl<R: Ring> CascadeEngine<R> {
         Ok(out)
     }
 }
-
 
 impl<R: ivm_ring::Ring> std::fmt::Debug for CascadeEngine<R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -279,13 +277,13 @@ mod tests {
             } else {
                 1
             };
-            eng.apply(&Update::with_payload(rel, tup![a, b], m)).unwrap();
+            eng.apply(&Update::with_payload(rel, tup![a, b], m))
+                .unwrap();
             oracle.apply(tup![a, b], &m);
             if step % 29 == 0 {
                 let _ = eng.q2_output().unwrap();
                 let got = eng.q1_output().unwrap();
-                let expect =
-                    eval_join_aggregate(&[&r_rel, &s_rel, &t_rel], &q1.free, lift_one);
+                let expect = eval_join_aggregate(&[&r_rel, &s_rel, &t_rel], &q1.free, lift_one);
                 assert_eq!(got.len(), expect.len(), "step {step}");
                 for (t, p) in expect.iter() {
                     assert_eq!(&got.get(t), p, "step {step} at {t:?}");
@@ -297,13 +295,8 @@ mod tests {
     #[test]
     fn rejects_pairs_without_rewriting() {
         let (q1, _) = ivm_query::examples::ex45_pair();
-        let err = CascadeEngine::<i64>::new(
-            q1.clone(),
-            q1,
-            &Database::new(),
-            lift_one,
-        )
-        .unwrap_err();
+        let err =
+            CascadeEngine::<i64>::new(q1.clone(), q1, &Database::new(), lift_one).unwrap_err();
         assert!(matches!(err, EngineError::NotSupported(_)));
     }
 }

@@ -162,10 +162,7 @@ impl<R: Semiring> CqapEngine<R> {
                     .iter()
                     .map(|&v| {
                         let orig = fr.origin[&v];
-                        let pos = query
-                            .input
-                            .position(orig)
-                            .expect("input var position");
+                        let pos = query.input.position(orig).expect("input var position");
                         (v, pos)
                     })
                     .collect(),
@@ -245,12 +242,7 @@ impl<R: Semiring> CqapEngine<R> {
             return;
         }
         if cid == self.components.len() {
-            let t = Tuple::new(
-                out_schema
-                    .vars()
-                    .iter()
-                    .map(|v| out_bindings[v].clone()),
-            );
+            let t = Tuple::new(out_schema.vars().iter().map(|v| out_bindings[v].clone()));
             f(&t, &acc);
             return;
         }
@@ -284,7 +276,6 @@ impl<R: Semiring> CqapEngine<R> {
         out
     }
 }
-
 
 impl<R: ivm_ring::Semiring> std::fmt::Debug for CqapEngine<R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -323,9 +314,12 @@ mod tests {
         let q = ivm_query::examples::triangle_detect_cqap();
         let mut eng: CqapEngine<i64> = CqapEngine::new(q, lift_one).unwrap();
         let e = sym("tdc_E");
-        eng.apply(&Update::with_payload(e, tup![1i64, 2i64], 2)).unwrap();
-        eng.apply(&Update::with_payload(e, tup![2i64, 3i64], 3)).unwrap();
-        eng.apply(&Update::with_payload(e, tup![3i64, 1i64], 5)).unwrap();
+        eng.apply(&Update::with_payload(e, tup![1i64, 2i64], 2))
+            .unwrap();
+        eng.apply(&Update::with_payload(e, tup![2i64, 3i64], 3))
+            .unwrap();
+        eng.apply(&Update::with_payload(e, tup![3i64, 1i64], 5))
+            .unwrap();
         assert_eq!(eng.probe(&tup![1i64, 2i64, 3i64]), 30);
     }
 

@@ -223,7 +223,6 @@ impl<R: Semiring> Maintainer<R> for LazyListEngine<R> {
     }
 }
 
-
 macro_rules! engine_debug {
     ($($name:ident),*) => {$(
         impl<R: Semiring> std::fmt::Debug for $name<R> {
@@ -235,7 +234,12 @@ macro_rules! engine_debug {
         }
     )*};
 }
-engine_debug!(EagerFactEngine, EagerListEngine, LazyFactEngine, LazyListEngine);
+engine_debug!(
+    EagerFactEngine,
+    EagerListEngine,
+    LazyFactEngine,
+    LazyListEngine
+);
 
 #[cfg(test)]
 mod tests {
@@ -308,7 +312,12 @@ mod tests {
         let mut el = EagerListEngine::new(q.clone(), &db, lift_one).unwrap();
         let mut lf = LazyFactEngine::new(q.clone(), &db, lift_one).unwrap();
         let mut ll = LazyListEngine::new(q, &db, lift_one).unwrap();
-        for eng in [&mut ef as &mut dyn Maintainer<i64>, &mut el, &mut lf, &mut ll] {
+        for eng in [
+            &mut ef as &mut dyn Maintainer<i64>,
+            &mut el,
+            &mut lf,
+            &mut ll,
+        ] {
             assert_eq!(eng.output().get(&tup![1i64, 10i64, 20i64]), 1);
         }
     }

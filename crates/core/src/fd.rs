@@ -89,8 +89,7 @@ impl<R: Semiring> FdEngine<R> {
             }
         }
         let storage: Vec<Schema> = query.atoms.iter().map(|a| a.schema.clone()).collect();
-        let mut tree =
-            ViewTree::with_order_and_storage(tree_query, vo, lift, storage, fetchers)?;
+        let mut tree = ViewTree::with_order_and_storage(tree_query, vo, lift, storage, fetchers)?;
         tree.preprocess(db)?;
         Ok(FdEngine {
             original: query,
@@ -125,7 +124,6 @@ impl<R: Semiring> Maintainer<R> for FdEngine<R> {
         self.tree.for_each_output(f)
     }
 }
-
 
 impl<R: ivm_ring::Semiring> std::fmt::Debug for FdEngine<R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -220,12 +218,15 @@ mod tests {
                     (tn, &mut t_rel, tup![y, z_of(y)])
                 }
             };
-            let m: i64 = if rng.gen_bool(0.3) && oracle.get(&t) > 0 { -1 } else { 1 };
+            let m: i64 = if rng.gen_bool(0.3) && oracle.get(&t) > 0 {
+                -1
+            } else {
+                1
+            };
             eng.apply(&Update::with_payload(rel, t.clone(), m)).unwrap();
             oracle.apply(t, &m);
             if step % 23 == 0 {
-                let expect =
-                    eval_join_aggregate(&[&r_rel, &s_rel, &t_rel], &q.free, lift_one);
+                let expect = eval_join_aggregate(&[&r_rel, &s_rel, &t_rel], &q.free, lift_one);
                 let got = eng.output();
                 // Align column orders (reduct free vs original free).
                 let reduct_free = eng.tree.query().free.clone();

@@ -55,10 +55,7 @@ impl<R: Semiring> PkFkEngine<R> {
                 ))
             })?;
             fk_pos.push(pos);
-            fact_indexes.push(GroupedIndex::new(
-                fact_schema.clone(),
-                Schema::from([key]),
-            ));
+            fact_indexes.push(GroupedIndex::new(fact_schema.clone(), Schema::from([key])));
             dim_rels.push((name, Relation::new(Schema::from([key]))));
         }
         Ok(PkFkEngine {
@@ -137,9 +134,7 @@ impl<R: Semiring> PkFkEngine<R> {
                     }
                     // Find this FK's value in the residual tuple.
                     let var = self.fact.schema().vars()[self.fk_pos[j]];
-                    let pos = residual_schema
-                        .position(var)
-                        .expect("distinct fk columns");
+                    let pos = residual_schema.position(var).expect("distinct fk columns");
                     let k = Tuple::new([res.at(pos).clone()]);
                     d = d.times(&dim.get(&k));
                     if d.is_zero() {

@@ -212,9 +212,7 @@ impl<R: Semiring> ViewTree<R> {
             .collect();
         let fetch_indexes = fetchers
             .iter()
-            .map(|f| {
-                GroupedIndex::new(storage_schema[f.provider].clone(), f.lhs.clone())
-            })
+            .map(|f| GroupedIndex::new(storage_schema[f.provider].clone(), f.lhs.clone()))
             .collect();
         let plan = build_plan(&query, &vo, &subtree_free);
         Ok(ViewTree {
@@ -357,8 +355,7 @@ impl<R: Semiring> ViewTree<R> {
             if !ok {
                 break;
             }
-            let (Some(key), Some(x)) = (bindings.project(&dep), bindings.get(var).cloned())
-            else {
+            let (Some(key), Some(x)) = (bindings.project(&dep), bindings.get(var).cloned()) else {
                 break; // FD fetch miss on the view key
             };
             // Lift when marginalizing a bound variable.
@@ -461,11 +458,7 @@ impl<R: Semiring> ViewTree<R> {
 
     /// Enumerate with some free variables pre-bound (CQAP access requests,
     /// Sec. 4.3): only outputs agreeing with `prebound` are produced.
-    pub fn for_each_output_bound(
-        &self,
-        prebound: &Bindings,
-        f: &mut dyn FnMut(&Tuple, &R),
-    ) {
+    pub fn for_each_output_bound(&self, prebound: &Bindings, f: &mut dyn FnMut(&Tuple, &R)) {
         let mut bindings = prebound.clone();
         self.enumerate_plan(0, &mut bindings, R::one(), &Some(prebound.clone()), f);
     }
@@ -584,12 +577,12 @@ impl<R: Semiring> ViewTree<R> {
             }
             // Lift bound path variables into the delta.
             if !self.query.is_free(*var) {
-                let x = bindings.get(*var).ok_or_else(|| {
-                    EngineError::NonConstantUpdate {
+                let x = bindings
+                    .get(*var)
+                    .ok_or_else(|| EngineError::NonConstantUpdate {
                         relation: upd.relation,
                         detail: format!("unbound path variable {var}"),
-                    }
-                })?;
+                    })?;
                 scalar = scalar.times(&(self.lift)(*var, x));
             }
             node = parent;
@@ -633,9 +626,13 @@ impl<R: Semiring> ViewTree<R> {
             }
             return;
         }
-        self.for_each_subtree(expansions[i], bindings, acc, &mut |bs, m, f2| {
-            self.expand_delta(expansions, i + 1, bs, m, f2)
-        }, f);
+        self.for_each_subtree(
+            expansions[i],
+            bindings,
+            acc,
+            &mut |bs, m, f2| self.expand_delta(expansions, i + 1, bs, m, f2),
+            f,
+        );
     }
 
     /// Enumerate the free assignments within one subtree, threading the
@@ -653,7 +650,9 @@ impl<R: Semiring> ViewTree<R> {
         let Node::Var { var, dep, children } = &self.vo.nodes[node] else {
             unreachable!("free subtrees are rooted at variable nodes")
         };
-        let Some(key) = bindings.project(dep) else { return };
+        let Some(key) = bindings.project(dep) else {
+            return;
+        };
         let Some(group) = self.views[node]
             .as_ref()
             .expect("var node")
@@ -702,9 +701,13 @@ impl<R: Semiring> ViewTree<R> {
             k(bindings, acc, f);
             return;
         }
-        self.for_each_subtree(free_children[i], bindings, acc, &mut |bs, m, f2| {
-            self.chain_children(free_children, i + 1, bs, m, k, f2)
-        }, f);
+        self.for_each_subtree(
+            free_children[i],
+            bindings,
+            acc,
+            &mut |bs, m, f2| self.chain_children(free_children, i + 1, bs, m, k, f2),
+            f,
+        );
     }
 
     /// Materialize the current output (test/oracle helper; O(|output|)).
@@ -723,7 +726,6 @@ impl<R: Semiring> std::fmt::Debug for ViewTree<R> {
             .finish_non_exhaustive()
     }
 }
-
 
 /// Per node: subtree contains only static atoms.
 fn compute_static_complete(q: &Query, vo: &VarOrder) -> Vec<bool> {
@@ -865,7 +867,8 @@ mod tests {
             } else {
                 1
             };
-            tree.apply(&Update::with_payload(rel, tup![y, v], m)).unwrap();
+            tree.apply(&Update::with_payload(rel, tup![y, v], m))
+                .unwrap();
             oracle.apply(tup![y, v], &m);
         }
         let expect = eval_join_aggregate(&[&r_rel, &s_rel], &q.free, lift_one);
@@ -890,7 +893,8 @@ mod tests {
         let mut tree: ViewTree<i64> = ViewTree::new(q, lift_one).unwrap();
         tree.apply(&Update::insert(rn, tup![1i64, 5i64])).unwrap();
         tree.apply(&Update::insert(rn, tup![2i64, 5i64])).unwrap();
-        tree.apply(&Update::with_payload(sn, tup![5i64], 3)).unwrap();
+        tree.apply(&Update::with_payload(sn, tup![5i64], 3))
+            .unwrap();
         let out = tree.output();
         assert_eq!(out.get(&Tuple::empty()), 6);
     }
@@ -1032,8 +1036,10 @@ mod tests {
         let (r, s) = (sym("f3_R"), sym("f3_S"));
         // Two R tuples under y=1 with multiplicities +1 and −1: the
         // X-marginal for y=1 cancels to zero.
-        tree.apply(&Update::with_payload(r, tup![1i64, 10i64], 1)).unwrap();
-        tree.apply(&Update::with_payload(r, tup![1i64, 11i64], -1)).unwrap();
+        tree.apply(&Update::with_payload(r, tup![1i64, 10i64], 1))
+            .unwrap();
+        tree.apply(&Update::with_payload(r, tup![1i64, 11i64], -1))
+            .unwrap();
         tree.apply(&Update::insert(s, tup![1i64, 20i64])).unwrap();
         // The flat output would have two tuples (payloads +1 and −1); the
         // factorized enumeration sees a zero root marginal and emits none.
@@ -1046,7 +1052,8 @@ mod tests {
         let flat = eval_join_aggregate(&[&r_rel, &s_rel], &q.free, lift_one);
         assert_eq!(flat.len(), 2, "the flat oracle keeps both tuples");
         // Restoring validity (delete the negative tuple) re-synchronizes.
-        tree.apply(&Update::with_payload(r, tup![1i64, 11i64], 1)).unwrap();
+        tree.apply(&Update::with_payload(r, tup![1i64, 11i64], 1))
+            .unwrap();
         assert_eq!(tree.output().len(), 1);
     }
 

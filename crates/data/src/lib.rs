@@ -25,5 +25,5 @@ pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use relation::{GroupedIndex, Relation};
 pub use schema::{sym, vars, Schema, Sym};
 pub use tuple::Tuple;
-pub use update::{Batch, Update};
+pub use update::{consolidate, consolidated_len, Batch, Update};
 pub use value::Value;

@@ -299,10 +299,7 @@ mod tests {
 
     #[test]
     fn total_sums_payloads() {
-        let r = Relation::from_rows(
-            ab(),
-            [(tup![1i64, 1i64], 2i64), (tup![2i64, 1i64], 3i64)],
-        );
+        let r = Relation::from_rows(ab(), [(tup![1i64, 1i64], 2i64), (tup![2i64, 1i64], 3i64)]);
         assert_eq!(r.total(), 5);
     }
 

@@ -63,6 +63,51 @@ impl<R: Ring> Update<R> {
 /// An ordered sequence of single-tuple updates.
 pub type Batch<R> = Vec<Update<R>>;
 
+/// Sum payloads per `(relation, tuple)` key, dropping keys that cancel to
+/// zero. Shared kernel of [`consolidate`] and [`consolidated_len`].
+fn consolidate_map<R: Semiring>(batch: &[Update<R>]) -> crate::hash::FxHashMap<(Sym, &Tuple), R> {
+    let mut acc: crate::hash::FxHashMap<(Sym, &Tuple), R> = crate::hash::FxHashMap::default();
+    for u in batch {
+        match acc.entry((u.relation, &u.tuple)) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().add_assign(&u.payload);
+                if e.get().is_zero() {
+                    e.remove();
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                if !u.payload.is_zero() {
+                    e.insert(u.payload.clone());
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// Consolidate a batch: sum the payloads of updates hitting the same
+/// `(relation, tuple)` pair and drop entries that cancel to zero. Sound for
+/// any ring/semiring payload because batch effects are order-independent
+/// (Sec. 2); the result is equivalent to the input batch but touches each
+/// distinct key once. Output order is unspecified.
+pub fn consolidate<R: Semiring>(batch: &[Update<R>]) -> Batch<R> {
+    consolidate_map(batch)
+        .into_iter()
+        .map(|((rel, t), payload)| Update {
+            relation: rel,
+            tuple: t.clone(),
+            payload,
+        })
+        .collect()
+}
+
+/// Number of distinct `(relation, tuple)` keys a consolidated batch would
+/// retain — the propagation cost of the batch after consolidation, without
+/// materializing the consolidated updates.
+pub fn consolidated_len<R: Semiring>(batch: &[Update<R>]) -> usize {
+    consolidate_map(batch).len()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,5 +130,32 @@ mod tests {
         let u: Update<i64> = Update::with_payload(r, tup![2i64], -2);
         assert_eq!(u.payload, -2);
         assert_eq!(u.inverse().payload, 2);
+    }
+
+    #[test]
+    fn consolidate_merges_and_cancels() {
+        let (r, s) = (sym("upd_cR"), sym("upd_cS"));
+        let batch: Batch<i64> = vec![
+            Update::with_payload(r, tup![1i64], 2),
+            Update::with_payload(r, tup![1i64], 3),
+            Update::with_payload(s, tup![1i64], 1),
+            Update::with_payload(s, tup![1i64], -1),
+            Update::with_payload(r, tup![2i64], 0),
+        ];
+        let mut c = consolidate(&batch);
+        assert_eq!(c.len(), 1);
+        let u = c.pop().unwrap();
+        assert_eq!((u.relation, u.payload), (r, 5));
+        assert_eq!(consolidated_len(&batch), 1);
+    }
+
+    #[test]
+    fn consolidate_distinguishes_relations() {
+        let (r, s) = (sym("upd_dR"), sym("upd_dS"));
+        let batch: Batch<i64> = vec![
+            Update::with_payload(r, tup![1i64], 1),
+            Update::with_payload(s, tup![1i64], 1),
+        ];
+        assert_eq!(consolidate(&batch).len(), 2);
     }
 }

@@ -144,7 +144,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut vals = vec![Value::str("b"), Value::from(2i64), Value::from(1i64)];
+        let mut vals = [Value::str("b"), Value::from(2i64), Value::from(1i64)];
         vals.sort();
         assert_eq!(vals[0], Value::from(1i64));
         assert_eq!(vals[1], Value::from(2i64));

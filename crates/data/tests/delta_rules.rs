@@ -16,8 +16,7 @@ fn small_rel(n1: &'static str, n2: &'static str) -> impl Strategy<Value = Relati
     proptest::collection::vec(((0i64..6, 0i64..6), -3i64..4), 0..12).prop_map(move |rows| {
         Relation::from_rows(
             schema2(n1, n2),
-            rows.into_iter()
-                .map(|((x, y), m)| (Tuple::from([x, y]), m)),
+            rows.into_iter().map(|((x, y), m)| (Tuple::from([x, y]), m)),
         )
     })
 }
@@ -161,16 +160,10 @@ fn lifted_aggregation_is_linear() {
     }
     let schema = schema2("dr_lA", "dr_lB");
     let x = sym("dr_lB");
-    let v = Relation::from_rows(
-        schema.clone(),
-        [(Tuple::from([1i64, 2i64]), 3i64)],
-    );
+    let v = Relation::from_rows(schema.clone(), [(Tuple::from([1i64, 2i64]), 3i64)]);
     let d = Relation::from_rows(schema, [(Tuple::from([1i64, 2i64]), -3i64)]);
     let lhs = marginalize(&union(&v, &d), x, lift_val);
-    let rhs = union(
-        &marginalize(&v, x, lift_val),
-        &marginalize(&d, x, lift_val),
-    );
+    let rhs = union(&marginalize(&v, x, lift_val), &marginalize(&d, x, lift_val));
     assert_eq!(lhs.len(), 0);
     assert_eq!(rhs.len(), 0);
 }

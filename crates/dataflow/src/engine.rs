@@ -1,0 +1,270 @@
+//! The dataflow-backed [`Maintainer`]: the repo's generic fallback engine.
+
+use crate::graph::{Dataflow, DataflowStats};
+use crate::planner::lower;
+use ivm_core::{EngineError, Maintainer};
+use ivm_data::ops::Lift;
+use ivm_data::{Batch, Database, FxHashSet, Relation, Sym, Tuple, Update};
+use ivm_query::Query;
+use ivm_ring::Semiring;
+
+/// Maintains an arbitrary conjunctive query with aggregates — including
+/// cyclic ones no specialized engine in `ivm-core` accepts — by batched
+/// delta propagation through a lowered operator DAG.
+///
+/// Construction never rejects a query shape: where `EagerFactEngine`
+/// demands q-hierarchical queries, this engine accepts anything
+/// `ivm_query::Query` can express and trades the constant-time guarantees
+/// for O(|δQ|)-style per-batch work. Updates to static atoms (Sec. 4.5)
+/// are rejected at [`apply`](Maintainer::apply) time.
+pub struct DataflowEngine<R> {
+    query: Query,
+    dataflow: Dataflow<R>,
+    dynamics: FxHashSet<Sym>,
+    statics: FxHashSet<Sym>,
+}
+
+impl<R: Semiring> DataflowEngine<R> {
+    /// Lower `query`, then preprocess by streaming `db`'s contents for
+    /// every atom relation (static and dynamic) through the dataflow.
+    pub fn new(query: Query, db: &Database<R>, lift: Lift<R>) -> Result<Self, EngineError> {
+        let mut dataflow = lower(&query, lift);
+
+        let mut dynamics: FxHashSet<Sym> = FxHashSet::default();
+        let mut statics: FxHashSet<Sym> = FxHashSet::default();
+        for atom in &query.atoms {
+            if atom.dynamic {
+                dynamics.insert(atom.name);
+            } else {
+                statics.insert(atom.name);
+            }
+        }
+        // A relation that is dynamic in any atom stays updatable.
+        statics.retain(|s| !dynamics.contains(s));
+
+        let mut seen: FxHashSet<Sym> = FxHashSet::default();
+        let mut init: Batch<R> = Vec::new();
+        for atom in &query.atoms {
+            if seen.insert(atom.name) {
+                if let Some(rel) = db.get(atom.name) {
+                    for (t, r) in rel.iter() {
+                        init.push(Update::with_payload(atom.name, t.clone(), r.clone()));
+                    }
+                }
+            }
+        }
+        dataflow.apply_batch(&init)?;
+
+        Ok(DataflowEngine {
+            query,
+            dataflow,
+            dynamics,
+            statics,
+        })
+    }
+
+    /// Apply a batch of updates as one consolidated delta propagation and
+    /// return the output delta. Same final state as applying each update
+    /// individually (ring order-independence), at a fraction of the work
+    /// when the batch has locality.
+    pub fn apply_batch(&mut self, batch: &[Update<R>]) -> Result<Relation<R>, EngineError> {
+        for u in batch {
+            if self.statics.contains(&u.relation) {
+                return Err(EngineError::StaticRelation(u.relation));
+            }
+            if !self.dynamics.contains(&u.relation) {
+                return Err(EngineError::UnknownRelation(u.relation));
+            }
+        }
+        self.dataflow.apply_batch(batch)
+    }
+
+    /// The maintained output view.
+    pub fn output_relation(&self) -> &Relation<R> {
+        self.dataflow.output()
+    }
+
+    /// Propagation counters (batches, consolidation, sink deltas).
+    pub fn stats(&self) -> DataflowStats {
+        self.dataflow.stats()
+    }
+
+    /// The lowered plan, one line per operator.
+    pub fn plan(&self) -> String {
+        self.dataflow.describe()
+    }
+}
+
+impl<R: Semiring> Maintainer<R> for DataflowEngine<R> {
+    fn query(&self) -> &Query {
+        &self.query
+    }
+
+    fn apply(&mut self, upd: &Update<R>) -> Result<(), EngineError> {
+        self.apply_batch(std::slice::from_ref(upd)).map(|_| ())
+    }
+
+    fn for_each_output(&mut self, f: &mut dyn FnMut(&Tuple, &R)) {
+        for (t, r) in self.dataflow.output().iter() {
+            f(t, r);
+        }
+    }
+}
+
+impl<R: Semiring> std::fmt::Debug for DataflowEngine<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataflowEngine")
+            .field("query", &self.query)
+            .field("nodes", &self.dataflow.node_count())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivm_data::ops::{eval_join_aggregate, lift_one};
+    use ivm_data::{sym, tup, vars, Schema};
+    use ivm_query::Atom;
+
+    #[test]
+    fn agrees_with_oracle_on_fig3() {
+        let q = ivm_query::examples::fig3_query();
+        let (rn, sn) = (sym("f3_R"), sym("f3_S"));
+        let mut eng = DataflowEngine::<i64>::new(q.clone(), &Database::new(), lift_one).unwrap();
+        let mut r = Relation::new(q.atoms[0].schema.clone());
+        let mut s = Relation::new(q.atoms[1].schema.clone());
+        for i in 0..20i64 {
+            let t = tup![i % 4, i % 3];
+            r.apply(t.clone(), &1);
+            eng.apply(&Update::insert(rn, t)).unwrap();
+            let t = tup![i % 3, i % 5];
+            s.apply(t.clone(), &1);
+            eng.apply(&Update::insert(sn, t)).unwrap();
+        }
+        let expect = eval_join_aggregate(&[&r, &s], &q.free, lift_one);
+        let got = eng.output();
+        assert_eq!(got.len(), expect.len());
+        for (t, p) in expect.iter() {
+            assert_eq!(&got.get(t), p, "at {t:?}");
+        }
+    }
+
+    /// The cyclic self-join triangle query `Q() = Σ E(a,b) E(b,c) E(c,a)`
+    /// over ONE edge relation — outside every specialized engine's class.
+    fn triangle_self_join() -> Query {
+        let [a, b, c] = vars(["dfe_tA", "dfe_tB", "dfe_tC"]);
+        let e = sym("dfe_tE");
+        Query::new(
+            "dfe_tri",
+            [],
+            vec![
+                Atom::new(e, [a, b]),
+                Atom::new(e, [b, c]),
+                Atom::new(e, [c, a]),
+            ],
+        )
+    }
+
+    #[test]
+    fn maintains_cyclic_triangle_count() {
+        // Each directed triangle is counted once per rotation of (a,b,c),
+        // i.e. three derivations.
+        let q = triangle_self_join();
+        let e = q.atoms[0].name;
+        let mut eng = DataflowEngine::<i64>::new(q, &Database::new(), lift_one).unwrap();
+        // Triangle 1-2-3 plus a dangling edge.
+        for (a, b) in [(1i64, 2i64), (2, 3), (3, 1), (1, 9)] {
+            eng.apply(&Update::insert(e, tup![a, b])).unwrap();
+        }
+        assert_eq!(eng.output_relation().get(&Tuple::empty()), 3);
+        // A second triangle (1-2-4) via the shared edge (1,2).
+        for (a, b) in [(2i64, 4i64), (4, 1)] {
+            eng.apply(&Update::insert(e, tup![a, b])).unwrap();
+        }
+        assert_eq!(eng.output_relation().get(&Tuple::empty()), 6);
+        // Deleting an edge of neither triangle changes nothing...
+        eng.apply(&Update::delete(e, tup![1i64, 9i64])).unwrap();
+        assert_eq!(eng.output_relation().get(&Tuple::empty()), 6);
+        // ...deleting a triangle edge removes exactly that triangle.
+        eng.apply(&Update::delete(e, tup![2i64, 3i64])).unwrap();
+        assert_eq!(eng.output_relation().get(&Tuple::empty()), 3);
+    }
+
+    #[test]
+    fn batch_equals_singles() {
+        let q = triangle_self_join();
+        let e = q.atoms[0].name;
+        let updates: Vec<Update<i64>> = (0..30i64)
+            .map(|i| Update::insert(e, tup![i % 5, (i * 3 + 1) % 5]))
+            .collect();
+        let mut one = DataflowEngine::<i64>::new(q.clone(), &Database::new(), lift_one).unwrap();
+        let mut many = DataflowEngine::<i64>::new(q, &Database::new(), lift_one).unwrap();
+        for u in &updates {
+            one.apply(u).unwrap();
+        }
+        many.apply_batch(&updates).unwrap();
+        assert_eq!(
+            one.output_relation().get(&Tuple::empty()),
+            many.output_relation().get(&Tuple::empty())
+        );
+        assert!(many.stats().batches < one.stats().batches);
+    }
+
+    #[test]
+    fn preprocesses_initial_database() {
+        let q = ivm_query::examples::fig3_query();
+        let (rn, sn) = (sym("f3_R"), sym("f3_S"));
+        let mut db: Database<i64> = Database::new();
+        db.create(rn, q.atoms[0].schema.clone());
+        db.create(sn, q.atoms[1].schema.clone());
+        db.apply(&Update::insert(rn, tup![1i64, 10i64]));
+        db.apply(&Update::insert(sn, tup![1i64, 20i64]));
+        let mut eng = DataflowEngine::<i64>::new(q, &db, lift_one).unwrap();
+        assert_eq!(eng.output().get(&tup![1i64, 10i64, 20i64]), 1);
+    }
+
+    #[test]
+    fn static_and_unknown_relations_rejected() {
+        let [x, y, z] = vars(["dfe_X", "dfe_Y", "dfe_Z"]);
+        let (rn, sn) = (sym("dfe_R"), sym("dfe_S"));
+        let q = Query::new(
+            "dfe_mixed",
+            [x],
+            vec![
+                Atom::new(rn, [x, y]),
+                Atom::new_static(sn, Schema::from([y, z])),
+            ],
+        );
+        let mut eng = DataflowEngine::<i64>::new(q, &Database::new(), lift_one).unwrap();
+        assert_eq!(
+            eng.apply(&Update::insert(sn, tup![1i64, 2i64])),
+            Err(EngineError::StaticRelation(sn))
+        );
+        assert_eq!(
+            eng.apply(&Update::insert(sym("dfe_nope"), tup![1i64])),
+            Err(EngineError::UnknownRelation(sym("dfe_nope")))
+        );
+        eng.apply(&Update::insert(rn, tup![1i64, 2i64])).unwrap();
+    }
+
+    #[test]
+    fn static_relation_contents_join_via_preprocessing() {
+        let [x, y, z] = vars(["dfs_X", "dfs_Y", "dfs_Z"]);
+        let (rn, sn) = (sym("dfs_R"), sym("dfs_S"));
+        let q = Query::new(
+            "dfs_mixed",
+            [x, z],
+            vec![
+                Atom::new(rn, [x, y]),
+                Atom::new_static(sn, Schema::from([y, z])),
+            ],
+        );
+        let mut db: Database<i64> = Database::new();
+        db.create(sn, Schema::from([y, z]));
+        db.apply(&Update::insert(sn, tup![7i64, 100i64]));
+        let mut eng = DataflowEngine::<i64>::new(q, &db, lift_one).unwrap();
+        eng.apply(&Update::insert(rn, tup![1i64, 7i64])).unwrap();
+        assert_eq!(eng.output().get(&tup![1i64, 100i64]), 1);
+    }
+}

@@ -1,0 +1,602 @@
+//! The delta-dataflow operator DAG.
+//!
+//! A [`Dataflow`] is a topologically ordered DAG of operators over one ring
+//! `R`. Each [`apply_batch`](Dataflow::apply_batch) consolidates the batch
+//! (see [`DeltaBatch`]), then pushes one delta relation through every node
+//! in topological order. Operators are *linear* in the ring sense — union,
+//! filter, map, and aggregation commute with ⊎ — except the join, which
+//! uses the semi-naive bilinear rule
+//!
+//! ```text
+//! δ(L ⋈ R) = δL ⋈ R  ⊎  L ⋈ δR  ⊎  δL ⋈ δR
+//!          = δL ⋈ (R ⊎ δR)  ⊎  L ⋈ δR
+//! ```
+//!
+//! materialized as two probes against hash indexes (the right index is
+//! advanced to `R ⊎ δR` before the left delta probes it). This is the
+//! delta-query architecture of Koch et al.'s collection programming and of
+//! DBSP, specialized to finite relations over rings; because payloads live
+//! in a ring, batches commute and consolidation before propagation is
+//! always sound.
+
+use crate::batch::DeltaBatch;
+use ivm_core::EngineError;
+use ivm_data::ops::{aggregate, Lift};
+use ivm_data::{GroupedIndex, Relation, Schema, Sym, Tuple, Update, Value};
+use ivm_ring::Semiring;
+use std::rc::Rc;
+
+/// Index of a node within its [`Dataflow`].
+pub type NodeId = usize;
+
+/// Where a join output column's value comes from when probing with a
+/// right-side delta tuple (key and residual come from the left index).
+#[derive(Clone, Copy, Debug)]
+enum ColSrc {
+    /// Position within the join-key tuple.
+    Key(usize),
+    /// Position within a left-index residual tuple.
+    LeftResidual(usize),
+    /// Position within the probing right tuple.
+    RightTuple(usize),
+}
+
+/// State and precomputed plumbing of a binary delta join.
+struct JoinState<R> {
+    /// Left input, indexed by the shared variables.
+    left: GroupedIndex<R>,
+    /// Right input, indexed by the shared variables.
+    right: GroupedIndex<R>,
+    /// Positions of the shared variables within the left schema.
+    left_key_pos: Vec<usize>,
+    /// Positions of the shared variables within the right schema.
+    right_key_pos: Vec<usize>,
+    /// Output assembly plan for right-delta probes into the left index.
+    right_probe_plan: Vec<ColSrc>,
+}
+
+/// One dataflow operator.
+enum Operator<R> {
+    /// Injects the consolidated delta of one base relation.
+    Source {
+        /// The base relation this node listens to.
+        relation: Sym,
+    },
+    /// Keeps tuples satisfying a predicate (linear: payloads untouched).
+    Filter {
+        /// Tuple predicate.
+        predicate: Rc<dyn Fn(&Tuple) -> bool>,
+    },
+    /// Rewrites tuples (linear: same-image tuples merge by ring addition).
+    Map {
+        /// Tuple transform; must produce tuples of the node's schema.
+        f: Rc<dyn Fn(&Tuple) -> Tuple>,
+    },
+    /// Semi-naive hash join of two inputs on their shared variables
+    /// (boxed: the index state dwarfs the other variants).
+    DeltaJoin(Box<JoinState<R>>),
+    /// Marginalizes every non-group-by variable with a lifting function
+    /// and reorders columns to the group-by schema (linear).
+    GroupAggregate {
+        /// Output (group-by) schema.
+        group_by: Schema,
+        /// Lifting `g_X` applied to each marginalized variable.
+        lift: Lift<R>,
+    },
+}
+
+/// A node: an operator, its inputs, and its output schema.
+struct Node<R> {
+    op: Operator<R>,
+    inputs: Vec<NodeId>,
+    schema: Schema,
+}
+
+/// Counters exposed for benchmarking and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DataflowStats {
+    /// Batches propagated.
+    pub batches: u64,
+    /// Single-tuple updates received (before consolidation).
+    pub updates_in: u64,
+    /// Consolidated source deltas actually propagated.
+    pub deltas_in: u64,
+    /// Delta tuples that reached the sink.
+    pub output_delta_tuples: u64,
+}
+
+/// A runnable delta-dataflow: operator DAG + materialized output view.
+pub struct Dataflow<R> {
+    nodes: Vec<Node<R>>,
+    source_relations: ivm_data::FxHashSet<Sym>,
+    sink: Option<NodeId>,
+    output: Relation<R>,
+    stats: DataflowStats,
+}
+
+impl<R: Semiring> Dataflow<R> {
+    /// An empty dataflow (add nodes, then [`set_sink`](Self::set_sink)).
+    pub fn new() -> Self {
+        Dataflow {
+            nodes: Vec::new(),
+            source_relations: ivm_data::FxHashSet::default(),
+            sink: None,
+            output: Relation::new(Schema::empty()),
+            stats: DataflowStats::default(),
+        }
+    }
+
+    fn push_node(&mut self, node: Node<R>) -> NodeId {
+        for &i in &node.inputs {
+            assert!(
+                i < self.nodes.len(),
+                "node input {i} must precede it (topological construction)"
+            );
+        }
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// The output schema of a node.
+    pub fn schema_of(&self, id: NodeId) -> &Schema {
+        &self.nodes[id].schema
+    }
+
+    /// Add a source listening to `relation`, emitting tuples under
+    /// `schema` (the atom's variable naming; arity must match the
+    /// relation's tuples).
+    pub fn add_source(&mut self, relation: Sym, schema: Schema) -> NodeId {
+        self.source_relations.insert(relation);
+        self.push_node(Node {
+            op: Operator::Source { relation },
+            inputs: vec![],
+            schema,
+        })
+    }
+
+    /// Add a filter over `input`.
+    pub fn add_filter(
+        &mut self,
+        input: NodeId,
+        predicate: impl Fn(&Tuple) -> bool + 'static,
+    ) -> NodeId {
+        let schema = self.nodes[input].schema.clone();
+        self.push_node(Node {
+            op: Operator::Filter {
+                predicate: Rc::new(predicate),
+            },
+            inputs: vec![input],
+            schema,
+        })
+    }
+
+    /// Add a tuple-wise map over `input` producing tuples of `schema`.
+    pub fn add_map(
+        &mut self,
+        input: NodeId,
+        schema: Schema,
+        f: impl Fn(&Tuple) -> Tuple + 'static,
+    ) -> NodeId {
+        self.push_node(Node {
+            op: Operator::Map { f: Rc::new(f) },
+            inputs: vec![input],
+            schema,
+        })
+    }
+
+    /// Add a projection onto `keep ⊆ input schema` (a [`Self::add_map`]
+    /// specialization; projected-together tuples merge by ring addition).
+    pub fn add_project(&mut self, input: NodeId, keep: Schema) -> NodeId {
+        let positions = self.nodes[input].schema.positions_of(&keep);
+        self.add_map(input, keep, move |t| t.project(&positions))
+    }
+
+    /// Add a semi-naive hash join of `left` and `right` on their shared
+    /// variables. Output schema: left's variables, then right's new ones.
+    pub fn add_join(&mut self, left: NodeId, right: NodeId) -> NodeId {
+        let lschema = self.nodes[left].schema.clone();
+        let rschema = self.nodes[right].schema.clone();
+        let common = lschema.intersect(&rschema);
+        let out_schema = lschema.union(&rschema);
+
+        let left_residual = lschema.difference(&common);
+        let right_probe_plan = out_schema
+            .vars()
+            .iter()
+            .map(|&v| {
+                if let Some(p) = common.position(v) {
+                    ColSrc::Key(p)
+                } else if let Some(p) = left_residual.position(v) {
+                    ColSrc::LeftResidual(p)
+                } else {
+                    ColSrc::RightTuple(rschema.position(v).expect("var must be in an input"))
+                }
+            })
+            .collect();
+
+        let state = JoinState {
+            left: GroupedIndex::new(lschema.clone(), common.clone()),
+            right: GroupedIndex::new(rschema.clone(), common.clone()),
+            left_key_pos: lschema.positions_of(&common),
+            right_key_pos: rschema.positions_of(&common),
+            right_probe_plan,
+        };
+        self.push_node(Node {
+            op: Operator::DeltaJoin(Box::new(state)),
+            inputs: vec![left, right],
+            schema: out_schema,
+        })
+    }
+
+    /// Add an aggregation of `input` onto `group_by`, lifting marginalized
+    /// variables with `lift`.
+    pub fn add_aggregate(&mut self, input: NodeId, group_by: Schema, lift: Lift<R>) -> NodeId {
+        assert!(
+            group_by.subset_of(&self.nodes[input].schema),
+            "group-by {group_by:?} must be within {:?}",
+            self.nodes[input].schema
+        );
+        self.push_node(Node {
+            op: Operator::GroupAggregate {
+                group_by: group_by.clone(),
+                lift,
+            },
+            inputs: vec![input],
+            schema: group_by,
+        })
+    }
+
+    /// Declare `id` the sink; its accumulated deltas form [`Self::output`].
+    pub fn set_sink(&mut self, id: NodeId) {
+        assert!(id < self.nodes.len(), "sink {id} out of range");
+        self.sink = Some(id);
+        self.output = Relation::new(self.nodes[id].schema.clone());
+    }
+
+    /// The maintained output view.
+    pub fn output(&self) -> &Relation<R> {
+        &self.output
+    }
+
+    /// Propagation counters.
+    pub fn stats(&self) -> DataflowStats {
+        self.stats
+    }
+
+    /// Number of operator nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether some source listens to `relation`. O(1).
+    pub fn has_source_for(&self, relation: Sym) -> bool {
+        self.source_relations.contains(&relation)
+    }
+
+    /// One human-readable line per node (for tests and plan debugging).
+    pub fn describe(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            let kind = match &n.op {
+                Operator::Source { relation } => format!("Source({relation})"),
+                Operator::Filter { .. } => "Filter".to_string(),
+                Operator::Map { .. } => "Map".to_string(),
+                Operator::DeltaJoin(_) => "DeltaJoin".to_string(),
+                Operator::GroupAggregate { .. } => "GroupAggregate".to_string(),
+            };
+            let sink = if self.sink == Some(i) {
+                "  <- sink"
+            } else {
+                ""
+            };
+            writeln!(s, "{i}: {kind}{:?} inputs={:?}{sink}", n.schema, n.inputs).unwrap();
+        }
+        s
+    }
+
+    /// Apply a batch of single-tuple updates: consolidate, propagate one
+    /// delta per node in topological order, fold the sink delta into the
+    /// output view, and return the output delta.
+    ///
+    /// Errors with [`EngineError::UnknownRelation`] if an update targets a
+    /// relation no source listens to.
+    pub fn apply_batch(&mut self, updates: &[Update<R>]) -> Result<Relation<R>, EngineError> {
+        for u in updates {
+            if !self.source_relations.contains(&u.relation) {
+                return Err(EngineError::UnknownRelation(u.relation));
+            }
+        }
+        self.stats.updates_in += updates.len() as u64;
+        let batch = DeltaBatch::from_updates(updates);
+        self.apply_delta_batch(&batch)
+    }
+
+    /// Propagate an already consolidated batch (relations must be known).
+    pub fn apply_delta_batch(&mut self, batch: &DeltaBatch<R>) -> Result<Relation<R>, EngineError> {
+        let sink = self.sink.expect("dataflow has no sink");
+        self.stats.batches += 1;
+        let out_schema = self.nodes[sink].schema.clone();
+        if batch.is_empty() {
+            return Ok(Relation::new(out_schema));
+        }
+        self.stats.deltas_in += batch.len() as u64;
+
+        let mut deltas: Vec<Option<Relation<R>>> = (0..self.nodes.len()).map(|_| None).collect();
+        for id in 0..self.nodes.len() {
+            let (done, rest) = deltas.split_at_mut(id);
+            let node = &mut self.nodes[id];
+            let delta = match &mut node.op {
+                Operator::Source { relation } => batch.delta(*relation).map(|m| {
+                    let mut rel = Relation::new(node.schema.clone());
+                    for (t, r) in m {
+                        debug_assert_eq!(
+                            t.arity(),
+                            node.schema.arity(),
+                            "update arity mismatch for {relation}"
+                        );
+                        rel.apply(t.clone(), r);
+                    }
+                    rel
+                }),
+                Operator::Filter { predicate } => done[node.inputs[0]].as_ref().map(|d| {
+                    let mut out = Relation::new(node.schema.clone());
+                    for (t, r) in d.iter() {
+                        if predicate(t) {
+                            out.apply(t.clone(), r);
+                        }
+                    }
+                    out
+                }),
+                Operator::Map { f } => done[node.inputs[0]].as_ref().map(|d| {
+                    let mut out = Relation::new(node.schema.clone());
+                    for (t, r) in d.iter() {
+                        let mapped = f(t);
+                        debug_assert_eq!(
+                            mapped.arity(),
+                            node.schema.arity(),
+                            "map output arity mismatch"
+                        );
+                        out.apply(mapped, r);
+                    }
+                    out
+                }),
+                Operator::DeltaJoin(state) => {
+                    let dl = done[node.inputs[0]].as_ref();
+                    let dr = done[node.inputs[1]].as_ref();
+                    join_delta(state, &node.schema, dl, dr)
+                }
+                Operator::GroupAggregate { group_by, lift } => done[node.inputs[0]]
+                    .as_ref()
+                    .map(|d| aggregate(d, group_by, *lift)),
+            };
+            // Propagate only non-empty deltas; empty ones are fixpoints.
+            rest[0] = delta.filter(|d| !d.is_empty());
+        }
+
+        let out_delta = deltas[sink]
+            .take()
+            .unwrap_or_else(|| Relation::new(out_schema));
+        self.stats.output_delta_tuples += out_delta.len() as u64;
+        for (t, r) in out_delta.iter() {
+            self.output.apply(t.clone(), r);
+        }
+        Ok(out_delta)
+    }
+}
+
+impl<R: Semiring> Default for Dataflow<R> {
+    fn default() -> Self {
+        Dataflow::new()
+    }
+}
+
+/// The semi-naive join delta: advance the right index to `R ⊎ δR`, probe it
+/// with `δL`, probe the *old* left index with `δR`, then advance the left
+/// index. Together: `δL⋈R ⊎ L⋈δR ⊎ δL⋈δR`.
+fn join_delta<R: Semiring>(
+    state: &mut JoinState<R>,
+    out_schema: &Schema,
+    dl: Option<&Relation<R>>,
+    dr: Option<&Relation<R>>,
+) -> Option<Relation<R>> {
+    if dl.is_none() && dr.is_none() {
+        return None;
+    }
+    let mut out = Relation::new(out_schema.clone());
+
+    if let Some(dr) = dr {
+        for (t, r) in dr.iter() {
+            state.right.apply(t, r);
+        }
+    }
+    if let Some(dl) = dl {
+        // δL ⋈ (R ⊎ δR): output = left tuple ++ right residual.
+        for (lt, lr) in dl.iter() {
+            let key = lt.project(&state.left_key_pos);
+            if let Some(group) = state.right.group(&key) {
+                for (residual, rr) in group.iter() {
+                    out.apply(lt.concat(residual), &lr.times(rr));
+                }
+            }
+        }
+    }
+    if let Some(dr) = dr {
+        // L ⋈ δR against the pre-batch left index, assembled column-wise.
+        for (rt, rr) in dr.iter() {
+            let key = rt.project(&state.right_key_pos);
+            if let Some(group) = state.left.group(&key) {
+                for (lres, lr) in group.iter() {
+                    let tuple: Tuple = state
+                        .right_probe_plan
+                        .iter()
+                        .map(|src| -> Value {
+                            match *src {
+                                ColSrc::Key(p) => key.at(p).clone(),
+                                ColSrc::LeftResidual(p) => lres.at(p).clone(),
+                                ColSrc::RightTuple(p) => rt.at(p).clone(),
+                            }
+                        })
+                        .collect();
+                    out.apply(tuple, &lr.times(rr));
+                }
+            }
+        }
+    }
+    if let Some(dl) = dl {
+        for (t, r) in dl.iter() {
+            state.left.apply(t, r);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivm_data::ops::{eval_join_aggregate, lift_one};
+    use ivm_data::{sym, tup, vars};
+
+    fn two_rel_flow() -> (Dataflow<i64>, Sym, Sym) {
+        // Q(x, z) = Σ_y R(x, y) · S(y, z)
+        let [x, y, z] = vars(["gr_X", "gr_Y", "gr_Z"]);
+        let (rn, sn) = (sym("gr_R"), sym("gr_S"));
+        let mut df: Dataflow<i64> = Dataflow::new();
+        let r = df.add_source(rn, Schema::from([x, y]));
+        let s = df.add_source(sn, Schema::from([y, z]));
+        let j = df.add_join(r, s);
+        let agg = df.add_aggregate(j, Schema::from([x, z]), lift_one);
+        df.set_sink(agg);
+        (df, rn, sn)
+    }
+
+    #[test]
+    fn join_then_aggregate_matches_oracle() {
+        let (mut df, rn, sn) = two_rel_flow();
+        let ups: Vec<Update<i64>> = vec![
+            Update::with_payload(rn, tup![1i64, 10i64], 2),
+            Update::with_payload(rn, tup![2i64, 10i64], 1),
+            Update::with_payload(sn, tup![10i64, 7i64], 3),
+            Update::with_payload(sn, tup![10i64, 8i64], 1),
+        ];
+        df.apply_batch(&ups).unwrap();
+
+        let [x, y, z] = vars(["gr_X", "gr_Y", "gr_Z"]);
+        let r = Relation::from_rows(
+            Schema::from([x, y]),
+            [(tup![1i64, 10i64], 2i64), (tup![2i64, 10i64], 1)],
+        );
+        let s = Relation::from_rows(
+            Schema::from([y, z]),
+            [(tup![10i64, 7i64], 3i64), (tup![10i64, 8i64], 1)],
+        );
+        let expect = eval_join_aggregate(&[&r, &s], &Schema::from([x, z]), lift_one);
+        assert_eq!(df.output().len(), expect.len());
+        for (t, p) in expect.iter() {
+            assert_eq!(&df.output().get(t), p, "at {t:?}");
+        }
+    }
+
+    #[test]
+    fn deletes_roll_back_to_empty() {
+        let (mut df, rn, sn) = two_rel_flow();
+        let ins: Vec<Update<i64>> = vec![
+            Update::insert(rn, tup![1i64, 10i64]),
+            Update::insert(sn, tup![10i64, 7i64]),
+        ];
+        df.apply_batch(&ins).unwrap();
+        assert_eq!(df.output().len(), 1);
+        let del: Vec<Update<i64>> = vec![Update::delete(rn, tup![1i64, 10i64])];
+        let delta = df.apply_batch(&del).unwrap();
+        assert_eq!(delta.get(&tup![1i64, 7i64]), -1);
+        assert!(df.output().is_empty());
+    }
+
+    #[test]
+    fn batch_with_both_sides_uses_bilinear_rule() {
+        // δL and δR in the same batch must contribute the δL⋈δR term.
+        let (mut df, rn, sn) = two_rel_flow();
+        let ups: Vec<Update<i64>> = vec![
+            Update::insert(rn, tup![1i64, 10i64]),
+            Update::insert(sn, tup![10i64, 7i64]),
+        ];
+        let delta = df.apply_batch(&ups).unwrap();
+        assert_eq!(delta.get(&tup![1i64, 7i64]), 1);
+    }
+
+    #[test]
+    fn filter_and_map_are_linear() {
+        let [x, y] = vars(["gr_FX", "gr_FY"]);
+        let rn = sym("gr_FR");
+        let mut df: Dataflow<i64> = Dataflow::new();
+        let src = df.add_source(rn, Schema::from([x, y]));
+        let flt = df.add_filter(src, |t| t.at(0).as_int().unwrap() > 0);
+        let prj = df.add_project(flt, Schema::from([y]));
+        df.set_sink(prj);
+
+        let ups: Vec<Update<i64>> = vec![
+            Update::with_payload(rn, tup![1i64, 5i64], 2),
+            Update::with_payload(rn, tup![-1i64, 5i64], 7), // filtered out
+            Update::with_payload(rn, tup![2i64, 5i64], 1),  // merges with first
+        ];
+        df.apply_batch(&ups).unwrap();
+        assert_eq!(df.output().get(&tup![5i64]), 3);
+
+        df.apply_batch(&[Update::with_payload(rn, tup![1i64, 5i64], -2)])
+            .unwrap();
+        assert_eq!(df.output().get(&tup![5i64]), 1);
+    }
+
+    #[test]
+    fn cartesian_join_empty_common() {
+        let [x, y] = vars(["gr_CX", "gr_CY"]);
+        let (rn, sn) = (sym("gr_CR"), sym("gr_CS"));
+        let mut df: Dataflow<i64> = Dataflow::new();
+        let r = df.add_source(rn, Schema::from([x]));
+        let s = df.add_source(sn, Schema::from([y]));
+        let j = df.add_join(r, s);
+        df.set_sink(j);
+        df.apply_batch(&[
+            Update::with_payload(rn, tup![1i64], 2),
+            Update::with_payload(sn, tup![9i64], 3),
+        ])
+        .unwrap();
+        assert_eq!(df.output().get(&tup![1i64, 9i64]), 6);
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let (mut df, _, _) = two_rel_flow();
+        let bad: Vec<Update<i64>> = vec![Update::insert(sym("gr_nope"), tup![1i64])];
+        assert!(matches!(
+            df.apply_batch(&bad),
+            Err(EngineError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn consolidation_skips_cancelled_work() {
+        let (mut df, rn, _) = two_rel_flow();
+        let before = df.stats();
+        let ups: Vec<Update<i64>> = vec![
+            Update::insert(rn, tup![1i64, 1i64]),
+            Update::delete(rn, tup![1i64, 1i64]),
+        ];
+        df.apply_batch(&ups).unwrap();
+        let after = df.stats();
+        assert_eq!(after.updates_in - before.updates_in, 2);
+        assert_eq!(
+            after.deltas_in, before.deltas_in,
+            "cancelled batch propagates nothing"
+        );
+    }
+
+    #[test]
+    fn describe_lists_nodes() {
+        let (df, _, _) = two_rel_flow();
+        let d = df.describe();
+        assert!(d.contains("Source"));
+        assert!(d.contains("DeltaJoin"));
+        assert!(d.contains("<- sink"));
+    }
+}

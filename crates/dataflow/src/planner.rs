@@ -1,0 +1,133 @@
+//! Lowering a conjunctive query onto a delta-dataflow DAG.
+//!
+//! Any `ivm_query::Query` — q-hierarchical or not, acyclic or *cyclic*,
+//! self-join or not — lowers to a left-deep chain of binary
+//! [`DeltaJoin`](crate::Dataflow::add_join) nodes in atom order, one
+//! [`Source`](crate::Dataflow::add_source) per atom (a base relation
+//! appearing in k atoms feeds k sources, which is how self-joins like the
+//! triangle query propagate one update through every occurrence), early
+//! marginalization of variables no later atom or the head needs, and a
+//! final [`GroupAggregate`](crate::Dataflow::add_aggregate) onto the free
+//! variables.
+//!
+//! This is the generic-fallback counterpart to the specialized engines in
+//! `ivm-core`: no constant-time guarantees, but O(|δQ| + index-probe) work
+//! per batch for every conjunctive query with aggregates.
+
+use crate::graph::Dataflow;
+use ivm_data::ops::Lift;
+use ivm_query::Query;
+use ivm_ring::Semiring;
+
+/// Lower `q` to a runnable dataflow with `lift` as the payload lifting.
+pub fn lower<R: Semiring>(q: &Query, lift: Lift<R>) -> Dataflow<R> {
+    let mut df = Dataflow::new();
+    let n = q.atoms.len();
+    let mut cur = df.add_source(q.atoms[0].name, q.atoms[0].schema.clone());
+    for (i, atom) in q.atoms.iter().enumerate().skip(1) {
+        let src = df.add_source(atom.name, atom.schema.clone());
+        cur = df.add_join(cur, src);
+        // Early marginalization: a variable that is bound and absent from
+        // every later atom can be summed out now, shrinking intermediate
+        // deltas. The final aggregate handles whatever remains.
+        if i + 1 < n {
+            let mut needed = q.free.clone();
+            for later in &q.atoms[i + 1..] {
+                needed = needed.union(&later.schema);
+            }
+            let keep = df.schema_of(cur).intersect(&needed);
+            if keep.arity() < df.schema_of(cur).arity() {
+                cur = df.add_aggregate(cur, keep, lift);
+            }
+        }
+    }
+    if df.schema_of(cur) != &q.free {
+        cur = df.add_aggregate(cur, q.free.clone(), lift);
+    }
+    df.set_sink(cur);
+    df
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivm_data::ops::lift_one;
+    use ivm_data::{sym, tup, vars, Schema, Update};
+    use ivm_query::Atom;
+
+    #[test]
+    fn fig3_plan_shape() {
+        let q = ivm_query::examples::fig3_query();
+        let df: Dataflow<i64> = lower(&q, lift_one);
+        let plan = df.describe();
+        // Two sources, one join, one final aggregate (reorder/marginalize).
+        assert_eq!(plan.matches("Source").count(), 2, "{plan}");
+        assert_eq!(plan.matches("DeltaJoin").count(), 1, "{plan}");
+    }
+
+    #[test]
+    fn triangle_self_join_gets_three_sources() {
+        let q = ivm_query::examples::triangle_count();
+        let df: Dataflow<i64> = lower(&q, lift_one);
+        let plan = df.describe();
+        assert_eq!(plan.matches("Source").count(), 3, "{plan}");
+        assert_eq!(plan.matches("DeltaJoin").count(), 2, "{plan}");
+    }
+
+    #[test]
+    fn early_marginalization_prunes_wide_intermediates() {
+        // Q(a) = R(a,b) S(b,c) T(a,d): after R⋈S, b and c are dead (no
+        // later atom uses them, a is the only free variable kept).
+        let [a, b, c, d] = vars(["pl_A", "pl_B", "pl_C", "pl_D"]);
+        let q = Query::new(
+            "pl_chain",
+            [a],
+            vec![
+                Atom::new(sym("pl_R"), [a, b]),
+                Atom::new(sym("pl_S"), [b, c]),
+                Atom::new(sym("pl_T"), [a, d]),
+            ],
+        );
+        let mut df: Dataflow<i64> = lower(&q, lift_one);
+        let plan = df.describe();
+        assert!(
+            plan.contains("GroupAggregate[pl_A] "),
+            "expected early aggregate onto [pl_A]:\n{plan}"
+        );
+        // And it still computes the right answer.
+        df.apply_batch(&[
+            Update::insert(sym("pl_R"), tup![1i64, 2i64]),
+            Update::insert(sym("pl_S"), tup![2i64, 3i64]),
+            Update::insert(sym("pl_T"), tup![1i64, 9i64]),
+        ])
+        .unwrap();
+        assert_eq!(df.output().get(&tup![1i64]), 1);
+    }
+
+    #[test]
+    fn single_atom_query_lowered() {
+        let [x, y] = vars(["pl_X1", "pl_Y1"]);
+        let q = Query::new("pl_single", [x], vec![Atom::new(sym("pl_U"), [x, y])]);
+        let mut df: Dataflow<i64> = lower(&q, lift_one);
+        df.apply_batch(&[
+            Update::insert(sym("pl_U"), tup![1i64, 5i64]),
+            Update::insert(sym("pl_U"), tup![1i64, 6i64]),
+        ])
+        .unwrap();
+        assert_eq!(df.output().get(&tup![1i64]), 2);
+    }
+
+    #[test]
+    fn boolean_query_aggregates_to_empty_tuple() {
+        let [x, y] = vars(["pl_X2", "pl_Y2"]);
+        let q = Query::new("pl_bool", [], vec![Atom::new(sym("pl_V"), [x, y])]);
+        let mut df: Dataflow<i64> = lower(&q, lift_one);
+        df.apply_batch(&[
+            Update::insert(sym("pl_V"), tup![1i64, 5i64]),
+            Update::insert(sym("pl_V"), tup![2i64, 5i64]),
+        ])
+        .unwrap();
+        assert_eq!(df.output().get(&ivm_data::Tuple::empty()), 2);
+        assert_eq!(df.schema_of(df.node_count() - 1), &Schema::empty());
+    }
+}

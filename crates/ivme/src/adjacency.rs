@@ -35,7 +35,11 @@ impl Adjacency {
     /// Multiplicity of `(x, y)`.
     #[inline]
     pub fn get(&self, x: u64, y: u64) -> i64 {
-        self.fwd.get(&x).and_then(|m| m.get(&y)).copied().unwrap_or(0)
+        self.fwd
+            .get(&x)
+            .and_then(|m| m.get(&y))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Add `m` to the multiplicity of `(x, y)`; returns the new degree of
@@ -63,12 +67,20 @@ impl Adjacency {
 
     /// Iterate `(y, m)` partners of `x`.
     pub fn row(&self, x: u64) -> impl Iterator<Item = (u64, i64)> + '_ {
-        self.fwd.get(&x).into_iter().flatten().map(|(&y, &m)| (y, m))
+        self.fwd
+            .get(&x)
+            .into_iter()
+            .flatten()
+            .map(|(&y, &m)| (y, m))
     }
 
     /// Iterate `(x, m)` partners of `y` (reverse direction).
     pub fn col(&self, y: u64) -> impl Iterator<Item = (u64, i64)> + '_ {
-        self.bwd.get(&y).into_iter().flatten().map(|(&x, &m)| (x, m))
+        self.bwd
+            .get(&y)
+            .into_iter()
+            .flatten()
+            .map(|(&x, &m)| (x, m))
     }
 
     /// Iterate all `(x, y, m)` tuples.
@@ -90,7 +102,7 @@ fn apply_one(map: &mut FxHashMap<u64, FxHashMap<u64, i64>>, x: u64, y: u64, m: i
     let e = row.entry(y).or_insert(0);
     let was_zero = *e == 0;
     *e += m;
-    
+
     if *e == 0 {
         row.remove(&y);
         if row.is_empty() {

@@ -19,6 +19,5 @@ pub mod triangle;
 
 pub use qh::QhEpsEngine;
 pub use triangle::{
-    Rel, TriangleDelta, TriangleIvmEps, TriangleMaintainer, TrianglePairwiseMv,
-    TriangleRecount,
+    Rel, TriangleDelta, TriangleIvmEps, TriangleMaintainer, TrianglePairwiseMv, TriangleRecount,
 };

@@ -281,7 +281,11 @@ mod tests {
                 if rng.gen_bool(0.6) {
                     // Skew: b=0 is a hub.
                     let a = rng.gen_range(0..20u64);
-                    let b = if rng.gen_bool(0.5) { 0 } else { rng.gen_range(0..10u64) };
+                    let b = if rng.gen_bool(0.5) {
+                        0
+                    } else {
+                        rng.gen_range(0..10u64)
+                    };
                     let m: i64 = if rng.gen_bool(0.3) { -1 } else { 1 };
                     eng.apply_r(a, b, m);
                     r_log.push((a, b, m));

@@ -576,12 +576,14 @@ mod tests {
             let mut recount = TriangleRecount::new();
             let mut delta = TriangleDelta::new();
             let mut mv = TrianglePairwiseMv::new();
-            let mut eps_engines: Vec<TriangleIvmEps> =
-                [0.0, 0.3, 0.5, 0.8, 1.0].iter().map(|&e| TriangleIvmEps::new(e)).collect();
+            let mut eps_engines: Vec<TriangleIvmEps> = [0.0, 0.3, 0.5, 0.8, 1.0]
+                .iter()
+                .map(|&e| TriangleIvmEps::new(e))
+                .collect();
             let mut log: Vec<(Rel, u64, u64, i64)> = Vec::new();
             // Skewed: node 0 participates in most edges.
             for step in 0..250 {
-                let rel = Rel::ALL[rng.gen_range(0..3)];
+                let rel = Rel::ALL[rng.gen_range(0..3usize)];
                 let hub = rng.gen_bool(0.4);
                 let x = if hub { 0 } else { rng.gen_range(0..8u64) };
                 let y = rng.gen_range(0..8u64);
@@ -637,7 +639,7 @@ mod tests {
         let mut no_rebal = TriangleIvmEps::new(0.5).without_rebalancing();
         let mut log = Vec::new();
         for _ in 0..200 {
-            let rel = Rel::ALL[rng.gen_range(0..3)];
+            let rel = Rel::ALL[rng.gen_range(0..3usize)];
             let x = rng.gen_range(0..6u64);
             let y = rng.gen_range(0..6u64);
             let m: i64 = if rng.gen_bool(0.25) { -1 } else { 1 };

@@ -171,10 +171,7 @@ impl OuMvSolver for ReductionOuMv {
 /// Run a solver over an instance, returning the per-round answers.
 pub fn solve(solver: &mut dyn OuMvSolver, inst: &OuMvInstance) -> Vec<bool> {
     solver.init(inst.n, &inst.m);
-    inst.pairs
-        .iter()
-        .map(|(u, v)| solver.round(u, v))
-        .collect()
+    inst.pairs.iter().map(|(u, v)| solver.round(u, v)).collect()
 }
 
 #[cfg(test)]

@@ -193,19 +193,13 @@ mod tests {
         let q3 = Query::new(
             "cs_Q33",
             [a, b, c, d],
-            vec![
-                Atom::new(sym("cs_Q23"), [a, b, c]),
-                Atom::new(t, [c, d]),
-            ],
+            vec![Atom::new(sym("cs_Q23"), [a, b, c]), Atom::new(t, [c, d])],
         );
         assert!(is_q_hierarchical(&q3));
         let q1_via_q3 = Query::new(
             "cs_Q13b",
             [a, b, c, d, e],
-            vec![
-                Atom::new(sym("cs_Q33"), [a, b, c, d]),
-                Atom::new(u, [d, e]),
-            ],
+            vec![Atom::new(sym("cs_Q33"), [a, b, c, d]), Atom::new(u, [d, e])],
         );
         assert!(is_q_hierarchical(&q1_via_q3));
     }

@@ -179,7 +179,10 @@ mod tests {
         let f = fracture(&q);
         // Three disconnected components — all shared variables were inputs.
         assert_eq!(
-            f.component.iter().collect::<std::collections::HashSet<_>>().len(),
+            f.component
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
             3
         );
         assert!(is_tractable_cqap(&q));
@@ -278,12 +281,8 @@ mod tests {
     #[test]
     fn fracture_deterministic() {
         let [a, b] = vars(["cq_A7", "cq_B7"]);
-        let q = Query::with_access_pattern(
-            "cq_q7",
-            [a],
-            [b],
-            vec![Atom::new(sym("cq_S7"), [a, b])],
-        );
+        let q =
+            Query::with_access_pattern("cq_q7", [a], [b], vec![Atom::new(sym("cq_S7"), [a, b])]);
         let f1 = fracture(&q);
         let f2 = fracture(&q);
         assert_eq!(f1.query, f2.query);

@@ -60,10 +60,7 @@ pub fn lookup_cqap() -> Query {
         "lk_Q",
         [a],
         [b],
-        vec![
-            Atom::new(sym("lk_S"), [a, b]),
-            Atom::new(sym("lk_T"), [b]),
-        ],
+        vec![Atom::new(sym("lk_S"), [a, b]), Atom::new(sym("lk_T"), [b])],
     )
 }
 
@@ -144,10 +141,7 @@ pub fn ex412_query() -> (Query, Vec<crate::fd::Fd>) {
             Atom::new(sym("e412_T"), [y, z]),
         ],
     );
-    let sigma = vec![
-        crate::fd::Fd::new([x], [y]),
-        crate::fd::Fd::new([y], [z]),
-    ];
+    let sigma = vec![crate::fd::Fd::new([x], [y]), crate::fd::Fd::new([y], [z])];
     (q, sigma)
 }
 

@@ -88,10 +88,7 @@ mod tests {
     fn closure_fixpoint() {
         // Σ = {A → C; BC → D}; C_Σ({A, B}) = {A, B, C, D} (paper example).
         let [a, b, c, d] = vars(["fd_A", "fd_B", "fd_C", "fd_D"]);
-        let sigma = vec![
-            Fd::new([a], [c]),
-            Fd::new([b, c], [d]),
-        ];
+        let sigma = vec![Fd::new([a], [c]), Fd::new([b, c], [d])];
         let cl = closure(&sigma, &Schema::from([a, b]));
         assert_eq!(cl, Schema::from([a, b, c, d]));
     }

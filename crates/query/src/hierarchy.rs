@@ -160,10 +160,7 @@ mod tests {
         let q = Query::new(
             "h_q2",
             [],
-            vec![
-                Atom::new(sym("h_S2"), [x, y]),
-                Atom::new(sym("h_T2"), [y]),
-            ],
+            vec![Atom::new(sym("h_S2"), [x, y]), Atom::new(sym("h_T2"), [y])],
         );
         assert!(is_hierarchical(&q));
         assert!(is_q_hierarchical(&q)); // Boolean: no free vars to dominate.
@@ -176,10 +173,7 @@ mod tests {
         let q = Query::new(
             "h_q3",
             [x],
-            vec![
-                Atom::new(sym("h_R3"), [x, y]),
-                Atom::new(sym("h_S3"), [y]),
-            ],
+            vec![Atom::new(sym("h_R3"), [x, y]), Atom::new(sym("h_S3"), [y])],
         );
         assert!(is_hierarchical(&q));
         // atoms(X) = {R} ⊂ atoms(Y) = {R, S}; Y dominates X... check
@@ -264,10 +258,7 @@ mod tests {
             "h_q8",
             [a],
             [b],
-            vec![
-                Atom::new(sym("h_S8"), [a, b]),
-                Atom::new(sym("h_T8"), [b]),
-            ],
+            vec![Atom::new(sym("h_S8"), [a, b]), Atom::new(sym("h_T8"), [b])],
         );
         assert!(is_hierarchical(&q));
         assert!(is_free_dominant(&q));

@@ -19,19 +19,19 @@ use ivm_data::{sym, Schema, Sym};
 /// Variable vocabulary shared by all query encodings.
 #[allow(missing_docs)]
 pub struct Vars {
-    pub ok: Sym,     // order key
-    pub pk: Sym,     // part key
-    pub sk: Sym,     // supplier key
-    pub ck: Sym,     // customer key
-    pub lk: Sym,     // line number
-    pub nk_s: Sym,   // supplier's nation
-    pub nk_c: Sym,   // customer's nation
-    pub rk: Sym,     // region key
-    pub odate: Sym,  // order date
-    pub opri: Sym,   // order priority
-    pub sdate: Sym,  // ship date
-    pub rf: Sym,     // return flag
-    pub ls: Sym,     // line status
+    pub ok: Sym,    // order key
+    pub pk: Sym,    // part key
+    pub sk: Sym,    // supplier key
+    pub ck: Sym,    // customer key
+    pub lk: Sym,    // line number
+    pub nk_s: Sym,  // supplier's nation
+    pub nk_c: Sym,  // customer's nation
+    pub rk: Sym,    // region key
+    pub odate: Sym, // order date
+    pub opri: Sym,  // order priority
+    pub sdate: Sym, // ship date
+    pub rf: Sym,    // return flag
+    pub ls: Sym,    // line status
     pub qty: Sym,
     pub price: Sym,
     pub disc: Sym,
@@ -188,7 +188,11 @@ pub fn tpch_queries() -> Vec<(String, Query)> {
         // Q1: pricing summary — lineitem only.
         (
             "Q1".into(),
-            q("th_Q1", vec![v.rf, v.ls], vec![li(&[v.rf, v.ls, v.qty, v.price, v.disc])]),
+            q(
+                "th_Q1",
+                vec![v.rf, v.ls],
+                vec![li(&[v.rf, v.ls, v.qty, v.price, v.disc])],
+            ),
         ),
         // Q2: minimum-cost supplier.
         (
@@ -221,7 +225,11 @@ pub fn tpch_queries() -> Vec<(String, Query)> {
         // Q4: order priority checking (EXISTS lineitem).
         (
             "Q4".into(),
-            q("th_Q4", vec![v.opri], vec![ord(&[v.odate, v.opri]), li(&[])]),
+            q(
+                "th_Q4",
+                vec![v.opri],
+                vec![ord(&[v.odate, v.opri]), li(&[])],
+            ),
         ),
         // Q5: local supplier volume (customer and supplier share nation).
         (
@@ -254,7 +262,11 @@ pub fn tpch_queries() -> Vec<(String, Query)> {
         // Q6: forecasting revenue — lineitem only.
         (
             "Q6".into(),
-            q("th_Q6", vec![], vec![li(&[v.qty, v.price, v.disc, v.sdate])]),
+            q(
+                "th_Q6",
+                vec![],
+                vec![li(&[v.qty, v.price, v.disc, v.sdate])],
+            ),
         ),
         // Q7: volume shipping (two nation roles).
         (
@@ -332,7 +344,11 @@ pub fn tpch_queries() -> Vec<(String, Query)> {
         // Q12: shipping modes.
         (
             "Q12".into(),
-            q("th_Q12", vec![v.smode], vec![ord(&[v.opri]), li(&[v.smode, v.sdate])]),
+            q(
+                "th_Q12",
+                vec![v.smode],
+                vec![ord(&[v.opri]), li(&[v.smode, v.sdate])],
+            ),
         ),
         // Q13: customer distribution (outer join flattened).
         (
@@ -413,18 +429,17 @@ pub fn tpch_queries() -> Vec<(String, Query)> {
             q(
                 "th_Q21",
                 vec![v.s_name],
-                vec![
-                    supp(&[v.s_name]),
-                    li(&[]),
-                    ord(&[]),
-                    nat_s(&[v.n_name_s]),
-                ],
+                vec![supp(&[v.s_name]), li(&[]), ord(&[]), nat_s(&[v.n_name_s])],
             ),
         ),
         // Q22: global sales opportunity.
         (
             "Q22".into(),
-            q("th_Q22", vec![v.c_phone], vec![cust(&[v.c_phone, v.c_acct])]),
+            q(
+                "th_Q22",
+                vec![v.c_phone],
+                vec![cust(&[v.c_phone, v.c_acct])],
+            ),
         ),
     ]
 }
@@ -518,7 +533,13 @@ mod tests {
             bool_gain += usize::from(!v.bool_plain && v.bool_fds);
             full_gain += usize::from(!v.full_plain && v.full_fds);
         }
-        assert!(bool_gain >= 3, "expect several Boolean rescues, got {bool_gain}");
-        assert!(full_gain >= 3, "expect several full rescues, got {full_gain}");
+        assert!(
+            bool_gain >= 3,
+            "expect several Boolean rescues, got {bool_gain}"
+        );
+        assert!(
+            full_gain >= 3,
+            "expect several full rescues, got {full_gain}"
+        );
     }
 }

@@ -133,9 +133,9 @@ impl VarOrder {
 
     /// The node id of the leaf for atom index `i`.
     pub fn atom_leaf(&self, i: usize) -> Option<NodeId> {
-        self.nodes.iter().position(
-            |n| matches!(n, Node::Atom { atom } if *atom == i),
-        )
+        self.nodes
+            .iter()
+            .position(|n| matches!(n, Node::Atom { atom } if *atom == i))
     }
 
     /// All variable ancestors of a node (nearest first), excluding itself.
@@ -409,13 +409,13 @@ fn components(q: &Query, atoms: &[usize], avail: &Schema) -> Vec<Vec<usize>> {
     }
     let mut groups: Vec<Vec<usize>> = Vec::new();
     let mut root_of: Vec<(usize, usize)> = Vec::new(); // (root, group idx)
-    for i in 0..n {
+    for (i, &atom) in atoms.iter().enumerate().take(n) {
         let r = find(&mut comp, i);
         match root_of.iter().find(|(rr, _)| *rr == r) {
-            Some(&(_, g)) => groups[g].push(atoms[i]),
+            Some(&(_, g)) => groups[g].push(atom),
             None => {
                 root_of.push((r, groups.len()));
-                groups.push(vec![atoms[i]]);
+                groups.push(vec![atom]);
             }
         }
     }
@@ -477,12 +477,7 @@ pub fn find_tractable_order(q: &Query) -> Option<VarOrder> {
     search_orders(q, &vars, &mut parent, 0)
 }
 
-fn search_orders(
-    q: &Query,
-    vars: &[Sym],
-    parent: &mut Vec<usize>,
-    i: usize,
-) -> Option<VarOrder> {
+fn search_orders(q: &Query, vars: &[Sym], parent: &mut Vec<usize>, i: usize) -> Option<VarOrder> {
     let n = vars.len();
     if i == n {
         return try_build_order(q, vars, parent);
@@ -683,10 +678,7 @@ mod tests {
         let q = Query::new(
             "vo_disc",
             [a, b],
-            vec![
-                Atom::new(sym("vo_R4"), [a]),
-                Atom::new(sym("vo_S4"), [b]),
-            ],
+            vec![Atom::new(sym("vo_R4"), [a]), Atom::new(sym("vo_S4"), [b])],
         );
         let vo = VarOrder::canonical(&q).unwrap();
         assert_eq!(vo.roots.len(), 2);
@@ -737,7 +729,11 @@ mod tests {
         let [a, b, c, d] = vars(["vo_A6", "vo_B6", "vo_C6", "vo_D6"]);
         let mk = |t_dynamic: bool| {
             Query::new(
-                if t_dynamic { "vo_sd_dyn" } else { "vo_sd_static" },
+                if t_dynamic {
+                    "vo_sd_dyn"
+                } else {
+                    "vo_sd_static"
+                },
                 [a, b, c],
                 vec![
                     Atom::new(sym("vo_R6"), [a, d]),
@@ -786,11 +782,7 @@ mod tests {
     #[test]
     fn validation_rejects_off_path_atom() {
         let [a, b] = vars(["vo_A9", "vo_B9"]);
-        let q = Query::new(
-            "vo_bad9",
-            [a, b],
-            vec![Atom::new(sym("vo_R9"), [a, b])],
-        );
+        let q = Query::new("vo_bad9", [a, b], vec![Atom::new(sym("vo_R9"), [a, b])]);
         let mut bld = VarOrderBuilder::new();
         let leaf = bld.atom(0);
         // Hang R(A,B) under A only, with B elsewhere: invalid.

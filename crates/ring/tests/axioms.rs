@@ -128,16 +128,16 @@ ring_laws!(int_ring, small_i64(), i64);
 semiring_laws!(f64_semiring, int_f64(), F64);
 ring_laws!(f64_ring, int_f64(), F64);
 
-semiring_laws!(bool_semiring, any::<bool>().prop_map(BoolSemiring), BoolSemiring);
+semiring_laws!(
+    bool_semiring,
+    any::<bool>().prop_map(BoolSemiring),
+    BoolSemiring
+);
 
 semiring_laws!(minplus_semiring, int_minplus(), MinPlus);
 
 semiring_laws!(covar_semiring, small_covar(), Covar<2>);
 ring_laws!(covar_ring, small_covar(), Covar<2>);
 
-semiring_laws!(
-    pair_semiring,
-    (small_i64(), int_f64()),
-    (i64, F64)
-);
+semiring_laws!(pair_semiring, (small_i64(), int_f64()), (i64, F64));
 ring_laws!(pair_ring, (small_i64(), int_f64()), (i64, F64));

@@ -1,0 +1,491 @@
+//! Offline vendored shim for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this workspace vendors
+//! the slice of proptest its property tests use: the [`strategy::Strategy`]
+//! trait with `prop_map`, range/tuple/[`strategy::Just`]/union strategies,
+//! [`collection::vec`], `bool::ANY` / `any::<bool>()`, the
+//! [`test_runner::TestRunner`] with [`test_runner::ProptestConfig`], and
+//! the `proptest!` / `prop_assert!` / `prop_assert_eq!` / `prop_oneof!`
+//! macros.
+//!
+//! Differences from upstream, deliberate for an offline test shim:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs
+//!   verbatim; the inputs here are small by construction.
+//! * **Deterministic seeding.** Each test's stream is seeded from its name,
+//!   so failures reproduce without a persistence file.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::ops::Range;
+
+    /// A generator of test inputs. Upstream proptest pairs this with a
+    /// shrinking value tree; the shim only generates.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+
+        /// Type-erase the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng| self.new_value(rng)))
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<V>(Box<dyn Fn(&mut StdRng) -> V>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut StdRng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    pub struct Just<V: Clone>(pub V);
+
+    impl<V: Clone> Strategy for Just<V> {
+        type Value = V;
+        fn new_value(&self, _rng: &mut StdRng) -> V {
+            self.0.clone()
+        }
+    }
+
+    /// The `prop_map` adapter.
+    pub struct Map<S, F> {
+        pub(crate) source: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.source.new_value(rng))
+        }
+    }
+
+    /// Uniform choice among several strategies of one value type.
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Build from type-erased options. Panics if empty.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut StdRng) -> V {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].new_value(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// Deterministic per-test RNG: FNV-1a over the test path seeds the
+    /// stream, so a failure reproduces on re-run without a regression file.
+    pub fn rng_for(name: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// Strategies for `bool` (upstream `proptest::bool`).
+pub mod bool {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// The strategy type behind [`ANY`].
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any;
+
+    /// Uniform `bool`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn new_value(&self, rng: &mut StdRng) -> bool {
+            rng.gen::<u64>() & 1 == 1
+        }
+    }
+}
+
+/// `any::<T>()` support (upstream `proptest::arbitrary`).
+pub mod arbitrary {
+    use super::strategy::Strategy;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary {
+        /// The canonical strategy type.
+        type Strategy: Strategy<Value = Self>;
+        /// The canonical strategy value.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = crate::bool::Any;
+        fn arbitrary() -> Self::Strategy {
+            crate::bool::ANY
+        }
+    }
+
+    /// The canonical strategy for `T`, e.g. `any::<bool>()`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+/// Collection strategies (upstream `proptest::collection`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Admissible lengths for [`vec`]: an exact size or a half-open range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `vec(element, 0..30)` or `vec(element, 3)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.min..self.size.max_exclusive);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Test execution (upstream `proptest::test_runner`).
+pub mod test_runner {
+    use super::strategy::Strategy;
+    use std::fmt;
+
+    /// Per-`proptest!`-block configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Override only the case count.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a test case failed (the shim has no `Reject`: strategies here
+    /// never filter).
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// Assertion failure with a rendered message.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Build a failure from a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+            }
+        }
+    }
+
+    /// Runs one test over `config.cases` generated inputs.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        name: String,
+    }
+
+    impl TestRunner {
+        /// A runner whose RNG stream is seeded from `name`.
+        pub fn new_for(config: ProptestConfig, name: &str) -> Self {
+            TestRunner {
+                config,
+                name: name.to_string(),
+            }
+        }
+
+        /// Generate and run all cases; panics on the first failure with
+        /// the case index and generated inputs.
+        pub fn run<S>(&mut self, strategy: &S, test: impl Fn(S::Value) -> Result<(), TestCaseError>)
+        where
+            S: Strategy,
+            S::Value: fmt::Debug + Clone,
+        {
+            let mut rng = super::strategy::rng_for(&self.name);
+            for case in 0..self.config.cases {
+                let value = strategy.new_value(&mut rng);
+                if let Err(e) = test(value.clone()) {
+                    panic!(
+                        "proptest '{}' failed at case {}/{}: {}\ninput: {:?}",
+                        self.name, case, self.config.cases, e, value
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The usual glob import target.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines property tests: an optional `#![proptest_config(..)]` header
+/// followed by `#[test] fn name(arg in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new_for(
+                    $cfg,
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let strategy = ($($strat,)+);
+                runner.run(&strategy, |($($arg,)+)| {
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::core::result::Result::Ok(())
+                        })();
+                    outcome
+                });
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a property test body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a property test body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Uniform choice among strategies (all options equally weighted).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in -5i64..5, b in 0usize..3) {
+            prop_assert!((-5..5).contains(&a));
+            prop_assert!(b < 3);
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in crate::collection::vec(0i32..10, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            for x in v {
+                prop_assert!((0..10).contains(&x));
+            }
+        }
+
+        #[test]
+        fn map_and_oneof_compose(
+            x in prop_oneof![(0i64..3).prop_map(|v| v * 100), Just(-1i64)],
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(x == -1 || x % 100 == 0);
+            prop_assert_eq!(flag as u8 + (!flag) as u8, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_input() {
+        let mut runner = crate::test_runner::TestRunner::new_for(
+            crate::test_runner::ProptestConfig::with_cases(16),
+            "shim_failure_demo",
+        );
+        runner.run(&(0i64..100,), |(v,)| {
+            if v >= 0 {
+                Err(crate::test_runner::TestCaseError::fail("always fails"))
+            } else {
+                Ok(())
+            }
+        });
+    }
+
+    #[test]
+    fn exact_vec_size() {
+        let s = crate::collection::vec(0i64..4, 3);
+        let mut rng = crate::strategy::rng_for("exact_vec_size");
+        for _ in 0..20 {
+            assert_eq!(Strategy::new_value(&s, &mut rng).len(), 3);
+        }
+    }
+}

@@ -91,7 +91,11 @@ mod tests {
     use super::*;
     use std::collections::HashMap;
 
-    fn check_consistent(state: &HashMap<(u64, u64), i64>, titles: &HashMap<u64, i64>, comps: &HashMap<u64, i64>) -> bool {
+    fn check_consistent(
+        state: &HashMap<(u64, u64), i64>,
+        titles: &HashMap<u64, i64>,
+        comps: &HashMap<u64, i64>,
+    ) -> bool {
         state.iter().all(|(&(m, c), &mult)| {
             mult == 0
                 || (titles.get(&m).copied().unwrap_or(0) > 0
@@ -108,16 +112,14 @@ mod tests {
         let mut titles: HashMap<u64, i64> = HashMap::new();
         let mut comps: HashMap<u64, i64> = HashMap::new();
         let apply = |ops: &[PkFkOp],
-                         facts: &mut HashMap<(u64, u64), i64>,
-                         titles: &mut HashMap<u64, i64>,
-                         comps: &mut HashMap<u64, i64>| {
+                     facts: &mut HashMap<(u64, u64), i64>,
+                     titles: &mut HashMap<u64, i64>,
+                     comps: &mut HashMap<u64, i64>| {
             for op in ops {
                 match *op {
                     PkFkOp::Title(m, d) => *titles.entry(m).or_insert(0) += d,
                     PkFkOp::Company(c, d) => *comps.entry(c).or_insert(0) += d,
-                    PkFkOp::MovieCompany(m, c, d) => {
-                        *facts.entry((m, c)).or_insert(0) += d
-                    }
+                    PkFkOp::MovieCompany(m, c, d) => *facts.entry((m, c)).or_insert(0) += d,
                 }
             }
             facts.retain(|_, v| *v != 0);

@@ -9,7 +9,7 @@
 //! makes it *intractable* (fid dominates the input variables but is not an
 //! input) — the classifier catches this and the engine refuses.
 //!
-//! Run: `cargo run -p ivm-bench --example flight_access_patterns`
+//! Run: `cargo run --example flight_access_patterns`
 
 use ivm_core::cqap::CqapEngine;
 use ivm_data::ops::lift_one;
@@ -60,7 +60,10 @@ fn main() {
 
     // A cancellation propagates in O(1):
     engine
-        .apply(&Update::delete(flights, tup![20240501i64, "ZRH", "VIE", 803i64]))
+        .apply(&Update::delete(
+            flights,
+            tup![20240501i64, "ZRH", "VIE", 803i64],
+        ))
         .unwrap();
     println!("\nafter cancelling flight 803:");
     ask(&engine, 20240501, "ZRH", "VIE");

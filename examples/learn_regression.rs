@@ -8,7 +8,7 @@
 //! count, feature sums, and second moments; gradient descent on the normal
 //! equations runs directly off those aggregates after every batch.
 //!
-//! Run: `cargo run --release -p ivm-bench --example learn_regression`
+//! Run: `cargo run --release --example learn_regression`
 
 use ivm_core::viewtree::ViewTree;
 use ivm_data::{sym, tup, vars, Sym, Update, Value};

@@ -1,7 +1,7 @@
 //! Quickstart: classify a query, pick an engine, stream updates, and
 //! enumerate the maintained output.
 //!
-//! Run: `cargo run -p ivm-bench --example quickstart`
+//! Run: `cargo run --example quickstart`
 
 use ivm_core::{EagerFactEngine, Maintainer};
 use ivm_data::ops::lift_one;

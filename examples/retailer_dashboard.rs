@@ -2,7 +2,7 @@
 //! a q-hierarchical 5-relation join maintained under inventory insert
 //! batches, with periodic full enumeration.
 //!
-//! Run: `cargo run --release -p ivm-bench --example retailer_dashboard`
+//! Run: `cargo run --release --example retailer_dashboard`
 
 use ivm_core::{EagerFactEngine, Maintainer};
 use ivm_data::ops::lift_one;
@@ -17,7 +17,11 @@ fn main() {
 
     let t0 = Instant::now();
     let mut engine = EagerFactEngine::<i64>::new(q, &db, lift_one).expect("retailer query");
-    println!("preprocessing ({} initial tuples): {:?}", db.size(), t0.elapsed());
+    println!(
+        "preprocessing ({} initial tuples): {:?}",
+        db.size(),
+        t0.elapsed()
+    );
 
     for round in 1..=5 {
         let batch = gen.inventory_batch(1000);

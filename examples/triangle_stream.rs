@@ -1,9 +1,14 @@
 //! Streaming triangle counting over a skewed sliding-window graph —
-//! IVMε (Sec 3.3) against the first-order delta baseline (Sec 3.1).
+//! IVMε (Sec 3.3) against the first-order delta baseline (Sec 3.1) and
+//! the generic batched delta-dataflow engine (no triangle-specific code).
 //!
-//! Run: `cargo run --release -p ivm-bench --example triangle_stream`
+//! Run: `cargo run --release --example triangle_stream`
 
+use ivm_data::ops::lift_one;
+use ivm_data::{sym, tup, vars, Database, Tuple, Update};
+use ivm_dataflow::DataflowEngine;
 use ivm_ivme::{Rel, TriangleDelta, TriangleIvmEps, TriangleMaintainer};
+use ivm_query::{Atom, Query};
 use ivm_workloads::graphs::EdgeStream;
 use std::time::Instant;
 
@@ -39,6 +44,44 @@ fn main() {
         );
     }
     assert_eq!(ivme.count(), delta.count(), "engines must agree");
+
+    // The generic dataflow engine maintains the same cyclic query from its
+    // declarative form — slower than the hand-tuned kernels, but with zero
+    // triangle-specific code, and batches amortize the gap.
+    let [a, b, c] = vars(["ts_A", "ts_B", "ts_C"]);
+    let (rn, sn, tn) = (sym("ts_R"), sym("ts_S"), sym("ts_T"));
+    let q = Query::new(
+        "ts_tri",
+        [],
+        vec![
+            Atom::new(rn, [a, b]),
+            Atom::new(sn, [b, c]),
+            Atom::new(tn, [c, a]),
+        ],
+    );
+    let mut generic = DataflowEngine::<i64>::new(q, &Database::new(), lift_one).unwrap();
+    let batch_size = 1_024;
+    let t0 = Instant::now();
+    let mut batch: Vec<Update<i64>> = Vec::with_capacity(3 * batch_size);
+    for &(x, y, m) in &stream {
+        for rel in [rn, sn, tn] {
+            batch.push(Update::with_payload(rel, tup![x, y], m));
+        }
+        if batch.len() >= 3 * batch_size {
+            generic.apply_batch(&batch).unwrap();
+            batch.clear();
+        }
+    }
+    generic.apply_batch(&batch).unwrap();
+    let count = generic.output_relation().get(&Tuple::empty());
+    println!(
+        "{:>18}: count={count} in {:?} ({:.0} upd/s, batches of {batch_size} edges)",
+        "generic dataflow",
+        t0.elapsed(),
+        (stream.len() * 3) as f64 / t0.elapsed().as_secs_f64(),
+    );
+    assert_eq!(count, delta.count(), "generic engine must agree");
+
     println!(
         "\nivm-eps bookkeeping: θ={}, heavy keys={:?}, migrations={}, rebalances={}",
         ivme.threshold(),

@@ -1,0 +1,31 @@
+//! Umbrella crate: re-exports the whole IVM system under one name.
+//!
+//! The workspace reproduces *Recent Increments in Incremental View
+//! Maintenance* (PODS 2024) as a set of layered crates; this crate exists
+//! so downstream users (and the integration tests and examples in this
+//! package) can depend on a single `ivm` crate:
+//!
+//! | layer | crate | contents |
+//! |---|---|---|
+//! | payloads | [`ring`] | semirings/rings: `Z`, reals, Boolean, tropical, covariance |
+//! | storage | [`data`] | relations, tuples, schemas, grouped indexes, updates |
+//! | language | [`query`] | query AST + the dichotomy analyses (q-hierarchical, CQAP, FDs) |
+//! | engines | [`core`] | per-class maintenance engines (view trees, cascades, CQAPs) |
+//! | runtime | [`dataflow`] | generic batched delta-dataflow engine for arbitrary CQs |
+//! | kernels | [`ivme`], [`oumv`] | specialized triangle/q-hierarchical kernels, lower bounds |
+//! | workloads | [`workloads`] | retailer, graph, PK-FK, Zipf generators |
+
+pub use ivm_core as core;
+pub use ivm_data as data;
+pub use ivm_dataflow as dataflow;
+pub use ivm_ivme as ivme;
+pub use ivm_oumv as oumv;
+pub use ivm_query as query;
+pub use ivm_ring as ring;
+pub use ivm_workloads as workloads;
+
+pub use ivm_core::Maintainer;
+pub use ivm_data::{Batch, Database, Relation, Tuple, Update, Value};
+pub use ivm_dataflow::{DataflowEngine, DeltaBatch};
+pub use ivm_query::{Atom, Query};
+pub use ivm_ring::{Ring, Semiring};

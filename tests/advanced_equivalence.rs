@@ -140,12 +140,20 @@ fn covariance_tree_matches_materialized_statistics() {
     let r_rows = [(0i64, 2i64), (0, 3), (1, 5), (2, 7)];
     let s_rows = [(0i64, 10i64), (1, 20), (1, 30)];
     for &(kk, xx) in &r_rows {
-        tree.apply(&Update::with_payload(rn, ivm_data::tup![kk, xx], Covar::one()))
-            .unwrap();
+        tree.apply(&Update::with_payload(
+            rn,
+            ivm_data::tup![kk, xx],
+            Covar::one(),
+        ))
+        .unwrap();
     }
     for &(kk, yy) in &s_rows {
-        tree.apply(&Update::with_payload(sn, ivm_data::tup![kk, yy], Covar::one()))
-            .unwrap();
+        tree.apply(&Update::with_payload(
+            sn,
+            ivm_data::tup![kk, yy],
+            Covar::one(),
+        ))
+        .unwrap();
     }
     let mut agg = Covar::<2>::zero();
     tree.for_each_output(&mut |_, c| agg.add_assign(c));
@@ -223,12 +231,20 @@ fn tropical_viewtree_cheapest_derivation() {
     }
     let mut tree: ViewTree<MinPlus> = ViewTree::new(q, lift).unwrap();
     for &(kk, cost) in &[(1i64, 7i64), (1, 3), (2, 10)] {
-        tree.apply(&Update::with_payload(rn, ivm_data::tup![kk, cost], MinPlus::one()))
-            .unwrap();
+        tree.apply(&Update::with_payload(
+            rn,
+            ivm_data::tup![kk, cost],
+            MinPlus::one(),
+        ))
+        .unwrap();
     }
     for &(kk, cost) in &[(1i64, 5i64), (2, 2)] {
-        tree.apply(&Update::with_payload(sn, ivm_data::tup![kk, cost], MinPlus::one()))
-            .unwrap();
+        tree.apply(&Update::with_payload(
+            sn,
+            ivm_data::tup![kk, cost],
+            MinPlus::one(),
+        ))
+        .unwrap();
     }
     let mut out: FxHashMap<i64, f64> = FxHashMap::default();
     tree.for_each_output(&mut |t, m| {
@@ -252,8 +268,10 @@ fn first_tuple_does_not_scan_output() {
     let mut eng = EagerFactEngine::<i64>::new(q, &Database::new(), lift_one).unwrap();
     // One Y-group with a large cross product: 300 × 300 = 90k tuples.
     for i in 0..300i64 {
-        eng.apply(&Update::insert(rn, ivm_data::tup![1i64, i])).unwrap();
-        eng.apply(&Update::insert(sn, ivm_data::tup![1i64, i])).unwrap();
+        eng.apply(&Update::insert(rn, ivm_data::tup![1i64, i]))
+            .unwrap();
+        eng.apply(&Update::insert(sn, ivm_data::tup![1i64, i]))
+            .unwrap();
     }
     let t0 = Instant::now();
     let mut first = None;

@@ -2,11 +2,10 @@
 //! re-evaluation on arbitrary valid update streams, across a family of
 //! q-hierarchical queries.
 
-use ivm_core::{
-    EagerFactEngine, EagerListEngine, LazyFactEngine, LazyListEngine, Maintainer,
-};
+use ivm_core::{EagerFactEngine, EagerListEngine, LazyFactEngine, LazyListEngine, Maintainer};
 use ivm_data::ops::{eval_join_aggregate, lift_one};
 use ivm_data::{sym, Database, Relation, Schema, Tuple, Update, Value};
+use ivm_dataflow::DataflowEngine;
 use ivm_query::{Atom, Query};
 use proptest::prelude::*;
 
@@ -68,6 +67,7 @@ fn run_script(q: &Query, script: &Script) -> Result<(), TestCaseError> {
     let mut eager_list = EagerListEngine::<i64>::new(q.clone(), &db, lift_one).unwrap();
     let mut lazy_fact = LazyFactEngine::<i64>::new(q.clone(), &db, lift_one).unwrap();
     let mut lazy_list = LazyListEngine::<i64>::new(q.clone(), &db, lift_one).unwrap();
+    let mut dataflow = DataflowEngine::<i64>::new(q.clone(), &db, lift_one).unwrap();
     let mut oracle: Vec<Relation<i64>> = q
         .atoms
         .iter()
@@ -92,6 +92,7 @@ fn run_script(q: &Query, script: &Script) -> Result<(), TestCaseError> {
         eager_list.apply(&upd).unwrap();
         lazy_fact.apply(&upd).unwrap();
         lazy_list.apply(&upd).unwrap();
+        dataflow.apply(&upd).unwrap();
     }
 
     let refs: Vec<&Relation<i64>> = oracle.iter().collect();
@@ -101,6 +102,7 @@ fn run_script(q: &Query, script: &Script) -> Result<(), TestCaseError> {
         ("eager-list", eager_list.output()),
         ("lazy-fact", lazy_fact.output()),
         ("lazy-list", lazy_list.output()),
+        ("dataflow", dataflow.output()),
     ] {
         prop_assert_eq!(got.len(), expect.len(), "{} size", name);
         for (t, p) in expect.iter() {
@@ -166,5 +168,8 @@ fn boolean_variant() {
     }
     let refs: Vec<&Relation<i64>> = oracle.iter().collect();
     let expect = eval_join_aggregate(&refs, &q.free, lift_one);
-    assert_eq!(eng.output().get(&Tuple::empty()), expect.get(&Tuple::empty()));
+    assert_eq!(
+        eng.output().get(&Tuple::empty()),
+        expect.get(&Tuple::empty())
+    );
 }

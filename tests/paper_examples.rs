@@ -4,9 +4,7 @@
 use ivm_core::cascade::CascadeEngine;
 use ivm_core::cqap::CqapEngine;
 use ivm_core::fd::FdEngine;
-use ivm_core::{
-    EagerFactEngine, EagerListEngine, LazyFactEngine, LazyListEngine, Maintainer,
-};
+use ivm_core::{EagerFactEngine, EagerListEngine, LazyFactEngine, LazyListEngine, Maintainer};
 use ivm_data::ops::{eval_join_aggregate, lift_one};
 use ivm_data::{sym, tup, Database, Relation, Tuple, Update};
 use ivm_ivme::{Rel, TriangleDelta, TriangleIvmEps, TriangleMaintainer};
@@ -31,14 +29,8 @@ fn fig2_exact_numbers() {
             rows.iter().cloned(),
         )
     };
-    let r = mk(
-        "tri_R",
-        &[(tup![1i64, 1i64], 2), (tup![2i64, 1i64], 3)],
-    );
-    let s = mk(
-        "tri_S",
-        &[(tup![1i64, 1i64], 2), (tup![1i64, 2i64], 1)],
-    );
+    let r = mk("tri_R", &[(tup![1i64, 1i64], 2), (tup![2i64, 1i64], 3)]);
+    let s = mk("tri_S", &[(tup![1i64, 1i64], 2), (tup![1i64, 2i64], 1)]);
     let t = mk(
         "tri_T",
         &[
@@ -136,8 +128,7 @@ fn ex46_cqaps() {
     assert!(!is_tractable_cqap(&ex::edge_triangle_listing_cqap()));
     assert!(is_tractable_cqap(&ex::lookup_cqap()));
 
-    let mut eng: CqapEngine<i64> =
-        CqapEngine::new(ex::triangle_detect_cqap(), lift_one).unwrap();
+    let mut eng: CqapEngine<i64> = CqapEngine::new(ex::triangle_detect_cqap(), lift_one).unwrap();
     let e = sym("tdc_E");
     for (a, b) in [(10u64, 20u64), (20, 30), (30, 10)] {
         eng.apply(&Update::insert(e, tup![a, b])).unwrap();
@@ -181,7 +172,9 @@ fn ex414_static_dynamic() {
     let out = eng.output();
     assert_eq!(out.get(&tup![1i64, 5i64, 50i64]), 1);
     // Static relations reject updates.
-    assert!(eng.apply(&Update::insert(tname, tup![6i64, 60i64])).is_err());
+    assert!(eng
+        .apply(&Update::insert(tname, tup![6i64, 60i64]))
+        .is_err());
 }
 
 /// Theorem 3.4's construction example: the displayed u, M, v with

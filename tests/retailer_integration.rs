@@ -1,9 +1,7 @@
 //! Integration: the Fig 4 Retailer workload driven end to end through all
 //! four engines, checking they agree after realistic batches.
 
-use ivm_core::{
-    EagerFactEngine, EagerListEngine, LazyFactEngine, LazyListEngine, Maintainer,
-};
+use ivm_core::{EagerFactEngine, EagerListEngine, LazyFactEngine, LazyListEngine, Maintainer};
 use ivm_data::ops::lift_one;
 use ivm_workloads::RetailerGen;
 

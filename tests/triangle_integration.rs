@@ -1,9 +1,7 @@
 //! Integration: triangle maintainers under realistic skewed streams, and
 //! the OuMv reduction at a size where rebalancing actually fires.
 
-use ivm_ivme::{
-    Rel, TriangleDelta, TriangleIvmEps, TriangleMaintainer, TrianglePairwiseMv,
-};
+use ivm_ivme::{Rel, TriangleDelta, TriangleIvmEps, TriangleMaintainer, TrianglePairwiseMv};
 use ivm_oumv::{solve, NaiveOuMv, OuMvInstance, ReductionOuMv};
 use ivm_workloads::graphs::EdgeStream;
 
