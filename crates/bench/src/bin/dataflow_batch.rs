@@ -1,18 +1,25 @@
 //! Batching throughput of the generic delta-dataflow engine.
 //!
-//! Sweeps batch sizes (1, 32, 1k, 32k) on the retailer-style star join and
-//! compares one consolidated `apply_batch` per batch against single-tuple
-//! `apply` calls. Ring payloads make batch effects order-independent
-//! (Sec. 2), so both paths reach identical states; batching wins by
-//! consolidating same-tuple churn before propagation and amortizing
-//! per-propagation overheads.
+//! Two sweeps:
+//!
+//! 1. batch sizes (1, 32, 1k, 32k) on the retailer-style star join,
+//!    comparing one consolidated `apply_batch` per batch against
+//!    single-tuple `apply` calls — ring payloads make batch effects
+//!    order-independent (Sec. 2), so both paths reach identical states
+//!    and batching wins by consolidating same-tuple churn;
+//! 2. the cyclic triangle query through both planner strategies
+//!    (left-deep `DeltaJoin` chain vs. the worst-case-optimal
+//!    `MultiwayJoin`), showing the binary intermediates the WCOJ plan
+//!    never materializes.
 //!
 //! Run: `cargo run --release -p ivm-bench --bin dataflow_batch`
 //! (`RIVM_SCALE=0.2` for a quick pass).
 
 use ivm_bench::{fmt, per_sec, scaled, Table};
 use ivm_data::ops::lift_one;
-use ivm_dataflow::DataflowEngine;
+use ivm_data::{tup, Database, Update};
+use ivm_dataflow::{DataflowEngine, JoinStrategy};
+use ivm_workloads::graphs::EdgeStream;
 use ivm_workloads::RetailerGen;
 use std::time::Instant;
 
@@ -65,6 +72,71 @@ fn main() {
             (stats.output_delta_tuples - base.output_delta_tuples).to_string(),
             engine.output_relation().len().to_string(),
         ]);
+    }
+    table.print();
+    triangle_strategy_sweep();
+}
+
+/// Stream a skewed edge set into the cyclic triangle query under both
+/// planner strategies. The left-deep chain pays for every binary
+/// intermediate delta; the multiway plan's work is seeds + index probes
+/// and its `binary-join tuples` column is zero by construction.
+fn triangle_strategy_sweep() {
+    let edges = scaled(24_576, 2_048);
+    let batch_sizes = [1usize, 64, 4_096];
+    println!("\n# Dataflow planner strategies — cyclic triangle query\n");
+    println!(
+        "{edges} zipf edge inserts into each of R, S, T; left-deep vs \
+         worst-case-optimal multiway at each batch size\n"
+    );
+    let mut table = Table::new(&[
+        "strategy",
+        "batch",
+        "throughput (tuples/s)",
+        "binary-join tuples",
+        "multiway seeds",
+        "multiway probes",
+        "triangles",
+    ]);
+    let q = ivm_query::examples::triangle_count();
+    let stream = EdgeStream::zipf((edges / 8).max(32) as u64, edges, 0.8, 11);
+    let updates: Vec<Update<i64>> = stream
+        .edges
+        .iter()
+        .flat_map(|&(a, b)| {
+            q.atoms
+                .iter()
+                .map(move |atom| Update::insert(atom.name, tup![a, b]))
+        })
+        .collect();
+    for strategy in [JoinStrategy::LeftDeep, JoinStrategy::Multiway] {
+        for &batch in &batch_sizes {
+            let mut engine = DataflowEngine::<i64>::new_with_strategy(
+                q.clone(),
+                &Database::new(),
+                lift_one,
+                strategy,
+            )
+            .expect("lowerable query");
+            let start = Instant::now();
+            for chunk in updates.chunks(batch) {
+                engine.apply_batch(chunk).expect("valid update");
+            }
+            let elapsed = start.elapsed();
+            let stats = engine.stats();
+            table.row(vec![
+                format!("{strategy:?}"),
+                batch.to_string(),
+                fmt(per_sec(elapsed, updates.len())),
+                stats.binary_join_tuples.to_string(),
+                stats.multiway_seeds.to_string(),
+                stats.multiway_probes.to_string(),
+                engine
+                    .output_relation()
+                    .get(&ivm_data::Tuple::empty())
+                    .to_string(),
+            ]);
+        }
     }
     table.print();
 }

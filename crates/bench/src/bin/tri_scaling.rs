@@ -1,5 +1,5 @@
-//! **Sec 3.1–3.3**: single-tuple update cost of the four triangle
-//! maintainers as the database grows.
+//! **Sec 3.1–3.3**: single-tuple update cost of the triangle maintainers
+//! as the database grows.
 //!
 //! Paper's claims (worst-case): recomputation O(N^{3/2}), first-order
 //! delta O(N), pairwise materialized views O(N) time / O(N²) space, IVMε
@@ -7,13 +7,74 @@
 //! we probe with insert/delete of edges incident to the Zipf hub, where
 //! the delta query must intersect two Θ(N)-sized lists.
 //!
+//! On top of the four specialized kernels, two generic `ivm-dataflow`
+//! rows run the same workload through the planner's two plans:
+//! `dataflow-leftdeep` (binary `DeltaJoin` chain — materializes the
+//! pairwise intermediate, the Sec. 3.2 blow-up, so it is capped at the
+//! small sizes like `recount`) and `dataflow-wcoj` (the worst-case-optimal
+//! `MultiwayJoin`, whose per-update work is the intersection of the two
+//! hub lists — visibly sublinear in the intermediate the left-deep plan
+//! would build).
+//!
 //! Run: `cargo run --release -p ivm-bench --bin tri_scaling`
+//! Also emits `BENCH_tri.json` (path override: `BENCH_TRI_JSON`) so CI
+//! records the perf trajectory run over run.
+//!
+//! [`MultiwayJoin`]: ivm_dataflow::Dataflow::add_multiway_join
 
 use ivm_bench::{empirical_exponent, fmt, ns_per, scaled, time, Table};
+use ivm_data::ops::lift_one;
+use ivm_data::{tup, Database, Update};
+use ivm_dataflow::{DataflowEngine, JoinStrategy};
 use ivm_ivme::{
     Rel, TriangleDelta, TriangleIvmEps, TriangleMaintainer, TrianglePairwiseMv, TriangleRecount,
 };
 use ivm_workloads::graphs::EdgeStream;
+
+/// `DataflowEngine` on the 3-relation triangle query, adapted to the
+/// kernel benchmark interface. Work is the engine's machine-independent
+/// counters: propagated deltas plus materialized binary-join tuples
+/// (left-deep) or seeded tuples plus index probes (multiway).
+struct DataflowTriangle {
+    eng: DataflowEngine<i64>,
+    names: [ivm_data::Sym; 3],
+    label: &'static str,
+}
+
+impl DataflowTriangle {
+    fn new(strategy: JoinStrategy, label: &'static str) -> Self {
+        let q = ivm_query::examples::triangle_count();
+        let names = [q.atoms[0].name, q.atoms[1].name, q.atoms[2].name];
+        let eng =
+            DataflowEngine::new_with_strategy(q, &Database::new(), lift_one, strategy).unwrap();
+        DataflowTriangle { eng, names, label }
+    }
+}
+
+impl TriangleMaintainer for DataflowTriangle {
+    fn apply(&mut self, rel: Rel, x: u64, y: u64, m: i64) {
+        self.eng
+            .apply_batch(&[Update::with_payload(self.names[rel.index()], tup![x, y], m)])
+            .unwrap();
+    }
+
+    fn count(&self) -> i64 {
+        self.eng.output_relation().get(&ivm_data::Tuple::empty())
+    }
+
+    fn work(&self) -> u64 {
+        let s = self.eng.stats();
+        s.deltas_in
+            + s.binary_join_tuples
+            + s.multiway_seeds
+            + s.multiway_probes
+            + s.output_delta_tuples
+    }
+
+    fn name(&self) -> &'static str {
+        self.label
+    }
+}
 
 /// Load a skewed graph of `n` edges, then probe with hub-edge updates.
 fn run(engine: &mut dyn TriangleMaintainer, n: usize, probe: usize) -> (f64, f64) {
@@ -38,6 +99,69 @@ fn run(engine: &mut dyn TriangleMaintainer, n: usize, probe: usize) -> (f64, f64
     ((engine.work() - w0) as f64 / ops as f64, ns_per(d, ops))
 }
 
+/// One bench row, also serialized into `BENCH_tri.json`.
+struct Row {
+    engine: String,
+    works: Vec<f64>,
+    exponent: f64,
+    ns_per_update: f64,
+    /// Measured updates per size for this engine (capped engines probe
+    /// fewer times than the default).
+    probe_updates: usize,
+    paper: String,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn emit_json(sizes: &[usize], rows: &[Row]) {
+    let num = |v: f64| {
+        if v.is_finite() {
+            format!("{v:.3}")
+        } else {
+            "null".to_string()
+        }
+    };
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"tri_scaling\",\n  \"scale\": {},\n",
+        ivm_bench::scale(),
+    ));
+    out.push_str(&format!(
+        "  \"sizes\": [{}],\n  \"rows\": [\n",
+        sizes
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"work_per_update\": [{}], \
+             \"empirical_exponent\": {}, \"ns_per_update\": {}, \
+             \"probe_updates\": {}, \"paper\": \"{}\"}}{}\n",
+            json_escape(&r.engine),
+            r.works
+                .iter()
+                .map(|&w| num(w))
+                .collect::<Vec<_>>()
+                .join(", "),
+            num(r.exponent),
+            num(r.ns_per_update),
+            r.probe_updates,
+            json_escape(&r.paper),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = std::env::var("BENCH_TRI_JSON").unwrap_or_else(|_| "BENCH_tri.json".to_string());
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}
+
 fn main() {
     let sizes = [
         scaled(4_000, 500),
@@ -56,12 +180,24 @@ fn main() {
         "paper",
     ]);
 
-    for name in ["recount", "delta", "pairwise-mv", "ivm-eps(0.5)"] {
+    let engines = [
+        "recount",
+        "delta",
+        "pairwise-mv",
+        "ivm-eps(0.5)",
+        "dataflow-leftdeep",
+        "dataflow-wcoj",
+    ];
+    let mut rows: Vec<Row> = Vec::new();
+    for name in engines {
+        // Quadratic-intermediate engines get capped at the small sizes:
+        // recount is Θ(N^{3/2}) per update, and the left-deep dataflow
+        // chain materializes the Θ(N²)-sized pairwise intermediate.
+        let capped = matches!(name, "recount" | "dataflow-leftdeep");
         let mut works = Vec::new();
         let mut last_ns = 0.0;
         for (si, &n) in sizes.iter().enumerate() {
-            // Recount is Θ(N^{3/2}) per update: cap its sizes and probes.
-            if name == "recount" && si > 1 {
+            if capped && si > 1 {
                 works.push(f64::NAN);
                 continue;
             }
@@ -69,9 +205,17 @@ fn main() {
                 "recount" => Box::new(TriangleRecount::new()),
                 "delta" => Box::new(TriangleDelta::new()),
                 "pairwise-mv" => Box::new(TrianglePairwiseMv::new()),
+                "dataflow-leftdeep" => Box::new(DataflowTriangle::new(
+                    JoinStrategy::LeftDeep,
+                    "dataflow-leftdeep",
+                )),
+                "dataflow-wcoj" => Box::new(DataflowTriangle::new(
+                    JoinStrategy::Multiway,
+                    "dataflow-wcoj",
+                )),
                 _ => Box::new(TriangleIvmEps::new(0.5)),
             };
-            let p = if name == "recount" { 10 } else { probe };
+            let p = if capped { 10 } else { probe };
             let (w, ns) = run(eng.as_mut(), n, p);
             works.push(w);
             last_ns = ns;
@@ -85,6 +229,8 @@ fn main() {
             "recount" => "N^1.5",
             "delta" => "N^1",
             "pairwise-mv" => "N^1",
+            "dataflow-leftdeep" => "N^1 (binary intermediates)",
+            "dataflow-wcoj" => "sublinear in intermediate",
             _ => "N^0.5",
         };
         table.row(vec![
@@ -100,10 +246,20 @@ fn main() {
             fmt(last_ns),
             expected.to_string(),
         ]);
+        rows.push(Row {
+            engine: name.to_string(),
+            works: works.clone(),
+            exponent: exp,
+            ns_per_update: last_ns,
+            probe_updates: if capped { 10 } else { probe } * 2,
+            paper: expected.to_string(),
+        });
     }
     table.print();
     println!(
         "\nExpected shape (paper): ivm-eps grows ~N^0.5 on hub updates; \
-         delta and pairwise-mv grow ~N^1; recount fastest-growing."
+         delta and pairwise-mv grow ~N^1; recount fastest-growing. \
+         dataflow-wcoj should sit well below dataflow-leftdeep at equal N."
     );
+    emit_json(&sizes, &rows);
 }

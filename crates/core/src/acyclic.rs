@@ -27,7 +27,16 @@ pub struct JoinTree {
 
 /// Build a join tree by GYO ear removal with witness tracking; `None` for
 /// cyclic queries.
+///
+/// Cyclicity itself is decided by the vertex/edge GYO reduction in
+/// [`ivm_query::acyclic`] — the same check the `ivm-dataflow` planner uses
+/// to route cyclic queries to its worst-case-optimal multiway join — so
+/// every layer agrees on one definition of "acyclic"; the ear removal
+/// below then only runs to *construct* the tree, never to decide.
 pub fn join_tree(q: &Query) -> Option<JoinTree> {
+    if !ivm_query::acyclic::is_acyclic(q) {
+        return None;
+    }
     let n = q.atoms.len();
     let mut removed = vec![false; n];
     let mut parent: Vec<Option<usize>> = vec![None; n];
@@ -346,6 +355,39 @@ mod tests {
     fn join_tree_rejects_triangle() {
         let q = ivm_query::examples::triangle_count();
         assert!(join_tree(&q).is_none());
+    }
+
+    /// The tree builder and the shared GYO check must agree on every
+    /// query shape both layers see (tree exists ⇔ acyclic).
+    #[test]
+    fn join_tree_agrees_with_shared_gyo_check() {
+        use ivm_data::{sym, vars};
+        use ivm_query::Atom;
+        let [a, b, c, d] = vars(["jt_A", "jt_B", "jt_C", "jt_D"]);
+        let cycle4 = Query::new(
+            "jt_cycle4",
+            [],
+            vec![
+                Atom::new(sym("jt_R"), [a, b]),
+                Atom::new(sym("jt_S"), [b, c]),
+                Atom::new(sym("jt_T"), [c, d]),
+                Atom::new(sym("jt_U"), [d, a]),
+            ],
+        );
+        let queries = [
+            ivm_query::examples::triangle_count(),
+            ivm_query::examples::fig3_query(),
+            ivm_query::examples::path3_query(),
+            ivm_query::examples::job_pkfk_query(),
+            cycle4,
+        ];
+        for q in queries {
+            assert_eq!(
+                join_tree(&q).is_some(),
+                ivm_query::acyclic::is_acyclic(&q),
+                "disagreement on {q:?}"
+            );
+        }
     }
 
     #[test]

@@ -135,6 +135,77 @@ mod tests {
     }
 
     #[test]
+    fn empty_batch_is_empty_everywhere() {
+        let none: [Update<i64>; 0] = [];
+        let b = DeltaBatch::from_updates(&none);
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.relations().count(), 0);
+        assert!(b.to_updates().is_empty());
+    }
+
+    #[test]
+    fn reinsert_after_delete_survives() {
+        // +1, −1, +1 on one tuple: the middle pair annihilates but the
+        // final insert must come through with multiplicity exactly 1.
+        let r = sym("dbat_R5");
+        let ups: Vec<Update<i64>> = vec![
+            Update::insert(r, tup![7i64]),
+            Update::delete(r, tup![7i64]),
+            Update::insert(r, tup![7i64]),
+        ];
+        let b = DeltaBatch::from_updates(&ups);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.delta(r).unwrap()[&tup![7i64]], 1);
+    }
+
+    #[test]
+    fn zero_annihilation_is_per_tuple_not_per_relation() {
+        // One tuple cancels, its sibling in the same relation must not.
+        let r = sym("dbat_R6");
+        let ups: Vec<Update<i64>> = vec![
+            Update::with_payload(r, tup![1i64], 2),
+            Update::with_payload(r, tup![2i64], 5),
+            Update::with_payload(r, tup![1i64], -2),
+        ];
+        let b = DeltaBatch::from_updates(&ups);
+        assert_eq!(b.len(), 1);
+        assert!(!b.delta(r).unwrap().contains_key(&tup![1i64]));
+        assert_eq!(b.delta(r).unwrap()[&tup![2i64]], 5);
+    }
+
+    #[test]
+    fn relation_entry_vanishes_when_all_tuples_cancel() {
+        // A relation whose every delta annihilates must not linger as an
+        // empty map — `relations()` drives source propagation.
+        let (r, s) = (sym("dbat_R7"), sym("dbat_S7"));
+        let ups: Vec<Update<i64>> = vec![
+            Update::insert(r, tup![1i64]),
+            Update::insert(s, tup![9i64]),
+            Update::delete(r, tup![1i64]),
+        ];
+        let b = DeltaBatch::from_updates(&ups);
+        let rels: Vec<_> = b.relations().collect();
+        assert_eq!(rels, vec![s]);
+        // Pushing the cancelling pair again onto the live batch keeps s.
+        let mut b = b;
+        b.push(&Update::insert(r, tup![1i64]));
+        b.push(&Update::delete(r, tup![1i64]));
+        assert_eq!(b.len(), 1);
+        assert!(b.delta(r).is_none());
+    }
+
+    #[test]
+    fn delete_of_absent_tuple_carries_negative_multiplicity() {
+        // Deletes need no prior insert: the batch faithfully records the
+        // negative delta and downstream relations go negative (Sec. 2).
+        let r = sym("dbat_R8");
+        let ups: Vec<Update<i64>> = vec![Update::delete(r, tup![3i64])];
+        let b = DeltaBatch::from_updates(&ups);
+        assert_eq!(b.delta(r).unwrap()[&tup![3i64]], -1);
+    }
+
+    #[test]
     fn roundtrip_to_updates() {
         let (r, s) = (sym("dbat_R4"), sym("dbat_S4"));
         let ups: Vec<Update<i64>> = vec![

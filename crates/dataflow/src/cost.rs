@@ -1,0 +1,239 @@
+//! Cost-based plan ordering with deterministic tie-breaking.
+//!
+//! The planner used to order atoms syntactically (the order they appear in
+//! the query), which made plan quality an accident of query spelling and
+//! plan *stability* an accident of nothing at all. This module centralizes
+//! both orderings the planner needs:
+//!
+//! * [`atom_order`] — the join order of the left-deep `DeltaJoin` chain
+//!   for acyclic queries: start from the smallest relation, then greedily
+//!   extend by the most-connected (then smallest) atom, so chains stay
+//!   connected and avoid accidental Cartesian products;
+//! * [`variable_order`] — the global elimination order of the
+//!   [`MultiwayJoin`](crate::Dataflow::add_multiway_join) node for cyclic
+//!   queries: most-constrained variables first (highest atom degree, then
+//!   lowest fan-out estimate from the containing relations' cardinalities).
+//!
+//! Every comparison ends in a deterministic tie-break (cardinality, then
+//! first-occurrence index), so the same query and statistics always
+//! produce byte-identical plans across runs and platforms — a precondition
+//! for comparing recorded bench numbers over time.
+
+use ivm_data::{Database, FxHashMap, Schema, Sym};
+use ivm_query::Query;
+use ivm_ring::Semiring;
+
+/// Relation cardinality estimates feeding the orderings. Missing relations
+/// are treated as unknown (and sort after every known size).
+#[derive(Clone, Debug, Default)]
+pub struct Cardinalities {
+    sizes: FxHashMap<Sym, usize>,
+}
+
+impl Cardinalities {
+    /// No statistics: every ordering falls back to pure tie-breaking,
+    /// which reproduces a stable syntactic-like order.
+    pub fn none() -> Self {
+        Cardinalities::default()
+    }
+
+    /// Record one relation's size.
+    pub fn set(&mut self, relation: Sym, size: usize) -> &mut Self {
+        self.sizes.insert(relation, size);
+        self
+    }
+
+    /// Snapshot the sizes of a query's relations from a database.
+    pub fn from_db<R: Semiring>(db: &Database<R>, q: &Query) -> Self {
+        let mut cards = Cardinalities::default();
+        for atom in &q.atoms {
+            if let Some(rel) = db.get(atom.name) {
+                cards.set(atom.name, rel.len());
+            }
+        }
+        cards
+    }
+
+    /// The estimate for `relation`, `usize::MAX` when unknown (unknown
+    /// relations order last among equals).
+    pub fn get(&self, relation: Sym) -> usize {
+        self.sizes.get(&relation).copied().unwrap_or(usize::MAX)
+    }
+}
+
+/// The left-deep join order: atom indices into `q.atoms`.
+///
+/// Greedy: open with the smallest relation, then repeatedly append the
+/// remaining atom sharing the most variables with the atoms picked so far
+/// (ties: smaller relation, then lower atom index). Atoms sharing nothing
+/// are only picked once nothing connected remains, so Cartesian products
+/// are deferred as far as the hypergraph allows.
+pub fn atom_order(q: &Query, cards: &Cardinalities) -> Vec<usize> {
+    let n = q.atoms.len();
+    let card = |i: usize| cards.get(q.atoms[i].name);
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut bound = Schema::empty();
+    while !remaining.is_empty() {
+        let pick = *remaining
+            .iter()
+            .min_by_key(|&&i| {
+                let shared = q.atoms[i].schema.intersect(&bound).arity();
+                // More shared variables first, then smaller, then earlier.
+                (std::cmp::Reverse(shared), card(i), i)
+            })
+            .expect("remaining is non-empty");
+        bound = bound.union(&q.atoms[pick].schema);
+        order.push(pick);
+        remaining.retain(|&i| i != pick);
+    }
+    order
+}
+
+/// The global variable-elimination order for a multiway join.
+///
+/// Most-constrained first: variables touching more atoms lead (their
+/// candidate sets are intersections of more lists), ties broken by the
+/// smallest cardinality among the containing relations (a cheap fan-out
+/// estimate — values drawn from small relations prune earlier), then by
+/// first occurrence in the query.
+pub fn variable_order(q: &Query, cards: &Cardinalities) -> Schema {
+    let all = q.variables();
+    let mut vars: Vec<(usize, Sym)> = all.vars().iter().copied().enumerate().collect();
+    let stats = |v: Sym| {
+        let mut degree = 0usize;
+        let mut min_card = usize::MAX;
+        for atom in &q.atoms {
+            if atom.schema.contains(v) {
+                degree += 1;
+                min_card = min_card.min(cards.get(atom.name));
+            }
+        }
+        (degree, min_card)
+    };
+    vars.sort_by_key(|&(first_occurrence, v)| {
+        let (degree, min_card) = stats(v);
+        (std::cmp::Reverse(degree), min_card, first_occurrence)
+    });
+    Schema::new(vars.into_iter().map(|(_, v)| v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivm_data::{sym, vars};
+    use ivm_query::Atom;
+
+    fn chain() -> Query {
+        // R(a,b)·S(b,c)·T(c,d)
+        let [a, b, c, d] = vars(["co_A", "co_B", "co_C", "co_D"]);
+        Query::new(
+            "co_chain",
+            [a, d],
+            vec![
+                Atom::new(sym("co_R"), [a, b]),
+                Atom::new(sym("co_S"), [b, c]),
+                Atom::new(sym("co_T"), [c, d]),
+            ],
+        )
+    }
+
+    #[test]
+    fn no_stats_is_stable_syntactic_order() {
+        let q = chain();
+        let order = atom_order(&q, &Cardinalities::none());
+        assert_eq!(order, vec![0, 1, 2]);
+        // Deterministic: identical inputs, identical plans.
+        assert_eq!(order, atom_order(&q, &Cardinalities::none()));
+    }
+
+    #[test]
+    fn smallest_relation_opens_and_chain_stays_connected() {
+        let q = chain();
+        let mut cards = Cardinalities::none();
+        cards
+            .set(sym("co_R"), 10_000)
+            .set(sym("co_S"), 5_000)
+            .set(sym("co_T"), 10);
+        // T is smallest; S connects to it via c; R only connects via S.
+        assert_eq!(atom_order(&q, &cards), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn connectivity_beats_cardinality() {
+        // R(a,b) tiny, U(x) tinier but disconnected: U must not interpose.
+        let [a, b, x] = vars(["co_A2", "co_B2", "co_X2"]);
+        let q = Query::new(
+            "co_disc",
+            [a, x],
+            vec![
+                Atom::new(sym("co_R2"), [a, b]),
+                Atom::new(sym("co_S2"), [b, x]),
+                Atom::new(sym("co_U2"), [x]),
+            ],
+        );
+        let mut cards = Cardinalities::none();
+        cards
+            .set(sym("co_R2"), 100)
+            .set(sym("co_S2"), 1_000)
+            .set(sym("co_U2"), 5);
+        // U opens (smallest), then S (shares x), then R (shares b).
+        assert_eq!(atom_order(&q, &cards), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn variable_order_puts_high_degree_first() {
+        // Star: x occurs in all three atoms, the leaves once each.
+        let [x, y, z, w] = vars(["co_SX", "co_SY", "co_SZ", "co_SW"]);
+        let q = Query::new(
+            "co_star",
+            [x, y, z, w],
+            vec![
+                Atom::new(sym("co_SR"), [x, y]),
+                Atom::new(sym("co_SS"), [x, z]),
+                Atom::new(sym("co_ST"), [x, w]),
+            ],
+        );
+        let vo = variable_order(&q, &Cardinalities::none());
+        assert_eq!(vo.vars()[0], x);
+        assert_eq!(vo, Schema::from([x, y, z, w]));
+    }
+
+    #[test]
+    fn variable_order_ties_break_by_fanout_then_occurrence() {
+        // Triangle: every variable has degree 2; with S tiny, its
+        // variables (b, c) lead, ordered by first occurrence.
+        let [a, b, c] = vars(["co_TA", "co_TB", "co_TC"]);
+        let q = Query::new(
+            "co_tri",
+            [],
+            vec![
+                Atom::new(sym("co_TR"), [a, b]),
+                Atom::new(sym("co_TS"), [b, c]),
+                Atom::new(sym("co_TT"), [c, a]),
+            ],
+        );
+        assert_eq!(
+            variable_order(&q, &Cardinalities::none()),
+            Schema::from([a, b, c])
+        );
+        let mut cards = Cardinalities::none();
+        cards
+            .set(sym("co_TR"), 1_000)
+            .set(sym("co_TS"), 10)
+            .set(sym("co_TT"), 1_000);
+        assert_eq!(variable_order(&q, &cards), Schema::from([b, c, a]));
+    }
+
+    #[test]
+    fn orders_cover_all_atoms_and_variables() {
+        let q = chain();
+        let order = atom_order(&q, &Cardinalities::none());
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+        let vo = variable_order(&q, &Cardinalities::none());
+        assert_eq!(vo.arity(), q.variables().arity());
+        assert!(q.variables().subset_of(&vo));
+    }
+}

@@ -1,7 +1,8 @@
 //! The dataflow-backed [`Maintainer`]: the repo's generic fallback engine.
 
+use crate::cost::Cardinalities;
 use crate::graph::{Dataflow, DataflowStats};
-use crate::planner::lower;
+use crate::planner::{lower_with, JoinStrategy};
 use ivm_core::{EngineError, Maintainer};
 use ivm_data::ops::Lift;
 use ivm_data::{Batch, Database, FxHashSet, Relation, Sym, Tuple, Update};
@@ -25,10 +26,24 @@ pub struct DataflowEngine<R> {
 }
 
 impl<R: Semiring> DataflowEngine<R> {
-    /// Lower `query`, then preprocess by streaming `db`'s contents for
+    /// Lower `query` with [`JoinStrategy::Auto`] (left-deep when acyclic,
+    /// worst-case-optimal multiway when cyclic) ordered by `db`'s relation
+    /// cardinalities, then preprocess by streaming `db`'s contents for
     /// every atom relation (static and dynamic) through the dataflow.
     pub fn new(query: Query, db: &Database<R>, lift: Lift<R>) -> Result<Self, EngineError> {
-        let mut dataflow = lower(&query, lift);
+        Self::new_with_strategy(query, db, lift, JoinStrategy::Auto)
+    }
+
+    /// [`Self::new`] with an explicit join plan — the equivalence tests
+    /// run the same query through both plans and cross-check them.
+    pub fn new_with_strategy(
+        query: Query,
+        db: &Database<R>,
+        lift: Lift<R>,
+        strategy: JoinStrategy,
+    ) -> Result<Self, EngineError> {
+        let cards = Cardinalities::from_db(db, &query);
+        let mut dataflow = lower_with(&query, lift, strategy, &cards);
 
         let mut dynamics: FxHashSet<Sym> = FxHashSet::default();
         let mut statics: FxHashSet<Sym> = FxHashSet::default();

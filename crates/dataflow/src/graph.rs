@@ -20,6 +20,7 @@
 //! always sound.
 
 use crate::batch::DeltaBatch;
+use crate::multiway::MultiwayState;
 use ivm_core::EngineError;
 use ivm_data::ops::{aggregate, Lift};
 use ivm_data::{GroupedIndex, Relation, Schema, Sym, Tuple, Update, Value};
@@ -75,6 +76,11 @@ enum Operator<R> {
     /// Semi-naive hash join of two inputs on their shared variables
     /// (boxed: the index state dwarfs the other variants).
     DeltaJoin(Box<JoinState<R>>),
+    /// Worst-case-optimal multiway join over N atoms: attribute-at-a-time
+    /// intersection search over shared hash-trie indexes, with delta terms
+    /// seeded from the changed tuples (see [`crate::multiway`]). Unlike a
+    /// chain of `DeltaJoin`s it materializes no binary intermediates.
+    MultiwayJoin(Box<MultiwayState<R>>),
     /// Marginalizes every non-group-by variable with a lifting function
     /// and reorders columns to the group-by schema (linear).
     GroupAggregate {
@@ -103,6 +109,15 @@ pub struct DataflowStats {
     pub deltas_in: u64,
     /// Delta tuples that reached the sink.
     pub output_delta_tuples: u64,
+    /// Tuples emitted by binary `DeltaJoin` nodes — the materialized
+    /// intermediates a worst-case-optimal plan avoids. Zero for a plan
+    /// whose only join is a `MultiwayJoin`.
+    pub binary_join_tuples: u64,
+    /// Delta tuples that seeded a multiway variable-elimination search.
+    pub multiway_seeds: u64,
+    /// Index and membership probes performed by multiway searches — the
+    /// machine-independent work measure of the WCOJ path.
+    pub multiway_probes: u64,
 }
 
 /// A runnable delta-dataflow: operator DAG + materialized output view.
@@ -228,6 +243,38 @@ impl<R: Semiring> Dataflow<R> {
         })
     }
 
+    /// Add a worst-case-optimal multiway join. `inputs` are the distinct
+    /// upstream nodes (one per base relation — self-join occurrences share
+    /// an input and therefore share indexes); `atoms` pairs each atom
+    /// occurrence's slot in `inputs` with its variable schema; `var_order`
+    /// is the global elimination order and the node's output schema, and
+    /// must cover every atom variable.
+    pub fn add_multiway_join(
+        &mut self,
+        inputs: Vec<NodeId>,
+        atoms: Vec<(usize, Schema)>,
+        var_order: Schema,
+    ) -> NodeId {
+        for &(slot, ref schema) in &atoms {
+            assert!(slot < inputs.len(), "atom input slot {slot} out of range");
+            assert_eq!(
+                schema.arity(),
+                self.nodes[inputs[slot]].schema.arity(),
+                "atom schema arity must match its input"
+            );
+            assert!(
+                schema.subset_of(&var_order),
+                "atom schema {schema:?} must be within var order {var_order:?}"
+            );
+        }
+        let state = MultiwayState::new(&atoms, inputs.len(), var_order.clone());
+        self.push_node(Node {
+            op: Operator::MultiwayJoin(Box::new(state)),
+            inputs,
+            schema: var_order,
+        })
+    }
+
     /// Add an aggregation of `input` onto `group_by`, lifting marginalized
     /// variables with `lift`.
     pub fn add_aggregate(&mut self, input: NodeId, group_by: Schema, lift: Lift<R>) -> NodeId {
@@ -283,6 +330,7 @@ impl<R: Semiring> Dataflow<R> {
                 Operator::Filter { .. } => "Filter".to_string(),
                 Operator::Map { .. } => "Map".to_string(),
                 Operator::DeltaJoin(_) => "DeltaJoin".to_string(),
+                Operator::MultiwayJoin(s) => format!("MultiwayJoin(atoms={})", s.atom_count()),
                 Operator::GroupAggregate { .. } => "GroupAggregate".to_string(),
             };
             let sink = if self.sink == Some(i) {
@@ -322,10 +370,15 @@ impl<R: Semiring> Dataflow<R> {
         }
         self.stats.deltas_in += batch.len() as u64;
 
-        let mut deltas: Vec<Option<Relation<R>>> = (0..self.nodes.len()).map(|_| None).collect();
-        for id in 0..self.nodes.len() {
+        let nodes = &mut self.nodes;
+        let stats = &mut self.stats;
+        let mut deltas: Vec<Option<Relation<R>>> = (0..nodes.len()).map(|_| None).collect();
+        // Indexing, not iterating: each step splits `deltas` at `id` to
+        // read predecessors while writing the current slot.
+        #[allow(clippy::needless_range_loop)]
+        for id in 0..nodes.len() {
             let (done, rest) = deltas.split_at_mut(id);
-            let node = &mut self.nodes[id];
+            let node = &mut nodes[id];
             let delta = match &mut node.op {
                 Operator::Source { relation } => batch.delta(*relation).map(|m| {
                     let mut rel = Relation::new(node.schema.clone());
@@ -364,7 +417,16 @@ impl<R: Semiring> Dataflow<R> {
                 Operator::DeltaJoin(state) => {
                     let dl = done[node.inputs[0]].as_ref();
                     let dr = done[node.inputs[1]].as_ref();
-                    join_delta(state, &node.schema, dl, dr)
+                    let d = join_delta(state, &node.schema, dl, dr);
+                    if let Some(d) = &d {
+                        stats.binary_join_tuples += d.len() as u64;
+                    }
+                    d
+                }
+                Operator::MultiwayJoin(state) => {
+                    let input_deltas: Vec<Option<&Relation<R>>> =
+                        node.inputs.iter().map(|&i| done[i].as_ref()).collect();
+                    state.apply(&input_deltas, stats)
                 }
                 Operator::GroupAggregate { group_by, lift } => done[node.inputs[0]]
                     .as_ref()

@@ -10,19 +10,28 @@
 //! propagation through a composable operator DAG, in the style of Koch et
 //! al.'s collection programming and of DBSP.
 //!
-//! Three layers:
+//! Four layers:
 //!
 //! * [`DeltaBatch`] — consolidates a batch of single-tuple updates
 //!   per `(relation, tuple)`; sound because ring payloads make batch
 //!   effects order-independent (Sec. 2 of the paper);
 //! * [`Dataflow`] — the runtime: `Source`, `Filter`, `Map`/`Project`,
 //!   hash-indexed binary `DeltaJoin` (semi-naive: `δL⋈R ⊎ L⋈δR ⊎ δL⋈δR`),
-//!   and `GroupAggregate` nodes over any [`ivm_ring::Semiring`], driven by
-//!   [`Dataflow::apply_batch`];
-//! * [`planner::lower`] + [`DataflowEngine`] — lowers an
-//!   `ivm_query::Query` onto a left-deep join DAG and wraps it as an
+//!   the worst-case-optimal [`multiway`] `MultiwayJoin` (attribute-at-a-
+//!   time intersection search over shared hash-trie indexes, deltas
+//!   seeded from the changed tuples), and `GroupAggregate` nodes over any
+//!   [`ivm_ring::Semiring`], driven by [`Dataflow::apply_batch`];
+//! * [`cost`] — deterministic cost-based orderings: the left-deep atom
+//!   order and the multiway variable-elimination order, both derived
+//!   from relation cardinalities with stable tie-breaking;
+//! * [`planner::lower`] + [`DataflowEngine`] — splits on the hypergraph
+//!   (GYO check shared with `ivm_query::acyclic`): α-acyclic queries get
+//!   the left-deep `DeltaJoin` chain, cyclic queries get one
+//!   `MultiwayJoin` node that materializes no binary intermediates
+//!   ([`DataflowStats::binary_join_tuples`] stays zero); wrapped as an
 //!   `ivm_core::Maintainer`, so the runtime slots into the existing
-//!   equivalence tests, benches, and examples.
+//!   equivalence tests, benches, and examples. [`JoinStrategy`] forces
+//!   either plan for cross-checking.
 //!
 //! # Quickstart
 //!
@@ -54,11 +63,14 @@
 //! ```
 
 pub mod batch;
+pub mod cost;
 pub mod engine;
 pub mod graph;
+pub mod multiway;
 pub mod planner;
 
 pub use batch::DeltaBatch;
+pub use cost::Cardinalities;
 pub use engine::DataflowEngine;
 pub use graph::{Dataflow, DataflowStats, NodeId};
-pub use planner::lower;
+pub use planner::{lower, lower_with, JoinStrategy};

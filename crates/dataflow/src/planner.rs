@@ -1,39 +1,99 @@
 //! Lowering a conjunctive query onto a delta-dataflow DAG.
 //!
 //! Any `ivm_query::Query` — q-hierarchical or not, acyclic or *cyclic*,
-//! self-join or not — lowers to a left-deep chain of binary
-//! [`DeltaJoin`](crate::Dataflow::add_join) nodes in atom order, one
-//! [`Source`](crate::Dataflow::add_source) per atom (a base relation
-//! appearing in k atoms feeds k sources, which is how self-joins like the
-//! triangle query propagate one update through every occurrence), early
-//! marginalization of variables no later atom or the head needs, and a
-//! final [`GroupAggregate`](crate::Dataflow::add_aggregate) onto the free
-//! variables.
+//! self-join or not — lowers to a runnable dataflow. The planner splits on
+//! the hypergraph's shape, decided by the GYO reduction shared with
+//! `ivm_query::acyclic` (the same check `ivm_core::acyclic::join_tree`
+//! routes through):
+//!
+//! * **α-acyclic** queries keep the left-deep chain of binary
+//!   [`DeltaJoin`](crate::Dataflow::add_join) nodes — one
+//!   [`Source`](crate::Dataflow::add_source) per atom occurrence, early
+//!   marginalization of variables no later atom or the head needs, and a
+//!   final [`GroupAggregate`](crate::Dataflow::add_aggregate) onto the
+//!   free variables. Atom order comes from [`cost::atom_order`] (smallest
+//!   relation first, connected extension, deterministic tie-breaks)
+//!   instead of the old syntactic order.
+//! * **Cyclic** queries (triangle, 4-cycle, Loomis–Whitney) lower to a
+//!   single worst-case-optimal
+//!   [`MultiwayJoin`](crate::Dataflow::add_multiway_join) node — one
+//!   source per *distinct* relation (self-join occurrences share state),
+//!   a cost-based variable order from [`cost::variable_order`], and the
+//!   same final aggregate. The left-deep chain would materialize binary
+//!   intermediate deltas that can dwarf the output (the Sec. 3.3 blow-up
+//!   that Kara et al. and leapfrog-style WCOJ algorithms avoid).
+//!
+//! [`JoinStrategy`] overrides the split — the property-test harness runs
+//! the same query through both plans and cross-checks them.
 //!
 //! This is the generic-fallback counterpart to the specialized engines in
 //! `ivm-core`: no constant-time guarantees, but O(|δQ| + index-probe) work
 //! per batch for every conjunctive query with aggregates.
 
+use crate::cost::{self, Cardinalities};
 use crate::graph::Dataflow;
 use ivm_data::ops::Lift;
+use ivm_data::FxHashMap;
+use ivm_query::acyclic::is_acyclic;
 use ivm_query::Query;
 use ivm_ring::Semiring;
 
-/// Lower `q` to a runnable dataflow with `lift` as the payload lifting.
+/// Which join plan to lower to.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// Split on the hypergraph: left-deep when α-acyclic, multiway when
+    /// cyclic.
+    #[default]
+    Auto,
+    /// Force the left-deep binary `DeltaJoin` chain.
+    LeftDeep,
+    /// Force the single worst-case-optimal `MultiwayJoin` node.
+    Multiway,
+}
+
+/// Lower `q` with the default strategy and no statistics.
 pub fn lower<R: Semiring>(q: &Query, lift: Lift<R>) -> Dataflow<R> {
+    lower_with(q, lift, JoinStrategy::Auto, &Cardinalities::none())
+}
+
+/// Lower `q` to a runnable dataflow with `lift` as the payload lifting,
+/// choosing the join plan per `strategy` and ordering it by `cards`.
+pub fn lower_with<R: Semiring>(
+    q: &Query,
+    lift: Lift<R>,
+    strategy: JoinStrategy,
+    cards: &Cardinalities,
+) -> Dataflow<R> {
+    let multiway = match strategy {
+        JoinStrategy::Auto => !is_acyclic(q),
+        JoinStrategy::LeftDeep => false,
+        JoinStrategy::Multiway => true,
+    };
+    if multiway {
+        lower_multiway(q, lift, cards)
+    } else {
+        lower_left_deep(q, lift, cards)
+    }
+}
+
+/// The left-deep chain over `cost::atom_order`.
+fn lower_left_deep<R: Semiring>(q: &Query, lift: Lift<R>, cards: &Cardinalities) -> Dataflow<R> {
     let mut df = Dataflow::new();
-    let n = q.atoms.len();
-    let mut cur = df.add_source(q.atoms[0].name, q.atoms[0].schema.clone());
-    for (i, atom) in q.atoms.iter().enumerate().skip(1) {
+    let order = cost::atom_order(q, cards);
+    let n = order.len();
+    let first = &q.atoms[order[0]];
+    let mut cur = df.add_source(first.name, first.schema.clone());
+    for (k, &ai) in order.iter().enumerate().skip(1) {
+        let atom = &q.atoms[ai];
         let src = df.add_source(atom.name, atom.schema.clone());
         cur = df.add_join(cur, src);
         // Early marginalization: a variable that is bound and absent from
         // every later atom can be summed out now, shrinking intermediate
         // deltas. The final aggregate handles whatever remains.
-        if i + 1 < n {
+        if k + 1 < n {
             let mut needed = q.free.clone();
-            for later in &q.atoms[i + 1..] {
-                needed = needed.union(&later.schema);
+            for &later in &order[k + 1..] {
+                needed = needed.union(&q.atoms[later].schema);
             }
             let keep = df.schema_of(cur).intersect(&needed);
             if keep.arity() < df.schema_of(cur).arity() {
@@ -41,6 +101,35 @@ pub fn lower<R: Semiring>(q: &Query, lift: Lift<R>) -> Dataflow<R> {
             }
         }
     }
+    finish(df, cur, q, lift)
+}
+
+/// One `MultiwayJoin` node over one source per distinct relation.
+fn lower_multiway<R: Semiring>(q: &Query, lift: Lift<R>, cards: &Cardinalities) -> Dataflow<R> {
+    let mut df = Dataflow::new();
+    let mut slot_of: FxHashMap<ivm_data::Sym, usize> = FxHashMap::default();
+    let mut inputs = Vec::new();
+    let mut atoms = Vec::with_capacity(q.atoms.len());
+    for atom in &q.atoms {
+        let slot = *slot_of.entry(atom.name).or_insert_with(|| {
+            inputs.push(df.add_source(atom.name, atom.schema.clone()));
+            inputs.len() - 1
+        });
+        atoms.push((slot, atom.schema.clone()));
+    }
+    let var_order = cost::variable_order(q, cards);
+    let join = df.add_multiway_join(inputs, atoms, var_order);
+    finish(df, join, q, lift)
+}
+
+/// Aggregate onto the free variables when the join schema differs, then
+/// declare the sink.
+fn finish<R: Semiring>(
+    mut df: Dataflow<R>,
+    mut cur: crate::graph::NodeId,
+    q: &Query,
+    lift: Lift<R>,
+) -> Dataflow<R> {
     if df.schema_of(cur) != &q.free {
         cur = df.add_aggregate(cur, q.free.clone(), lift);
     }
@@ -66,12 +155,103 @@ mod tests {
     }
 
     #[test]
-    fn triangle_self_join_gets_three_sources() {
+    fn cyclic_triangle_lowers_to_one_multiway_node() {
         let q = ivm_query::examples::triangle_count();
         let df: Dataflow<i64> = lower(&q, lift_one);
         let plan = df.describe();
         assert_eq!(plan.matches("Source").count(), 3, "{plan}");
-        assert_eq!(plan.matches("DeltaJoin").count(), 2, "{plan}");
+        assert_eq!(plan.matches("MultiwayJoin(atoms=3)").count(), 1, "{plan}");
+        assert_eq!(plan.matches("DeltaJoin").count(), 0, "{plan}");
+    }
+
+    #[test]
+    fn triangle_self_join_shares_one_source() {
+        // One edge relation in three atoms: the multiway plan reads it
+        // through a single source (shared indexes), unlike the left-deep
+        // plan's one source per occurrence.
+        let [a, b, c] = vars(["pl_MA", "pl_MB", "pl_MC"]);
+        let e = sym("pl_ME");
+        let q = ivm_query::Query::new(
+            "pl_mtri",
+            [],
+            vec![
+                Atom::new(e, [a, b]),
+                Atom::new(e, [b, c]),
+                Atom::new(e, [c, a]),
+            ],
+        );
+        let df: Dataflow<i64> = lower(&q, lift_one);
+        let plan = df.describe();
+        assert_eq!(plan.matches("Source").count(), 1, "{plan}");
+        assert_eq!(plan.matches("MultiwayJoin(atoms=3)").count(), 1, "{plan}");
+
+        let forced: Dataflow<i64> =
+            lower_with(&q, lift_one, JoinStrategy::LeftDeep, &Cardinalities::none());
+        assert_eq!(forced.describe().matches("Source").count(), 3);
+    }
+
+    #[test]
+    fn strategy_override_beats_auto() {
+        // Acyclic star forced onto the multiway path still lowers…
+        let q = ivm_query::examples::fig3_query();
+        let df: Dataflow<i64> =
+            lower_with(&q, lift_one, JoinStrategy::Multiway, &Cardinalities::none());
+        assert!(df.describe().contains("MultiwayJoin"), "{}", df.describe());
+        // …and the cyclic triangle forced left-deep keeps binary joins.
+        let tri = ivm_query::examples::triangle_count();
+        let df: Dataflow<i64> = lower_with(
+            &tri,
+            lift_one,
+            JoinStrategy::LeftDeep,
+            &Cardinalities::none(),
+        );
+        assert!(df.describe().contains("DeltaJoin"), "{}", df.describe());
+    }
+
+    #[test]
+    fn multiway_plan_computes_triangle_count() {
+        let q = ivm_query::examples::triangle_count();
+        let mut df: Dataflow<i64> = lower(&q, lift_one);
+        let (rn, sn, tn) = (sym("tri_R"), sym("tri_S"), sym("tri_T"));
+        df.apply_batch(&[
+            Update::insert(rn, tup![1i64, 2i64]),
+            Update::insert(sn, tup![2i64, 3i64]),
+            Update::insert(tn, tup![3i64, 1i64]),
+            Update::insert(rn, tup![5i64, 6i64]),
+        ])
+        .unwrap();
+        assert_eq!(df.output().get(&ivm_data::Tuple::empty()), 1);
+        assert_eq!(
+            df.stats().binary_join_tuples,
+            0,
+            "multiway plan must materialize no binary intermediates"
+        );
+        df.apply_batch(&[Update::delete(sn, tup![2i64, 3i64])])
+            .unwrap();
+        assert!(df.output().is_empty());
+    }
+
+    #[test]
+    fn cost_order_prefers_small_relations_in_left_deep_plans() {
+        let [a, b, c] = vars(["pl_cA", "pl_cB", "pl_cC"]);
+        let q = ivm_query::Query::new(
+            "pl_cost",
+            [a, c],
+            vec![
+                Atom::new(sym("pl_cR"), [a, b]),
+                Atom::new(sym("pl_cS"), [b, c]),
+            ],
+        );
+        let mut cards = Cardinalities::none();
+        cards.set(sym("pl_cR"), 1_000).set(sym("pl_cS"), 2);
+        let df: Dataflow<i64> = lower_with(&q, lift_one, JoinStrategy::LeftDeep, &cards);
+        let plan = df.describe();
+        let s_pos = plan.find("Source(pl_cS)").expect("S source in plan");
+        let r_pos = plan.find("Source(pl_cR)").expect("R source in plan");
+        assert!(
+            s_pos < r_pos,
+            "smaller relation should open the chain:\n{plan}"
+        );
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! Randomized cross-engine equivalence harness.
+//!
+//! Every query shape runs the *same* proptest-generated update stream —
+//! mixed inserts and deletes, duplicate tuples, deletes of tuples that
+//! were never inserted (legal here: ring payloads just go negative) —
+//! through three independent evaluators:
+//!
+//! 1. `DataflowEngine` forced onto the **left-deep** binary-join chain,
+//! 2. `DataflowEngine` forced onto the **worst-case-optimal multiway**
+//!    plan,
+//! 3. a **from-scratch oracle** (`eval_join_aggregate` over the final
+//!    base relations),
+//!
+//! and asserts all three agree after every batch. The shapes cover the
+//! planner's whole split: the cyclic self-join triangle, the cyclic
+//! 4-cycle, and the acyclic star (where the multiway plan is forced, not
+//! chosen). 64 cases per shape; the vendored proptest shim seeds each
+//! test deterministically from its name, so failures reproduce.
+
+use ivm_data::ops::{eval_join_aggregate, lift_one};
+use ivm_data::{sym, tup, Database, Relation, Tuple, Update};
+use ivm_dataflow::{DataflowEngine, JoinStrategy};
+use ivm_query::{Atom, Query};
+use proptest::prelude::*;
+
+/// The cyclic self-join triangle count `Q() = Σ E(a,b)·E(b,c)·E(c,a)`.
+fn triangle() -> Query {
+    let [a, b, c] = ivm_data::vars(["pe_A", "pe_B", "pe_C"]);
+    let e = sym("pe_E");
+    Query::new(
+        "pe_tri",
+        [],
+        vec![
+            Atom::new(e, [a, b]),
+            Atom::new(e, [b, c]),
+            Atom::new(e, [c, a]),
+        ],
+    )
+}
+
+/// The cyclic 4-cycle `Q() = Σ R(a,b)·S(b,c)·T(c,d)·U(d,a)`.
+fn four_cycle() -> Query {
+    let [a, b, c, d] = ivm_data::vars(["pe_4A", "pe_4B", "pe_4C", "pe_4D"]);
+    Query::new(
+        "pe_cycle4",
+        [],
+        vec![
+            Atom::new(sym("pe_4R"), [a, b]),
+            Atom::new(sym("pe_4S"), [b, c]),
+            Atom::new(sym("pe_4T"), [c, d]),
+            Atom::new(sym("pe_4U"), [d, a]),
+        ],
+    )
+}
+
+/// The acyclic full star `Q(x,y,z,w) = R(x,y)·S(x,z)·T(x,w)` — here the
+/// multiway plan is exercised by force, not by the cyclicity split.
+fn star() -> Query {
+    let [x, y, z, w] = ivm_data::vars(["pe_SX", "pe_SY", "pe_SZ", "pe_SW"]);
+    Query::new(
+        "pe_star",
+        [x, y, z, w],
+        vec![
+            Atom::new(sym("pe_SR"), [x, y]),
+            Atom::new(sym("pe_SS"), [x, z]),
+            Atom::new(sym("pe_ST"), [x, w]),
+        ],
+    )
+}
+
+/// One generated op: (relation pick, edge endpoints, signed multiplicity).
+type Op = (usize, (u64, u64), i64);
+
+/// The op-stream strategy: small value domain (forces duplicates and
+/// triangle closures), multiplicities biased to ±1 with occasional ±2,
+/// deletes unconditional — absent tuples go to negative multiplicity and
+/// must round-trip through every engine identically.
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (
+            0usize..4,
+            (0u64..4, 0u64..4),
+            prop_oneof![Just(1i64), Just(1), Just(-1), Just(2), Just(-2)],
+        ),
+        0..48,
+    )
+}
+
+/// Distinct relations of `q`, in first-occurrence order.
+fn distinct_relations(q: &Query) -> Vec<ivm_data::Sym> {
+    let mut rels = Vec::new();
+    for atom in &q.atoms {
+        if !rels.contains(&atom.name) {
+            rels.push(atom.name);
+        }
+    }
+    rels
+}
+
+/// From-scratch oracle: join-aggregate over one relation copy per atom.
+fn oracle(q: &Query, base: &ivm_data::FxHashMap<ivm_data::Sym, Relation<i64>>) -> Relation<i64> {
+    let per_atom: Vec<Relation<i64>> = q
+        .atoms
+        .iter()
+        .map(|atom| {
+            Relation::from_rows(
+                atom.schema.clone(),
+                base[&atom.name].iter().map(|(t, r)| (t.clone(), *r)),
+            )
+        })
+        .collect();
+    let refs: Vec<&Relation<i64>> = per_atom.iter().collect();
+    eval_join_aggregate(&refs, &q.free, lift_one)
+}
+
+fn outputs_match(
+    got: &Relation<i64>,
+    expect: &Relation<i64>,
+    ctx: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.len(), expect.len(), "{}: sizes differ", ctx);
+    for (t, p) in expect.iter() {
+        prop_assert_eq!(&got.get(t), p, "{} at {:?}", ctx, t);
+    }
+    Ok(())
+}
+
+/// Drive one query shape through both plans and the oracle, comparing
+/// after every applied batch.
+fn check_shape(q: &Query, ops: &[Op], chunk: usize) -> Result<(), TestCaseError> {
+    let rels = distinct_relations(q);
+    let updates: Vec<Update<i64>> = ops
+        .iter()
+        .filter(|(_, _, m)| *m != 0)
+        .map(|&(ri, (x, y), m)| Update::with_payload(rels[ri % rels.len()], tup![x, y], m))
+        .collect();
+
+    let db = Database::new();
+    let mut left =
+        DataflowEngine::<i64>::new_with_strategy(q.clone(), &db, lift_one, JoinStrategy::LeftDeep)
+            .unwrap();
+    let mut multi =
+        DataflowEngine::<i64>::new_with_strategy(q.clone(), &db, lift_one, JoinStrategy::Multiway)
+            .unwrap();
+    let mut base: ivm_data::FxHashMap<ivm_data::Sym, Relation<i64>> = rels
+        .iter()
+        .map(|&r| {
+            (
+                r,
+                Relation::new(q.atoms.iter().find(|a| a.name == r).unwrap().schema.clone()),
+            )
+        })
+        .collect();
+
+    for batch in updates.chunks(chunk.max(1)) {
+        left.apply_batch(batch).unwrap();
+        multi.apply_batch(batch).unwrap();
+        for u in batch {
+            base.get_mut(&u.relation)
+                .unwrap()
+                .apply(u.tuple.clone(), &u.payload);
+        }
+        let expect = oracle(q, &base);
+        outputs_match(
+            left.output_relation(),
+            &expect,
+            &format!("{:?} left-deep", q.name),
+        )?;
+        outputs_match(
+            multi.output_relation(),
+            &expect,
+            &format!("{:?} multiway", q.name),
+        )?;
+    }
+    // The multiway plan must never have materialized a binary-join
+    // intermediate, whatever the stream did.
+    prop_assert_eq!(multi.stats().binary_join_tuples, 0);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cyclic self-join triangle: left-deep ≡ multiway ≡ oracle on every
+    /// batch prefix of a random mixed-sign stream.
+    #[test]
+    fn triangle_engines_agree(ops in ops_strategy(), chunk in 1usize..9) {
+        check_shape(&triangle(), &ops, chunk)?;
+    }
+
+    /// Cyclic 4-cycle over four distinct relations.
+    #[test]
+    fn four_cycle_engines_agree(ops in ops_strategy(), chunk in 1usize..9) {
+        check_shape(&four_cycle(), &ops, chunk)?;
+    }
+
+    /// Acyclic star with all variables free (multiway forced).
+    #[test]
+    fn star_engines_agree(ops in ops_strategy(), chunk in 1usize..9) {
+        check_shape(&star(), &ops, chunk)?;
+    }
+
+    /// Single-tuple application order is immaterial: one batch equals the
+    /// same updates applied one at a time, on both plans.
+    #[test]
+    fn batch_equals_singles_on_both_plans(ops in ops_strategy()) {
+        let q = triangle();
+        let rels = distinct_relations(&q);
+        let updates: Vec<Update<i64>> = ops
+            .iter()
+            .filter(|(_, _, m)| *m != 0)
+            .map(|&(ri, (x, y), m)| Update::with_payload(rels[ri % rels.len()], tup![x, y], m))
+            .collect();
+        for strategy in [JoinStrategy::LeftDeep, JoinStrategy::Multiway] {
+            let db = Database::new();
+            let mut one =
+                DataflowEngine::<i64>::new_with_strategy(q.clone(), &db, lift_one, strategy)
+                    .unwrap();
+            let mut many =
+                DataflowEngine::<i64>::new_with_strategy(q.clone(), &db, lift_one, strategy)
+                    .unwrap();
+            for u in &updates {
+                one.apply_batch(std::slice::from_ref(u)).unwrap();
+            }
+            many.apply_batch(&updates).unwrap();
+            outputs_match(
+                many.output_relation(),
+                one.output_relation(),
+                &format!("batch-vs-singles {strategy:?}"),
+            )?;
+        }
+    }
+}
+
+/// The acceptance check of the WCOJ change, deterministic: on a triangle
+/// workload dense enough that the left-deep chain materializes many
+/// binary intermediates, the auto-chosen multiway plan materializes none
+/// and both still agree with the oracle.
+#[test]
+fn triangle_multiway_materializes_no_binary_intermediates() {
+    let q = triangle();
+    let e = q.atoms[0].name;
+    let updates: Vec<Update<i64>> = (0..14u64)
+        .flat_map(|i| (0..14u64).map(move |j| (i, j)))
+        .filter(|&(i, j)| (i * 7 + j * 3) % 4 != 0 && i != j)
+        .map(|(i, j)| Update::insert(e, tup![i, j]))
+        .collect();
+
+    let db = Database::new();
+    // Auto picks multiway for the cyclic triangle.
+    let mut auto = DataflowEngine::<i64>::new(q.clone(), &db, lift_one).unwrap();
+    assert!(auto.plan().contains("MultiwayJoin"), "{}", auto.plan());
+    let mut left =
+        DataflowEngine::<i64>::new_with_strategy(q.clone(), &db, lift_one, JoinStrategy::LeftDeep)
+            .unwrap();
+    for chunk in updates.chunks(16) {
+        auto.apply_batch(chunk).unwrap();
+        left.apply_batch(chunk).unwrap();
+    }
+    assert_eq!(
+        auto.output_relation().get(&Tuple::empty()),
+        left.output_relation().get(&Tuple::empty())
+    );
+    assert_eq!(
+        auto.stats().binary_join_tuples,
+        0,
+        "multiway plan materialized a binary intermediate"
+    );
+    assert!(
+        left.stats().binary_join_tuples > auto.stats().output_delta_tuples,
+        "left-deep chain should materialize more intermediate tuples \
+         ({}) than the multiway plan emits outputs ({})",
+        left.stats().binary_join_tuples,
+        auto.stats().output_delta_tuples,
+    );
+    assert!(auto.stats().multiway_seeds > 0);
+}
