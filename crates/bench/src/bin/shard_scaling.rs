@@ -1,0 +1,219 @@
+//! Shard-count sweep of the `ivm-shard` parallel engine: 1/2/4/8 shards
+//! on (a) the Retailer star join under its Inventory insert stream (fully
+//! partitioned by `locn` — the no-replication fast path) and (b) the
+//! 3-relation triangle count under a Zipf edge stream (cyclic: two
+//! relations partitioned by `a`, one broadcast).
+//!
+//! Two throughput figures per row:
+//!
+//! * `wall` — tuples per second of wall-clock time for
+//!   enqueue-everything-then-drain on *this* machine. Only exceeds the
+//!   1-shard row when real cores back the shard threads.
+//! * `scalable` — tuples per second of the **busiest shard's** CPU time
+//!   (per-thread CPU clock): the fleet's critical path, i.e. the
+//!   sustained throughput once each shard owns a core (the deployment
+//!   model). Because it counts CPU work rather than wall time, it stays
+//!   truthful when the shards time-slice a smaller machine; with a
+//!   perfect split it grows linearly in the shard count, minus the
+//!   routing/replication tax.
+//!
+//! `balance` (mean busy / max busy, 1.0 = even) shows how well the hash
+//! partition spread the work.
+//!
+//! Run: `cargo run --release -p ivm-bench --bin shard_scaling`
+//! Also emits `BENCH_shard.json` (path override: `BENCH_SHARD_JSON`) so
+//! CI records the scaling trajectory run over run.
+
+use ivm_bench::{fmt, json_escape, per_sec, scaled, Table};
+use ivm_data::ops::lift_one;
+use ivm_data::{tup, Database, Update};
+use ivm_shard::ShardedEngine;
+use ivm_workloads::graphs::EdgeStream;
+use ivm_workloads::RetailerGen;
+use std::time::Instant;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Row {
+    workload: &'static str,
+    shards: usize,
+    wall_tps: f64,
+    scalable_tps: f64,
+    balance: f64,
+    broadcast_copies: u64,
+}
+
+/// Drive `batches` through the engine pipelined (enqueue everything, then
+/// drain once) and measure both throughput figures.
+fn run(
+    workload: &'static str,
+    shards: usize,
+    mut engine: ShardedEngine<i64>,
+    batches: &[Vec<Update<i64>>],
+) -> (Row, i64) {
+    let tuples: usize = batches.iter().map(|b| b.len()).sum();
+    let start = Instant::now();
+    for b in batches {
+        engine.enqueue_batch(b).expect("valid batch");
+    }
+    engine.drain().expect("drain");
+    let wall = start.elapsed();
+    let stats = engine.sharded_stats();
+    let checksum = engine
+        .output_relation()
+        .iter()
+        .map(|(_, p)| *p)
+        .sum::<i64>();
+    (
+        Row {
+            workload,
+            shards,
+            wall_tps: per_sec(wall, tuples),
+            scalable_tps: per_sec(stats.max_busy(), tuples),
+            balance: stats.balance(),
+            broadcast_copies: stats.router.broadcast_copies,
+        },
+        checksum,
+    )
+}
+
+fn retailer_rows(rows: &mut Vec<Row>) {
+    let n_batches = scaled(60, 10);
+    let mut reference = None;
+    for shards in SHARD_COUNTS {
+        // Fresh generator per fleet size so every run sees the identical
+        // initial database and update stream.
+        let mut gen = RetailerGen::new(48, 6, 48, 7);
+        let db = gen.initial_db(scaled(60_000, 6_000));
+        let q = gen.query().clone();
+        let batches: Vec<Vec<Update<i64>>> =
+            (0..n_batches).map(|_| gen.inventory_batch(1000)).collect();
+        let engine = ShardedEngine::new(q, &db, lift_one, shards).unwrap();
+        assert_eq!(engine.plan().broadcast_count(), 0, "retailer shards fully");
+        let (row, checksum) = run("retailer", shards, engine, &batches);
+        match reference {
+            None => reference = Some(checksum),
+            Some(r) => assert_eq!(r, checksum, "outputs must agree across fleet sizes"),
+        }
+        rows.push(row);
+    }
+}
+
+fn triangle_rows(rows: &mut Vec<Row>) {
+    let q = ivm_query::examples::triangle_count();
+    let names = [q.atoms[0].name, q.atoms[1].name, q.atoms[2].name];
+    let stream = EdgeStream::zipf(2_000, scaled(30_000, 3_000), 0.8, 5);
+    let batches: Vec<Vec<Update<i64>>> = stream
+        .edges
+        .chunks(512)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .flat_map(|&(a, b)| names.map(|r| Update::insert(r, tup![a, b])))
+                .collect()
+        })
+        .collect();
+    let mut reference = None;
+    for shards in SHARD_COUNTS {
+        let engine = ShardedEngine::new(q.clone(), &Database::new(), lift_one, shards).unwrap();
+        assert!(!engine.plan().is_degenerate(), "R/S/T triangle shards");
+        // The checksum is the maintained triangle count — it must be
+        // identical at every fleet size.
+        let (row, count) = run("triangle", shards, engine, &batches);
+        match reference {
+            None => reference = Some(count),
+            Some(r) => assert_eq!(r, count, "triangle counts must agree across fleet sizes"),
+        }
+        rows.push(row);
+    }
+}
+
+fn emit_json(rows: &[Row]) {
+    let num = |v: f64| {
+        if v.is_finite() {
+            format!("{v:.3}")
+        } else {
+            "null".to_string()
+        }
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"shard_scaling\",\n  \"scale\": {},\n  \"cores\": {cores},\n  \"rows\": [\n",
+        ivm_bench::scale(),
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        // Speedups are vs. the same workload's 1-shard row.
+        let base = rows
+            .iter()
+            .find(|b| b.workload == r.workload && b.shards == 1)
+            .expect("1-shard baseline present");
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"shards\": {}, \
+             \"wall_tuples_per_sec\": {}, \"scalable_tuples_per_sec\": {}, \
+             \"wall_speedup_vs_1shard\": {}, \"scalable_speedup_vs_1shard\": {}, \
+             \"balance\": {}, \"broadcast_copies\": {}}}{}\n",
+            json_escape(r.workload),
+            r.shards,
+            num(r.wall_tps),
+            num(r.scalable_tps),
+            num(r.wall_tps / base.wall_tps),
+            num(r.scalable_tps / base.scalable_tps),
+            num(r.balance),
+            r.broadcast_copies,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = std::env::var("BENCH_SHARD_JSON").unwrap_or_else(|_| "BENCH_shard.json".to_string());
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("# Shard scaling — pipelined ingestion, {cores} core(s) visible\n");
+
+    let mut rows = Vec::new();
+    retailer_rows(&mut rows);
+    triangle_rows(&mut rows);
+
+    let mut table = Table::new(&[
+        "workload",
+        "shards",
+        "wall tuples/s",
+        "scalable tuples/s",
+        "x vs 1-shard (scalable)",
+        "balance",
+        "broadcast copies",
+    ]);
+    for r in &rows {
+        let base = rows
+            .iter()
+            .find(|b| b.workload == r.workload && b.shards == 1)
+            .unwrap();
+        table.row(vec![
+            r.workload.to_string(),
+            r.shards.to_string(),
+            fmt(r.wall_tps),
+            fmt(r.scalable_tps),
+            format!("{:.2}", r.scalable_tps / base.scalable_tps),
+            format!("{:.2}", r.balance),
+            r.broadcast_copies.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nExpected shape: `scalable` grows with the shard count (the \
+         critical path shrinks as the hash partition splits the work); \
+         `wall` follows only when ≥shards cores exist. The triangle rows \
+         pay a broadcast tax for the replicated relation."
+    );
+    emit_json(&rows);
+}

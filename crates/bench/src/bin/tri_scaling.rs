@@ -22,7 +22,7 @@
 //!
 //! [`MultiwayJoin`]: ivm_dataflow::Dataflow::add_multiway_join
 
-use ivm_bench::{empirical_exponent, fmt, ns_per, scaled, time, Table};
+use ivm_bench::{empirical_exponent, fmt, json_escape, ns_per, scaled, time, Table};
 use ivm_data::ops::lift_one;
 use ivm_data::{tup, Database, Update};
 use ivm_dataflow::{DataflowEngine, JoinStrategy};
@@ -109,10 +109,6 @@ struct Row {
     /// fewer times than the default).
     probe_updates: usize,
     paper: String,
-}
-
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 fn emit_json(sizes: &[usize], rows: &[Row]) {

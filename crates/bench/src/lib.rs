@@ -92,6 +92,12 @@ impl Table {
     }
 }
 
+/// Escape a string for embedding in the hand-rolled `BENCH_*.json`
+/// emissions (no JSON dependency in the offline build environment).
+pub fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
 /// Format a float compactly.
 pub fn fmt(v: f64) -> String {
     if v == f64::INFINITY {

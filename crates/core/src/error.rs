@@ -27,6 +27,9 @@ pub enum EngineError {
         /// Human-readable reason (which view key is not covered).
         detail: String,
     },
+    /// A shard worker of a parallel engine died (panicked or hung up)
+    /// before reporting its delta; the engine's state is unrecoverable.
+    ShardFailure(String),
 }
 
 impl fmt::Display for EngineError {
@@ -42,6 +45,7 @@ impl fmt::Display for EngineError {
             EngineError::NonConstantUpdate { relation, detail } => {
                 write!(f, "updates to {relation} are not constant-time: {detail}")
             }
+            EngineError::ShardFailure(m) => write!(f, "shard worker failed: {m}"),
         }
     }
 }

@@ -25,5 +25,7 @@ pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use relation::{GroupedIndex, Relation};
 pub use schema::{sym, vars, Schema, Sym};
 pub use tuple::Tuple;
-pub use update::{consolidate, consolidated_len, Batch, Update};
+pub use update::{
+    consolidate, consolidated_len, partition_updates, shard_of, shard_of_column, Batch, Update,
+};
 pub use value::Value;

@@ -94,6 +94,48 @@ impl<R: Semiring> DeltaBatch<R> {
         }
         out
     }
+
+    /// Hash-partition the consolidated batch into `parts` sub-batches.
+    ///
+    /// `route` maps each `(relation, tuple)` entry to `Some(p)` (the entry
+    /// goes to sub-batch `p mod parts` alone) or `None` (*broadcast*: a
+    /// copy goes to every sub-batch). Sound because delta propagation is
+    /// ring-linear: the sub-batches' output deltas ⊎-merge back to the
+    /// whole batch's output delta, whatever the partition.
+    ///
+    /// Partitioning *after* consolidation is deliberate — cancelled work
+    /// disappears before anything is cloned for routing, so a sharded
+    /// engine never ships updates whose net effect is zero.
+    pub fn partition_by(
+        &self,
+        parts: usize,
+        mut route: impl FnMut(Sym, &Tuple) -> Option<usize>,
+    ) -> Vec<DeltaBatch<R>> {
+        assert!(parts > 0, "cannot partition into zero parts");
+        let mut out: Vec<DeltaBatch<R>> = (0..parts).map(|_| DeltaBatch::new()).collect();
+        for (&rel, m) in &self.deltas {
+            for (t, r) in m {
+                match route(rel, t) {
+                    Some(p) => {
+                        out[p % parts].insert_consolidated(rel, t.clone(), r.clone());
+                    }
+                    None => {
+                        for part in &mut out {
+                            part.insert_consolidated(rel, t.clone(), r.clone());
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Insert an already-consolidated non-zero entry (keys coming from an
+    /// existing batch are distinct, so no re-summing is needed).
+    fn insert_consolidated(&mut self, rel: Sym, t: Tuple, r: R) {
+        debug_assert!(!r.is_zero(), "consolidated entries are non-zero");
+        self.deltas.entry(rel).or_default().insert(t, r);
+    }
 }
 
 #[cfg(test)]
@@ -203,6 +245,59 @@ mod tests {
         let ups: Vec<Update<i64>> = vec![Update::delete(r, tup![3i64])];
         let b = DeltaBatch::from_updates(&ups);
         assert_eq!(b.delta(r).unwrap()[&tup![3i64]], -1);
+    }
+
+    #[test]
+    fn partition_by_splits_and_broadcasts() {
+        let (r, s) = (sym("dbat_P1"), sym("dbat_P2"));
+        let ups: Vec<Update<i64>> = vec![
+            Update::with_payload(r, tup![0i64], 1),
+            Update::with_payload(r, tup![1i64], 2),
+            Update::with_payload(r, tup![2i64], 3),
+            Update::with_payload(s, tup![7i64], 4),
+        ];
+        let b = DeltaBatch::from_updates(&ups);
+        let parts = b.partition_by(2, |rel, t| {
+            if rel == r {
+                Some(t.at(0).as_int().unwrap() as usize % 2)
+            } else {
+                None // broadcast s
+            }
+        });
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].delta(r).unwrap().len(), 2); // tuples 0, 2
+        assert_eq!(parts[1].delta(r).unwrap().len(), 1); // tuple 1
+        for p in &parts {
+            assert_eq!(p.delta(s).unwrap()[&tup![7i64]], 4);
+        }
+        // ⊎ of the parts re-consolidates to the original batch (the
+        // broadcast relation appears once per part; summing is the merge
+        // semantics a sharded *output* merge relies on, so here we only
+        // check the partitioned relation round-trips exactly).
+        let mut merged: DeltaBatch<i64> = DeltaBatch::new();
+        for p in &parts {
+            for u in p.to_updates() {
+                if u.relation == r {
+                    merged.push(&u);
+                }
+            }
+        }
+        assert_eq!(merged.delta(r).unwrap(), b.delta(r).unwrap());
+    }
+
+    #[test]
+    fn partition_by_drops_cancelled_entries_before_routing() {
+        let r = sym("dbat_P3");
+        let ups: Vec<Update<i64>> = vec![
+            Update::insert(r, tup![1i64]),
+            Update::delete(r, tup![1i64]),
+            Update::insert(r, tup![2i64]),
+        ];
+        let b = DeltaBatch::from_updates(&ups);
+        let parts = b.partition_by(4, |_, _| None);
+        for p in &parts {
+            assert_eq!(p.len(), 1, "only the surviving entry is broadcast");
+        }
     }
 
     #[test]

@@ -21,6 +21,12 @@ use ivm_ring::Semiring;
 pub struct DataflowEngine<R> {
     query: Query,
     dataflow: Dataflow<R>,
+    lift: Lift<R>,
+    strategy: JoinStrategy,
+    /// Counters accumulated by dataflows discarded in re-plans; `stats()`
+    /// reports `carried ⊕ current`, so the engine's history survives
+    /// strategy switches instead of silently resetting.
+    carried_stats: DataflowStats,
     dynamics: FxHashSet<Sym>,
     statics: FxHashSet<Sym>,
 }
@@ -73,9 +79,47 @@ impl<R: Semiring> DataflowEngine<R> {
         Ok(DataflowEngine {
             query,
             dataflow,
+            lift,
+            strategy,
+            carried_stats: DataflowStats::default(),
             dynamics,
             statics,
         })
+    }
+
+    /// Re-lower the query onto a fresh plan — e.g. after the cardinality
+    /// landscape shifted, or to switch [`JoinStrategy`] mid-stream — and
+    /// rebuild operator state by streaming `db` (the *current* base state;
+    /// the engine materializes only its own indexes, so the caller owns
+    /// the ground truth, exactly as in [`Self::new`]).
+    ///
+    /// Counters accumulated so far are carried over: [`Self::stats`]
+    /// reports the engine's whole history across any number of re-plans,
+    /// except the one-off preprocessing batch of the new plan, which is
+    /// deliberately not double-counted as stream work.
+    pub fn replan_with_strategy(
+        &mut self,
+        db: &Database<R>,
+        strategy: JoinStrategy,
+    ) -> Result<(), EngineError> {
+        let mut carried = self.carried_stats;
+        carried.merge(&self.dataflow.stats());
+        let mut fresh = Self::new_with_strategy(self.query.clone(), db, self.lift, strategy)?;
+        // The preprocessing replay inflated the fresh dataflow's counters;
+        // subtracting its own snapshot would lose it entirely, so instead
+        // carry the *old* history and let the fresh dataflow count from
+        // its post-preprocessing state (its constructor counters describe
+        // preprocessing, not the update stream — zero them out).
+        fresh.dataflow.reset_stats();
+        self.dataflow = fresh.dataflow;
+        self.strategy = strategy;
+        self.carried_stats = carried;
+        Ok(())
+    }
+
+    /// The join strategy the current plan was lowered with.
+    pub fn strategy(&self) -> JoinStrategy {
+        self.strategy
     }
 
     /// Apply a batch of updates as one consolidated delta propagation and
@@ -94,14 +138,37 @@ impl<R: Semiring> DataflowEngine<R> {
         self.dataflow.apply_batch(batch)
     }
 
+    /// Apply an already consolidated batch without re-consolidating — the
+    /// sharded runtime routes consolidated sub-batches, so flattening them
+    /// back to updates just to re-hash every entry would be pure waste.
+    /// Same validation as [`Self::apply_batch`].
+    pub fn apply_delta_batch(
+        &mut self,
+        batch: &crate::DeltaBatch<R>,
+    ) -> Result<Relation<R>, EngineError> {
+        for rel in batch.relations() {
+            if self.statics.contains(&rel) {
+                return Err(EngineError::StaticRelation(rel));
+            }
+            if !self.dynamics.contains(&rel) {
+                return Err(EngineError::UnknownRelation(rel));
+            }
+        }
+        // The consolidated entries are the updates received at this
+        // boundary; count them so `updates_in` stays an ingestion total.
+        self.dataflow.record_updates_in(batch.len() as u64);
+        self.dataflow.apply_delta_batch(batch)
+    }
+
     /// The maintained output view.
     pub fn output_relation(&self) -> &Relation<R> {
         self.dataflow.output()
     }
 
-    /// Propagation counters (batches, consolidation, sink deltas).
+    /// Propagation counters (batches, consolidation, sink deltas),
+    /// accumulated across re-plans.
     pub fn stats(&self) -> DataflowStats {
-        self.dataflow.stats()
+        self.carried_stats.merged(&self.dataflow.stats())
     }
 
     /// The lowered plan, one line per operator.
@@ -237,6 +304,90 @@ mod tests {
         db.apply(&Update::insert(sn, tup![1i64, 20i64]));
         let mut eng = DataflowEngine::<i64>::new(q, &db, lift_one).unwrap();
         assert_eq!(eng.output().get(&tup![1i64, 10i64, 20i64]), 1);
+    }
+
+    /// A re-plan must not reset the engine's counters (they feed bench
+    /// trajectories and the sharded engine's aggregated stats), and the
+    /// new plan must agree with the old state.
+    #[test]
+    fn stats_survive_replan_and_strategies_agree() {
+        let q = triangle_self_join();
+        let e = q.atoms[0].name;
+        let mut db: Database<i64> = Database::new();
+        db.create(e, q.atoms[0].schema.clone());
+        let mut eng =
+            DataflowEngine::<i64>::new_with_strategy(q, &db, lift_one, JoinStrategy::Multiway)
+                .unwrap();
+        assert_eq!(eng.strategy(), JoinStrategy::Multiway);
+        let edges = [(1i64, 2i64), (2, 3), (3, 1), (2, 4), (4, 1), (1, 9)];
+        for (a, b) in edges {
+            let u = Update::insert(e, tup![a, b]);
+            db.apply(&u);
+            eng.apply(&u).unwrap();
+        }
+        let before = eng.stats();
+        assert!(before.batches >= edges.len() as u64);
+        assert!(before.multiway_seeds > 0);
+        let count_before = eng.output_relation().get(&Tuple::empty());
+
+        // Switch to the left-deep plan, replaying the current base state.
+        eng.replan_with_strategy(&db, JoinStrategy::LeftDeep)
+            .unwrap();
+        assert_eq!(eng.strategy(), JoinStrategy::LeftDeep);
+        let after = eng.stats();
+        assert_eq!(
+            eng.output_relation().get(&Tuple::empty()),
+            count_before,
+            "re-planned engine must reproduce the maintained output"
+        );
+        // History survived: every counter is at least its pre-replan value.
+        assert!(after.batches >= before.batches);
+        assert_eq!(after.updates_in, before.updates_in);
+        assert_eq!(after.multiway_seeds, before.multiway_seeds);
+
+        // And the new plan keeps counting on top of the carried history.
+        eng.apply(&Update::delete(e, tup![2i64, 3i64])).unwrap();
+        let later = eng.stats();
+        assert_eq!(later.updates_in, after.updates_in + 1);
+        assert!(
+            later.binary_join_tuples > after.binary_join_tuples,
+            "left-deep deltas materialize binary intermediates"
+        );
+        assert_eq!(eng.output_relation().get(&Tuple::empty()), count_before - 3);
+    }
+
+    #[test]
+    fn apply_delta_batch_skips_reconsolidation_but_validates() {
+        use crate::DeltaBatch;
+        let q = ivm_query::examples::fig3_query();
+        let (rn, sn) = (sym("f3_R"), sym("f3_S"));
+        let mut via_updates =
+            DataflowEngine::<i64>::new(q.clone(), &Database::new(), lift_one).unwrap();
+        let mut via_delta = DataflowEngine::<i64>::new(q, &Database::new(), lift_one).unwrap();
+        let ups: Vec<Update<i64>> = vec![
+            Update::insert(rn, tup![1i64, 10i64]),
+            Update::insert(sn, tup![1i64, 20i64]),
+            Update::insert(rn, tup![1i64, 10i64]),
+        ];
+        let d1 = via_updates.apply_batch(&ups).unwrap();
+        let d2 = via_delta
+            .apply_delta_batch(&DeltaBatch::from_updates(&ups))
+            .unwrap();
+        assert_eq!(d1.len(), d2.len());
+        for (t, p) in d1.iter() {
+            assert_eq!(&d2.get(t), p, "at {t:?}");
+        }
+        let bad = DeltaBatch::from_updates(&[Update::<i64>::insert(sym("f3_nope"), tup![1i64])]);
+        assert_eq!(
+            via_delta.apply_delta_batch(&bad).unwrap_err(),
+            EngineError::UnknownRelation(sym("f3_nope"))
+        );
+    }
+
+    #[test]
+    fn engine_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<DataflowEngine<i64>>();
     }
 
     #[test]

@@ -25,7 +25,7 @@ use ivm_core::EngineError;
 use ivm_data::ops::{aggregate, Lift};
 use ivm_data::{GroupedIndex, Relation, Schema, Sym, Tuple, Update, Value};
 use ivm_ring::Semiring;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Index of a node within its [`Dataflow`].
 pub type NodeId = usize;
@@ -65,13 +65,14 @@ enum Operator<R> {
     },
     /// Keeps tuples satisfying a predicate (linear: payloads untouched).
     Filter {
-        /// Tuple predicate.
-        predicate: Rc<dyn Fn(&Tuple) -> bool>,
+        /// Tuple predicate (`Send + Sync` so whole dataflows move across
+        /// worker threads in the sharded engine).
+        predicate: Arc<dyn Fn(&Tuple) -> bool + Send + Sync>,
     },
     /// Rewrites tuples (linear: same-image tuples merge by ring addition).
     Map {
         /// Tuple transform; must produce tuples of the node's schema.
-        f: Rc<dyn Fn(&Tuple) -> Tuple>,
+        f: Arc<dyn Fn(&Tuple) -> Tuple + Send + Sync>,
     },
     /// Semi-naive hash join of two inputs on their shared variables
     /// (boxed: the index state dwarfs the other variants).
@@ -118,6 +119,38 @@ pub struct DataflowStats {
     /// Index and membership probes performed by multiway searches — the
     /// machine-independent work measure of the WCOJ path.
     pub multiway_probes: u64,
+}
+
+impl DataflowStats {
+    /// Fold `other` into `self`, field-wise. Used by [`DataflowEngine`]
+    /// to carry counters across re-plans and by the sharded engine to
+    /// aggregate per-shard counters into one fleet-wide view.
+    ///
+    /// [`DataflowEngine`]: crate::DataflowEngine
+    pub fn merge(&mut self, other: &DataflowStats) {
+        let DataflowStats {
+            batches,
+            updates_in,
+            deltas_in,
+            output_delta_tuples,
+            binary_join_tuples,
+            multiway_seeds,
+            multiway_probes,
+        } = other;
+        self.batches += batches;
+        self.updates_in += updates_in;
+        self.deltas_in += deltas_in;
+        self.output_delta_tuples += output_delta_tuples;
+        self.binary_join_tuples += binary_join_tuples;
+        self.multiway_seeds += multiway_seeds;
+        self.multiway_probes += multiway_probes;
+    }
+
+    /// [`Self::merge`] by value, for iterator folds.
+    pub fn merged(mut self, other: &DataflowStats) -> DataflowStats {
+        self.merge(other);
+        self
+    }
 }
 
 /// A runnable delta-dataflow: operator DAG + materialized output view.
@@ -173,12 +206,12 @@ impl<R: Semiring> Dataflow<R> {
     pub fn add_filter(
         &mut self,
         input: NodeId,
-        predicate: impl Fn(&Tuple) -> bool + 'static,
+        predicate: impl Fn(&Tuple) -> bool + Send + Sync + 'static,
     ) -> NodeId {
         let schema = self.nodes[input].schema.clone();
         self.push_node(Node {
             op: Operator::Filter {
-                predicate: Rc::new(predicate),
+                predicate: Arc::new(predicate),
             },
             inputs: vec![input],
             schema,
@@ -190,10 +223,10 @@ impl<R: Semiring> Dataflow<R> {
         &mut self,
         input: NodeId,
         schema: Schema,
-        f: impl Fn(&Tuple) -> Tuple + 'static,
+        f: impl Fn(&Tuple) -> Tuple + Send + Sync + 'static,
     ) -> NodeId {
         self.push_node(Node {
-            op: Operator::Map { f: Rc::new(f) },
+            op: Operator::Map { f: Arc::new(f) },
             inputs: vec![input],
             schema,
         })
@@ -308,6 +341,19 @@ impl<R: Semiring> Dataflow<R> {
     /// Propagation counters.
     pub fn stats(&self) -> DataflowStats {
         self.stats
+    }
+
+    /// Zero the propagation counters. Used after a re-plan's preprocessing
+    /// replay, whose one-off counter noise is not update-stream work.
+    pub fn reset_stats(&mut self) {
+        self.stats = DataflowStats::default();
+    }
+
+    /// Count updates received at a boundary that bypasses
+    /// [`Self::apply_batch`] (pre-consolidated ingestion), so
+    /// `updates_in` stays a truthful ingestion total.
+    pub(crate) fn record_updates_in(&mut self, n: u64) {
+        self.stats.updates_in += n;
     }
 
     /// Number of operator nodes.
@@ -660,5 +706,46 @@ mod tests {
         assert!(d.contains("Source"));
         assert!(d.contains("DeltaJoin"));
         assert!(d.contains("<- sink"));
+    }
+
+    /// The sharded engine moves whole dataflows (including filter/map
+    /// closures, join indexes, and multiway tries) onto worker threads.
+    #[test]
+    fn dataflow_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Dataflow<i64>>();
+        assert_send::<DataflowStats>();
+    }
+
+    #[test]
+    fn stats_merge_sums_every_counter() {
+        let a = DataflowStats {
+            batches: 1,
+            updates_in: 2,
+            deltas_in: 3,
+            output_delta_tuples: 4,
+            binary_join_tuples: 5,
+            multiway_seeds: 6,
+            multiway_probes: 7,
+        };
+        let b = DataflowStats {
+            batches: 10,
+            updates_in: 20,
+            deltas_in: 30,
+            output_delta_tuples: 40,
+            binary_join_tuples: 50,
+            multiway_seeds: 60,
+            multiway_probes: 70,
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.batches, 11);
+        assert_eq!(m.updates_in, 22);
+        assert_eq!(m.deltas_in, 33);
+        assert_eq!(m.output_delta_tuples, 44);
+        assert_eq!(m.binary_join_tuples, 55);
+        assert_eq!(m.multiway_seeds, 66);
+        assert_eq!(m.multiway_probes, 77);
+        // Merging the default is the identity.
+        assert_eq!(b.merged(&DataflowStats::default()), b);
     }
 }

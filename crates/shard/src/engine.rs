@@ -1,0 +1,691 @@
+//! The sharded [`Maintainer`]: N independent dataflows behind one facade.
+//!
+//! Construction plans the shard key ([`ShardPlanner`]), splits the initial
+//! database with the [`Router`], and spawns one worker thread per shard,
+//! each owning a fully independent [`DataflowEngine`] (same planner as
+//! the single-threaded engine — left-deep or worst-case-optimal multiway,
+//! untouched). Updates then flow in two modes:
+//!
+//! * **Synchronous** — [`ShardedEngine::apply_batch`] routes a batch,
+//!   waits for every shard's output delta, ⊎-merges them, folds the merge
+//!   into the maintained view, and returns it: a drop-in replacement for
+//!   `DataflowEngine::apply_batch`.
+//! * **Pipelined** — [`ShardedEngine::enqueue_batch`] only routes and
+//!   enqueues (bounded per-shard queues give backpressure) and returns the
+//!   batch's sequence number immediately; the caller keeps feeding while
+//!   shards work, then [`ShardedEngine::drain`] settles everything into
+//!   the output view.
+//!
+//! Merging by ring addition is sound because shard sub-batches partition
+//! each batch and delta propagation is linear over the payload ring — the
+//! ⊎-sum of the shard deltas *is* the batch's delta, in any arrival order.
+
+use crate::merge::fold_delta;
+use crate::planner::{ShardPlan, ShardPlanner};
+use crate::router::Router;
+use crate::stats::ShardedStats;
+use crate::worker::{self, Job, Report, WorkerHandle};
+use ivm_core::{EngineError, Maintainer};
+use ivm_data::ops::Lift;
+use ivm_data::{Database, FxHashMap, FxHashSet, Relation, Schema, Sym, Tuple, Update};
+use ivm_dataflow::{Cardinalities, DataflowEngine, DataflowStats, DeltaBatch, JoinStrategy};
+use ivm_query::Query;
+use ivm_ring::Semiring;
+use std::sync::mpsc::Receiver;
+use std::time::Duration;
+
+/// A batch whose shard deltas have not all arrived yet.
+struct Pending<R> {
+    remaining: usize,
+    delta: Relation<R>,
+}
+
+/// Hash-partitioned parallel engine over `ivm-dataflow` worker shards.
+pub struct ShardedEngine<R: Semiring> {
+    query: Query,
+    router: Router,
+    workers: Vec<WorkerHandle<R>>,
+    results: Receiver<Report<R>>,
+    next_seq: u64,
+    /// The seq of the most recent batch that routed to zero shards (fully
+    /// cancelled), so `wait_for` can answer it without a worker report.
+    last_empty: Option<u64>,
+    in_flight: FxHashMap<u64, Pending<R>>,
+    shard_stats: Vec<DataflowStats>,
+    shard_busy: Vec<Duration>,
+    output: Relation<R>,
+    dynamics: FxHashSet<Sym>,
+    statics: FxHashSet<Sym>,
+    /// Set once a shard reports a failure (engine error or worker panic):
+    /// the fleet's state is no longer trustworthy, so every subsequent
+    /// operation fails fast with this error instead of hanging on reports
+    /// that will never come.
+    poisoned: Option<EngineError>,
+}
+
+impl<R: Semiring> ShardedEngine<R> {
+    /// Shard `query` across `shards` workers with [`JoinStrategy::Auto`]
+    /// per shard, preprocessing `db` through the router (each shard sees
+    /// only its slice of partitioned relations plus full copies of
+    /// broadcast ones).
+    pub fn new(
+        query: Query,
+        db: &Database<R>,
+        lift: Lift<R>,
+        shards: usize,
+    ) -> Result<Self, EngineError> {
+        Self::new_with_strategy(query, db, lift, shards, JoinStrategy::Auto)
+    }
+
+    /// [`Self::new`] with an explicit per-shard join plan.
+    ///
+    /// When the plan is degenerate (no partitionable relation — see
+    /// [`ShardPlanner`]), the fleet is clamped to one worker: every update
+    /// would route to shard 0 anyway, so spawning more threads and
+    /// preprocessing more engines would be pure waste.
+    pub fn new_with_strategy(
+        query: Query,
+        db: &Database<R>,
+        lift: Lift<R>,
+        shards: usize,
+        strategy: JoinStrategy,
+    ) -> Result<Self, EngineError> {
+        assert!(shards > 0, "need at least one shard");
+        let cards = Cardinalities::from_db(db, &query);
+        let plan = ShardPlanner::plan(&query, &cards);
+        let shards = if plan.is_degenerate() { 1 } else { shards };
+        let router = Router::new(plan, shards);
+
+        let shard_dbs = split_database(db, &query, &router);
+        let (results_tx, results_rx) = std::sync::mpsc::channel();
+        let mut workers = Vec::with_capacity(shards);
+        let mut shard_stats = Vec::with_capacity(shards);
+        let mut output = Relation::new(query.free.clone());
+        for (shard, shard_db) in shard_dbs.into_iter().enumerate() {
+            let engine =
+                DataflowEngine::new_with_strategy(query.clone(), &shard_db, lift, strategy)?;
+            // The preprocessing pass already materialized this shard's
+            // slice of the initial view and counted its replay; ⊎-merge
+            // the view and snapshot the counters before the engine moves
+            // onto its thread, so the facade starts equal to the
+            // single-threaded engine's view *and* stats (reports then
+            // overwrite the snapshots with cumulative values).
+            fold_delta(&mut output, engine.output_relation());
+            shard_stats.push(engine.stats());
+            workers.push(worker::spawn(shard, engine, results_tx.clone()));
+        }
+
+        let mut dynamics: FxHashSet<Sym> = FxHashSet::default();
+        let mut statics: FxHashSet<Sym> = FxHashSet::default();
+        for atom in &query.atoms {
+            if atom.dynamic {
+                dynamics.insert(atom.name);
+            } else {
+                statics.insert(atom.name);
+            }
+        }
+        statics.retain(|s| !dynamics.contains(s));
+
+        Ok(ShardedEngine {
+            query,
+            router,
+            workers,
+            results: results_rx,
+            next_seq: 0,
+            last_empty: None,
+            in_flight: FxHashMap::default(),
+            shard_stats,
+            shard_busy: vec![Duration::ZERO; shards],
+            output,
+            dynamics,
+            statics,
+            poisoned: None,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The shard plan in force.
+    pub fn plan(&self) -> &ShardPlan {
+        self.router.plan()
+    }
+
+    /// One line describing the fleet: shard count + routing plan.
+    pub fn describe(&self) -> String {
+        format!("{} shard(s); {}", self.shards(), self.plan().describe())
+    }
+
+    /// Route `batch` and enqueue it on the shard queues **without waiting
+    /// for processing** — ingestion is pipelined: the call returns as
+    /// soon as every sub-batch is accepted (blocking only for
+    /// backpressure when a shard's bounded queue is full), so the caller
+    /// can assemble and enqueue batch `k+1` while the fleet still
+    /// processes batch `k`. Returns the batch's sequence number.
+    ///
+    /// The maintained view and [`Self::stats`] reflect an enqueued batch
+    /// only after it has been settled by [`Self::drain`] (or by a later
+    /// synchronous [`Self::apply_batch`]).
+    pub fn enqueue_batch(&mut self, batch: &[Update<R>]) -> Result<u64, EngineError> {
+        self.check_poisoned()?;
+        self.validate(batch)?;
+        // Absorb any reports that already arrived, keeping `in_flight`
+        // small during long enqueue-only streaks. (Before the new seq is
+        // allocated, so this cannot complete the batch being enqueued.)
+        self.pump_ready()?;
+
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let consolidated = DeltaBatch::from_updates(batch);
+        let parts = self.router.split(&consolidated);
+        let mut sent = 0usize;
+        for (shard, part) in parts.into_iter().enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            self.workers[shard].send(Job::Batch { seq, delta: part })?;
+            sent += 1;
+        }
+        if sent == 0 {
+            // Fully cancelled batch: nothing was shipped, delta is empty.
+            self.last_empty = Some(seq);
+        } else {
+            self.last_empty = None;
+            self.in_flight.insert(
+                seq,
+                Pending {
+                    remaining: sent,
+                    delta: Relation::new(self.query.free.clone()),
+                },
+            );
+        }
+        Ok(seq)
+    }
+
+    /// Apply a batch synchronously: enqueue, wait for all shard deltas of
+    /// *this* batch, and return the ⊎-merged output delta (already folded
+    /// into [`Self::output_relation`]). Earlier enqueued batches complete
+    /// along the way, shard queues being FIFO.
+    pub fn apply_batch(&mut self, batch: &[Update<R>]) -> Result<Relation<R>, EngineError> {
+        let seq = self.enqueue_batch(batch)?;
+        self.wait_for(seq)
+    }
+
+    /// Block until every enqueued batch is processed and folded into the
+    /// maintained view.
+    pub fn drain(&mut self) -> Result<(), EngineError> {
+        self.check_poisoned()?;
+        while !self.in_flight.is_empty() {
+            let report = self.recv()?;
+            self.settle(report, None)?;
+        }
+        Ok(())
+    }
+
+    /// The maintained output view over the settled batches. Call
+    /// [`Self::drain`] first when using pipelined ingestion.
+    pub fn output_relation(&self) -> &Relation<R> {
+        &self.output
+    }
+
+    /// Fleet statistics: router counters plus the latest cumulative
+    /// per-shard dataflow counters and busy times (as of the last settled
+    /// report per shard).
+    pub fn sharded_stats(&self) -> ShardedStats {
+        ShardedStats {
+            router: self.router.stats(),
+            per_shard: self.shard_stats.clone(),
+            busy: self.shard_busy.clone(),
+        }
+    }
+
+    /// All shards' dataflow counters merged into one view (see
+    /// [`ShardedStats::merged`]).
+    pub fn stats(&self) -> DataflowStats {
+        self.sharded_stats().merged()
+    }
+
+    /// Reject updates to static or unknown relations, exactly like the
+    /// single-threaded engine — centrally, before anything is routed.
+    fn validate(&self, batch: &[Update<R>]) -> Result<(), EngineError> {
+        for u in batch {
+            if self.statics.contains(&u.relation) {
+                return Err(EngineError::StaticRelation(u.relation));
+            }
+            if !self.dynamics.contains(&u.relation) {
+                return Err(EngineError::UnknownRelation(u.relation));
+            }
+        }
+        Ok(())
+    }
+
+    /// Absorb every report that is already waiting, without blocking.
+    fn pump_ready(&mut self) -> Result<(), EngineError> {
+        while let Ok(report) = self.results.try_recv() {
+            self.settle(report, None)?;
+        }
+        Ok(())
+    }
+
+    /// Fail fast once a shard has failed — the in-flight bookkeeping was
+    /// discarded, so blocking on further reports could hang forever.
+    fn check_poisoned(&self) -> Result<(), EngineError> {
+        match &self.poisoned {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Block until batch `seq` is fully settled; return its merged delta.
+    fn wait_for(&mut self, seq: u64) -> Result<Relation<R>, EngineError> {
+        if self.last_empty == Some(seq) {
+            return Ok(Relation::new(self.query.free.clone()));
+        }
+        loop {
+            let report = self.recv()?;
+            if let Some(delta) = self.settle(report, Some(seq))? {
+                return Ok(delta);
+            }
+        }
+    }
+
+    fn recv(&mut self) -> Result<Report<R>, EngineError> {
+        match self.results.recv() {
+            Ok(report) => Ok(report),
+            Err(_) => {
+                let e = EngineError::ShardFailure("all shard workers hung up".into());
+                self.poisoned = Some(e.clone());
+                self.in_flight.clear();
+                Err(e)
+            }
+        }
+    }
+
+    /// Fold one report into the pending batch; when the batch completes,
+    /// fold its merged delta into the output view. Returns the merged
+    /// delta iff the completed batch is the one `claim` asks for.
+    ///
+    /// A failure report **poisons** the engine: the failed batch (and any
+    /// behind it) can never complete, so all bookkeeping is dropped and
+    /// every later call fails fast instead of waiting on reports that
+    /// will not come.
+    fn settle(
+        &mut self,
+        report: Report<R>,
+        claim: Option<u64>,
+    ) -> Result<Option<Relation<R>>, EngineError> {
+        self.shard_stats[report.shard] = report.stats;
+        self.shard_busy[report.shard] = report.busy;
+        let delta = match report.delta {
+            Ok(d) => d,
+            Err(e) => {
+                self.poisoned = Some(e.clone());
+                self.in_flight.clear();
+                return Err(e);
+            }
+        };
+        let pending = self
+            .in_flight
+            .get_mut(&report.seq)
+            .expect("report for a batch that is not in flight");
+        fold_delta(&mut pending.delta, &delta);
+        pending.remaining -= 1;
+        if pending.remaining > 0 {
+            return Ok(None);
+        }
+        let done = self
+            .in_flight
+            .remove(&report.seq)
+            .expect("pending entry vanished");
+        fold_delta(&mut self.output, &done.delta);
+        Ok(if claim == Some(report.seq) {
+            Some(done.delta)
+        } else {
+            None
+        })
+    }
+}
+
+impl<R: Semiring> Maintainer<R> for ShardedEngine<R> {
+    fn query(&self) -> &Query {
+        &self.query
+    }
+
+    fn apply(&mut self, upd: &Update<R>) -> Result<(), EngineError> {
+        self.apply_batch(std::slice::from_ref(upd)).map(|_| ())
+    }
+
+    fn for_each_output(&mut self, f: &mut dyn FnMut(&Tuple, &R)) {
+        self.drain().expect("sharded engine drain failed");
+        for (t, r) in self.output.iter() {
+            f(t, r);
+        }
+    }
+}
+
+impl<R: Semiring> std::fmt::Debug for ShardedEngine<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("query", &self.query)
+            .field("shards", &self.shards())
+            .field("plan", &self.plan().describe())
+            .field("in_flight", &self.in_flight.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Slice the initial database per shard: partitioned relations split by
+/// the shard hash, broadcast relations copied everywhere, and every atom
+/// relation present (if empty) so each shard's engine preprocesses the
+/// same schema world.
+fn split_database<R: Semiring>(
+    db: &Database<R>,
+    query: &Query,
+    router: &Router,
+) -> Vec<Database<R>> {
+    let shards = router.shards();
+    let mut out: Vec<Database<R>> = (0..shards).map(|_| Database::new()).collect();
+    let mut seen: FxHashSet<Sym> = FxHashSet::default();
+    for atom in &query.atoms {
+        if !seen.insert(atom.name) {
+            continue;
+        }
+        let schema: Schema = db
+            .get(atom.name)
+            .map(|r| r.schema().clone())
+            .unwrap_or_else(|| atom.schema.clone());
+        for shard_db in &mut out {
+            shard_db.create(atom.name, schema.clone());
+        }
+        if let Some(rel) = db.get(atom.name) {
+            for (t, payload) in rel.iter() {
+                match router.shard_for(atom.name, t) {
+                    Some(s) => out[s]
+                        .get_mut(atom.name)
+                        .expect("relation created above")
+                        .apply(t.clone(), payload),
+                    None => {
+                        for shard_db in &mut out {
+                            shard_db
+                                .get_mut(atom.name)
+                                .expect("relation created above")
+                                .apply(t.clone(), payload);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivm_data::ops::{eval_join_aggregate, lift_one};
+    use ivm_data::{sym, tup, vars};
+    use ivm_query::Atom;
+
+    /// Q(x,y,z) = R(x,y)·S(x,z): fully partitionable by x.
+    fn star2() -> Query {
+        let [x, y, z] = vars(["she_X", "she_Y", "she_Z"]);
+        Query::new(
+            "she_star",
+            [x, y, z],
+            vec![
+                Atom::new(sym("she_R"), [x, y]),
+                Atom::new(sym("she_S"), [x, z]),
+            ],
+        )
+    }
+
+    #[test]
+    fn sharded_matches_single_on_star() {
+        let q = star2();
+        let (rn, sn) = (q.atoms[0].name, q.atoms[1].name);
+        let db = Database::new();
+        let mut single = DataflowEngine::<i64>::new(q.clone(), &db, lift_one).unwrap();
+        let mut sharded = ShardedEngine::<i64>::new(q, &db, lift_one, 4).unwrap();
+        assert_eq!(sharded.shards(), 4);
+        assert!(!sharded.plan().is_degenerate());
+
+        for i in 0..40i64 {
+            let batch = vec![
+                Update::with_payload(rn, tup![i % 7, i], 1),
+                Update::with_payload(sn, tup![i % 7, i + 100], if i % 5 == 0 { -1 } else { 1 }),
+            ];
+            let d1 = single.apply_batch(&batch).unwrap();
+            let d2 = sharded.apply_batch(&batch).unwrap();
+            assert_eq!(d1.len(), d2.len(), "deltas differ at step {i}");
+            for (t, p) in d1.iter() {
+                assert_eq!(&d2.get(t), p, "delta at {t:?} step {i}");
+            }
+        }
+        let (a, b) = (single.output_relation(), sharded.output_relation());
+        assert_eq!(a.len(), b.len());
+        for (t, p) in a.iter() {
+            assert_eq!(&b.get(t), p);
+        }
+    }
+
+    #[test]
+    fn preprocessing_routes_the_initial_database() {
+        let q = star2();
+        let (rn, sn) = (q.atoms[0].name, q.atoms[1].name);
+        let mut db: Database<i64> = Database::new();
+        db.create(rn, q.atoms[0].schema.clone());
+        db.create(sn, q.atoms[1].schema.clone());
+        for i in 0..16i64 {
+            db.apply(&Update::insert(rn, tup![i, i * 10]));
+            db.apply(&Update::insert(sn, tup![i, i * 100]));
+        }
+        let mut sharded = ShardedEngine::<i64>::new(q.clone(), &db, lift_one, 3).unwrap();
+        // Preprocessing is already visible in the fleet stats, before any
+        // worker has reported: 16 R + 16 S tuples replayed across shards.
+        let pre = sharded.stats();
+        assert_eq!(pre.updates_in, 32);
+        assert_eq!(pre.batches, 3, "one preprocessing batch per shard");
+        // Touch one x to force a delta through the preprocessed state.
+        sharded
+            .apply_batch(&[Update::insert(sn, tup![3i64, 999i64])])
+            .unwrap();
+        let r_rel = db.relation(rn).clone();
+        let mut s_rel = db.relation(sn).clone();
+        s_rel.apply(tup![3i64, 999i64], &1);
+        let expect = eval_join_aggregate(&[&r_rel, &s_rel], &q.free, lift_one);
+        let got = sharded.output_relation();
+        assert_eq!(got.len(), expect.len());
+        for (t, p) in expect.iter() {
+            assert_eq!(&got.get(t), p, "at {t:?}");
+        }
+    }
+
+    #[test]
+    fn pipelined_enqueue_then_drain_matches_synchronous() {
+        let q = star2();
+        let (rn, sn) = (q.atoms[0].name, q.atoms[1].name);
+        let db = Database::new();
+        let mut sync = ShardedEngine::<i64>::new(q.clone(), &db, lift_one, 2).unwrap();
+        let mut pipelined = ShardedEngine::<i64>::new(q, &db, lift_one, 2).unwrap();
+        let batches: Vec<Vec<Update<i64>>> = (0..30i64)
+            .map(|i| {
+                vec![
+                    Update::insert(rn, tup![i % 4, i]),
+                    Update::with_payload(sn, tup![i % 4, i + 50], 2),
+                ]
+            })
+            .collect();
+        for b in &batches {
+            sync.apply_batch(b).unwrap();
+        }
+        // Async path: enqueue everything without waiting, then drain once.
+        let mut seqs = Vec::new();
+        for b in &batches {
+            seqs.push(pipelined.enqueue_batch(b).unwrap());
+        }
+        assert_eq!(seqs.len(), 30);
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+        pipelined.drain().unwrap();
+        let (a, b) = (sync.output_relation(), pipelined.output_relation());
+        assert_eq!(a.len(), b.len());
+        for (t, p) in a.iter() {
+            assert_eq!(&b.get(t), p);
+        }
+    }
+
+    #[test]
+    fn fully_cancelled_batch_completes_without_touching_workers() {
+        let q = star2();
+        let rn = q.atoms[0].name;
+        let mut eng = ShardedEngine::<i64>::new(q, &Database::new(), lift_one, 2).unwrap();
+        let delta = eng
+            .apply_batch(&[
+                Update::insert(rn, tup![1i64, 1i64]),
+                Update::delete(rn, tup![1i64, 1i64]),
+            ])
+            .unwrap();
+        assert!(delta.is_empty());
+        assert_eq!(eng.sharded_stats().router.routed, 0);
+    }
+
+    #[test]
+    fn static_and_unknown_relations_rejected_centrally() {
+        let [x, y, z] = vars(["she_mX", "she_mY", "she_mZ"]);
+        let (rn, sn) = (sym("she_mR"), sym("she_mS"));
+        let q = Query::new(
+            "she_mixed",
+            [x],
+            vec![
+                Atom::new(rn, [x, y]),
+                Atom::new_static(sn, Schema::from([y, z])),
+            ],
+        );
+        let mut eng = ShardedEngine::<i64>::new(q, &Database::new(), lift_one, 2).unwrap();
+        assert_eq!(
+            eng.apply_batch(&[Update::insert(sn, tup![1i64, 2i64])])
+                .unwrap_err(),
+            EngineError::StaticRelation(sn)
+        );
+        assert_eq!(
+            eng.apply_batch(&[Update::insert(sym("she_nope"), tup![1i64])])
+                .unwrap_err(),
+            EngineError::UnknownRelation(sym("she_nope"))
+        );
+        eng.apply_batch(&[Update::insert(rn, tup![1i64, 2i64])])
+            .unwrap();
+    }
+
+    #[test]
+    fn degenerate_plan_still_maintains_correctly() {
+        // Self-join triangle: unshardable, runs serially on shard 0 but
+        // behind the same facade.
+        let [a, b, c] = vars(["she_tA", "she_tB", "she_tC"]);
+        let e = sym("she_tE");
+        let q = Query::new(
+            "she_tri",
+            [],
+            vec![
+                Atom::new(e, [a, b]),
+                Atom::new(e, [b, c]),
+                Atom::new(e, [c, a]),
+            ],
+        );
+        let mut eng = ShardedEngine::<i64>::new(q, &Database::new(), lift_one, 4).unwrap();
+        assert!(eng.plan().is_degenerate());
+        // The fleet is clamped to one worker: extra shards would idle.
+        assert_eq!(eng.shards(), 1, "{}", eng.describe());
+        for (x, y) in [(1i64, 2i64), (2, 3), (3, 1), (1, 9)] {
+            eng.apply(&Update::insert(e, tup![x, y])).unwrap();
+        }
+        assert_eq!(eng.output_relation().get(&Tuple::empty()), 3);
+        let st = eng.sharded_stats();
+        assert_eq!(st.per_shard.len(), 1);
+        assert!(st.per_shard[0].batches > 0);
+    }
+
+    #[test]
+    fn shard_failure_poisons_instead_of_hanging() {
+        // Force a worker-side failure by bypassing central validation:
+        // a delta for a relation the shard engines do not know.
+        let q = star2();
+        let mut eng = ShardedEngine::<i64>::new(q, &Database::new(), lift_one, 2).unwrap();
+        let rogue =
+            DeltaBatch::from_updates(&[Update::<i64>::insert(sym("she_rogue"), tup![1i64, 1i64])]);
+        eng.workers[0]
+            .send(crate::worker::Job::Batch {
+                seq: 0,
+                delta: rogue,
+            })
+            .unwrap();
+        eng.next_seq = 1;
+        eng.in_flight.insert(
+            0,
+            Pending {
+                remaining: 1,
+                delta: Relation::new(eng.query.free.clone()),
+            },
+        );
+        // The drain surfaces the failure instead of blocking forever...
+        assert!(matches!(
+            eng.drain().unwrap_err(),
+            EngineError::UnknownRelation(_)
+        ));
+        // ...and the engine stays poisoned: everything fails fast now.
+        let rn = eng.query.atoms[0].name;
+        assert_eq!(
+            eng.apply_batch(&[Update::insert(rn, tup![1i64, 1i64])])
+                .unwrap_err(),
+            EngineError::UnknownRelation(sym("she_rogue"))
+        );
+        assert!(eng.drain().is_err());
+    }
+
+    #[test]
+    fn maintainer_facade_enumerates_after_draining() {
+        let q = star2();
+        let (rn, sn) = (q.atoms[0].name, q.atoms[1].name);
+        let mut eng = ShardedEngine::<i64>::new(q, &Database::new(), lift_one, 2).unwrap();
+        eng.enqueue_batch(&[
+            Update::insert(rn, tup![1i64, 10i64]),
+            Update::insert(sn, tup![1i64, 20i64]),
+        ])
+        .unwrap();
+        // for_each_output drains implicitly.
+        let mut n = 0;
+        eng.for_each_output(&mut |t, p| {
+            assert_eq!(t, &tup![1i64, 10i64, 20i64]);
+            assert_eq!(*p, 1);
+            n += 1;
+        });
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn stats_aggregate_across_shards() {
+        let q = star2();
+        let (rn, sn) = (q.atoms[0].name, q.atoms[1].name);
+        let mut eng = ShardedEngine::<i64>::new(q, &Database::new(), lift_one, 4).unwrap();
+        let batch: Vec<Update<i64>> = (0..64i64)
+            .flat_map(|i| {
+                [
+                    Update::insert(rn, tup![i, i]),
+                    Update::insert(sn, tup![i, -i]),
+                ]
+            })
+            .collect();
+        eng.apply_batch(&batch).unwrap();
+        let merged = eng.stats();
+        // Every x joins once: 64 output delta tuples across the fleet.
+        assert_eq!(merged.output_delta_tuples, 64);
+        // Ingestion total survives the consolidated fast path.
+        assert_eq!(merged.updates_in, 128);
+        // Work spread over more than one shard.
+        let st = eng.sharded_stats();
+        let active = st.per_shard.iter().filter(|s| s.deltas_in > 0).count();
+        assert!(active > 1, "expected multiple active shards, got {active}");
+        assert_eq!(st.router.routed, 128);
+        assert_eq!(st.router.broadcast_copies, 0);
+    }
+}

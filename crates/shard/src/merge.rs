@@ -1,0 +1,76 @@
+//! Merging per-shard output deltas back into one view.
+//!
+//! Because every dataflow operator is linear over the payload ring (the
+//! join bilinear, handled by the semi-naive split), the output delta of a
+//! batch equals the ⊎-sum of the output deltas of its per-shard
+//! sub-batches — no ordering, no coordination, just ring addition per
+//! tuple. Entries cancelling to zero vanish, so a view that one shard
+//! retracts and another re-derives ends up with the correct net payload.
+
+use ivm_data::Relation;
+use ivm_ring::Semiring;
+
+/// ⊎-fold `delta` into `acc` (point-wise ring addition, pruning zeros).
+pub fn fold_delta<R: Semiring>(acc: &mut Relation<R>, delta: &Relation<R>) {
+    debug_assert_eq!(
+        acc.schema(),
+        delta.schema(),
+        "shard deltas must share the output schema"
+    );
+    for (t, r) in delta.iter() {
+        acc.apply(t.clone(), r);
+    }
+}
+
+/// ⊎-merge per-shard deltas into one relation over `schema`.
+pub fn merge_deltas<R: Semiring>(
+    schema: ivm_data::Schema,
+    parts: impl IntoIterator<Item = Relation<R>>,
+) -> Relation<R> {
+    let mut acc = Relation::new(schema);
+    for part in parts {
+        fold_delta(&mut acc, &part);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivm_data::{tup, vars, Schema};
+
+    fn schema() -> Schema {
+        let [x] = vars(["mrg_X"]);
+        Schema::from([x])
+    }
+
+    #[test]
+    fn merge_sums_and_cancels() {
+        let s = schema();
+        let a = Relation::from_rows(s.clone(), [(tup![1i64], 2i64), (tup![2i64], 1)]);
+        let b = Relation::from_rows(s.clone(), [(tup![1i64], 3i64), (tup![2i64], -1)]);
+        let m = merge_deltas(s, [a, b]);
+        assert_eq!(m.get(&tup![1i64]), 5);
+        assert!(!m.contains(&tup![2i64]), "cancelled across shards");
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn merge_of_nothing_is_empty() {
+        let m: Relation<i64> = merge_deltas(schema(), []);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let s = schema();
+        let parts: Vec<Relation<i64>> = (0..4)
+            .map(|i| Relation::from_rows(s.clone(), [(tup![i as i64 % 2], (i + 1) as i64)]))
+            .collect();
+        let forward = merge_deltas(s.clone(), parts.clone());
+        let backward = merge_deltas(s, parts.into_iter().rev());
+        assert_eq!(forward.len(), backward.len());
+        assert_eq!(forward.get(&tup![0i64]), backward.get(&tup![0i64]));
+        assert_eq!(forward.get(&tup![1i64]), backward.get(&tup![1i64]));
+    }
+}

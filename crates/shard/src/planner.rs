@@ -1,0 +1,307 @@
+//! Choosing *how* to split a query's data across shards.
+//!
+//! Delta rules over ring payloads are linear, so a batch's effect on a
+//! view is the ⊎-sum of the effects of any partition of the batch — the
+//! property that makes hash sharding sound. The planner's job is to pick a
+//! partition under which every output derivation is computed on **exactly
+//! one** shard:
+//!
+//! * If some variable `v` occurs in every atom (star joins, PK–FK chains,
+//!   the q-hierarchical Retailer query), hash-partition every relation by
+//!   its `v` column: a derivation binding `v = x` only finds matching
+//!   tuples on shard `h(x)`, so shards never duplicate or miss work and
+//!   nothing is replicated.
+//! * Otherwise (cyclic queries like the triangle or the 4-cycle), pick the
+//!   shard variable that lets the *most data* be partitioned and
+//!   **broadcast** the relations that cannot be: replicated relations
+//!   exist on every shard, but each derivation still materializes only on
+//!   the one shard holding its partitioned tuples — exactly-once output is
+//!   preserved as long as at least one relation is partitioned.
+//! * A relation is partitionable by `v` only if *every occurrence* of it
+//!   has `v` at the same column (routing is physical, per tuple, and a
+//!   tuple cannot live on two shards). Self-join queries whose occurrences
+//!   permute columns (the one-relation triangle `E(a,b)E(b,c)E(c,a)`) can
+//!   leave no partitionable relation at all; then the plan is *degenerate*
+//!   and the router sends everything to shard 0 — correct, but serial.
+//!   (Per-occurrence replication schemes that parallelize such self-joins
+//!   exist; see ROADMAP follow-ons.)
+
+use ivm_data::{FxHashMap, Sym};
+use ivm_dataflow::Cardinalities;
+use ivm_query::Query;
+
+/// How the router treats one relation's tuples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RelationRoute {
+    /// Hash-partition by the value at `column`: a tuple lives only on
+    /// shard `hash(t[column]) mod shards`.
+    Partition {
+        /// Tuple position of the shard variable (identical across all
+        /// occurrences of the relation, by construction).
+        column: usize,
+    },
+    /// Replicate: a copy of every tuple goes to every shard.
+    Broadcast,
+}
+
+/// The sharding decision for one query: the shard variable plus one
+/// [`RelationRoute`] per distinct relation.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    /// The chosen shard variable; `None` for the degenerate single-shard
+    /// fallback.
+    pub shard_var: Option<Sym>,
+    routes: FxHashMap<Sym, RelationRoute>,
+}
+
+impl ShardPlan {
+    /// The route for `relation`, if the plan knows it (all of the query's
+    /// relations when non-degenerate; none when degenerate).
+    pub fn route(&self, relation: Sym) -> Option<RelationRoute> {
+        self.routes.get(&relation).copied()
+    }
+
+    /// Whether the plan falls back to routing everything to shard 0.
+    pub fn is_degenerate(&self) -> bool {
+        self.shard_var.is_none()
+    }
+
+    /// Number of hash-partitioned relations.
+    pub fn partitioned_count(&self) -> usize {
+        self.routes
+            .values()
+            .filter(|r| matches!(r, RelationRoute::Partition { .. }))
+            .count()
+    }
+
+    /// Number of broadcast (replicated) relations.
+    pub fn broadcast_count(&self) -> usize {
+        self.routes
+            .values()
+            .filter(|r| matches!(r, RelationRoute::Broadcast))
+            .count()
+    }
+
+    /// One human-readable line: shard variable and per-relation routes,
+    /// sorted by relation name for determinism.
+    pub fn describe(&self) -> String {
+        match self.shard_var {
+            None => "degenerate: all updates -> shard 0".to_string(),
+            Some(v) => {
+                let mut parts: Vec<String> = self
+                    .routes
+                    .iter()
+                    .map(|(rel, route)| match route {
+                        RelationRoute::Partition { column } => {
+                            format!("{rel} by col {column}")
+                        }
+                        RelationRoute::Broadcast => format!("{rel} broadcast"),
+                    })
+                    .collect();
+                parts.sort();
+                format!("shard by {v}: {}", parts.join(", "))
+            }
+        }
+    }
+}
+
+/// Picks a [`ShardPlan`] for a query from its shape and (optional)
+/// relation cardinalities.
+pub struct ShardPlanner;
+
+/// How one candidate shard variable scores: full-coverage plans first,
+/// then more partitioned atoms, then more partitioned (known) tuples.
+/// Ties resolve to the earliest variable in first-occurrence order, so
+/// plans are deterministic across runs and platforms.
+type Score = (bool, usize, usize);
+
+impl ShardPlanner {
+    /// Choose the shard plan for `q`. `cards` biases the choice toward
+    /// partitioning the largest relations; [`Cardinalities::none`] falls
+    /// back to pure shape-based scoring.
+    pub fn plan(q: &Query, cards: &Cardinalities) -> ShardPlan {
+        let mut best: Option<(Score, ShardPlan)> = None;
+        for &v in q.variables().vars() {
+            let Some((score, plan)) = Self::candidate(q, cards, v) else {
+                continue;
+            };
+            let better = match &best {
+                None => true,
+                Some((best_score, _)) => score > *best_score,
+            };
+            if better {
+                best = Some((score, plan));
+            }
+        }
+        best.map(|(_, plan)| plan).unwrap_or(ShardPlan {
+            shard_var: None,
+            routes: FxHashMap::default(),
+        })
+    }
+
+    /// The plan sharding by `v`, or `None` when no relation is
+    /// partitionable by `v` (sharding would replicate everything and
+    /// every shard would recompute — and thus overcount — the output).
+    fn candidate(q: &Query, cards: &Cardinalities, v: Sym) -> Option<(Score, ShardPlan)> {
+        let mut routes: FxHashMap<Sym, RelationRoute> = FxHashMap::default();
+        let mut partitioned_atoms = 0usize;
+        let mut partitioned_tuples = 0usize;
+        for atom in &q.atoms {
+            if routes.contains_key(&atom.name) {
+                continue;
+            }
+            // Partitionable iff every occurrence of the relation has `v`
+            // at one common column.
+            let occurrences: Vec<&ivm_query::Atom> =
+                q.atoms.iter().filter(|a| a.name == atom.name).collect();
+            let column = occurrences[0]
+                .schema
+                .position(v)
+                .filter(|&c| occurrences.iter().all(|a| a.schema.position(v) == Some(c)));
+            let route = match column {
+                Some(column) => {
+                    partitioned_atoms += occurrences.len();
+                    match cards.get(atom.name) {
+                        usize::MAX => {} // unknown size: shape-only score
+                        n => partitioned_tuples += n,
+                    }
+                    RelationRoute::Partition { column }
+                }
+                None => RelationRoute::Broadcast,
+            };
+            routes.insert(atom.name, route);
+        }
+        if partitioned_atoms == 0 {
+            return None;
+        }
+        let full = partitioned_atoms == q.atoms.len();
+        Some((
+            (full, partitioned_atoms, partitioned_tuples),
+            ShardPlan {
+                shard_var: Some(v),
+                routes,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivm_data::{sym, vars};
+    use ivm_query::{Atom, Query};
+
+    #[test]
+    fn star_query_partitions_everything_by_the_shared_variable() {
+        let [x, y, z, w] = vars(["shp_X", "shp_Y", "shp_Z", "shp_W"]);
+        let q = Query::new(
+            "shp_star",
+            [x, y, z, w],
+            vec![
+                Atom::new(sym("shp_R"), [x, y]),
+                Atom::new(sym("shp_S"), [x, z]),
+                Atom::new(sym("shp_T"), [w, x]), // x at a different column is fine
+            ],
+        );
+        let plan = ShardPlanner::plan(&q, &Cardinalities::none());
+        assert_eq!(plan.shard_var, Some(x));
+        assert_eq!(plan.partitioned_count(), 3);
+        assert_eq!(plan.broadcast_count(), 0);
+        assert_eq!(
+            plan.route(sym("shp_R")),
+            Some(RelationRoute::Partition { column: 0 })
+        );
+        assert_eq!(
+            plan.route(sym("shp_T")),
+            Some(RelationRoute::Partition { column: 1 })
+        );
+    }
+
+    #[test]
+    fn retailer_query_is_fully_partitioned() {
+        let (q, names) = ivm_query::examples::retailer_query();
+        let plan = ShardPlanner::plan(&q, &Cardinalities::none());
+        assert!(!plan.is_degenerate());
+        assert_eq!(plan.broadcast_count(), 0, "{}", plan.describe());
+        assert_eq!(plan.partitioned_count(), 5);
+        assert_eq!(
+            plan.route(names.inventory),
+            Some(RelationRoute::Partition { column: 0 })
+        );
+    }
+
+    #[test]
+    fn triangle_with_distinct_relations_broadcasts_the_odd_one_out() {
+        // R(a,b)·S(b,c)·T(c,a): no variable covers all three atoms; each
+        // covers two. The tie resolves to `a` (first in occurrence order):
+        // R partitioned by col 0, T by col 1, S broadcast.
+        let q = ivm_query::examples::triangle_count();
+        let plan = ShardPlanner::plan(&q, &Cardinalities::none());
+        assert!(!plan.is_degenerate());
+        assert_eq!(plan.partitioned_count(), 2, "{}", plan.describe());
+        assert_eq!(plan.broadcast_count(), 1);
+        assert_eq!(
+            plan.route(q.atoms[0].name),
+            Some(RelationRoute::Partition { column: 0 })
+        );
+        assert_eq!(plan.route(q.atoms[1].name), Some(RelationRoute::Broadcast));
+        assert_eq!(
+            plan.route(q.atoms[2].name),
+            Some(RelationRoute::Partition { column: 1 })
+        );
+    }
+
+    #[test]
+    fn cardinalities_steer_the_tie_break() {
+        // Same triangle, but S and T are huge: sharding by c (partitions
+        // S and T) covers more tuples than sharding by a (R and T).
+        let q = ivm_query::examples::triangle_count();
+        let (r, s, t) = (q.atoms[0].name, q.atoms[1].name, q.atoms[2].name);
+        let mut cards = Cardinalities::none();
+        cards.set(r, 10).set(s, 1_000_000).set(t, 1_000_000);
+        let plan = ShardPlanner::plan(&q, &cards);
+        let c = q.atoms[1].schema.vars()[1];
+        assert_eq!(plan.shard_var, Some(c), "{}", plan.describe());
+        assert_eq!(plan.route(r), Some(RelationRoute::Broadcast));
+        assert_eq!(plan.route(s), Some(RelationRoute::Partition { column: 1 }));
+        assert_eq!(plan.route(t), Some(RelationRoute::Partition { column: 0 }));
+    }
+
+    #[test]
+    fn self_join_triangle_is_degenerate() {
+        // One relation in three column-permuted roles: no single physical
+        // partition of E serves all occurrences, so the planner must fall
+        // back instead of producing an overcounting broadcast-only plan.
+        let [a, b, c] = vars(["shp_tA", "shp_tB", "shp_tC"]);
+        let e = sym("shp_tE");
+        let q = Query::new(
+            "shp_tri",
+            [],
+            vec![
+                Atom::new(e, [a, b]),
+                Atom::new(e, [b, c]),
+                Atom::new(e, [c, a]),
+            ],
+        );
+        let plan = ShardPlanner::plan(&q, &Cardinalities::none());
+        assert!(plan.is_degenerate());
+        assert_eq!(plan.route(e), None);
+        assert!(plan.describe().contains("degenerate"));
+    }
+
+    #[test]
+    fn consistent_self_join_columns_stay_partitionable() {
+        // Q(a) = E(a,b)·E(a,c): both occurrences hold `a` at column 0, so
+        // E partitions even though the query self-joins.
+        let [a, b, c] = vars(["shp_pA", "shp_pB", "shp_pC"]);
+        let e = sym("shp_pE");
+        let q = Query::new(
+            "shp_pair",
+            [a],
+            vec![Atom::new(e, [a, b]), Atom::new(e, [a, c])],
+        );
+        let plan = ShardPlanner::plan(&q, &Cardinalities::none());
+        assert_eq!(plan.shard_var, Some(a));
+        assert_eq!(plan.route(e), Some(RelationRoute::Partition { column: 0 }));
+    }
+}

@@ -1,0 +1,95 @@
+//! Fleet-wide statistics of a sharded engine.
+
+use crate::router::RouterStats;
+use ivm_dataflow::DataflowStats;
+use std::time::Duration;
+
+/// Counters of a [`ShardedEngine`](crate::ShardedEngine): the routing
+/// layer plus the latest cumulative snapshot of every shard's dataflow.
+#[derive(Clone, Debug, Default)]
+pub struct ShardedStats {
+    /// Routing-layer counters (entries routed vs. broadcast copies).
+    pub router: RouterStats,
+    /// Per-shard dataflow counters (cumulative; index = shard id).
+    pub per_shard: Vec<DataflowStats>,
+    /// Per-shard cumulative busy time inside `apply_batch` (thread CPU
+    /// time on Linux, wall time elsewhere — see `worker::Report::busy`).
+    pub busy: Vec<Duration>,
+}
+
+impl ShardedStats {
+    /// All shards' counters ⊕-merged into one [`DataflowStats`].
+    ///
+    /// Broadcast entries are counted once per holding shard (they really
+    /// are applied that many times); [`RouterStats::broadcast_copies`]
+    /// quantifies the replication overhead separately.
+    pub fn merged(&self) -> DataflowStats {
+        self.per_shard
+            .iter()
+            .fold(DataflowStats::default(), |acc, s| acc.merged(s))
+    }
+
+    /// Total busy time across shards (the work a single core would do).
+    pub fn total_busy(&self) -> Duration {
+        self.busy.iter().sum()
+    }
+
+    /// The busiest shard's time — the critical path of the fleet: with
+    /// one core per shard, a drained stream takes max-busy, not
+    /// total-busy, of compute time.
+    pub fn max_busy(&self) -> Duration {
+        self.busy.iter().max().copied().unwrap_or(Duration::ZERO)
+    }
+
+    /// Load-balance quality in `(0, 1]`: mean busy over max busy. `1.0`
+    /// is a perfectly even split; `1/n` means one shard did everything.
+    pub fn balance(&self) -> f64 {
+        let max = self.max_busy().as_secs_f64();
+        if max == 0.0 || self.busy.is_empty() {
+            return 1.0;
+        }
+        let mean = self.total_busy().as_secs_f64() / self.busy.len() as f64;
+        mean / max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with_busy(busy_ms: &[u64]) -> ShardedStats {
+        ShardedStats {
+            router: RouterStats::default(),
+            per_shard: busy_ms
+                .iter()
+                .map(|&b| DataflowStats {
+                    batches: b,
+                    ..DataflowStats::default()
+                })
+                .collect(),
+            busy: busy_ms.iter().map(|&b| Duration::from_millis(b)).collect(),
+        }
+    }
+
+    #[test]
+    fn merged_sums_shards() {
+        let s = stats_with_busy(&[1, 2, 3]);
+        assert_eq!(s.merged().batches, 6);
+    }
+
+    #[test]
+    fn busy_accounting() {
+        let s = stats_with_busy(&[10, 30, 20, 40]);
+        assert_eq!(s.total_busy(), Duration::from_millis(100));
+        assert_eq!(s.max_busy(), Duration::from_millis(40));
+        assert!((s.balance() - 0.625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_fleet_is_balanced() {
+        let s = ShardedStats::default();
+        assert_eq!(s.max_busy(), Duration::ZERO);
+        assert_eq!(s.balance(), 1.0);
+        assert_eq!(s.merged(), DataflowStats::default());
+    }
+}

@@ -1,0 +1,278 @@
+//! Shard worker threads.
+//!
+//! Each worker owns one independent [`DataflowEngine`] over its slice of
+//! the data and drains a **bounded** job queue: the engine thread can keep
+//! enqueueing batch `k+1` while workers still process batch `k`
+//! (pipelined, asynchronous ingestion), and a worker that falls behind
+//! exerts backpressure by letting its queue fill instead of buffering
+//! unboundedly. Results flow back over an unbounded channel — workers
+//! never block on reporting, so enqueue-side backpressure cannot deadlock
+//! against result delivery.
+
+use ivm_core::EngineError;
+use ivm_data::Relation;
+use ivm_dataflow::{DataflowEngine, DataflowStats, DeltaBatch};
+use ivm_ring::Semiring;
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How many batches a shard's queue holds before `enqueue` blocks —
+/// deep enough to pipeline ingestion against processing, shallow enough
+/// to bound memory per shard.
+pub const QUEUE_DEPTH: usize = 8;
+
+/// One unit of work for a shard.
+pub(crate) enum Job<R> {
+    /// Apply the sub-batch of sequence number `seq`.
+    Batch {
+        /// Engine-wide batch sequence number.
+        seq: u64,
+        /// This shard's routed slice of the batch, already consolidated
+        /// by the router (applied without re-consolidation).
+        delta: DeltaBatch<R>,
+    },
+}
+
+/// A worker's answer to one [`Job`].
+pub(crate) struct Report<R> {
+    /// The job's sequence number.
+    pub seq: u64,
+    /// Which shard reports.
+    pub shard: usize,
+    /// The shard's output delta for the sub-batch (or why it failed).
+    pub delta: Result<Relation<R>, EngineError>,
+    /// Cumulative engine counters after the job.
+    pub stats: DataflowStats,
+    /// Cumulative time this worker has spent inside `apply_batch` — the
+    /// per-shard busy time behind the scalability accounting. Measured on
+    /// the *thread CPU clock* where available (Linux), so it stays a
+    /// truthful work measure even when shards are oversubscribed on fewer
+    /// cores — the wall clock would count descheduled gaps as busy.
+    pub busy: Duration,
+}
+
+/// This thread's cumulative CPU time (`CLOCK_THREAD_CPUTIME_ID`), or
+/// `None` where unavailable. The symbol comes from the platform libc that
+/// `std` already links; no new dependency. Gated to 64-bit Linux: the
+/// hand-declared `Timespec` matches the `{i64, i64}` ABI there, while
+/// 32-bit targets use a different layout and must take the wall-clock
+/// fallback.
+#[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+fn thread_cpu_now() -> Option<Duration> {
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+    extern "C" {
+        fn clock_gettime(clk_id: i32, tp: *mut Timespec) -> i32;
+    }
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+    let mut ts = Timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
+    // SAFETY: `ts` outlives the call and the clock id is valid on Linux.
+    if unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) } == 0 {
+        Some(Duration::new(ts.tv_sec as u64, ts.tv_nsec as u32))
+    } else {
+        None
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_pointer_width = "64")))]
+fn thread_cpu_now() -> Option<Duration> {
+    None
+}
+
+/// Time one closure on the thread CPU clock, falling back to wall time.
+fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    match thread_cpu_now() {
+        Some(c0) => {
+            let out = f();
+            let spent = thread_cpu_now()
+                .map(|c1| c1.saturating_sub(c0))
+                .unwrap_or(Duration::ZERO);
+            (out, spent)
+        }
+        None => {
+            let start = Instant::now();
+            let out = f();
+            (out, start.elapsed())
+        }
+    }
+}
+
+/// Handle to a spawned worker: its job queue and join handle.
+pub(crate) struct WorkerHandle<R> {
+    jobs: Option<SyncSender<Job<R>>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl<R> WorkerHandle<R> {
+    /// Send a job, blocking when the shard's queue is full (bounded
+    /// pipelining). Errors only if the worker died.
+    pub fn send(&self, job: Job<R>) -> Result<(), EngineError> {
+        self.jobs
+            .as_ref()
+            .expect("worker already shut down")
+            .send(job)
+            .map_err(|_| EngineError::ShardFailure("worker hung up its job queue".into()))
+    }
+}
+
+impl<R> Drop for WorkerHandle<R> {
+    fn drop(&mut self) {
+        // Closing the queue is the shutdown signal; then join so worker
+        // state (and any panic) is settled before the engine vanishes.
+        drop(self.jobs.take());
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Spawn the worker for `shard`, moving its preprocessed engine onto the
+/// thread. Jobs are processed strictly in send order.
+pub(crate) fn spawn<R: Semiring>(
+    shard: usize,
+    mut engine: DataflowEngine<R>,
+    results: Sender<Report<R>>,
+) -> WorkerHandle<R> {
+    let (jobs_tx, jobs_rx): (SyncSender<Job<R>>, Receiver<Job<R>>) =
+        std::sync::mpsc::sync_channel(QUEUE_DEPTH);
+    let thread = std::thread::Builder::new()
+        .name(format!("ivm-shard-{shard}"))
+        .spawn(move || {
+            let mut busy = Duration::ZERO;
+            while let Ok(Job::Batch { seq, delta }) = jobs_rx.recv() {
+                // Catch panics so one poisoned shard reports a failure
+                // instead of silently leaving the batch in flight forever
+                // (its queue sender would stay alive via the siblings).
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    timed(|| engine.apply_delta_batch(&delta))
+                }));
+                let (delta, spent, dead) = match outcome {
+                    Ok((delta, spent)) => (delta, spent, false),
+                    Err(_) => (
+                        Err(EngineError::ShardFailure(format!(
+                            "shard {shard} worker panicked mid-batch"
+                        ))),
+                        Duration::ZERO,
+                        true,
+                    ),
+                };
+                busy += spent;
+                let report = Report {
+                    seq,
+                    shard,
+                    delta,
+                    stats: engine.stats(),
+                    busy,
+                };
+                if results.send(report).is_err() || dead {
+                    break; // engine dropped, or this worker is poisoned
+                }
+            }
+        })
+        .expect("spawning a shard worker thread");
+    WorkerHandle {
+        jobs: Some(jobs_tx),
+        thread: Some(thread),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivm_data::ops::lift_one;
+    use ivm_data::{sym, tup, vars, Database, Update};
+    use ivm_query::{Atom, Query};
+
+    fn tiny_engine() -> (DataflowEngine<i64>, ivm_data::Sym) {
+        let [x, y] = vars(["wrk_X", "wrk_Y"]);
+        let r = sym("wrk_R");
+        let q = Query::new("wrk_q", [x], vec![Atom::new(r, [x, y])]);
+        (
+            DataflowEngine::new(q, &Database::new(), lift_one).unwrap(),
+            r,
+        )
+    }
+
+    #[test]
+    fn worker_processes_jobs_in_order_and_reports_deltas() {
+        let (engine, r) = tiny_engine();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let handle = spawn(3, engine, tx);
+        for seq in 0..5u64 {
+            handle
+                .send(Job::Batch {
+                    seq,
+                    delta: DeltaBatch::from_updates(&[Update::insert(r, tup![seq as i64, 0i64])]),
+                })
+                .unwrap();
+        }
+        for expect_seq in 0..5u64 {
+            let rep = rx.recv().unwrap();
+            assert_eq!(rep.seq, expect_seq, "FIFO per shard");
+            assert_eq!(rep.shard, 3);
+            let delta = rep.delta.unwrap();
+            assert_eq!(delta.get(&tup![expect_seq as i64]), 1);
+            assert_eq!(rep.stats.batches, expect_seq + 2); // +1 preprocessing
+        }
+        drop(handle); // joins cleanly
+    }
+
+    #[test]
+    fn worker_reports_errors_instead_of_dying() {
+        let (engine, r) = tiny_engine();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let handle = spawn(0, engine, tx);
+        handle
+            .send(Job::Batch {
+                seq: 0,
+                delta: DeltaBatch::from_updates(&[Update::<i64>::insert(
+                    sym("wrk_unknown"),
+                    tup![1i64],
+                )]),
+            })
+            .unwrap();
+        let rep = rx.recv().unwrap();
+        assert!(matches!(rep.delta, Err(EngineError::UnknownRelation(_))));
+        // The worker survives the error and keeps serving.
+        handle
+            .send(Job::Batch {
+                seq: 1,
+                delta: DeltaBatch::from_updates(&[Update::insert(r, tup![7i64, 7i64])]),
+            })
+            .unwrap();
+        let rep = rx.recv().unwrap();
+        assert_eq!(rep.delta.unwrap().get(&tup![7i64]), 1);
+        drop(handle);
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let (engine, r) = tiny_engine();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let handle = spawn(0, engine, tx);
+        let mut last = Duration::ZERO;
+        for seq in 0..3u64 {
+            let updates: Vec<Update<i64>> = (0..256)
+                .map(|i| Update::insert(r, tup![i as i64, seq as i64]))
+                .collect();
+            handle
+                .send(Job::Batch {
+                    seq,
+                    delta: DeltaBatch::from_updates(&updates),
+                })
+                .unwrap();
+            let rep = rx.recv().unwrap();
+            assert!(rep.busy >= last, "cumulative busy time is monotone");
+            last = rep.busy;
+        }
+        drop(handle);
+    }
+}

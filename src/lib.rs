@@ -12,6 +12,7 @@
 //! | language | [`query`] | query AST + the dichotomy analyses (q-hierarchical, CQAP, FDs) |
 //! | engines | [`core`] | per-class maintenance engines (view trees, cascades, CQAPs) |
 //! | runtime | [`dataflow`] | generic batched delta-dataflow engine for arbitrary CQs |
+//! | scale-out | [`shard`] | hash-partitioned parallel shards with async batch ingestion |
 //! | kernels | [`ivme`], [`oumv`] | specialized triangle/q-hierarchical kernels, lower bounds |
 //! | workloads | [`workloads`] | retailer, graph, PK-FK, Zipf generators |
 
@@ -22,6 +23,7 @@ pub use ivm_ivme as ivme;
 pub use ivm_oumv as oumv;
 pub use ivm_query as query;
 pub use ivm_ring as ring;
+pub use ivm_shard as shard;
 pub use ivm_workloads as workloads;
 
 pub use ivm_core::Maintainer;
@@ -29,3 +31,4 @@ pub use ivm_data::{Batch, Database, Relation, Tuple, Update, Value};
 pub use ivm_dataflow::{DataflowEngine, DeltaBatch};
 pub use ivm_query::{Atom, Query};
 pub use ivm_ring::{Ring, Semiring};
+pub use ivm_shard::ShardedEngine;

@@ -8,19 +8,25 @@
 //! 1. `DataflowEngine` forced onto the **left-deep** binary-join chain,
 //! 2. `DataflowEngine` forced onto the **worst-case-optimal multiway**
 //!    plan,
-//! 3. a **from-scratch oracle** (`eval_join_aggregate` over the final
+//! 3. `ShardedEngine` with **1, 2, and 4 shards** (hash-partitioned
+//!    parallel workers merging deltas by ring ⊎),
+//! 4. a **from-scratch oracle** (`eval_join_aggregate` over the final
 //!    base relations),
 //!
-//! and asserts all three agree after every batch. The shapes cover the
-//! planner's whole split: the cyclic self-join triangle, the cyclic
-//! 4-cycle, and the acyclic star (where the multiway plan is forced, not
-//! chosen). 64 cases per shape; the vendored proptest shim seeds each
-//! test deterministically from its name, so failures reproduce.
+//! and asserts all agree after every batch. The shapes cover the
+//! planner's whole split *and* the shard planner's whole split: the
+//! cyclic self-join triangle (unshardable → degenerate single-shard
+//! routing), the cyclic 4-cycle (two relations partitioned, two
+//! broadcast — the replication path), and the acyclic star (everything
+//! partitioned by the shared variable). 64 cases per shape; the vendored
+//! proptest shim seeds each test deterministically from its name, so
+//! failures reproduce.
 
 use ivm_data::ops::{eval_join_aggregate, lift_one};
 use ivm_data::{sym, tup, Database, Relation, Tuple, Update};
 use ivm_dataflow::{DataflowEngine, JoinStrategy};
 use ivm_query::{Atom, Query};
+use ivm_shard::ShardedEngine;
 use proptest::prelude::*;
 
 /// The cyclic self-join triangle count `Q() = Σ E(a,b)·E(b,c)·E(c,a)`.
@@ -142,6 +148,13 @@ fn check_shape(q: &Query, ops: &[Op], chunk: usize) -> Result<(), TestCaseError>
     let mut multi =
         DataflowEngine::<i64>::new_with_strategy(q.clone(), &db, lift_one, JoinStrategy::Multiway)
             .unwrap();
+    // The sharded engine must agree at every fleet size, including the
+    // broadcast-replication path (4-cycle) and the degenerate self-join
+    // fallback (triangle).
+    let mut sharded: Vec<ShardedEngine<i64>> = [1usize, 2, 4]
+        .into_iter()
+        .map(|n| ShardedEngine::new(q.clone(), &db, lift_one, n).unwrap())
+        .collect();
     let mut base: ivm_data::FxHashMap<ivm_data::Sym, Relation<i64>> = rels
         .iter()
         .map(|&r| {
@@ -155,6 +168,9 @@ fn check_shape(q: &Query, ops: &[Op], chunk: usize) -> Result<(), TestCaseError>
     for batch in updates.chunks(chunk.max(1)) {
         left.apply_batch(batch).unwrap();
         multi.apply_batch(batch).unwrap();
+        for eng in &mut sharded {
+            eng.apply_batch(batch).unwrap();
+        }
         for u in batch {
             base.get_mut(&u.relation)
                 .unwrap()
@@ -171,6 +187,13 @@ fn check_shape(q: &Query, ops: &[Op], chunk: usize) -> Result<(), TestCaseError>
             &expect,
             &format!("{:?} multiway", q.name),
         )?;
+        for eng in &sharded {
+            outputs_match(
+                eng.output_relation(),
+                &expect,
+                &format!("{:?} sharded x{}", q.name, eng.shards()),
+            )?;
+        }
     }
     // The multiway plan must never have materialized a binary-join
     // intermediate, whatever the stream did.
@@ -198,6 +221,43 @@ proptest! {
     #[test]
     fn star_engines_agree(ops in ops_strategy(), chunk in 1usize..9) {
         check_shape(&star(), &ops, chunk)?;
+    }
+
+    /// Pipelined ingestion is just a reordering of the same ring algebra:
+    /// enqueue-everything-then-drain must equal the synchronous engine and
+    /// the oracle, on the shape whose plan replicates (broadcasts) atoms.
+    #[test]
+    fn pipelined_sharded_four_cycle_agrees(ops in ops_strategy(), chunk in 1usize..9) {
+        let q = four_cycle();
+        let rels = distinct_relations(&q);
+        let updates: Vec<Update<i64>> = ops
+            .iter()
+            .filter(|(_, _, m)| *m != 0)
+            .map(|&(ri, (x, y), m)| Update::with_payload(rels[ri % rels.len()], tup![x, y], m))
+            .collect();
+        let db = Database::new();
+        let mut eng = ShardedEngine::<i64>::new(q.clone(), &db, lift_one, 3).unwrap();
+        let mut base: ivm_data::FxHashMap<ivm_data::Sym, Relation<i64>> = rels
+            .iter()
+            .map(|&r| {
+                (
+                    r,
+                    Relation::new(q.atoms.iter().find(|a| a.name == r).unwrap().schema.clone()),
+                )
+            })
+            .collect();
+        for batch in updates.chunks(chunk.max(1)) {
+            // Fire-and-forget; nothing is awaited until the drain below.
+            eng.enqueue_batch(batch).unwrap();
+            for u in batch {
+                base.get_mut(&u.relation)
+                    .unwrap()
+                    .apply(u.tuple.clone(), &u.payload);
+            }
+        }
+        eng.drain().unwrap();
+        let expect = oracle(&q, &base);
+        outputs_match(eng.output_relation(), &expect, "pipelined 4-cycle x3")?;
     }
 
     /// Single-tuple application order is immaterial: one batch equals the
@@ -230,6 +290,48 @@ proptest! {
             )?;
         }
     }
+}
+
+/// The three harness shapes cover the shard planner's whole split, and
+/// the streams above really exercise each path — deterministic check.
+#[test]
+fn harness_shapes_cover_all_shard_plan_paths() {
+    let db = Database::new();
+    // Self-join triangle: occurrences permute the columns of E, so no
+    // physical partition serves all of them → degenerate serial routing.
+    let tri = ShardedEngine::<i64>::new(triangle(), &db, lift_one, 4).unwrap();
+    assert!(tri.plan().is_degenerate(), "{}", tri.describe());
+
+    // 4-cycle: a covers R and U; S and T replicate → broadcast path.
+    let mut cyc = ShardedEngine::<i64>::new(four_cycle(), &db, lift_one, 4).unwrap();
+    assert_eq!(cyc.plan().partitioned_count(), 2, "{}", cyc.describe());
+    assert_eq!(cyc.plan().broadcast_count(), 2, "{}", cyc.describe());
+    let batch: Vec<Update<i64>> = (0..8u64)
+        .flat_map(|i| {
+            [
+                Update::insert(sym("pe_4R"), tup![i, i + 1]),
+                Update::insert(sym("pe_4S"), tup![i, i + 1]),
+            ]
+        })
+        .collect();
+    cyc.apply_batch(&batch).unwrap();
+    let st = cyc.sharded_stats();
+    assert!(
+        st.router.broadcast_copies > 0,
+        "the 4-cycle stream must exercise replication"
+    );
+    assert!(st.router.routed > 0);
+
+    // Star: x occurs in every atom → everything partitions, nothing
+    // replicates.
+    let star_eng = ShardedEngine::<i64>::new(star(), &db, lift_one, 4).unwrap();
+    assert_eq!(
+        star_eng.plan().broadcast_count(),
+        0,
+        "{}",
+        star_eng.describe()
+    );
+    assert_eq!(star_eng.plan().partitioned_count(), 3);
 }
 
 /// The acceptance check of the WCOJ change, deterministic: on a triangle
