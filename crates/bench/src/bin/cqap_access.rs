@@ -9,6 +9,7 @@
 
 use ivm_bench::{fmt, ns_per, scaled, time, Table};
 use ivm_core::cqap::CqapEngine;
+use ivm_core::Maintainer;
 use ivm_data::ops::lift_one;
 use ivm_data::{sym, tup, Update};
 use ivm_workloads::graphs::EdgeStream;

@@ -16,6 +16,7 @@
 //! (`RIVM_SCALE=0.2` for a quick pass).
 
 use ivm_bench::{fmt, per_sec, scaled, Table};
+use ivm_core::Maintainer;
 use ivm_data::ops::lift_one;
 use ivm_data::{tup, Database, Update};
 use ivm_dataflow::{DataflowEngine, JoinStrategy};

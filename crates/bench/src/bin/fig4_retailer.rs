@@ -7,71 +7,24 @@
 //! magnitude slower and "does not finish" at the highest enumeration
 //! frequency (we mark engines exceeding a time budget as DNF).
 //!
-//! On top of the paper's four specialized engines, two generic rows run
-//! the same workload end to end: `dataflow` (the `ivm-dataflow` engine,
-//! applying each 1000-insert batch as one consolidated delta) and
-//! `sharded-4` (`ivm-shard` with 4 hash-partitioned workers — the
-//! Retailer join shards fully by `locn` — using pipelined ingestion and
-//! draining at each enumeration point). Single-tuple engines pay one
-//! delta propagation per insert; the batched rows show what consolidation
-//! and sharding buy on the same stream.
+//! Every row is one `ivm_session::Session` and ingests through the same
+//! two calls — `enqueue_batch` + `drain` — whatever engine is behind it:
+//! the four specialized engines of the paper (forced via
+//! `SessionBuilder::engine`, since Fig 4 compares them against each
+//! other), the generic dataflow engine applying each 1000-insert batch as
+//! one consolidated delta, and a 4-shard fleet (the Retailer join shards
+//! fully by `locn`) using its native pipelined ingestion. The hand-rolled
+//! per-engine-kind `apply_batch` dispatch this file used to carry is
+//! gone: batch ingestion is a trait method now.
 //!
 //! Run: `cargo run --release -p ivm-bench --bin fig4_retailer`
 //! (`RIVM_SCALE=0.2` for a quick pass).
 
 use ivm_bench::{fmt, per_sec, scaled, Table};
-use ivm_core::{EagerFactEngine, EagerListEngine, LazyFactEngine, LazyListEngine, Maintainer};
-use ivm_data::ops::lift_one;
-use ivm_data::Update;
-use ivm_dataflow::DataflowEngine;
-use ivm_shard::ShardedEngine;
+use ivm_core::Maintainer;
+use ivm_session::{EngineKind, Session};
 use ivm_workloads::RetailerGen;
 use std::time::{Duration, Instant};
-
-/// One competitor: the specialized single-tuple engines behind the
-/// `Maintainer` facade, or a batch-capable generic engine.
-enum Engine {
-    Single(Box<dyn Maintainer<i64>>),
-    Dataflow(DataflowEngine<i64>),
-    Sharded(ShardedEngine<i64>),
-}
-
-impl Engine {
-    fn apply_batch(&mut self, batch: &[Update<i64>]) {
-        match self {
-            Engine::Single(e) => {
-                for upd in batch {
-                    e.apply(upd).expect("valid update");
-                }
-            }
-            Engine::Dataflow(e) => {
-                e.apply_batch(batch).expect("valid batch");
-            }
-            // Pipelined: enqueue and keep streaming; deltas settle in the
-            // background and are drained at the next enumeration.
-            Engine::Sharded(e) => {
-                e.enqueue_batch(batch).expect("valid batch");
-            }
-        }
-    }
-
-    fn enumerate(&mut self) -> usize {
-        let mut count = 0usize;
-        match self {
-            Engine::Single(e) => e.for_each_output(&mut |_, _| count += 1),
-            Engine::Dataflow(e) => e.for_each_output(&mut |_, _| count += 1),
-            Engine::Sharded(e) => e.for_each_output(&mut |_, _| count += 1),
-        }
-        count
-    }
-
-    /// Settle any in-flight work so the wall clock covers it.
-    fn finish(&mut self) {
-        if let Engine::Sharded(e) = self {
-            e.drain().expect("drain");
-        }
-    }
-}
 
 fn main() {
     let batch_size = 1000usize;
@@ -94,51 +47,48 @@ fn main() {
 
     for &intval in &intervals {
         let n_enum = total_batches / intval;
-        for engine_name in [
-            "eager-fact",
-            "eager-list",
-            "lazy-fact",
-            "lazy-list",
-            "dataflow",
-            "sharded-4",
+        for (engine_name, kind, shards) in [
+            ("eager-fact", Some(EngineKind::EagerFact), None),
+            ("eager-list", Some(EngineKind::EagerList), None),
+            ("lazy-fact", Some(EngineKind::LazyFact), None),
+            ("lazy-list", Some(EngineKind::LazyList), None),
+            ("dataflow", Some(EngineKind::DataflowLeftDeep), None),
+            ("sharded-4", None, Some(4usize)),
         ] {
             // 48·6·48 ≈ 14k fact-key combos with ~9 Sales rows each: the
             // output fans out like the paper's Retailer join.
             let mut gen = RetailerGen::new(48, 6, 48, 7);
             let db = gen.initial_db(scaled(120_000, 12_000));
-            let q = gen.query().clone();
-            let mut engine = match engine_name {
-                "eager-fact" => {
-                    Engine::Single(Box::new(EagerFactEngine::new(q, &db, lift_one).unwrap()))
-                }
-                "eager-list" => {
-                    Engine::Single(Box::new(EagerListEngine::new(q, &db, lift_one).unwrap()))
-                }
-                "lazy-fact" => {
-                    Engine::Single(Box::new(LazyFactEngine::new(q, &db, lift_one).unwrap()))
-                }
-                "lazy-list" => {
-                    Engine::Single(Box::new(LazyListEngine::new(q, &db, lift_one).unwrap()))
-                }
-                "dataflow" => Engine::Dataflow(DataflowEngine::new(q, &db, lift_one).unwrap()),
-                _ => Engine::Sharded(ShardedEngine::new(q, &db, lift_one, 4).unwrap()),
-            };
+            let mut builder = Session::<i64>::builder(gen.query().clone());
+            if let Some(k) = kind {
+                builder = builder.engine(k);
+            }
+            if let Some(n) = shards {
+                builder = builder.shards(n);
+            }
+            let mut session = builder.build(&db).expect("retailer query");
             let start = Instant::now();
             let mut tuples = 0usize;
             let mut enumerated = 0usize;
             let mut dnf = false;
             for b in 1..=total_batches {
-                engine.apply_batch(&gen.inventory_batch(batch_size));
+                // Pipelined where the engine supports it (the fleet),
+                // synchronous everywhere else — one spelling either way.
+                session
+                    .enqueue_batch(&gen.inventory_batch(batch_size))
+                    .expect("valid batch");
                 tuples += batch_size;
                 if b % intval == 0 {
-                    enumerated += engine.enumerate();
+                    // for_each_output drains in-flight work implicitly.
+                    session.for_each_output(&mut |_, _| enumerated += 1);
                 }
                 if start.elapsed() > budget {
                     dnf = true;
                     break;
                 }
             }
-            engine.finish();
+            // Settle any in-flight work so the wall clock covers it.
+            session.drain().expect("drain");
             let thr = if dnf {
                 "DNF".to_string()
             } else {

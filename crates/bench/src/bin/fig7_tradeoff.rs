@@ -14,10 +14,21 @@
 //! `R`'s B-degrees follow a 1/i profile so that both the light maximum
 //! (≈ 2θ) and the heavy count (≈ N/θ) scale as the theory requires.
 //!
+//! A second table places the *generic* engines on the same trade-off
+//! space through the `ivm_session` front door: the session classifies
+//! `Q(A)` as acyclic-but-not-q-hierarchical and stands up the left-deep
+//! dataflow engine (and, with `.shards(4)`, a fleet partitioned by `B`).
+//! Both maintain a materialized output, so they sit at the eager
+//! extreme of the Fig 7 line — O(1) delay, update work growing with the
+//! touched key's degree — where IVMε traces every point in between.
+//!
 //! Run: `cargo run --release -p ivm-bench --bin fig7_tradeoff`
 
 use ivm_bench::{empirical_exponent, fmt, ns_per, scaled, time, Table};
+use ivm_core::Maintainer;
+use ivm_data::{tup, Database, Update};
 use ivm_ivme::QhEpsEngine;
+use ivm_session::Session;
 
 struct Point {
     prep_ms: f64,
@@ -97,6 +108,69 @@ fn run(n: usize, eps: f64) -> Point {
     }
 }
 
+/// One generic-engine measurement at size `n` (see the module docs).
+struct GenericPoint {
+    prep_ms: f64,
+    /// Propagation work (delta-join probes + emitted delta tuples) per
+    /// single-tuple update on the worst-case (max-degree) `B` key.
+    upd_work: f64,
+    upd_ns: f64,
+    delay_ns: f64,
+    engine: String,
+}
+
+fn run_session(n: usize, shards: Option<usize>) -> GenericPoint {
+    let ladder = degree_ladder(n);
+    let q = ivm_query::examples::ex51_query();
+    let (rn, sn) = (q.atoms[0].name, q.atoms[1].name);
+    let mut db: Database<i64> = Database::new();
+    db.create(rn, q.atoms[0].schema.clone());
+    db.create(sn, q.atoms[1].schema.clone());
+    for &(b, d) in &ladder {
+        for a in 0..d as i64 {
+            db.apply(&Update::insert(rn, tup![a, b as i64]));
+        }
+        db.apply(&Update::insert(sn, tup![b as i64]));
+    }
+    let mut builder = Session::<i64>::builder(q);
+    if let Some(s) = shards {
+        builder = builder.shards(s);
+    }
+    let (session, prep) = time(|| builder.build(&db).expect("ex51 query"));
+    let mut session = session;
+
+    // Worst-case single-tuple update: δS on the max-degree key (ladder
+    // head) — the delta join must touch all of its R partners.
+    let worst = ladder[0].0 as i64;
+    let rounds = scaled(300, 30);
+    let w0 = session.stats().expect("dataflow-backed").work();
+    let (_, upd) = time(|| {
+        for _ in 0..rounds {
+            session
+                .apply_batch(&[Update::insert(sn, tup![worst])])
+                .unwrap();
+            session
+                .apply_batch(&[Update::delete(sn, tup![worst])])
+                .unwrap();
+        }
+    });
+    let upd_ops = rounds * 2;
+    let upd_work = (session.stats().expect("dataflow-backed").work() - w0) as f64 / upd_ops as f64;
+
+    // Enumeration: the dataflow engines keep the output materialized, so
+    // per-tuple delay is a constant-time map walk.
+    let mut tuples = 0usize;
+    let (_, enum_d) = time(|| session.for_each_output(&mut |_, _| tuples += 1));
+
+    GenericPoint {
+        prep_ms: prep.as_secs_f64() * 1e3,
+        upd_work,
+        upd_ns: ns_per(upd, upd_ops),
+        delay_ns: ns_per(enum_d, tuples.max(1)),
+        engine: format!("{} ({})", session.engine_kind(), session.explain().class()),
+    }
+}
+
 fn main() {
     let n1 = scaled(40_000, 4_000);
     let n2 = n1 * 8;
@@ -140,5 +214,44 @@ fn main() {
          exponent falls as 1-eps; eps=1/2 balances both at ~N^0.5; the \
          (update, delay) pairs trace the Fig 7 line between the eager and \
          lazy extremes."
+    );
+
+    // ── The generic engines on the same space, via the session API ──
+    println!("\n# Generic engines via ivm::Session (same ladder workload)\n");
+    let mut generic = Table::new(&[
+        "row",
+        "selected engine",
+        "prep(N2) ms",
+        "upd work N1",
+        "upd work N2",
+        "upd exp (≈1: max-degree key)",
+        "upd ns N2",
+        "delay ns/tuple N2 (≈O(1))",
+    ]);
+    for (row, shards) in [("session auto", None), ("session .shards(4)", Some(4))] {
+        let p1 = run_session(n1, shards);
+        let p2 = run_session(n2, shards);
+        let ue = empirical_exponent(n1, p1.upd_work, n2, p2.upd_work);
+        generic.row(vec![
+            row.to_string(),
+            p2.engine.clone(),
+            format!("{:.1}", p2.prep_ms),
+            fmt(p1.upd_work),
+            fmt(p2.upd_work),
+            format!("{ue:.2}"),
+            fmt(p2.upd_ns),
+            fmt(p2.delay_ns),
+        ]);
+    }
+    generic.print();
+    println!(
+        "\nThe dataflow rows sit at the eager extreme of the line: \
+         materialized output (constant delay) bought with update work \
+         proportional to the touched key's degree — the max-degree key \
+         costs ~N/log N partner probes, hence an update exponent near 1 \
+         where IVMε caps it at eps. Sharding splits each key's partner \
+         set by B, so a single-key worst-case update lands on one shard \
+         and keeps the same exponent; batches spanning many keys are \
+         where the fleet pays off (see shard_scaling)."
     );
 }

@@ -23,6 +23,7 @@
 //! [`MultiwayJoin`]: ivm_dataflow::Dataflow::add_multiway_join
 
 use ivm_bench::{empirical_exponent, fmt, json_escape, ns_per, scaled, time, Table};
+use ivm_core::Maintainer;
 use ivm_data::ops::lift_one;
 use ivm_data::{tup, Database, Update};
 use ivm_dataflow::{DataflowEngine, JoinStrategy};

@@ -14,6 +14,7 @@
 //! a constant number.
 
 use crate::bindings::Bindings;
+use crate::engine::Maintainer;
 use crate::error::EngineError;
 use crate::viewtree::ViewTree;
 use ivm_data::ops::Lift;
@@ -179,40 +180,9 @@ impl<R: Semiring> CqapEngine<R> {
         })
     }
 
-    /// The CQAP being maintained.
-    pub fn query(&self) -> &Query {
-        &self.query
-    }
-
     /// The fracture (for inspection).
     pub fn fracture(&self) -> &Fracture {
         &self.fracture
-    }
-
-    /// Apply a single-tuple update to a base relation; it fans out to
-    /// every atom occurrence (a constant number), each in O(1).
-    pub fn apply(&mut self, upd: &Update<R>) -> Result<(), EngineError> {
-        let routes = self
-            .routes
-            .get(&upd.relation)
-            .ok_or(EngineError::UnknownRelation(upd.relation))?;
-        for route in routes {
-            // Repeated-variable occurrences only match diagonal tuples.
-            if route
-                .eq_checks
-                .iter()
-                .any(|&(i, j)| upd.tuple.at(i) != upd.tuple.at(j))
-            {
-                continue;
-            }
-            let t = upd.tuple.project(&route.keep);
-            self.components[route.component].apply(&Update::with_payload(
-                route.leaf_name,
-                t,
-                upd.payload.clone(),
-            ))?;
-        }
-        Ok(())
     }
 
     /// Answer an access request: bind the input variables to `input`
@@ -274,6 +244,112 @@ impl<R: Semiring> CqapEngine<R> {
         let mut out = Relation::new(self.query.output());
         self.access(input, &mut |t, r| out.apply(t.clone(), r));
         out
+    }
+
+    /// Full enumeration over `query.free` (output ∪ input): walk the
+    /// components in order, joining them on the *original* variables their
+    /// fresh fracture copies originate from. Unlike [`Self::access`] this
+    /// is **not** constant-delay — cross-component origin equality is a
+    /// join the fracture deliberately severed (that is what buys O(1)
+    /// access) — but it makes the engine a full [`Maintainer`], so the
+    /// session layer can expose the same `output()`/`for_each_output`
+    /// surface for every engine kind.
+    fn enumerate_free(
+        &self,
+        cid: usize,
+        orig: &mut FxHashMap<Sym, ivm_data::Value>,
+        acc: R,
+        free: &Schema,
+        f: &mut dyn FnMut(&Tuple, &R),
+    ) {
+        if acc.is_zero() {
+            return;
+        }
+        if cid == self.components.len() {
+            let t = Tuple::new(free.vars().iter().map(|v| orig[v].clone()));
+            f(&t, &acc);
+            return;
+        }
+        // Pre-bind the fresh input copies whose origins earlier components
+        // already fixed, so the tree only enumerates consistent rows.
+        let mut pre = Bindings::new();
+        for &(fresh, _) in &self.comp_inputs[cid] {
+            if let Some(v) = orig.get(&self.fracture.origin[&fresh]) {
+                pre.set(fresh, v.clone());
+            }
+        }
+        let comp_free = self.components[cid].query().free.clone();
+        self.components[cid].for_each_output_bound(&pre, &mut |t, r| {
+            let mut added: Vec<Sym> = Vec::new();
+            let mut consistent = true;
+            // Two fresh copies of the same origin inside one component are
+            // enumerated independently by the tree; equate them here.
+            for &(fresh, _) in &self.comp_inputs[cid] {
+                let o = self.fracture.origin[&fresh];
+                let pos = comp_free.position(fresh).expect("input var is free");
+                let val = t.at(pos);
+                match orig.get(&o) {
+                    Some(existing) if existing == val => {}
+                    Some(_) => {
+                        consistent = false;
+                        break;
+                    }
+                    None => {
+                        orig.insert(o, val.clone());
+                        added.push(o);
+                    }
+                }
+            }
+            if consistent {
+                for &(o, fresh) in &self.comp_outputs[cid] {
+                    let pos = comp_free.position(fresh).expect("output var is free");
+                    orig.insert(o, t.at(pos).clone());
+                    added.push(o);
+                }
+                self.enumerate_free(cid + 1, orig, acc.times(r), free, f);
+            }
+            for o in added {
+                orig.remove(&o);
+            }
+        });
+    }
+}
+
+impl<R: Semiring> Maintainer<R> for CqapEngine<R> {
+    fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Apply a single-tuple update to a base relation; it fans out to
+    /// every atom occurrence (a constant number), each in O(1).
+    fn apply(&mut self, upd: &Update<R>) -> Result<(), EngineError> {
+        let routes = self
+            .routes
+            .get(&upd.relation)
+            .ok_or(EngineError::UnknownRelation(upd.relation))?;
+        for route in routes {
+            // Repeated-variable occurrences only match diagonal tuples.
+            if route
+                .eq_checks
+                .iter()
+                .any(|&(i, j)| upd.tuple.at(i) != upd.tuple.at(j))
+            {
+                continue;
+            }
+            let t = upd.tuple.project(&route.keep);
+            self.components[route.component].apply(&Update::with_payload(
+                route.leaf_name,
+                t,
+                upd.payload.clone(),
+            ))?;
+        }
+        Ok(())
+    }
+
+    fn for_each_output(&mut self, f: &mut dyn FnMut(&Tuple, &R)) {
+        let free = self.query.free.clone();
+        let mut orig: FxHashMap<Sym, ivm_data::Value> = FxHashMap::default();
+        self.enumerate_free(0, &mut orig, R::one(), &free, f);
     }
 }
 
@@ -348,6 +424,47 @@ mod tests {
         let q = ivm_query::examples::edge_triangle_listing_cqap();
         let err = CqapEngine::<i64>::new(q, lift_one).unwrap_err();
         assert!(matches!(err, EngineError::NotSupported(_)));
+    }
+
+    /// Full enumeration (the `Maintainer` surface) joins the fracture's
+    /// components back together on their origin variables: for triangle
+    /// detection the output over free = (A,B,C) is exactly the directed
+    /// triangle list, with payloads multiplied across the occurrences.
+    #[test]
+    fn full_enumeration_joins_components_on_origins() {
+        let q = ivm_query::examples::triangle_detect_cqap();
+        let mut eng: CqapEngine<i64> = CqapEngine::new(q, lift_one).unwrap();
+        let e = sym("tdc_E");
+        for (a, b) in [(1i64, 2i64), (2, 3), (3, 1), (2, 4), (4, 1), (1, 9)] {
+            eng.apply(&Update::insert(e, tup![a, b])).unwrap();
+        }
+        let out = eng.output();
+        // Triangles 1→2→3→1 and 1→2→4→1, each listed from every corner.
+        assert_eq!(out.len(), 6, "{out:?}");
+        for t in [
+            tup![1i64, 2i64, 3i64],
+            tup![2i64, 3i64, 1i64],
+            tup![3i64, 1i64, 2i64],
+            tup![1i64, 2i64, 4i64],
+            tup![2i64, 4i64, 1i64],
+            tup![4i64, 1i64, 2i64],
+        ] {
+            assert_eq!(out.get(&t), 1, "missing {t:?}");
+        }
+        // The `Maintainer` batch surface reaches the same state.
+        let q = ivm_query::examples::lookup_cqap();
+        let mut eng: CqapEngine<i64> = CqapEngine::new(q, lift_one).unwrap();
+        let (s, t) = (sym("lk_S"), sym("lk_T"));
+        eng.apply_batch(&[
+            Update::insert(s, tup![10i64, 1i64]),
+            Update::insert(s, tup![12i64, 2i64]),
+            Update::insert(t, tup![1i64]),
+        ])
+        .unwrap();
+        // free = (A, B); only B=1 survives the T join.
+        let out = eng.output();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.get(&tup![10i64, 1i64]), 1);
     }
 
     /// A CQAP access agrees with brute-force evaluation on random graphs.

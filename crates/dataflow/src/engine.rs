@@ -117,25 +117,17 @@ impl<R: Semiring> DataflowEngine<R> {
         Ok(())
     }
 
-    /// The join strategy the current plan was lowered with.
+    /// The join strategy the current plan was lowered with (possibly
+    /// [`JoinStrategy::Auto`], as requested by the caller).
     pub fn strategy(&self) -> JoinStrategy {
         self.strategy
     }
 
-    /// Apply a batch of updates as one consolidated delta propagation and
-    /// return the output delta. Same final state as applying each update
-    /// individually (ring order-independence), at a fraction of the work
-    /// when the batch has locality.
-    pub fn apply_batch(&mut self, batch: &[Update<R>]) -> Result<Relation<R>, EngineError> {
-        for u in batch {
-            if self.statics.contains(&u.relation) {
-                return Err(EngineError::StaticRelation(u.relation));
-            }
-            if !self.dynamics.contains(&u.relation) {
-                return Err(EngineError::UnknownRelation(u.relation));
-            }
-        }
-        self.dataflow.apply_batch(batch)
+    /// The concrete plan the current strategy resolved to — never `Auto`:
+    /// what the planner actually lowered (see
+    /// [`crate::planner::resolve_strategy`]).
+    pub fn resolved_strategy(&self) -> JoinStrategy {
+        crate::planner::resolve_strategy(&self.query, self.strategy)
     }
 
     /// Apply an already consolidated batch without re-consolidating — the
@@ -184,6 +176,25 @@ impl<R: Semiring> Maintainer<R> for DataflowEngine<R> {
 
     fn apply(&mut self, upd: &Update<R>) -> Result<(), EngineError> {
         self.apply_batch(std::slice::from_ref(upd)).map(|_| ())
+    }
+
+    /// One consolidated delta propagation through the lowered DAG; the
+    /// returned relation is the batch's exact output delta. Same final
+    /// state as applying each update individually (ring
+    /// order-independence), at a fraction of the work when the batch has
+    /// locality. The whole batch is validated before anything propagates,
+    /// so rejection is atomic. This *is* the engine's native ingestion
+    /// path — the trait method, not a shadowing inherent duplicate.
+    fn apply_batch(&mut self, batch: &[Update<R>]) -> Result<Relation<R>, EngineError> {
+        for u in batch {
+            if self.statics.contains(&u.relation) {
+                return Err(EngineError::StaticRelation(u.relation));
+            }
+            if !self.dynamics.contains(&u.relation) {
+                return Err(EngineError::UnknownRelation(u.relation));
+            }
+        }
+        self.dataflow.apply_batch(batch)
     }
 
     fn for_each_output(&mut self, f: &mut dyn FnMut(&Tuple, &R)) {

@@ -122,6 +122,15 @@ pub struct DataflowStats {
 }
 
 impl DataflowStats {
+    /// Machine-independent propagation-work measure: materialized binary
+    /// intermediates + multiway probes + emitted output deltas. The
+    /// trade-off bench scales this against N to estimate empirical
+    /// update-cost exponents the way the specialized kernels do with
+    /// their own `work()` counters.
+    pub fn work(&self) -> u64 {
+        self.binary_join_tuples + self.multiway_probes + self.output_delta_tuples
+    }
+
     /// Fold `other` into `self`, field-wise. Used by [`DataflowEngine`]
     /// to carry counters across re-plans and by the sharded engine to
     /// aggregate per-shard counters into one fleet-wide view.

@@ -73,4 +73,4 @@ pub use batch::DeltaBatch;
 pub use cost::Cardinalities;
 pub use engine::DataflowEngine;
 pub use graph::{Dataflow, DataflowStats, NodeId};
-pub use planner::{lower, lower_with, JoinStrategy};
+pub use planner::{lower, lower_with, resolve_strategy, JoinStrategy};

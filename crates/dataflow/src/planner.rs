@@ -56,6 +56,24 @@ pub fn lower<R: Semiring>(q: &Query, lift: Lift<R>) -> Dataflow<R> {
     lower_with(q, lift, JoinStrategy::Auto, &Cardinalities::none())
 }
 
+/// The concrete plan `strategy` resolves to for `q`: [`JoinStrategy::Auto`]
+/// splits on the GYO acyclicity check, the forced variants pass through.
+/// Never returns `Auto` — this is the single place the split is decided,
+/// shared by the lowering below and by callers (the session layer) that
+/// need to *report* which plan a dataflow actually runs.
+pub fn resolve_strategy(q: &Query, strategy: JoinStrategy) -> JoinStrategy {
+    match strategy {
+        JoinStrategy::Auto => {
+            if is_acyclic(q) {
+                JoinStrategy::LeftDeep
+            } else {
+                JoinStrategy::Multiway
+            }
+        }
+        forced => forced,
+    }
+}
+
 /// Lower `q` to a runnable dataflow with `lift` as the payload lifting,
 /// choosing the join plan per `strategy` and ordering it by `cards`.
 pub fn lower_with<R: Semiring>(
@@ -64,15 +82,9 @@ pub fn lower_with<R: Semiring>(
     strategy: JoinStrategy,
     cards: &Cardinalities,
 ) -> Dataflow<R> {
-    let multiway = match strategy {
-        JoinStrategy::Auto => !is_acyclic(q),
-        JoinStrategy::LeftDeep => false,
-        JoinStrategy::Multiway => true,
-    };
-    if multiway {
-        lower_multiway(q, lift, cards)
-    } else {
-        lower_left_deep(q, lift, cards)
+    match resolve_strategy(q, strategy) {
+        JoinStrategy::Multiway => lower_multiway(q, lift, cards),
+        _ => lower_left_deep(q, lift, cards),
     }
 }
 

@@ -1,0 +1,157 @@
+//! The `explain()` report: which engine, why, and at what predicted cost.
+
+use crate::classify::{Classification, QueryClass};
+use crate::select::EngineKind;
+
+/// Predicted asymptotic costs for one (class, engine) pairing, stated in
+/// the paper's three-axis cost model: preprocessing, per-update work,
+/// enumeration delay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostProfile {
+    /// One-off construction over the initial database.
+    pub preprocessing: &'static str,
+    /// Work per single-tuple update (batched paths amortize over |batch|).
+    pub update: &'static str,
+    /// Gap between consecutive enumerated output tuples (or access
+    /// answers, for CQAP engines).
+    pub delay: &'static str,
+}
+
+/// The predicted costs of running `engine` on a query of `class`.
+pub fn cost_profile(class: QueryClass, engine: EngineKind) -> CostProfile {
+    match engine {
+        EngineKind::EagerFact => CostProfile {
+            preprocessing: "O(|D|)",
+            update: "O(1)",
+            delay: "O(1)",
+        },
+        EngineKind::EagerList => CostProfile {
+            preprocessing: "O(|D|)",
+            update: "O(|δQ|) (delta enumeration into the listed output)",
+            delay: "O(1) (listed)",
+        },
+        EngineKind::LazyFact => CostProfile {
+            preprocessing: "O(|D|)",
+            update: "O(1) (queued)",
+            delay: "O(1) after an O(#queued) refresh",
+        },
+        EngineKind::LazyList => CostProfile {
+            preprocessing: "O(|D|)",
+            update: "O(1) (base tables only)",
+            delay: "O(|D|) re-evaluation on every enumeration",
+        },
+        EngineKind::Cqap => CostProfile {
+            preprocessing: "O(|D|)",
+            update: "O(1) (constant fan-out over atom occurrences)",
+            delay: "O(1) per access answer; full enumeration pays the \
+                    cross-component join the fracture severed",
+        },
+        EngineKind::DataflowLeftDeep => CostProfile {
+            preprocessing: "O(|D|)",
+            update: "O(|δQ| + binary intermediates) per consolidated batch",
+            delay: "O(1) from the materialized view",
+        },
+        EngineKind::DataflowMultiway => CostProfile {
+            preprocessing: "O(|D|)",
+            update: "worst-case-optimal per consolidated batch \
+                     (no binary intermediates)",
+            delay: "O(1) from the materialized view",
+        },
+        EngineKind::Sharded => match class {
+            QueryClass::Cyclic => CostProfile {
+                preprocessing: "O(|D|) split across shards",
+                update: "worst-case-optimal per shard sub-batch, shards in \
+                         parallel, deltas ⊎-merged",
+                delay: "O(1) from the merged view (drain first when \
+                        ingesting pipelined)",
+            },
+            _ => CostProfile {
+                preprocessing: "O(|D|) split across shards",
+                update: "O(|δQ|/shards) per shard sub-batch in parallel, \
+                         deltas ⊎-merged",
+                delay: "O(1) from the merged view (drain first when \
+                        ingesting pipelined)",
+            },
+        },
+    }
+}
+
+/// The report [`crate::Session::explain`] returns: everything the
+/// selection decided and why, so "choosing nothing" stays auditable.
+#[derive(Clone, Debug)]
+pub struct Explain {
+    /// `Debug`-rendered query.
+    pub query: String,
+    /// The raw analysis flags.
+    pub classification: Classification,
+    /// The engine the session stood up.
+    pub engine: EngineKind,
+    /// Shard count (1 unless a fleet was requested; the shard planner may
+    /// clamp a degenerate plan back to 1).
+    pub shards: usize,
+    /// Why the dichotomy picked this engine.
+    pub reason: String,
+    /// Predicted costs on the paper's three axes.
+    pub cost: CostProfile,
+    /// Set when the preferred specialized engine failed to build and the
+    /// session fell back to the generic dataflow engine.
+    pub fallback: Option<String>,
+}
+
+impl Explain {
+    /// The condensed class.
+    pub fn class(&self) -> QueryClass {
+        self.classification.class
+    }
+}
+
+impl std::fmt::Display for Explain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "query:    {}", self.query)?;
+        writeln!(f, "class:    {}", self.classification.class)?;
+        writeln!(
+            f,
+            "analyses: hierarchical={} q-hierarchical={} acyclic={} \
+             free-connex={} self-join-free={} access-pattern={}{}",
+            self.classification.hierarchical,
+            self.classification.q_hierarchical,
+            self.classification.acyclic,
+            self.classification.free_connex,
+            self.classification.self_join_free,
+            self.classification.has_access_pattern,
+            if self.classification.has_access_pattern {
+                if self.classification.tractable_cqap {
+                    " (tractable)"
+                } else {
+                    " (intractable)"
+                }
+            } else {
+                ""
+            },
+        )?;
+        write!(f, "engine:   {}", self.engine)?;
+        if self.shards > 1 {
+            write!(f, " × {}", self.shards)?;
+        }
+        writeln!(f)?;
+        writeln!(f, "why:      {}", self.reason)?;
+        if let Some(fb) = &self.fallback {
+            writeln!(f, "fallback: {fb}")?;
+        }
+        writeln!(f, "predicted: preprocessing {}", self.cost.preprocessing)?;
+        writeln!(f, "           update        {}", self.cost.update)?;
+        write!(f, "           delay         {}", self.cost.delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_hierarchical_eager_fact_is_all_constant() {
+        let p = cost_profile(QueryClass::QHierarchical, EngineKind::EagerFact);
+        assert_eq!(p.update, "O(1)");
+        assert_eq!(p.delay, "O(1)");
+    }
+}

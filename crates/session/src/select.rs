@@ -1,0 +1,169 @@
+//! Dichotomy-driven engine selection.
+//!
+//! The selection table (also in the README):
+//!
+//! | condition (first match wins) | engine | why |
+//! |---|---|---|
+//! | `.engine(kind)` forced | that kind | benchmarking / comparison rows |
+//! | `.shards(n)` requested | [`EngineKind::Sharded`] | scale-out across n workers |
+//! | tractable CQAP | [`EngineKind::Cqap`] | O(1) update + O(1) access (Thm 4.8) |
+//! | q-hierarchical ∧ self-join-free | [`EngineKind::EagerFact`] | O(1) update + O(1) delay (Thm 4.1) |
+//! | α-acyclic | [`EngineKind::DataflowLeftDeep`] | O(|δQ|)-style batched deltas |
+//! | cyclic | [`EngineKind::DataflowMultiway`] | worst-case-optimal, no binary intermediates |
+
+use crate::classify::{Classification, QueryClass};
+
+/// Every engine the session layer can stand up.
+///
+/// The first four are the eager/lazy × list/fact grid of Fig 4
+/// (auto-selection only ever picks `EagerFact`; the other three exist for
+/// forced comparison rows, e.g. the Fig 4 bench). The rest are the CQAP
+/// engine, the generic dataflow engine under either join plan, and the
+/// hash-partitioned parallel fleet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// `ivm_core::EagerFactEngine` — factorized view tree, F-IVM style.
+    EagerFact,
+    /// `ivm_core::EagerListEngine` — view tree + materialized output.
+    EagerList,
+    /// `ivm_core::LazyFactEngine` — queued updates, factorized refresh.
+    LazyFact,
+    /// `ivm_core::LazyListEngine` — re-evaluation baseline.
+    LazyList,
+    /// `ivm_core::cqap::CqapEngine` — fractured view trees with O(1)
+    /// access requests.
+    Cqap,
+    /// `ivm_dataflow::DataflowEngine`, left-deep binary delta joins.
+    DataflowLeftDeep,
+    /// `ivm_dataflow::DataflowEngine`, worst-case-optimal multiway join.
+    DataflowMultiway,
+    /// `ivm_shard::ShardedEngine` — one dataflow per shard behind a
+    /// routing facade.
+    Sharded,
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EngineKind::EagerFact => "eager-fact (factorized view tree)",
+            EngineKind::EagerList => "eager-list (view tree + materialized output)",
+            EngineKind::LazyFact => "lazy-fact (queued view tree)",
+            EngineKind::LazyList => "lazy-list (re-evaluation)",
+            EngineKind::Cqap => "cqap (fractured view trees)",
+            EngineKind::DataflowLeftDeep => "dataflow (left-deep delta joins)",
+            EngineKind::DataflowMultiway => "dataflow (worst-case-optimal multiway)",
+            EngineKind::Sharded => "sharded dataflow fleet",
+        })
+    }
+}
+
+/// A selection verdict: the engine to build plus the human-readable
+/// reason `explain()` reports.
+#[derive(Clone, Debug)]
+pub struct Selection {
+    /// The engine to stand up.
+    pub kind: EngineKind,
+    /// Why the dichotomy picked it.
+    pub reason: String,
+}
+
+/// Pick the engine for a classified query.
+///
+/// `shards` is the builder's `.shards(n)` request (scale-out overrides
+/// the single-threaded dichotomy — every class runs behind the shard
+/// router, which plans its own per-shard dataflow strategy).
+pub fn select(cls: &Classification, shards: Option<usize>) -> Selection {
+    if let Some(n) = shards {
+        return Selection {
+            kind: EngineKind::Sharded,
+            reason: format!(
+                "scale-out requested: {n} hash-partitioned shard(s), each \
+                 running the auto-planned dataflow for this query"
+            ),
+        };
+    }
+    match cls.class {
+        QueryClass::CqapTractable => Selection {
+            kind: EngineKind::Cqap,
+            reason: "tractable CQAP (Thm 4.8): fractured view trees serve \
+                     access requests with constant delay under O(1) updates"
+                .into(),
+        },
+        QueryClass::QHierarchical if cls.self_join_free => Selection {
+            kind: EngineKind::EagerFact,
+            reason: "q-hierarchical (Thm 4.1): a factorized view tree gives \
+                     O(1) updates and O(1) enumeration delay"
+                .into(),
+        },
+        QueryClass::QHierarchical => Selection {
+            kind: if cls.acyclic {
+                EngineKind::DataflowLeftDeep
+            } else {
+                EngineKind::DataflowMultiway
+            },
+            reason: "q-hierarchical but with a self-join: view trees need \
+                     unique relation names, so the generic dataflow engine \
+                     maintains it instead"
+                .into(),
+        },
+        QueryClass::Acyclic => Selection {
+            kind: EngineKind::DataflowLeftDeep,
+            reason: "acyclic but not q-hierarchical: no O(1)-update engine \
+                     exists (OuMv-conditional); cost-ordered left-deep \
+                     delta joins bound per-batch work by O(|δQ|)-style terms"
+                .into(),
+        },
+        QueryClass::Cyclic => Selection {
+            kind: EngineKind::DataflowMultiway,
+            reason: "cyclic hypergraph: the worst-case-optimal multiway \
+                     join materializes no binary intermediates (Sec. 3.3)"
+                .into(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify;
+    use ivm_query::examples;
+
+    #[test]
+    fn selection_follows_the_table() {
+        let pick = |q: &ivm_query::Query| select(&classify(q), None).kind;
+        assert_eq!(pick(&examples::fig3_query()), EngineKind::EagerFact);
+        assert_eq!(pick(&examples::retailer_query().0), EngineKind::EagerFact);
+        assert_eq!(
+            pick(&examples::triangle_count()),
+            EngineKind::DataflowMultiway
+        );
+        assert_eq!(pick(&examples::triangle_detect_cqap()), EngineKind::Cqap);
+        assert_eq!(pick(&examples::path3_query()), EngineKind::DataflowLeftDeep);
+        assert_eq!(pick(&examples::ex51_query()), EngineKind::DataflowLeftDeep);
+    }
+
+    #[test]
+    fn shards_override_everything() {
+        let cls = classify(&examples::fig3_query());
+        assert_eq!(select(&cls, Some(4)).kind, EngineKind::Sharded);
+    }
+
+    #[test]
+    fn q_hierarchical_self_join_falls_back_to_dataflow() {
+        // Q(a,b) = E(a,b)·E(a,b): q-hierarchical as a query, but the view
+        // tree cannot store two atoms under one relation name.
+        let [a, b] = ivm_data::vars(["sel_A", "sel_B"]);
+        let e = ivm_data::sym("sel_E");
+        let q = ivm_query::Query::new(
+            "sel_sj",
+            [a, b],
+            vec![
+                ivm_query::Atom::new(e, [a, b]),
+                ivm_query::Atom::new(e, [a, b]),
+            ],
+        );
+        let cls = classify(&q);
+        assert!(cls.q_hierarchical && !cls.self_join_free);
+        assert_eq!(select(&cls, None).kind, EngineKind::DataflowLeftDeep);
+    }
+}

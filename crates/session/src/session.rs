@@ -1,0 +1,564 @@
+//! The uniform [`Session`] handle and its builder.
+
+use crate::classify::classify;
+use crate::explain::{cost_profile, Explain};
+use crate::select::{select, EngineKind, Selection};
+use ivm_core::cqap::CqapEngine;
+use ivm_core::{
+    EagerFactEngine, EagerListEngine, EngineError, LazyFactEngine, LazyListEngine, Maintainer,
+};
+use ivm_data::ops::{lift_one, Lift};
+use ivm_data::{Database, FxHashSet, Relation, Sym, Tuple, Update};
+use ivm_dataflow::{DataflowEngine, DataflowStats, JoinStrategy};
+use ivm_query::Query;
+use ivm_ring::Semiring;
+use ivm_shard::{ShardedEngine, ShardedStats};
+
+/// Configures and builds a [`Session`].
+///
+/// Obtained from [`Session::builder`]. "Choosing nothing" is the intended
+/// use: [`SessionBuilder::build`] runs the dichotomy analyses and stands
+/// up the engine the query's class admits. The knobs exist for the cases
+/// where the caller knows more than the classifier:
+///
+/// * [`SessionBuilder::shards`] — scale out across a hash-partitioned
+///   worker fleet instead of one thread;
+/// * [`SessionBuilder::engine`] — force a specific engine kind
+///   (benchmark comparison rows; the dichotomy is bypassed, and an
+///   engine that rejects the query surfaces its error unchanged);
+/// * [`SessionBuilder::lift`] — a custom payload lifting, e.g. the
+///   covariance ring for in-database learning.
+pub struct SessionBuilder<R: Semiring> {
+    query: Query,
+    lift: Lift<R>,
+    shards: Option<usize>,
+    forced: Option<EngineKind>,
+}
+
+impl<R: Semiring> SessionBuilder<R> {
+    /// Start configuring a session for `query`.
+    pub fn new(query: Query) -> Self {
+        SessionBuilder {
+            query,
+            lift: lift_one,
+            shards: None,
+            forced: None,
+        }
+    }
+
+    /// Request a sharded fleet of `n` hash-partitioned workers (clamped
+    /// to ≥ 1; the shard planner may clamp a degenerate plan back to one
+    /// worker — `explain()` reports the fleet actually stood up).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = Some(n.max(1));
+        self
+    }
+
+    /// Bypass auto-selection and force `kind`. With
+    /// [`EngineKind::Sharded`] the fleet size comes from
+    /// [`SessionBuilder::shards`] (default 2); combining any *other*
+    /// forced kind with a `.shards(n)` request is contradictory and
+    /// makes [`SessionBuilder::build`] fail instead of silently dropping
+    /// the fleet.
+    pub fn engine(mut self, kind: EngineKind) -> Self {
+        self.forced = Some(kind);
+        self
+    }
+
+    /// Use a custom payload lifting instead of `lift_one`.
+    pub fn lift(mut self, lift: Lift<R>) -> Self {
+        self.lift = lift;
+        self
+    }
+
+    /// Classify the query, select the engine, build it over `db`, and
+    /// return the uniform handle.
+    ///
+    /// When the dichotomy's preferred *specialized* engine unexpectedly
+    /// fails to build, auto-selection falls back to the generic dataflow
+    /// engine and records the fallback in `explain()`; a *forced* engine
+    /// propagates its build error unchanged — forcing is how callers ask
+    /// the dichotomy to be enforced rather than routed around.
+    pub fn build(self, db: &Database<R>) -> Result<Session<R>, EngineError> {
+        // A shard request combined with a forced single-threaded engine is
+        // contradictory; dropping either half silently would hand the
+        // caller an unauditable session, so refuse instead.
+        if let (Some(kind), Some(n)) = (self.forced, self.shards) {
+            if kind != EngineKind::Sharded {
+                return Err(EngineError::NotSupported(format!(
+                    "conflicting session request: .shards({n}) asks for a \
+                     fleet but .engine({kind:?}) forces a single-threaded \
+                     engine; drop one of the two (only EngineKind::Sharded \
+                     composes with .shards)"
+                )));
+            }
+        }
+        let cls = classify(&self.query);
+        let selection = match self.forced {
+            Some(kind) => Selection {
+                kind,
+                reason: "forced by the caller (auto-selection bypassed)".into(),
+            },
+            None => select(&cls, self.shards),
+        };
+        let forced = self.forced.is_some();
+        let mut fallback = None;
+        let backend =
+            match Self::build_backend(selection.kind, &self.query, db, self.lift, self.shards) {
+                Ok(b) => b,
+                Err(e) if !forced && selection.kind.is_specialized() => {
+                    // Safety net: the analyses admit the class but the
+                    // concrete engine refused (e.g. a variable-order corner).
+                    // The generic engine accepts any query shape.
+                    fallback = Some(format!(
+                        "{} failed to build ({e}); fell back to the generic \
+                     dataflow engine",
+                        selection.kind
+                    ));
+                    Backend::Dataflow(DataflowEngine::new_with_strategy(
+                        self.query.clone(),
+                        db,
+                        self.lift,
+                        JoinStrategy::Auto,
+                    )?)
+                }
+                Err(e) => return Err(e),
+            };
+        let engine = backend.kind();
+        let shards = match &backend {
+            Backend::Sharded(s) => s.shards(),
+            _ => 1,
+        };
+        // The selection reason describes the engine *preferred*; after a
+        // fallback the engine *running* is dataflow and the preferred
+        // engine's guarantees no longer apply — say so instead of
+        // repeating them next to the wrong engine name.
+        let reason = match &fallback {
+            None => selection.reason,
+            Some(fb) => format!(
+                "auto-selection preferred {} — {} — but {fb}; the \
+                 specialized guarantees do not apply to this session",
+                selection.kind, selection.reason
+            ),
+        };
+        let explain = Explain {
+            query: format!("{:?}", self.query),
+            classification: cls.clone(),
+            engine,
+            shards,
+            reason,
+            cost: cost_profile(cls.class, engine),
+            fallback,
+        };
+        Ok(Session { backend, explain })
+    }
+
+    fn build_backend(
+        kind: EngineKind,
+        query: &Query,
+        db: &Database<R>,
+        lift: Lift<R>,
+        shards: Option<usize>,
+    ) -> Result<Backend<R>, EngineError> {
+        Ok(match kind {
+            EngineKind::EagerFact => {
+                Backend::EagerFact(EagerFactEngine::new(query.clone(), db, lift)?)
+            }
+            EngineKind::EagerList => {
+                Backend::EagerList(EagerListEngine::new(query.clone(), db, lift)?)
+            }
+            EngineKind::LazyFact => {
+                Backend::LazyFact(LazyFactEngine::new(query.clone(), db, lift)?)
+            }
+            EngineKind::LazyList => {
+                Backend::LazyList(LazyListEngine::new(query.clone(), db, lift)?)
+            }
+            EngineKind::Cqap => {
+                let mut eng = CqapEngine::new(query.clone(), lift)?;
+                // CqapEngine has no database constructor: preprocess by
+                // replaying the initial contents of every atom relation —
+                // O(|D|) with constant work per tuple, same as the others.
+                let mut seen: FxHashSet<Sym> = FxHashSet::default();
+                for atom in &query.atoms {
+                    if seen.insert(atom.name) {
+                        if let Some(rel) = db.get(atom.name) {
+                            for (t, r) in rel.iter() {
+                                eng.apply(&Update::with_payload(atom.name, t.clone(), r.clone()))?;
+                            }
+                        }
+                    }
+                }
+                Backend::Cqap(eng)
+            }
+            EngineKind::DataflowLeftDeep => Backend::Dataflow(DataflowEngine::new_with_strategy(
+                query.clone(),
+                db,
+                lift,
+                JoinStrategy::LeftDeep,
+            )?),
+            EngineKind::DataflowMultiway => Backend::Dataflow(DataflowEngine::new_with_strategy(
+                query.clone(),
+                db,
+                lift,
+                JoinStrategy::Multiway,
+            )?),
+            EngineKind::Sharded => Backend::Sharded(ShardedEngine::new(
+                query.clone(),
+                db,
+                lift,
+                shards.unwrap_or(2),
+            )?),
+        })
+    }
+}
+
+impl EngineKind {
+    /// Whether auto-selection may fall back to dataflow when this kind
+    /// fails to build (the generic engines never fail on query shape).
+    fn is_specialized(self) -> bool {
+        !matches!(
+            self,
+            EngineKind::DataflowLeftDeep | EngineKind::DataflowMultiway | EngineKind::Sharded
+        )
+    }
+}
+
+/// The engine a session stood up, behind one set of method surfaces.
+enum Backend<R: Semiring> {
+    EagerFact(EagerFactEngine<R>),
+    EagerList(EagerListEngine<R>),
+    LazyFact(LazyFactEngine<R>),
+    LazyList(LazyListEngine<R>),
+    Cqap(CqapEngine<R>),
+    Dataflow(DataflowEngine<R>),
+    Sharded(ShardedEngine<R>),
+}
+
+impl<R: Semiring> Backend<R> {
+    fn kind(&self) -> EngineKind {
+        match self {
+            Backend::EagerFact(_) => EngineKind::EagerFact,
+            Backend::EagerList(_) => EngineKind::EagerList,
+            Backend::LazyFact(_) => EngineKind::LazyFact,
+            Backend::LazyList(_) => EngineKind::LazyList,
+            Backend::Cqap(_) => EngineKind::Cqap,
+            // `resolved_strategy` is what the planner actually lowered —
+            // `Auto` (the fallback path) resolves through the planner's
+            // own split, so the report can never drift from the plan.
+            Backend::Dataflow(e) => match e.resolved_strategy() {
+                JoinStrategy::Multiway => EngineKind::DataflowMultiway,
+                _ => EngineKind::DataflowLeftDeep,
+            },
+            Backend::Sharded(_) => EngineKind::Sharded,
+        }
+    }
+
+    fn maintainer(&mut self) -> &mut dyn Maintainer<R> {
+        match self {
+            Backend::EagerFact(e) => e,
+            Backend::EagerList(e) => e,
+            Backend::LazyFact(e) => e,
+            Backend::LazyList(e) => e,
+            Backend::Cqap(e) => e,
+            Backend::Dataflow(e) => e,
+            Backend::Sharded(e) => e,
+        }
+    }
+
+    fn maintainer_ref(&self) -> &dyn Maintainer<R> {
+        match self {
+            Backend::EagerFact(e) => e,
+            Backend::EagerList(e) => e,
+            Backend::LazyFact(e) => e,
+            Backend::LazyList(e) => e,
+            Backend::Cqap(e) => e,
+            Backend::Dataflow(e) => e,
+            Backend::Sharded(e) => e,
+        }
+    }
+}
+
+/// One uniform handle over every maintenance engine in the workspace.
+///
+/// A `Session` *is* a [`Maintainer`]: ingestion goes through the one
+/// batch-first trait surface ([`Maintainer::apply_batch`]), whatever
+/// engine the dichotomy selected. On top of the trait the session adds
+/// the capabilities that are engine-specific but deserve a uniform
+/// spelling: pipelined ingestion ([`Session::enqueue_batch`] /
+/// [`Session::drain`], native on sharded fleets, synchronous elsewhere),
+/// CQAP access requests ([`Session::access`] / [`Session::probe`]), and
+/// the [`Session::explain`] report.
+pub struct Session<R: Semiring> {
+    backend: Backend<R>,
+    explain: Explain,
+}
+
+impl<R: Semiring> Session<R> {
+    /// Start building a session for `query`.
+    ///
+    /// ```
+    /// use ivm_core::Maintainer;
+    /// use ivm_session::Session;
+    ///
+    /// let q = ivm_query::examples::fig3_query();
+    /// let db = ivm_data::Database::new();
+    /// let mut s = Session::<i64>::builder(q).build(&db).unwrap();
+    /// assert_eq!(s.explain().engine, ivm_session::EngineKind::EagerFact);
+    /// s.apply_batch(&[]).unwrap();
+    /// ```
+    pub fn builder(query: Query) -> SessionBuilder<R> {
+        SessionBuilder::new(query)
+    }
+
+    /// The selection report: class, engine, reason, predicted costs.
+    pub fn explain(&self) -> &Explain {
+        &self.explain
+    }
+
+    /// The engine kind actually running.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.explain.engine
+    }
+
+    /// One line naming the engine; for dataflow-backed sessions the
+    /// lowered operator plan, for fleets the shard routing plan.
+    pub fn describe(&self) -> String {
+        match &self.backend {
+            Backend::Dataflow(e) => e.plan(),
+            Backend::Sharded(e) => e.describe(),
+            _ => self.explain.engine.to_string(),
+        }
+    }
+
+    /// Enqueue a batch without waiting for it to be processed.
+    ///
+    /// On a sharded fleet this is native pipelined ingestion: the call
+    /// returns once every sub-batch is accepted by a shard queue
+    /// (blocking only for backpressure), and the maintained view reflects
+    /// the batch after the next [`Session::drain`] (or enumeration, which
+    /// drains implicitly). Every other engine applies the batch
+    /// synchronously and discards the delta, so the calling code stays
+    /// engine-agnostic.
+    pub fn enqueue_batch(&mut self, batch: &[Update<R>]) -> Result<(), EngineError> {
+        match &mut self.backend {
+            Backend::Sharded(e) => e.enqueue_batch(batch).map(|_| ()),
+            other => other.maintainer().apply_batch(batch).map(|_| ()),
+        }
+    }
+
+    /// Settle all enqueued batches into the maintained view. A no-op for
+    /// engines without a pipelined path.
+    pub fn drain(&mut self) -> Result<(), EngineError> {
+        match &mut self.backend {
+            Backend::Sharded(e) => e.drain(),
+            _ => Ok(()),
+        }
+    }
+
+    /// Answer a CQAP access request: bind the query's input variables to
+    /// `input` and enumerate `(output tuple, payload)` with constant
+    /// delay. Errors unless the session is CQAP-backed.
+    pub fn access(&self, input: &Tuple, f: &mut dyn FnMut(&Tuple, &R)) -> Result<(), EngineError> {
+        match &self.backend {
+            Backend::Cqap(e) => {
+                e.access(input, f);
+                Ok(())
+            }
+            _ => Err(EngineError::NotSupported(format!(
+                "access requests need a CQAP-backed session; this session \
+                 runs {}",
+                self.explain.engine
+            ))),
+        }
+    }
+
+    /// Scalar access answer (detection-style probes). Errors unless the
+    /// session is CQAP-backed.
+    pub fn probe(&self, input: &Tuple) -> Result<R, EngineError> {
+        let mut acc = R::zero();
+        self.access(input, &mut |_, r| acc.add_assign(r))?;
+        Ok(acc)
+    }
+
+    /// Dataflow propagation counters, for dataflow- and shard-backed
+    /// sessions (merged across shards for fleets).
+    pub fn stats(&self) -> Option<DataflowStats> {
+        match &self.backend {
+            Backend::Dataflow(e) => Some(e.stats()),
+            Backend::Sharded(e) => Some(e.stats()),
+            _ => None,
+        }
+    }
+
+    /// Per-shard statistics, for shard-backed sessions.
+    pub fn sharded_stats(&self) -> Option<ShardedStats> {
+        match &self.backend {
+            Backend::Sharded(e) => Some(e.sharded_stats()),
+            _ => None,
+        }
+    }
+}
+
+impl<R: Semiring> Maintainer<R> for Session<R> {
+    fn query(&self) -> &Query {
+        self.backend.maintainer_ref().query()
+    }
+
+    fn apply(&mut self, upd: &Update<R>) -> Result<(), EngineError> {
+        self.backend.maintainer().apply(upd)
+    }
+
+    /// Delegates to the backend's native batch path — the session never
+    /// re-implements ingestion, it only routes to the one trait surface.
+    fn apply_batch(&mut self, batch: &[Update<R>]) -> Result<Relation<R>, EngineError> {
+        self.backend.maintainer().apply_batch(batch)
+    }
+
+    fn for_each_output(&mut self, f: &mut dyn FnMut(&Tuple, &R)) {
+        self.backend.maintainer().for_each_output(f)
+    }
+}
+
+impl<R: Semiring> std::fmt::Debug for Session<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("engine", &self.explain.engine)
+            .field("class", &self.explain.classification.class)
+            .field("shards", &self.explain.shards)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivm_data::{sym, tup};
+    use ivm_query::examples;
+
+    #[test]
+    fn fig3_auto_selects_eager_fact_and_maintains() {
+        let q = examples::fig3_query();
+        let (rn, sn) = (sym("f3_R"), sym("f3_S"));
+        let mut s = Session::<i64>::builder(q).build(&Database::new()).unwrap();
+        assert_eq!(s.engine_kind(), EngineKind::EagerFact);
+        assert!(s.explain().fallback.is_none());
+        s.apply_batch(&[
+            Update::insert(rn, tup![1i64, 10i64]),
+            Update::insert(sn, tup![1i64, 20i64]),
+        ])
+        .unwrap();
+        assert_eq!(s.output().get(&tup![1i64, 10i64, 20i64]), 1);
+    }
+
+    #[test]
+    fn triangle_auto_selects_multiway() {
+        let q = examples::triangle_count();
+        let s = Session::<i64>::builder(q).build(&Database::new()).unwrap();
+        assert_eq!(s.engine_kind(), EngineKind::DataflowMultiway);
+        assert!(s.describe().contains("MultiwayJoin"), "{}", s.describe());
+    }
+
+    #[test]
+    fn shards_request_builds_a_fleet() {
+        let q = examples::fig3_query();
+        let s = Session::<i64>::builder(q)
+            .shards(3)
+            .build(&Database::new())
+            .unwrap();
+        assert_eq!(s.engine_kind(), EngineKind::Sharded);
+        assert_eq!(s.explain().shards, 3);
+    }
+
+    #[test]
+    fn cqap_session_serves_access_requests() {
+        let q = examples::triangle_detect_cqap();
+        let e = sym("tdc_E");
+        let mut s = Session::<i64>::builder(q).build(&Database::new()).unwrap();
+        assert_eq!(s.engine_kind(), EngineKind::Cqap);
+        s.apply_batch(&[
+            Update::insert(e, tup![1i64, 2i64]),
+            Update::insert(e, tup![2i64, 3i64]),
+            Update::insert(e, tup![3i64, 1i64]),
+        ])
+        .unwrap();
+        assert_eq!(s.probe(&tup![1i64, 2i64, 3i64]).unwrap(), 1);
+        assert_eq!(s.probe(&tup![1i64, 3i64, 2i64]).unwrap(), 0);
+    }
+
+    #[test]
+    fn cqap_session_preprocesses_initial_database() {
+        let q = examples::lookup_cqap();
+        let (sn, tn) = (sym("lk_S"), sym("lk_T"));
+        let mut db: Database<i64> = Database::new();
+        db.create(sn, q.atoms[0].schema.clone());
+        db.create(tn, q.atoms[1].schema.clone());
+        db.apply(&Update::insert(sn, tup![10i64, 1i64]));
+        db.apply(&Update::insert(tn, tup![1i64]));
+        let s = Session::<i64>::builder(q).build(&db).unwrap();
+        assert_eq!(s.probe(&tup![1i64]).unwrap(), 1);
+    }
+
+    #[test]
+    fn access_on_non_cqap_session_errors() {
+        let q = examples::fig3_query();
+        let s = Session::<i64>::builder(q).build(&Database::new()).unwrap();
+        assert!(matches!(
+            s.probe(&tup![1i64]).unwrap_err(),
+            EngineError::NotSupported(_)
+        ));
+    }
+
+    #[test]
+    fn forcing_a_mismatched_engine_surfaces_the_dichotomy_error() {
+        // ex51 is not q-hierarchical: forcing eager-fact must fail the
+        // same way constructing the engine directly would.
+        let q = examples::ex51_query();
+        let err = Session::<i64>::builder(q)
+            .engine(EngineKind::EagerFact)
+            .build(&Database::new())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::NotSupported(_) | EngineError::VarOrder(_)
+        ));
+    }
+
+    #[test]
+    fn conflicting_shards_and_forced_engine_is_refused() {
+        let err = Session::<i64>::builder(examples::fig3_query())
+            .shards(8)
+            .engine(EngineKind::DataflowMultiway)
+            .build(&Database::new())
+            .unwrap_err();
+        assert!(
+            matches!(&err, EngineError::NotSupported(m) if m.contains("conflicting")),
+            "{err}"
+        );
+        // Sharded + shards composes fine.
+        let s = Session::<i64>::builder(examples::fig3_query())
+            .shards(3)
+            .engine(EngineKind::Sharded)
+            .build(&Database::new())
+            .unwrap();
+        assert_eq!(s.explain().shards, 3);
+    }
+
+    #[test]
+    fn enqueue_and_drain_work_on_every_backend() {
+        let (rn, sn) = (sym("f3_R"), sym("f3_S"));
+        for shards in [None, Some(2)] {
+            let mut b = Session::<i64>::builder(examples::fig3_query());
+            if let Some(n) = shards {
+                b = b.shards(n);
+            }
+            let mut s = b.build(&Database::new()).unwrap();
+            s.enqueue_batch(&[
+                Update::insert(rn, tup![1i64, 10i64]),
+                Update::insert(sn, tup![1i64, 20i64]),
+            ])
+            .unwrap();
+            s.drain().unwrap();
+            assert_eq!(s.output().get(&tup![1i64, 10i64, 20i64]), 1, "{shards:?}");
+        }
+    }
+}

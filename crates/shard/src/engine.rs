@@ -204,15 +204,6 @@ impl<R: Semiring> ShardedEngine<R> {
         Ok(seq)
     }
 
-    /// Apply a batch synchronously: enqueue, wait for all shard deltas of
-    /// *this* batch, and return the ⊎-merged output delta (already folded
-    /// into [`Self::output_relation`]). Earlier enqueued batches complete
-    /// along the way, shard queues being FIFO.
-    pub fn apply_batch(&mut self, batch: &[Update<R>]) -> Result<Relation<R>, EngineError> {
-        let seq = self.enqueue_batch(batch)?;
-        self.wait_for(seq)
-    }
-
     /// Block until every enqueued batch is processed and folded into the
     /// maintained view.
     pub fn drain(&mut self) -> Result<(), EngineError> {
@@ -355,6 +346,21 @@ impl<R: Semiring> Maintainer<R> for ShardedEngine<R> {
 
     fn apply(&mut self, upd: &Update<R>) -> Result<(), EngineError> {
         self.apply_batch(std::slice::from_ref(upd)).map(|_| ())
+    }
+
+    /// Apply a batch synchronously: enqueue, wait for all shard deltas of
+    /// *this* batch, and return the ⊎-merged output delta (already folded
+    /// into [`Self::output_relation`]). Earlier enqueued batches complete
+    /// along the way, shard queues being FIFO. This is the fleet's native
+    /// batch path — the one trait-level ingestion surface, with
+    /// [`Self::enqueue_batch`]/[`Self::drain`] as the pipelined variant.
+    ///
+    /// Per the trait contract's poisoning clause: once any shard fails,
+    /// this method (and `drain`) fails fast with the original error on
+    /// every subsequent call.
+    fn apply_batch(&mut self, batch: &[Update<R>]) -> Result<Relation<R>, EngineError> {
+        let seq = self.enqueue_batch(batch)?;
+        self.wait_for(seq)
     }
 
     fn for_each_output(&mut self, f: &mut dyn FnMut(&Tuple, &R)) {

@@ -4,17 +4,21 @@
 //! date, departure, and destination".
 //!
 //! `Q(fid | date, src, dst) = Flight(date, src, dst, fid)` is a tractable
-//! CQAP: the engine maintains it under updates and serves access requests
-//! with constant delay. Extending the query with an `OnTime(fid)` join
-//! makes it *intractable* (fid dominates the input variables but is not an
-//! input) — the classifier catches this and the engine refuses.
+//! CQAP: the session auto-selects the CQAP engine, maintains the query
+//! under updates, and serves access requests with constant delay through
+//! `Session::access`. Extending the query with an `OnTime(fid)` join makes
+//! the access pattern *intractable* (fid dominates the input variables but
+//! is not an input) — the classifier catches this and the session demotes
+//! the query to its next-strongest class (as a plain query it is still
+//! q-hierarchical, so enumeration stays O(1)-delay on a view tree), but
+//! the constant-delay access *service* is gone and `Session::access`
+//! refuses rather than silently degrading.
 //!
 //! Run: `cargo run --example flight_access_patterns`
 
-use ivm_core::cqap::CqapEngine;
-use ivm_data::ops::lift_one;
-use ivm_data::{sym, tup, vars, Update};
-use ivm_query::{is_tractable_cqap, Atom, Query};
+use ivm::{Database, EngineKind, Maintainer, Session, Update};
+use ivm_data::{sym, tup, vars};
+use ivm_query::{Atom, Query};
 
 fn main() {
     let [date, src, dst, fid] = vars(["fl_date", "fl_src", "fl_dst", "fl_fid"]);
@@ -25,12 +29,11 @@ fn main() {
         [date, src, dst],
         vec![Atom::new(flights, [date, src, dst, fid])],
     );
-    println!("CQAP: {q:?}");
-    println!("tractable (Thm 4.8): {}\n", is_tractable_cqap(&q));
+    let mut session = Session::<i64>::builder(q).build(&Database::new()).unwrap();
+    println!("{}\n", session.explain());
+    assert_eq!(session.engine_kind(), EngineKind::Cqap);
 
-    let mut engine: CqapEngine<i64> = CqapEngine::new(q, lift_one).expect("tractable");
-
-    // Load a tiny schedule: (date, src, dst, flight id).
+    // Load a tiny schedule in one batch: (date, src, dst, flight id).
     let rows: &[(i64, &str, &str, i64)] = &[
         (20240501, "ZRH", "VIE", 801),
         (20240501, "ZRH", "VIE", 803),
@@ -38,37 +41,42 @@ fn main() {
         (20240502, "ZRH", "VIE", 801),
         (20240501, "VIE", "ZRH", 802),
     ];
-    for &(d, s, t, f) in rows {
-        engine
-            .apply(&Update::insert(flights, tup![d, s, t, f]))
-            .unwrap();
-    }
+    let batch: Vec<Update<i64>> = rows
+        .iter()
+        .map(|&(d, s, t, f)| Update::insert(flights, tup![d, s, t, f]))
+        .collect();
+    session.apply_batch(&batch).unwrap();
 
-    let ask = |engine: &CqapEngine<i64>, d: i64, s: &str, t: &str| {
+    let ask = |session: &Session<i64>, d: i64, s: &str, t: &str| {
         print!("flights {s}→{t} on {d}: ");
         let mut any = false;
-        engine.access(&tup![d, s, t], &mut |fid, _| {
-            print!("{fid:?} ");
-            any = true;
-        });
+        session
+            .access(&tup![d, s, t], &mut |fid, _| {
+                print!("{fid:?} ");
+                any = true;
+            })
+            .unwrap();
         println!("{}", if any { "" } else { "(none)" });
     };
 
-    ask(&engine, 20240501, "ZRH", "VIE");
-    ask(&engine, 20240501, "ZRH", "CDG");
-    ask(&engine, 20240503, "ZRH", "VIE");
+    ask(&session, 20240501, "ZRH", "VIE");
+    ask(&session, 20240501, "ZRH", "CDG");
+    ask(&session, 20240503, "ZRH", "VIE");
 
     // A cancellation propagates in O(1):
-    engine
-        .apply(&Update::delete(
+    session
+        .apply_batch(&[Update::delete(
             flights,
             tup![20240501i64, "ZRH", "VIE", 803i64],
-        ))
+        )])
         .unwrap();
     println!("\nafter cancelling flight 803:");
-    ask(&engine, 20240501, "ZRH", "VIE");
+    ask(&session, 20240501, "ZRH", "VIE");
 
-    // The extended query is intractable — the dichotomy in action.
+    // The extended query's access pattern is intractable — the dichotomy
+    // in action: the session still maintains it (demoted to the plain
+    // query's own class), but the constant-delay access service is gone
+    // and says so.
     let ontime = sym("fl_OnTime");
     let q2 = Query::with_access_pattern(
         "fl_Q2",
@@ -79,8 +87,10 @@ fn main() {
             Atom::new(ontime, [fid]),
         ],
     );
-    println!("\nextended CQAP: {q2:?}");
-    println!("tractable: {}", is_tractable_cqap(&q2));
-    let err = CqapEngine::<i64>::new(q2, lift_one).unwrap_err();
-    println!("engine verdict: {err}");
+    let session2 = Session::<i64>::builder(q2).build(&Database::new()).unwrap();
+    println!("\nextended CQAP:\n{}", session2.explain());
+    let err = session2
+        .probe(&tup![20240501i64, "ZRH", "VIE"])
+        .unwrap_err();
+    println!("access request refused: {err}");
 }

@@ -10,7 +10,7 @@
 //!
 //! Run: `cargo run --release --example learn_regression`
 
-use ivm_core::viewtree::ViewTree;
+use ivm::{Database, EngineKind, Maintainer, Session};
 use ivm_data::{sym, tup, vars, Sym, Update, Value};
 use ivm_query::{Atom, Query};
 use ivm_ring::{Covar, Semiring};
@@ -44,12 +44,20 @@ fn main() {
             Atom::new(weather, [store, day, rain]),
         ],
     );
-    let mut tree: ViewTree<Covar<D>> = ViewTree::new(q, lift).expect("q-hierarchical");
+    // The session classifies the Boolean 2-relation join (q-hierarchical)
+    // and stands up the factorized eager-fact view tree, carrying the
+    // covariance ring through the custom lift.
+    let mut session = Session::<Covar<D>>::builder(q)
+        .lift(lift)
+        .build(&Database::new())
+        .expect("q-hierarchical");
+    assert_eq!(session.engine_kind(), EngineKind::EagerFact);
 
     // Ground truth: units = 2.0·price + 5.0·rain + noise.
     let mut rng = StdRng::seed_from_u64(7);
     println!("streaming batches; model re-fit from maintained aggregates:\n");
     for batch in 1..=6 {
+        let mut updates: Vec<Update<Covar<D>>> = Vec::with_capacity(4_000);
         for _ in 0..2_000 {
             let st = rng.gen_range(0..50i64);
             let dy = rng.gen_range(0..30i64);
@@ -59,22 +67,22 @@ fn main() {
             let rn = i64::from((st * 31 + dy * 7) % 5 < 2);
             let noise: f64 = rng.gen_range(-1.0..1.0);
             let un = (2.0 * pr as f64 + 5.0 * rn as f64 + noise).round() as i64;
-            tree.apply(&Update::with_payload(
+            updates.push(Update::with_payload(
                 weather,
                 tup![st, dy, rn],
                 Covar::one(),
-            ))
-            .unwrap();
-            tree.apply(&Update::with_payload(
+            ));
+            updates.push(Update::with_payload(
                 sales,
                 tup![st, dy, pr, un],
                 Covar::one(),
-            ))
-            .unwrap();
+            ));
         }
+        // One consolidated batch through the trait-level surface.
+        session.apply_batch(&updates).unwrap();
         // The Boolean query's single output payload is the full aggregate.
         let mut agg = Covar::<D>::zero();
-        tree.for_each_output(&mut |_, c| agg = agg.plus(c));
+        session.for_each_output(&mut |_, c| agg = agg.plus(c));
         let (w_price, w_rain) = fit(&agg);
         println!(
             "batch {batch}: n={:>8}  fitted units ≈ {:.3}·price + {:.3}·rain   (truth: 2·price + 5·rain)",

@@ -1,15 +1,19 @@
-//! Quickstart: classify a query, pick an engine, stream updates, and
-//! enumerate the maintained output.
+//! Quickstart: choose nothing.
+//!
+//! `Session::builder(query).build(&db)` runs the paper's dichotomy
+//! analyses, stands up the engine the query's class admits, and returns
+//! one uniform handle — the same batch-first `apply_batch` surface
+//! whether the backend is a factorized view tree, a worst-case-optimal
+//! dataflow, or a sharded fleet. `explain()` shows its work.
 //!
 //! Run: `cargo run --example quickstart`
 
-use ivm_core::{EagerFactEngine, Maintainer};
-use ivm_data::ops::lift_one;
-use ivm_data::{sym, tup, vars, Database, Schema, Update};
-use ivm_query::{is_hierarchical, is_q_hierarchical, Atom, Query};
+use ivm::{Database, EngineKind, Maintainer, Session, Update};
+use ivm_data::{sym, tup, vars};
+use ivm_query::{Atom, Query};
 
 fn main() {
-    // Q(Y, X, Z) = R(Y, X) · S(Y, Z)  — Fig 3 of the paper.
+    // ── 1. A q-hierarchical query: Q(Y, X, Z) = R(Y, X) · S(Y, Z) (Fig 3).
     let [x, y, z] = vars(["qs_X", "qs_Y", "qs_Z"]);
     let (r, s) = (sym("qs_R"), sym("qs_S"));
     let q = Query::new(
@@ -17,41 +21,83 @@ fn main() {
         [y, x, z],
         vec![Atom::new(r, [y, x]), Atom::new(s, [y, z])],
     );
+    let mut session = Session::<i64>::builder(q).build(&Database::new()).unwrap();
+    println!("{}\n", session.explain());
+    assert_eq!(session.engine_kind(), EngineKind::EagerFact);
 
-    // 1. Classification (Theorem 4.1): q-hierarchical ⇒ O(1) update,
-    //    O(1) enumeration delay.
-    println!("query:           {q:?}");
-    println!("hierarchical:    {}", is_hierarchical(&q));
-    println!("q-hierarchical:  {}", is_q_hierarchical(&q));
+    // One batch through the one trait-level surface; the returned delta
+    // contract is documented on `Maintainer::apply_batch`.
+    session
+        .apply_batch(&[
+            Update::insert(r, tup![1i64, 10i64]),
+            Update::insert(r, tup![1i64, 11i64]),
+            Update::insert(s, tup![1i64, 20i64]),
+            Update::insert(s, tup![2i64, 21i64]),
+        ])
+        .unwrap();
+    println!("after one 4-insert batch:");
+    session.for_each_output(&mut |t, m| println!("  Q{t:?} ↦ {m}"));
 
-    // 2. Build the factorized engine (F-IVM-style view tree).
-    let mut engine =
-        EagerFactEngine::<i64>::new(q, &Database::new(), lift_one).expect("q-hierarchical");
-
-    // 3. Stream single-tuple inserts and deletes.
-    engine.apply(&Update::insert(r, tup![1i64, 10i64])).unwrap();
-    engine.apply(&Update::insert(r, tup![1i64, 11i64])).unwrap();
-    engine.apply(&Update::insert(s, tup![1i64, 20i64])).unwrap();
-    engine.apply(&Update::insert(s, tup![2i64, 21i64])).unwrap();
-
-    println!("\nafter 4 inserts:");
-    engine.for_each_output(&mut |t, m| println!("  Q{t:?} ↦ {m}"));
-
-    engine.apply(&Update::delete(r, tup![1i64, 10i64])).unwrap();
+    session
+        .apply_batch(&[Update::delete(r, tup![1i64, 10i64])])
+        .unwrap();
     println!("\nafter deleting R(1, 10):");
-    engine.for_each_output(&mut |t, m| println!("  Q{t:?} ↦ {m}"));
+    session.for_each_output(&mut |t, m| println!("  Q{t:?} ↦ {m}"));
 
-    // 4. A non-q-hierarchical query is rejected by the factorized engine —
-    //    the dichotomy is enforced, not just documented.
+    // ── 2. A cyclic query auto-selects the worst-case-optimal plan.
+    let tri = ivm_query::examples::triangle_count();
+    let (tr, ts, tt) = (sym("tri_R"), sym("tri_S"), sym("tri_T"));
+    let mut session = Session::<i64>::builder(tri)
+        .build(&Database::new())
+        .unwrap();
+    println!("\n{}\n", session.explain());
+    assert_eq!(session.engine_kind(), EngineKind::DataflowMultiway);
+    let batch: Vec<Update<i64>> = [(1i64, 2i64), (2, 3), (3, 1)]
+        .into_iter()
+        .flat_map(|(a, b)| [tr, ts, tt].map(|rel| Update::insert(rel, tup![a, b])))
+        .collect();
+    session.apply_batch(&batch).unwrap();
+    println!("triangles: {}", session.output().get(&ivm::Tuple::empty()));
+
+    // ── 3. Scale-out is one builder call; ingestion code is unchanged.
+    let mut session = Session::<i64>::builder(ivm_query::examples::fig3_query())
+        .shards(4)
+        .build(&Database::new())
+        .unwrap();
+    println!("\nsharded: {}", session.describe());
+    session
+        .apply_batch(&[
+            Update::insert(sym("f3_R"), tup![1i64, 10i64]),
+            Update::insert(sym("f3_S"), tup![1i64, 20i64]),
+        ])
+        .unwrap();
+    assert_eq!(session.output().len(), 1);
+
+    // ── 4. The dichotomy can still be *enforced* instead of routed
+    //      around: forcing eager-fact onto a non-q-hierarchical query
+    //      surfaces the classifier's rejection.
     let [a, b] = vars(["qs_A", "qs_B"]);
     let bad = Query::new(
         "qs_bad",
         [a],
         vec![
             Atom::new(sym("qs_R2"), [a, b]),
-            Atom::new(sym("qs_S2"), Schema::from([b])),
+            Atom::new(sym("qs_S2"), ivm_data::Schema::from([b])),
         ],
     );
-    let err = EagerFactEngine::<i64>::new(bad, &Database::new(), lift_one).unwrap_err();
-    println!("\nnon-q-hierarchical query rejected: {err}");
+    let err = Session::<i64>::builder(bad.clone())
+        .engine(EngineKind::EagerFact)
+        .build(&Database::new())
+        .unwrap_err();
+    println!("\nforced eager-fact on a non-q-hierarchical query: {err}");
+
+    // Auto-selection instead classifies it and runs the generic engine.
+    let session = Session::<i64>::builder(bad)
+        .build(&Database::new())
+        .unwrap();
+    println!(
+        "auto-selection picks: {} ({})",
+        session.engine_kind(),
+        session.explain().class()
+    );
 }

@@ -2,10 +2,14 @@
 //! a q-hierarchical 5-relation join maintained under inventory insert
 //! batches, with periodic full enumeration.
 //!
+//! The session classifies the Retailer join (q-hierarchical under the
+//! `zip → locn` Σ-reduct, Ex 4.10) and stands up the factorized
+//! eager-fact engine on its own; ingestion is the batch-first
+//! `apply_batch` everything else in the workspace uses.
+//!
 //! Run: `cargo run --release --example retailer_dashboard`
 
-use ivm_core::{EagerFactEngine, Maintainer};
-use ivm_data::ops::lift_one;
+use ivm::{EngineKind, Maintainer, Session};
 use ivm_workloads::RetailerGen;
 use std::time::Instant;
 
@@ -13,10 +17,13 @@ fn main() {
     let mut gen = RetailerGen::new(32, 8, 32, 99);
     let db = gen.initial_db(10_000);
     let q = gen.query().clone();
-    println!("maintaining: {q:?}\n");
 
     let t0 = Instant::now();
-    let mut engine = EagerFactEngine::<i64>::new(q, &db, lift_one).expect("retailer query");
+    let mut session = Session::<i64>::builder(q)
+        .build(&db)
+        .expect("retailer query");
+    println!("{}\n", session.explain());
+    assert_eq!(session.engine_kind(), EngineKind::EagerFact);
     println!(
         "preprocessing ({} initial tuples): {:?}",
         db.size(),
@@ -26,15 +33,13 @@ fn main() {
     for round in 1..=5 {
         let batch = gen.inventory_batch(1000);
         let t = Instant::now();
-        for upd in &batch {
-            engine.apply(upd).unwrap();
-        }
+        session.apply_batch(&batch).unwrap();
         let maintain = t.elapsed();
 
         let t = Instant::now();
         let mut tuples = 0usize;
         let mut derivations = 0i64;
-        engine.for_each_output(&mut |_, m| {
+        session.for_each_output(&mut |_, m| {
             tuples += 1;
             derivations += m;
         });

@@ -1,20 +1,20 @@
-//! Asynchronous sharded ingestion: keep enqueueing batches while the
-//! shard fleet is still processing earlier ones, then drain once and
-//! verify the maintained view against the single-threaded engine.
+//! Asynchronous sharded ingestion through the session API: keep
+//! enqueueing batches while the shard fleet is still processing earlier
+//! ones, then drain once and verify the maintained view against a
+//! single-threaded session over the same stream.
 //!
 //! The workload is the Retailer star join (fully hash-partitioned by
 //! `locn` — no replication) under its Inventory insert stream. Watch the
-//! enqueue timeline: `enqueue_batch` returns long before the fleet is
-//! done, which is the point — ingestion is decoupled from processing by
-//! bounded per-shard queues, so a bursty producer is absorbed instead of
-//! blocked (until a queue fills: then backpressure, not unbounded
-//! buffering).
+//! enqueue timeline: `Session::enqueue_batch` returns long before the
+//! fleet is done, which is the point — ingestion is decoupled from
+//! processing by bounded per-shard queues, so a bursty producer is
+//! absorbed instead of blocked (until a queue fills: then backpressure,
+//! not unbounded buffering). The same two calls run unchanged against a
+//! non-sharded session, where they degrade to synchronous application.
 //!
 //! Run: `cargo run --release --example sharded_stream`
 
-use ivm_data::ops::lift_one;
-use ivm_dataflow::DataflowEngine;
-use ivm_shard::ShardedEngine;
+use ivm::{EngineKind, Maintainer, Session};
 use ivm_workloads::RetailerGen;
 use std::time::Instant;
 
@@ -24,7 +24,7 @@ fn main() {
     let batch_size = 1000;
 
     // Identical generator seeds → identical initial db and stream for
-    // both engines.
+    // both sessions.
     let mut gen = RetailerGen::new(48, 6, 48, 21);
     let db = gen.initial_db(40_000);
     let q = gen.query().clone();
@@ -32,7 +32,10 @@ fn main() {
         .map(|_| gen.inventory_batch(batch_size))
         .collect();
 
-    let mut sharded = ShardedEngine::<i64>::new(q.clone(), &db, lift_one, shards).unwrap();
+    let mut sharded = Session::<i64>::builder(q.clone())
+        .shards(shards)
+        .build(&db)
+        .unwrap();
     println!("fleet: {}", sharded.describe());
 
     // Phase 1 — enqueue everything without waiting for processing.
@@ -51,7 +54,7 @@ fn main() {
         n_batches,
         (n_batches * batch_size) as f64 / drained.as_secs_f64(),
     );
-    let stats = sharded.sharded_stats();
+    let stats = sharded.sharded_stats().expect("shard-backed session");
     println!(
         "critical path: busiest shard {:?} of {:?} total busy \
          (balance {:.2}); {} entries routed, {} broadcast copies",
@@ -62,13 +65,17 @@ fn main() {
         stats.router.broadcast_copies,
     );
 
-    // Verify against the single-threaded dataflow engine on the same
-    // stream.
-    let mut single = DataflowEngine::<i64>::new(q, &db, lift_one).unwrap();
+    // Verify against a single-threaded dataflow session on the same
+    // stream — same enqueue/drain spelling, synchronous under the hood.
+    let mut single = Session::<i64>::builder(q)
+        .engine(EngineKind::DataflowLeftDeep)
+        .build(&db)
+        .unwrap();
     for b in &batches {
-        single.apply_batch(b).unwrap();
+        single.enqueue_batch(b).unwrap();
     }
-    let (a, b) = (single.output_relation(), sharded.output_relation());
+    single.drain().unwrap();
+    let (a, b) = (single.output(), sharded.output());
     assert_eq!(a.len(), b.len(), "view sizes must match");
     for (t, p) in a.iter() {
         assert_eq!(&b.get(t), p, "payload mismatch at {t:?}");

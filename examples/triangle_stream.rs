@@ -4,9 +4,8 @@
 //!
 //! Run: `cargo run --release --example triangle_stream`
 
-use ivm_data::ops::lift_one;
+use ivm::{Maintainer, Session};
 use ivm_data::{sym, tup, vars, Database, Tuple, Update};
-use ivm_dataflow::DataflowEngine;
 use ivm_ivme::{Rel, TriangleDelta, TriangleIvmEps, TriangleMaintainer};
 use ivm_query::{Atom, Query};
 use ivm_workloads::graphs::EdgeStream;
@@ -45,9 +44,11 @@ fn main() {
     }
     assert_eq!(ivme.count(), delta.count(), "engines must agree");
 
-    // The generic dataflow engine maintains the same cyclic query from its
-    // declarative form — slower than the hand-tuned kernels, but with zero
-    // triangle-specific code, and batches amortize the gap.
+    // The same cyclic query from its declarative form, through the
+    // session front door: the classifier sees a cyclic hypergraph and
+    // auto-selects the worst-case-optimal multiway dataflow — slower than
+    // the hand-tuned kernels, but with zero triangle-specific code, and
+    // batches amortize the gap.
     let [a, b, c] = vars(["ts_A", "ts_B", "ts_C"]);
     let (rn, sn, tn) = (sym("ts_R"), sym("ts_S"), sym("ts_T"));
     let q = Query::new(
@@ -59,7 +60,12 @@ fn main() {
             Atom::new(tn, [c, a]),
         ],
     );
-    let mut generic = DataflowEngine::<i64>::new(q, &Database::new(), lift_one).unwrap();
+    let mut generic = Session::<i64>::builder(q).build(&Database::new()).unwrap();
+    println!(
+        "\nsession auto-selected: {} ({})",
+        generic.engine_kind(),
+        generic.explain().class()
+    );
     let batch_size = 1_024;
     let t0 = Instant::now();
     let mut batch: Vec<Update<i64>> = Vec::with_capacity(3 * batch_size);
@@ -73,7 +79,7 @@ fn main() {
         }
     }
     generic.apply_batch(&batch).unwrap();
-    let count = generic.output_relation().get(&Tuple::empty());
+    let count = generic.output().get(&Tuple::empty());
     println!(
         "{:>18}: count={count} in {:?} ({:.0} upd/s, batches of {batch_size} edges)",
         "generic dataflow",

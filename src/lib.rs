@@ -13,8 +13,19 @@
 //! | engines | [`core`] | per-class maintenance engines (view trees, cascades, CQAPs) |
 //! | runtime | [`dataflow`] | generic batched delta-dataflow engine for arbitrary CQs |
 //! | scale-out | [`shard`] | hash-partitioned parallel shards with async batch ingestion |
+//! | front door | [`session`] | classify → select → one uniform [`Session`] handle |
 //! | kernels | [`ivme`], [`oumv`] | specialized triangle/q-hierarchical kernels, lower bounds |
 //! | workloads | [`workloads`] | retailer, graph, PK-FK, Zipf generators |
+//!
+//! Most callers only need the front door:
+//!
+//! ```
+//! use ivm::{Maintainer, Session};
+//!
+//! let q = ivm::query::examples::triangle_count();   // cyclic
+//! let mut s = Session::<i64>::builder(q).build(&ivm::Database::new()).unwrap();
+//! println!("{}", s.explain()); // → worst-case-optimal multiway dataflow
+//! ```
 
 pub use ivm_core as core;
 pub use ivm_data as data;
@@ -23,6 +34,7 @@ pub use ivm_ivme as ivme;
 pub use ivm_oumv as oumv;
 pub use ivm_query as query;
 pub use ivm_ring as ring;
+pub use ivm_session as session;
 pub use ivm_shard as shard;
 pub use ivm_workloads as workloads;
 
@@ -31,4 +43,5 @@ pub use ivm_data::{Batch, Database, Relation, Tuple, Update, Value};
 pub use ivm_dataflow::{DataflowEngine, DeltaBatch};
 pub use ivm_query::{Atom, Query};
 pub use ivm_ring::{Ring, Semiring};
+pub use ivm_session::{EngineKind, Explain, QueryClass, Session, SessionBuilder};
 pub use ivm_shard::ShardedEngine;

@@ -4,6 +4,7 @@
 use ivm_core::acyclic::InsertOnlyEngine;
 use ivm_core::cqap::CqapEngine;
 use ivm_core::viewtree::ViewTree;
+use ivm_core::Maintainer;
 use ivm_data::ops::{eval_join_aggregate, lift_one};
 use ivm_data::{sym, FxHashMap, Relation, Tuple, Update, Value};
 use ivm_ivme::QhEpsEngine;

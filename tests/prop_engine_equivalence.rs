@@ -22,6 +22,7 @@
 //! proptest shim seeds each test deterministically from its name, so
 //! failures reproduce.
 
+use ivm_core::Maintainer;
 use ivm_data::ops::{eval_join_aggregate, lift_one};
 use ivm_data::{sym, tup, Database, Relation, Tuple, Update};
 use ivm_dataflow::{DataflowEngine, JoinStrategy};
