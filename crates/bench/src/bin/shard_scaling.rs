@@ -24,7 +24,7 @@
 //! Also emits `BENCH_shard.json` (path override: `BENCH_SHARD_JSON`) so
 //! CI records the scaling trajectory run over run.
 
-use ivm_bench::{fmt, json_escape, per_sec, scaled, Table};
+use ivm_bench::{fmt, json_escape, per_sec, ratio, scaled, Table};
 use ivm_data::ops::lift_one;
 use ivm_data::{tup, Database, Update};
 use ivm_shard::ShardedEngine;
@@ -159,8 +159,8 @@ fn emit_json(rows: &[Row]) {
             r.shards,
             num(r.wall_tps),
             num(r.scalable_tps),
-            num(r.wall_tps / base.wall_tps),
-            num(r.scalable_tps / base.scalable_tps),
+            num(ratio(r.wall_tps, base.wall_tps)),
+            num(ratio(r.scalable_tps, base.scalable_tps)),
             num(r.balance),
             r.broadcast_copies,
             if i + 1 < rows.len() { "," } else { "" }
@@ -203,7 +203,7 @@ fn main() {
             r.shards.to_string(),
             fmt(r.wall_tps),
             fmt(r.scalable_tps),
-            format!("{:.2}", r.scalable_tps / base.scalable_tps),
+            fmt(ratio(r.scalable_tps, base.scalable_tps)),
             format!("{:.2}", r.balance),
             r.broadcast_copies.to_string(),
         ]);

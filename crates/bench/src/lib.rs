@@ -38,11 +38,27 @@ pub fn ns_per(d: Duration, ops: usize) -> f64 {
 }
 
 /// Throughput in operations per second.
+///
+/// Total on every input: an empty or unstarted stream (zero ops, or a
+/// zero duration such as `ShardedStats::max_busy()` before any worker
+/// reported) yields `0.0` rather than `inf`/`NaN`, so downstream ratio
+/// math and the `BENCH_*.json` emissions never see a non-finite row.
 pub fn per_sec(d: Duration, ops: usize) -> f64 {
-    if d.as_secs_f64() == 0.0 {
-        f64::INFINITY
+    if ops == 0 || d.as_secs_f64() == 0.0 {
+        0.0
     } else {
         ops as f64 / d.as_secs_f64()
+    }
+}
+
+/// `a / b` guarded for speedup columns: `NaN` when the baseline is zero
+/// or either input is non-finite (the JSON emitters render `NaN` as
+/// `null` instead of leaking an invalid token).
+pub fn ratio(a: f64, b: f64) -> f64 {
+    if b == 0.0 || !a.is_finite() || !b.is_finite() {
+        f64::NAN
+    } else {
+        a / b
     }
 }
 
@@ -100,7 +116,9 @@ pub fn json_escape(s: &str) -> String {
 
 /// Format a float compactly.
 pub fn fmt(v: f64) -> String {
-    if v == f64::INFINITY {
+    if v.is_nan() {
+        "n/a".into()
+    } else if v == f64::INFINITY {
         "inf".into()
     } else if v >= 1e6 {
         format!("{:.2e}", v)
@@ -141,5 +159,22 @@ mod tests {
     #[test]
     fn scaled_respects_min() {
         assert!(scaled(100, 10) >= 10);
+    }
+
+    /// The empty/unstarted-stream guards: no `inf`/`NaN` throughput from
+    /// zero ops or a zero busy-time denominator, and speedup ratios over
+    /// a zero baseline come back `NaN` (rendered `null` in JSON) instead
+    /// of panicking or leaking `inf`.
+    #[test]
+    fn per_sec_and_ratio_guard_degenerate_inputs() {
+        assert_eq!(per_sec(Duration::ZERO, 0), 0.0);
+        assert_eq!(per_sec(Duration::ZERO, 100), 0.0);
+        assert_eq!(per_sec(Duration::from_secs(1), 0), 0.0);
+        assert!(per_sec(Duration::from_secs(2), 100).is_finite());
+        assert!(ratio(1.0, 0.0).is_nan());
+        assert!(ratio(0.0, 0.0).is_nan());
+        assert!(ratio(f64::INFINITY, 1.0).is_nan());
+        assert_eq!(ratio(4.0, 2.0), 2.0);
+        assert_eq!(fmt(f64::NAN), "n/a");
     }
 }

@@ -1,0 +1,522 @@
+//! Adaptive replanning: learned cardinalities and the replan policy.
+//!
+//! Every dataflow plan is lowered from a [`Cardinalities`] snapshot taken
+//! at build time. A session built before data arrives — the common
+//! streaming pattern — cost-orders its joins from all-zero counts, so its
+//! atom and variable orders are pure tie-break noise, and nothing ever
+//! reconsiders them as the update stream makes the plan arbitrarily bad.
+//! The heavy-light and IVMε lines of work (Abo-Khamis et al.; Kara et
+//! al.) get their guarantees precisely by adapting the maintenance
+//! strategy to *observed* relation sizes and skew. This module supplies
+//! the two pieces a caller needs to do the same:
+//!
+//! * [`LearnedCardinalities`] — live per-relation counts, refreshed from
+//!   the mirrored base state the caller already owns (relation sizes are
+//!   O(1) reads, so a refresh is O(#atoms) per batch);
+//! * [`ReplanPolicy`] — decides *when* a re-lowering pays for itself, by
+//!   comparing the orders the running plan was lowered from against what
+//!   [`cost::atom_order`]/[`cost::variable_order`] would derive from the
+//!   learned counts (predicted-cost ratio with hysteresis) and by
+//!   watching the observed counters for the left-deep chain's
+//!   binary-intermediate blowup.
+//!
+//! The policy only decides; the *mechanism* is
+//! [`DataflowEngine::replan_with_cards`](crate::DataflowEngine::replan_with_cards)
+//! (and its sharded broadcast counterpart), which the session layer
+//! invokes with the decision's strategy and learned snapshot.
+
+use crate::cost::{self, Cardinalities};
+use crate::graph::DataflowStats;
+use crate::planner::{resolve_strategy, JoinStrategy};
+use ivm_data::{Database, FxHashMap, Sym};
+use ivm_query::Query;
+use ivm_ring::Semiring;
+
+/// Live per-relation cardinalities, learned from the update stream.
+///
+/// The tracker does not second-guess the base state: the caller that owns
+/// the ground truth (e.g. the session's mirrored database) calls
+/// [`LearnedCardinalities::refresh`] after each applied batch, which
+/// snapshots every query relation's *live* size — exact, and O(#atoms)
+/// per batch because relation sizes are O(1) reads.
+#[derive(Clone, Debug, Default)]
+pub struct LearnedCardinalities {
+    sizes: FxHashMap<Sym, usize>,
+}
+
+impl LearnedCardinalities {
+    /// A tracker that has seen nothing yet.
+    pub fn new() -> Self {
+        LearnedCardinalities::default()
+    }
+
+    /// Snapshot the live size of every relation of `q` from `db` (the
+    /// maintained base state).
+    pub fn refresh<R: Semiring>(&mut self, db: &Database<R>, q: &Query) {
+        for atom in &q.atoms {
+            self.sizes
+                .insert(atom.name, db.get(atom.name).map_or(0, |r| r.len()));
+        }
+    }
+
+    /// The learned live size of `relation` (0 when never seen).
+    pub fn get(&self, relation: Sym) -> usize {
+        self.sizes.get(&relation).copied().unwrap_or(0)
+    }
+
+    /// Whether any relation has been observed non-empty.
+    pub fn has_data(&self) -> bool {
+        self.sizes.values().any(|&n| n > 0)
+    }
+
+    /// The total live base size `Σ |R_i|` over the learned relations —
+    /// the policy's estimate of what a replan's replay would cost.
+    pub fn total_size(&self) -> u64 {
+        self.sizes.values().map(|&n| n as u64).sum()
+    }
+
+    /// The learned counts as a [`Cardinalities`] snapshot, ready to feed
+    /// a re-lowering.
+    pub fn to_cardinalities(&self) -> Cardinalities {
+        let mut cards = Cardinalities::none();
+        for (&rel, &n) in &self.sizes {
+            cards.set(rel, n);
+        }
+        cards
+    }
+}
+
+/// A policy verdict: re-lower onto `strategy` with orders derived from
+/// `cards`, for the stated `reason`.
+#[derive(Clone, Debug)]
+pub struct ReplanDecision {
+    /// The join strategy to lower (a concrete one, never `Auto`).
+    pub strategy: JoinStrategy,
+    /// The learned snapshot to derive the fresh atom/variable orders from.
+    pub cards: Cardinalities,
+    /// Human-readable trigger, recorded in the session's replan events.
+    pub reason: String,
+}
+
+/// When is a re-lowering worth its replay cost?
+///
+/// Three triggers, in priority order:
+///
+/// 1. **First data.** A plan lowered from all-zero/unknown counts (blind
+///    build) re-lowers as soon as learned counts would order it
+///    differently — no hysteresis, because the blind orders were never a
+///    decision to respect. (When the informed orders happen to *equal*
+///    the blind tie-break, the plan stays blind and the triggers below
+///    remain live — a coincidence of orders must not disable them.)
+/// 2. **Observed blowup.** A left-deep plan whose window materialized
+///    ≥ `blowup_factor` binary-join tuples per input-or-output delta
+///    switches to the worst-case-optimal multiway plan — this is the
+///    Sec. 3.3 intermediate-size blowup the WCOJ plan exists to avoid,
+///    observed rather than predicted.
+/// 3. **Predicted reorder.** Keeping the strategy, if the fresh orders
+///    from learned counts differ from the running plan's and the cost
+///    proxy rates the running orders ≥ `min_cost_ratio` times the fresh
+///    ones, re-derive the orders.
+///
+/// Triggers 2 and 3 are doubly gated so thrashing is structurally
+/// impossible, not merely unlikely: by `min_batches_between` (a clock in
+/// ingestion calls since the last replan) *and* by replay amortization —
+/// the window must have ingested at least `min_replay_fraction` of the
+/// live base size in updates, because a replan replays the whole base, so
+/// tying replans to ingested volume bounds total replay work at
+/// `1/min_replay_fraction` times the stream's own work whatever the
+/// batch size (per-update `apply` streams included).
+#[derive(Clone, Copy, Debug)]
+pub struct ReplanPolicy {
+    /// Minimum ingestion calls (batches, or single updates on the
+    /// `apply` path) between two policy-triggered replans.
+    pub min_batches_between: u64,
+    /// Minimum fraction of the live base size that must have been
+    /// ingested (as updates) since the last replan — the amortization
+    /// gate over the replay a replan costs.
+    pub min_replay_fraction: f64,
+    /// Minimum predicted cost ratio (current ÷ fresh) before a same-
+    /// strategy reorder fires.
+    pub min_cost_ratio: f64,
+    /// Binary-join tuples per (input + output) delta tuple in the window
+    /// before the left-deep → multiway switch fires.
+    pub blowup_factor: f64,
+}
+
+impl Default for ReplanPolicy {
+    fn default() -> Self {
+        ReplanPolicy {
+            min_batches_between: 16,
+            min_replay_fraction: 0.1,
+            min_cost_ratio: 1.5,
+            blowup_factor: 8.0,
+        }
+    }
+}
+
+impl ReplanPolicy {
+    /// Decide whether the running plan should be re-lowered.
+    ///
+    /// * `resolved` — the concrete strategy the running plan was lowered
+    ///   to (never `Auto`; see `DataflowEngine::resolved_strategy`);
+    /// * `lowered_cards` — the snapshot the running plan's orders were
+    ///   derived from;
+    /// * `learned` — live counts from the stream;
+    /// * `window` — counter increments since the last replan (or build);
+    /// * `batches_since_replan` — the hysteresis clock.
+    ///
+    /// Returns `None` when the plan should stand.
+    pub fn decide(
+        &self,
+        q: &Query,
+        resolved: JoinStrategy,
+        lowered_cards: &Cardinalities,
+        learned: &LearnedCardinalities,
+        window: &DataflowStats,
+        batches_since_replan: u64,
+    ) -> Option<ReplanDecision> {
+        if !learned.has_data() {
+            return None;
+        }
+        let cards = learned.to_cardinalities();
+
+        // 1. First data after a blind build: the running orders are tie-
+        // break noise; adopt informed ones the moment they would differ.
+        // When they coincide, fall through — the plan happens to be the
+        // informed one already, but the observed triggers stay live.
+        if lowered_cards.is_blind_for(q) && orders_differ(q, resolved, lowered_cards, &cards) {
+            return Some(ReplanDecision {
+                strategy: resolved,
+                cards,
+                reason: "first non-empty data: the plan was lowered from \
+                         all-zero cardinalities, so its orders were pure \
+                         tie-breaking"
+                    .into(),
+            });
+        }
+
+        // Hysteresis clock AND replay amortization: a replan replays the
+        // whole base, so the window must be both old enough and large
+        // enough (in ingested updates relative to the base) to pay it off.
+        if batches_since_replan < self.min_batches_between
+            || (window.updates_in as f64) < self.min_replay_fraction * learned.total_size() as f64
+        {
+            return None;
+        }
+
+        // 2. Observed binary-intermediate blowup on the left-deep chain.
+        if resolved == JoinStrategy::LeftDeep {
+            let deltas = window.deltas_in + window.output_delta_tuples;
+            if window.binary_join_tuples as f64 >= self.blowup_factor * deltas.max(1) as f64 {
+                return Some(ReplanDecision {
+                    strategy: JoinStrategy::Multiway,
+                    cards,
+                    reason: format!(
+                        "observed binary-join blowup: {} intermediate tuples \
+                         for {} input+output delta tuples in the window \
+                         (threshold {}×); switching to the worst-case-optimal \
+                         multiway plan",
+                        window.binary_join_tuples, deltas, self.blowup_factor
+                    ),
+                });
+            }
+        }
+
+        // 3. Predicted reorder under the same strategy.
+        let (current, fresh) = match resolved {
+            JoinStrategy::LeftDeep => (
+                cost::left_deep_cost(q, &cost::atom_order(q, lowered_cards), &cards),
+                cost::left_deep_cost(q, &cost::atom_order(q, &cards), &cards),
+            ),
+            _ => (
+                cost::multiway_cost(q, &cost::variable_order(q, lowered_cards), &cards),
+                cost::multiway_cost(q, &cost::variable_order(q, &cards), &cards),
+            ),
+        };
+        if orders_differ(q, resolved, lowered_cards, &cards)
+            && current >= self.min_cost_ratio * fresh.max(f64::MIN_POSITIVE)
+        {
+            return Some(ReplanDecision {
+                strategy: resolved,
+                cards,
+                reason: format!(
+                    "learned cardinalities rate the running orders {:.1}× the \
+                     fresh ones (threshold {:.1}×); re-deriving atom/variable \
+                     orders",
+                    current / fresh.max(f64::MIN_POSITIVE),
+                    self.min_cost_ratio
+                ),
+            });
+        }
+        None
+    }
+}
+
+/// Whether re-deriving the orders from `new_cards` changes the plan at
+/// all — comparing the order the strategy actually uses (atom order for
+/// left-deep, variable order for multiway). `strategy` is resolved first
+/// so an `Auto` caller compares the right artifact.
+fn orders_differ(
+    q: &Query,
+    strategy: JoinStrategy,
+    old_cards: &Cardinalities,
+    new_cards: &Cardinalities,
+) -> bool {
+    match resolve_strategy(q, strategy) {
+        JoinStrategy::Multiway => {
+            cost::variable_order(q, old_cards) != cost::variable_order(q, new_cards)
+        }
+        _ => cost::atom_order(q, old_cards) != cost::atom_order(q, new_cards),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivm_core::Maintainer;
+    use ivm_data::ops::lift_one;
+    use ivm_data::{sym, tup, vars, Update};
+    use ivm_query::Atom;
+
+    /// R(a,b)·S(b,c)·T(c,d) — acyclic, order-sensitive.
+    fn chain() -> Query {
+        let [a, b, c, d] = vars(["ad_A", "ad_B", "ad_C", "ad_D"]);
+        Query::new(
+            "ad_chain",
+            [a, d],
+            vec![
+                Atom::new(sym("ad_R"), [a, b]),
+                Atom::new(sym("ad_S"), [b, c]),
+                Atom::new(sym("ad_T"), [c, d]),
+            ],
+        )
+    }
+
+    #[test]
+    fn learned_cards_track_live_sizes() {
+        let q = chain();
+        let r = sym("ad_R");
+        let mut db: Database<i64> = Database::new();
+        db.create(r, q.atoms[0].schema.clone());
+        let mut learned = LearnedCardinalities::new();
+        assert!(!learned.has_data());
+        db.apply(&Update::insert(r, tup![1i64, 2i64]));
+        db.apply(&Update::insert(r, tup![3i64, 4i64]));
+        learned.refresh(&db, &q);
+        assert!(learned.has_data());
+        assert_eq!(learned.get(r), 2);
+        assert_eq!(learned.get(sym("ad_S")), 0);
+        assert_eq!(learned.total_size(), 2);
+        // A delete shrinks the live count — these are sizes, not totals.
+        db.apply(&Update::delete(r, tup![1i64, 2i64]));
+        learned.refresh(&db, &q);
+        assert_eq!(learned.get(r), 1);
+        assert_eq!(learned.to_cardinalities().get(r), 1);
+    }
+
+    fn learned_with(sizes: &[(Sym, usize)]) -> LearnedCardinalities {
+        let mut l = LearnedCardinalities::new();
+        let mut db: Database<i64> = Database::new();
+        let q = chain();
+        for atom in &q.atoms {
+            db.create(atom.name, atom.schema.clone());
+        }
+        for &(rel, n) in sizes {
+            for i in 0..n as i64 {
+                db.apply(&Update::with_payload(rel, tup![i, i + 1], 1));
+            }
+        }
+        l.refresh(&db, &q);
+        l
+    }
+
+    #[test]
+    fn blind_build_replans_on_first_data_without_hysteresis() {
+        let q = chain();
+        let policy = ReplanPolicy::default();
+        // Sizes that flip the atom order: T tiny opens the chain.
+        let learned = learned_with(&[(sym("ad_R"), 50), (sym("ad_S"), 20), (sym("ad_T"), 1)]);
+        let dec = policy
+            .decide(
+                &q,
+                JoinStrategy::LeftDeep,
+                &Cardinalities::none(),
+                &learned,
+                &DataflowStats::default(),
+                0, // no batches elapsed: hysteresis must not block this
+            )
+            .expect("blind build must replan on first data");
+        assert_eq!(dec.strategy, JoinStrategy::LeftDeep);
+        assert!(dec.reason.contains("all-zero"));
+        assert_eq!(dec.cards.get(sym("ad_T")), 1);
+    }
+
+    #[test]
+    fn identical_orders_do_not_replan() {
+        let q = chain();
+        let policy = ReplanPolicy::default();
+        // Sizes under which the informed order equals the syntactic one.
+        let learned = learned_with(&[(sym("ad_R"), 1), (sym("ad_S"), 2), (sym("ad_T"), 3)]);
+        assert!(policy
+            .decide(
+                &q,
+                JoinStrategy::LeftDeep,
+                &Cardinalities::none(),
+                &learned,
+                &DataflowStats::default(),
+                0,
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn hysteresis_blocks_early_informed_replans() {
+        let q = chain();
+        let policy = ReplanPolicy::default();
+        let mut old = Cardinalities::none();
+        old.set(sym("ad_R"), 1)
+            .set(sym("ad_S"), 2)
+            .set(sym("ad_T"), 3);
+        // Sizes have inverted hard — but the plan was informed, so the
+        // hysteresis clock and the replay-amortization gate both apply.
+        let learned = learned_with(&[(sym("ad_R"), 500), (sym("ad_S"), 20), (sym("ad_T"), 1)]);
+        let w = DataflowStats {
+            updates_in: 200, // well past min_replay_fraction × 521
+            ..DataflowStats::default()
+        };
+        assert!(policy
+            .decide(&q, JoinStrategy::LeftDeep, &old, &learned, &w, 3)
+            .is_none());
+        let dec = policy
+            .decide(&q, JoinStrategy::LeftDeep, &old, &learned, &w, 16)
+            .expect("inverted sizes past hysteresis must reorder");
+        assert_eq!(dec.strategy, JoinStrategy::LeftDeep);
+        assert!(dec.reason.contains("re-deriving"));
+        // A thin window (few updates ingested relative to the base the
+        // replan would replay) blocks the reorder however old the clock:
+        // replay work stays amortized against ingestion volume even on
+        // per-update `apply` streams.
+        let thin = DataflowStats {
+            updates_in: 10,
+            ..DataflowStats::default()
+        };
+        assert!(policy
+            .decide(&q, JoinStrategy::LeftDeep, &old, &learned, &thin, 1_000)
+            .is_none());
+    }
+
+    #[test]
+    fn observed_blowup_switches_left_deep_to_multiway() {
+        let q = chain();
+        let policy = ReplanPolicy::default();
+        let mut old = Cardinalities::none();
+        old.set(sym("ad_R"), 10)
+            .set(sym("ad_S"), 10)
+            .set(sym("ad_T"), 10);
+        let learned = learned_with(&[(sym("ad_R"), 10), (sym("ad_S"), 10), (sym("ad_T"), 10)]);
+        let window = DataflowStats {
+            updates_in: 30,
+            deltas_in: 10,
+            output_delta_tuples: 10,
+            binary_join_tuples: 10_000,
+            ..DataflowStats::default()
+        };
+        let dec = policy
+            .decide(&q, JoinStrategy::LeftDeep, &old, &learned, &window, 64)
+            .expect("blowup must trigger");
+        assert_eq!(dec.strategy, JoinStrategy::Multiway);
+        assert!(dec.reason.contains("blowup"));
+        // The multiway plan sees the same window without tripping: the
+        // trigger is strategy-specific.
+        assert!(policy
+            .decide(&q, JoinStrategy::Multiway, &old, &learned, &window, 64)
+            .is_none());
+    }
+
+    /// A blind build whose informed orders coincide with the blind
+    /// tie-break must not disable the observed triggers: the plan stays
+    /// blind, but a binary blowup still switches it to multiway.
+    #[test]
+    fn blind_plan_with_coinciding_orders_still_hits_blowup_trigger() {
+        let q = chain();
+        let policy = ReplanPolicy::default();
+        // All-equal sizes: atom_order over these equals the blind
+        // tie-break, so the first-data trigger never fires...
+        let learned = learned_with(&[(sym("ad_R"), 10), (sym("ad_S"), 10), (sym("ad_T"), 10)]);
+        let blind = Cardinalities::none();
+        let calm = DataflowStats {
+            updates_in: 30,
+            deltas_in: 10,
+            output_delta_tuples: 10,
+            ..DataflowStats::default()
+        };
+        assert!(policy
+            .decide(&q, JoinStrategy::LeftDeep, &blind, &learned, &calm, 64)
+            .is_none());
+        // ...but the blowup trigger stays live behind it.
+        let blowing = DataflowStats {
+            binary_join_tuples: 10_000,
+            ..calm
+        };
+        let dec = policy
+            .decide(&q, JoinStrategy::LeftDeep, &blind, &learned, &blowing, 64)
+            .expect("blowup must fire even on a blind plan");
+        assert_eq!(dec.strategy, JoinStrategy::Multiway);
+    }
+
+    #[test]
+    fn no_data_never_replans() {
+        let q = chain();
+        let policy = ReplanPolicy::default();
+        assert!(policy
+            .decide(
+                &q,
+                JoinStrategy::LeftDeep,
+                &Cardinalities::none(),
+                &LearnedCardinalities::new(),
+                &DataflowStats::default(),
+                1_000,
+            )
+            .is_none());
+    }
+
+    /// The end-to-end mechanism behind the policy: a blind-built engine
+    /// re-lowered with learned cards converges to the plan a populated
+    /// build would have produced.
+    #[test]
+    fn replan_with_cards_matches_populated_build() {
+        let q = chain();
+        let (rn, sn, tn) = (sym("ad_R"), sym("ad_S"), sym("ad_T"));
+        let mut blind =
+            crate::DataflowEngine::<i64>::new(q.clone(), &Database::new(), lift_one).unwrap();
+        let mut db: Database<i64> = Database::new();
+        for atom in &q.atoms {
+            db.create(atom.name, atom.schema.clone());
+        }
+        let mut learned = LearnedCardinalities::new();
+        let mut batch = Vec::new();
+        for i in 0..40i64 {
+            batch.push(Update::insert(rn, tup![i, i + 1]));
+        }
+        for i in 0..10i64 {
+            batch.push(Update::insert(sn, tup![i + 1, i + 2]));
+        }
+        batch.push(Update::insert(tn, tup![2i64, 3i64]));
+        blind.apply_batch(&batch).unwrap();
+        db.apply_batch(&batch);
+        learned.refresh(&db, &q);
+
+        blind
+            .replan_with_cards(&db, JoinStrategy::LeftDeep, learned.to_cardinalities())
+            .unwrap();
+        let populated = crate::DataflowEngine::<i64>::new_with_strategy(
+            q,
+            &db,
+            lift_one,
+            JoinStrategy::LeftDeep,
+        )
+        .unwrap();
+        assert_eq!(blind.plan(), populated.plan());
+        assert_eq!(blind.resolved_strategy(), JoinStrategy::LeftDeep);
+    }
+}

@@ -59,6 +59,94 @@ impl Cardinalities {
     pub fn get(&self, relation: Sym) -> usize {
         self.sizes.get(&relation).copied().unwrap_or(usize::MAX)
     }
+
+    /// The recorded estimate for `relation`, `None` when never recorded.
+    /// Unlike [`Self::get`] this distinguishes "unknown" from "known
+    /// huge" — the replan policy treats a plan lowered from no statistics
+    /// (or an empty database) as *blind* rather than as infinitely
+    /// expensive.
+    pub fn known(&self, relation: Sym) -> Option<usize> {
+        self.sizes.get(&relation).copied()
+    }
+
+    /// Whether every relation of `q` is unknown or recorded as empty —
+    /// i.e. the orderings derived from these statistics were pure
+    /// tie-breaking, not informed choices. A session built before any
+    /// data arrives (the common streaming pattern) is in exactly this
+    /// state.
+    pub fn is_blind_for(&self, q: &Query) -> bool {
+        q.atoms
+            .iter()
+            .all(|a| self.known(a.name).is_none_or(|n| n == 0))
+    }
+}
+
+/// The size estimate feeding the cost proxies: unknown relations count as
+/// empty (the optimistic reading a blind build actually uses), and every
+/// known size is clamped to ≥ 1 so products stay meaningful.
+fn est(cards: &Cardinalities, rel: Sym) -> f64 {
+    cards.known(rel).unwrap_or(0).max(1) as f64
+}
+
+/// A coarse predicted propagation cost of the left-deep chain `order`
+/// under `cards`: the sum of estimated intermediate sizes along the
+/// chain. Joining an atom that shares variables with the bound prefix is
+/// estimated at `max(prefix, |atom|)` (key-join-like: the result is
+/// bounded by the larger side far more often than by their product);
+/// an atom sharing nothing multiplies (a true Cartesian step).
+///
+/// This is a *ranking* proxy, not a cardinality estimator: it exists so
+/// the replan policy can compare two orders of the same chain under the
+/// same statistics — e.g. the order a blind build picked against the
+/// order [`atom_order`] would pick from learned counts — with a
+/// deterministic, monotone answer.
+pub fn left_deep_cost(q: &Query, order: &[usize], cards: &Cardinalities) -> f64 {
+    let mut cost = 0.0;
+    let mut prefix = 0.0;
+    let mut bound = Schema::empty();
+    for (k, &ai) in order.iter().enumerate() {
+        let atom = &q.atoms[ai];
+        let size = est(cards, atom.name);
+        prefix = if k == 0 {
+            size
+        } else if atom.schema.intersect(&bound).arity() > 0 {
+            prefix.max(size)
+        } else {
+            prefix * size
+        };
+        cost += prefix;
+        bound = bound.union(&atom.schema);
+    }
+    cost
+}
+
+/// A coarse predicted search cost of a multiway variable elimination
+/// along `var_order` under `cards`: the sum over *internal* levels of the
+/// partial-binding frontier estimate, where each variable's fan-out is
+/// the smallest containing relation (the candidate set is an intersection
+/// and the smallest list bounds it). The deepest level is excluded — its
+/// binding count is the join output, which no order changes; what the
+/// order controls is how early small candidate sets prune the frontier.
+///
+/// Same contract as [`left_deep_cost`]: a deterministic ranking proxy for
+/// comparing variable orders, not an estimator of absolute work.
+pub fn multiway_cost(q: &Query, var_order: &Schema, cards: &Cardinalities) -> f64 {
+    let fan_out = |v: Sym| {
+        q.atoms
+            .iter()
+            .filter(|a| a.schema.contains(v))
+            .map(|a| est(cards, a.name))
+            .fold(f64::INFINITY, f64::min)
+    };
+    let vars = var_order.vars();
+    let mut cost = 0.0;
+    let mut frontier = 1.0;
+    for &v in vars.iter().take(vars.len().saturating_sub(1)) {
+        let f = fan_out(v);
+        frontier *= if f.is_finite() { f } else { 1.0 };
+        cost += frontier;
+    }
+    cost
 }
 
 /// The left-deep join order: atom indices into `q.atoms`.

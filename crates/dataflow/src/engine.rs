@@ -23,6 +23,15 @@ pub struct DataflowEngine<R> {
     dataflow: Dataflow<R>,
     lift: Lift<R>,
     strategy: JoinStrategy,
+    /// The concrete plan the strategy resolved to, recorded at lowering
+    /// time. [`Self::resolved_strategy`] reports this field rather than
+    /// recomputing through the planner: after a cardinality-driven
+    /// re-lowering the plan actually running can differ from what
+    /// `planner::resolve_strategy` would derive from the query alone.
+    resolved: JoinStrategy,
+    /// The cardinality snapshot the current plan's orders were derived
+    /// from — what the replan policy compares learned counts against.
+    lowered_cards: Cardinalities,
     /// Counters accumulated by dataflows discarded in re-plans; `stats()`
     /// reports `carried ⊕ current`, so the engine's history survives
     /// strategy switches instead of silently resetting.
@@ -49,6 +58,21 @@ impl<R: Semiring> DataflowEngine<R> {
         strategy: JoinStrategy,
     ) -> Result<Self, EngineError> {
         let cards = Cardinalities::from_db(db, &query);
+        Self::new_with_cards(query, db, lift, strategy, cards)
+    }
+
+    /// [`Self::new_with_strategy`] ordering the plan by an explicit
+    /// cardinality snapshot instead of `db`'s current sizes — the
+    /// adaptive replanning path lowers from *learned* counts here, and
+    /// records the snapshot so a later policy decision can compare the
+    /// orders this plan was actually derived from against fresh ones.
+    pub fn new_with_cards(
+        query: Query,
+        db: &Database<R>,
+        lift: Lift<R>,
+        strategy: JoinStrategy,
+        cards: Cardinalities,
+    ) -> Result<Self, EngineError> {
         let mut dataflow = lower_with(&query, lift, strategy, &cards);
 
         let mut dynamics: FxHashSet<Sym> = FxHashSet::default();
@@ -76,11 +100,14 @@ impl<R: Semiring> DataflowEngine<R> {
         }
         dataflow.apply_batch(&init)?;
 
+        let resolved = crate::planner::resolve_strategy(&query, strategy);
         Ok(DataflowEngine {
             query,
             dataflow,
             lift,
             strategy,
+            resolved,
+            lowered_cards: cards,
             carried_stats: DataflowStats::default(),
             dynamics,
             statics,
@@ -102,9 +129,24 @@ impl<R: Semiring> DataflowEngine<R> {
         db: &Database<R>,
         strategy: JoinStrategy,
     ) -> Result<(), EngineError> {
+        let cards = Cardinalities::from_db(db, &self.query);
+        self.replan_with_cards(db, strategy, cards)
+    }
+
+    /// [`Self::replan_with_strategy`] ordering the fresh plan by an
+    /// explicit cardinality snapshot — the adaptive path re-derives atom
+    /// and variable orders from *learned* counts here, not just from
+    /// whatever `db` happens to hold at replay time (the two coincide for
+    /// an exact mirror, but the caller owns that choice).
+    pub fn replan_with_cards(
+        &mut self,
+        db: &Database<R>,
+        strategy: JoinStrategy,
+        cards: Cardinalities,
+    ) -> Result<(), EngineError> {
         let mut carried = self.carried_stats;
         carried.merge(&self.dataflow.stats());
-        let mut fresh = Self::new_with_strategy(self.query.clone(), db, self.lift, strategy)?;
+        let mut fresh = Self::new_with_cards(self.query.clone(), db, self.lift, strategy, cards)?;
         // The preprocessing replay inflated the fresh dataflow's counters;
         // subtracting its own snapshot would lose it entirely, so instead
         // carry the *old* history and let the fresh dataflow count from
@@ -113,6 +155,8 @@ impl<R: Semiring> DataflowEngine<R> {
         fresh.dataflow.reset_stats();
         self.dataflow = fresh.dataflow;
         self.strategy = strategy;
+        self.resolved = fresh.resolved;
+        self.lowered_cards = fresh.lowered_cards;
         self.carried_stats = carried;
         Ok(())
     }
@@ -123,11 +167,23 @@ impl<R: Semiring> DataflowEngine<R> {
         self.strategy
     }
 
-    /// The concrete plan the current strategy resolved to — never `Auto`:
-    /// what the planner actually lowered (see
-    /// [`crate::planner::resolve_strategy`]).
+    /// The concrete plan the current strategy resolved to — never `Auto`.
+    /// Recorded at lowering time rather than recomputed through
+    /// `planner::resolve_strategy` on every call: after a learned-
+    /// cardinality re-lowering the plan running can legitimately differ
+    /// from what the query's shape alone would resolve to (e.g. a
+    /// blowup-triggered switch to `Multiway` on an α-acyclic query), and
+    /// this must report what was lowered, not what would be.
     pub fn resolved_strategy(&self) -> JoinStrategy {
-        crate::planner::resolve_strategy(&self.query, self.strategy)
+        self.resolved
+    }
+
+    /// The cardinality snapshot the current plan's atom/variable orders
+    /// were derived from (empty for a blind build over an empty
+    /// database). The replan policy compares these against learned
+    /// counts to decide whether a re-lowering pays for itself.
+    pub fn lowered_cards(&self) -> &Cardinalities {
+        &self.lowered_cards
     }
 
     /// Apply an already consolidated batch without re-consolidating — the

@@ -160,6 +160,28 @@ impl DataflowStats {
         self.merge(other);
         self
     }
+
+    /// The counter increments since `earlier`, field-wise and saturating.
+    /// The replan policy judges *windows* of the stream (counters since
+    /// the last replan), not lifetime totals — a plan that blew up early
+    /// and was fixed must not keep tripping the trigger forever.
+    /// Saturating because a sharded fleet's merged snapshot can lag a
+    /// baseline taken mid-settle.
+    pub fn since(&self, earlier: &DataflowStats) -> DataflowStats {
+        DataflowStats {
+            batches: self.batches.saturating_sub(earlier.batches),
+            updates_in: self.updates_in.saturating_sub(earlier.updates_in),
+            deltas_in: self.deltas_in.saturating_sub(earlier.deltas_in),
+            output_delta_tuples: self
+                .output_delta_tuples
+                .saturating_sub(earlier.output_delta_tuples),
+            binary_join_tuples: self
+                .binary_join_tuples
+                .saturating_sub(earlier.binary_join_tuples),
+            multiway_seeds: self.multiway_seeds.saturating_sub(earlier.multiway_seeds),
+            multiway_probes: self.multiway_probes.saturating_sub(earlier.multiway_probes),
+        }
+    }
 }
 
 /// A runnable delta-dataflow: operator DAG + materialized output view.

@@ -23,7 +23,14 @@
 //!   [`ivm_ring::Semiring`], driven by [`Dataflow::apply_batch`];
 //! * [`cost`] — deterministic cost-based orderings: the left-deep atom
 //!   order and the multiway variable-elimination order, both derived
-//!   from relation cardinalities with stable tie-breaking;
+//!   from relation cardinalities with stable tie-breaking, plus the
+//!   coarse plan-cost proxies the replan policy ranks orders with;
+//! * [`adapt`] — adaptive replanning: [`LearnedCardinalities`] (live
+//!   per-relation counts from the stream) and [`ReplanPolicy`] (when a
+//!   re-lowering through
+//!   [`DataflowEngine::replan_with_cards`](engine::DataflowEngine::replan_with_cards)
+//!   pays for itself: first-data, observed binary blowup, or a predicted
+//!   cost ratio — all with hysteresis);
 //! * [`planner::lower`] + [`DataflowEngine`] — splits on the hypergraph
 //!   (GYO check shared with `ivm_query::acyclic`): α-acyclic queries get
 //!   the left-deep `DeltaJoin` chain, cyclic queries get one
@@ -62,6 +69,7 @@
 //! assert_eq!(eng.output_relation().get(&Tuple::empty()), 3);
 //! ```
 
+pub mod adapt;
 pub mod batch;
 pub mod cost;
 pub mod engine;
@@ -69,6 +77,7 @@ pub mod graph;
 pub mod multiway;
 pub mod planner;
 
+pub use adapt::{LearnedCardinalities, ReplanDecision, ReplanPolicy};
 pub use batch::DeltaBatch;
 pub use cost::Cardinalities;
 pub use engine::DataflowEngine;

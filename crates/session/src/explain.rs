@@ -76,6 +76,31 @@ pub fn cost_profile(class: QueryClass, engine: EngineKind) -> CostProfile {
     }
 }
 
+/// One recorded adaptive re-lowering of a session's plan.
+#[derive(Clone, Debug)]
+pub struct ReplanEvent {
+    /// The session-wide ingestion index (1-based count of accepted
+    /// `apply`/`apply_batch`/`enqueue_batch` calls — single updates count
+    /// as one-update batches) after which the replan happened.
+    pub batch_index: u64,
+    /// The engine/plan before the replan.
+    pub from: String,
+    /// The engine/plan after the replan.
+    pub to: String,
+    /// The policy trigger, verbatim.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ReplanEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "batch {}: {} -> {} ({})",
+            self.batch_index, self.from, self.to, self.reason
+        )
+    }
+}
+
 /// The report [`crate::Session::explain`] returns: everything the
 /// selection decided and why, so "choosing nothing" stays auditable.
 #[derive(Clone, Debug)]
@@ -84,18 +109,29 @@ pub struct Explain {
     pub query: String,
     /// The raw analysis flags.
     pub classification: Classification,
-    /// The engine the session stood up.
+    /// The engine the session stood up — kept current across adaptive
+    /// replans (a blowup-triggered switch updates this and
+    /// [`Explain::cost`]).
     pub engine: EngineKind,
     /// Shard count (1 unless a fleet was requested; the shard planner may
     /// clamp a degenerate plan back to 1).
     pub shards: usize,
     /// Why the dichotomy picked this engine.
     pub reason: String,
-    /// Predicted costs on the paper's three axes.
+    /// Predicted costs on the paper's three axes, refreshed after every
+    /// adaptive replan.
     pub cost: CostProfile,
     /// Set when the preferred specialized engine failed to build and the
     /// session fell back to the generic dataflow engine.
     pub fallback: Option<String>,
+    /// Adaptive-replanning status: `None` when no policy was requested,
+    /// otherwise one line saying whether the policy is armed (dataflow/
+    /// sharded backends) or inert (the specialized engines' per-class
+    /// guarantees leave nothing to replan).
+    pub adaptive: Option<String>,
+    /// Every adaptive re-lowering this session performed, in stream
+    /// order: batch index, old/new plan, and the policy trigger.
+    pub replans: Vec<ReplanEvent>,
 }
 
 impl Explain {
@@ -137,6 +173,12 @@ impl std::fmt::Display for Explain {
         writeln!(f, "why:      {}", self.reason)?;
         if let Some(fb) = &self.fallback {
             writeln!(f, "fallback: {fb}")?;
+        }
+        if let Some(ad) = &self.adaptive {
+            writeln!(f, "adaptive: {ad}")?;
+        }
+        for ev in &self.replans {
+            writeln!(f, "replan:   {ev}")?;
         }
         writeln!(f, "predicted: preprocessing {}", self.cost.preprocessing)?;
         writeln!(f, "           update        {}", self.cost.update)?;

@@ -48,6 +48,7 @@ pub mod select;
 pub mod session;
 
 pub use classify::{classify, Classification, QueryClass};
-pub use explain::{cost_profile, CostProfile, Explain};
+pub use explain::{cost_profile, CostProfile, Explain, ReplanEvent};
+pub use ivm_dataflow::{LearnedCardinalities, ReplanPolicy};
 pub use select::{select, EngineKind, Selection};
 pub use session::{Session, SessionBuilder};

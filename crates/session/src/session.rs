@@ -1,7 +1,7 @@
 //! The uniform [`Session`] handle and its builder.
 
 use crate::classify::classify;
-use crate::explain::{cost_profile, Explain};
+use crate::explain::{cost_profile, Explain, ReplanEvent};
 use crate::select::{select, EngineKind, Selection};
 use ivm_core::cqap::CqapEngine;
 use ivm_core::{
@@ -9,7 +9,9 @@ use ivm_core::{
 };
 use ivm_data::ops::{lift_one, Lift};
 use ivm_data::{Database, FxHashSet, Relation, Sym, Tuple, Update};
-use ivm_dataflow::{DataflowEngine, DataflowStats, JoinStrategy};
+use ivm_dataflow::{
+    DataflowEngine, DataflowStats, JoinStrategy, LearnedCardinalities, ReplanDecision, ReplanPolicy,
+};
 use ivm_query::Query;
 use ivm_ring::Semiring;
 use ivm_shard::{ShardedEngine, ShardedStats};
@@ -33,6 +35,7 @@ pub struct SessionBuilder<R: Semiring> {
     lift: Lift<R>,
     shards: Option<usize>,
     forced: Option<EngineKind>,
+    adaptive: Option<ReplanPolicy>,
 }
 
 impl<R: Semiring> SessionBuilder<R> {
@@ -43,6 +46,7 @@ impl<R: Semiring> SessionBuilder<R> {
             lift: lift_one,
             shards: None,
             forced: None,
+            adaptive: None,
         }
     }
 
@@ -68,6 +72,28 @@ impl<R: Semiring> SessionBuilder<R> {
     /// Use a custom payload lifting instead of `lift_one`.
     pub fn lift(mut self, lift: Lift<R>) -> Self {
         self.lift = lift;
+        self
+    }
+
+    /// Arm adaptive replanning under `policy`.
+    ///
+    /// The session then mirrors the base state it feeds the engine,
+    /// learns live relation cardinalities from every applied batch, and —
+    /// when the policy decides a re-lowering pays for itself (first data
+    /// after an empty-database build, observed binary-join blowup, or a
+    /// predicted cost ratio from the learned counts; all with hysteresis)
+    /// — re-derives the plan's atom/variable orders via
+    /// `DataflowEngine::replan_with_cards`, broadcast fleet-wide for
+    /// sharded sessions. Every replan is recorded in
+    /// [`Explain::replans`], and [`Explain::engine`]/[`Explain::cost`]
+    /// track the plan actually running.
+    ///
+    /// Only the generic dataflow and sharded backends can replan; for a
+    /// specialized engine (whose per-class guarantees leave nothing to
+    /// re-derive) the policy is recorded as inert in `explain()` and the
+    /// session behaves as if it were absent — no mirror is kept.
+    pub fn adaptive(mut self, policy: ReplanPolicy) -> Self {
+        self.adaptive = Some(policy);
         self
     }
 
@@ -141,6 +167,35 @@ impl<R: Semiring> SessionBuilder<R> {
                 selection.kind, selection.reason
             ),
         };
+        // Arm adaptive replanning only where a re-lowering exists to
+        // trigger; the mirror is only paid for when it can be used.
+        let (adaptive_note, adaptive) = match self.adaptive {
+            None => (None, None),
+            Some(policy) => {
+                if matches!(backend, Backend::Dataflow(_) | Backend::Sharded(_)) {
+                    (
+                        Some(format!("armed ({policy:?}); replans are recorded below")),
+                        Some(AdaptiveState {
+                            policy,
+                            learned: LearnedCardinalities::new(),
+                            mirror: mirror_db(&self.query, db),
+                            query: self.query.clone(),
+                            batch_index: 0,
+                            batches_since_replan: 0,
+                            window_base: DataflowStats::default(),
+                        }),
+                    )
+                } else {
+                    (
+                        Some(format!(
+                            "requested but inert: {engine} carries its class's \
+                             static guarantees, so there is no plan to re-derive"
+                        )),
+                        None,
+                    )
+                }
+            }
+        };
         let explain = Explain {
             query: format!("{:?}", self.query),
             classification: cls.clone(),
@@ -149,8 +204,14 @@ impl<R: Semiring> SessionBuilder<R> {
             reason,
             cost: cost_profile(cls.class, engine),
             fallback,
+            adaptive: adaptive_note,
+            replans: Vec::new(),
         };
-        Ok(Session { backend, explain })
+        Ok(Session {
+            backend,
+            explain,
+            adaptive,
+        })
     }
 
     fn build_backend(
@@ -223,6 +284,48 @@ impl EngineKind {
     }
 }
 
+/// The bookkeeping behind an armed [`SessionBuilder::adaptive`] request.
+///
+/// The session owns the ground truth the engine deliberately does not
+/// materialize: a mirror of the base relations, applied in lockstep with
+/// every accepted batch. Live sizes are snapshotted from the mirror into
+/// [`LearnedCardinalities`] (O(#atoms) per batch — relation sizes are
+/// O(1) reads), and the mirror doubles as the replay source when a replan
+/// fires.
+struct AdaptiveState<R: Semiring> {
+    policy: ReplanPolicy,
+    learned: LearnedCardinalities,
+    mirror: Database<R>,
+    query: Query,
+    /// Accepted ingestion calls since the session was built — single
+    /// updates count as one-update batches (the index recorded in replan
+    /// events).
+    batch_index: u64,
+    /// Hysteresis clock: ingestion calls since the last replan (or
+    /// build). The policy's replay-amortization gate keeps per-update
+    /// streams from replaying the base every `min_batches_between` calls.
+    batches_since_replan: u64,
+    /// Engine counters at the last replan — the policy judges the window
+    /// since, not lifetime totals.
+    window_base: DataflowStats,
+}
+
+/// Mirror every distinct atom relation of `query` out of `db` (statics
+/// included — a replan replays them too), creating missing ones empty.
+fn mirror_db<R: Semiring>(query: &Query, db: &Database<R>) -> Database<R> {
+    let mut mirror = Database::new();
+    let mut seen: FxHashSet<Sym> = FxHashSet::default();
+    for atom in &query.atoms {
+        if seen.insert(atom.name) {
+            match db.get(atom.name) {
+                Some(rel) => mirror.add(atom.name, rel.clone()),
+                None => mirror.create(atom.name, atom.schema.clone()),
+            }
+        }
+    }
+    mirror
+}
+
 /// The engine a session stood up, behind one set of method surfaces.
 enum Backend<R: Semiring> {
     EagerFact(EagerFactEngine<R>),
@@ -291,6 +394,7 @@ impl<R: Semiring> Backend<R> {
 pub struct Session<R: Semiring> {
     backend: Backend<R>,
     explain: Explain,
+    adaptive: Option<AdaptiveState<R>>,
 }
 
 impl<R: Semiring> Session<R> {
@@ -341,9 +445,10 @@ impl<R: Semiring> Session<R> {
     /// engine-agnostic.
     pub fn enqueue_batch(&mut self, batch: &[Update<R>]) -> Result<(), EngineError> {
         match &mut self.backend {
-            Backend::Sharded(e) => e.enqueue_batch(batch).map(|_| ()),
-            other => other.maintainer().apply_batch(batch).map(|_| ()),
+            Backend::Sharded(e) => e.enqueue_batch(batch).map(|_| ())?,
+            other => other.maintainer().apply_batch(batch).map(|_| ())?,
         }
+        self.after_ingest(batch)
     }
 
     /// Settle all enqueued batches into the maintained view. A no-op for
@@ -397,6 +502,82 @@ impl<R: Semiring> Session<R> {
             _ => None,
         }
     }
+
+    /// Adaptive bookkeeping after a batch the backend *accepted*: apply
+    /// it to the mirror, refresh the learned cardinalities, and consult
+    /// the policy — re-lowering the plan (and recording the event in
+    /// `explain()`) when it fires. A no-op without an armed policy.
+    fn after_ingest(&mut self, batch: &[Update<R>]) -> Result<(), EngineError> {
+        let Some(st) = self.adaptive.as_mut() else {
+            return Ok(());
+        };
+        // The backend validated the batch before applying it, so every
+        // update targets a known dynamic relation the mirror holds.
+        st.mirror.apply_batch(batch);
+        st.learned.refresh(&st.mirror, &st.query);
+        st.batch_index += 1;
+        st.batches_since_replan += 1;
+
+        let (resolved, lowered, stats) = match &self.backend {
+            Backend::Dataflow(e) => (e.resolved_strategy(), e.lowered_cards().clone(), e.stats()),
+            Backend::Sharded(e) => (e.resolved_strategy(), e.lowered_cards().clone(), e.stats()),
+            // Adaptive state is only armed for the two backends above.
+            _ => return Ok(()),
+        };
+        let window = stats.since(&st.window_base);
+        let Some(decision) = st.policy.decide(
+            &st.query,
+            resolved,
+            &lowered,
+            &st.learned,
+            &window,
+            st.batches_since_replan,
+        ) else {
+            return Ok(());
+        };
+        let ReplanDecision {
+            strategy,
+            cards,
+            reason,
+        } = decision;
+
+        let from = plan_label(&self.backend);
+        match &mut self.backend {
+            Backend::Dataflow(e) => e.replan_with_cards(&st.mirror, strategy, cards)?,
+            Backend::Sharded(e) => e.replan_with_cards(&st.mirror, strategy, &cards)?,
+            _ => unreachable!("adaptive state armed for a specialized engine"),
+        }
+        let kind = self.backend.kind();
+        self.explain.replans.push(ReplanEvent {
+            batch_index: st.batch_index,
+            from,
+            to: plan_label(&self.backend),
+            reason,
+        });
+        // Keep the report describing the plan actually running.
+        self.explain.engine = kind;
+        self.explain.cost = cost_profile(self.explain.classification.class, kind);
+        st.batches_since_replan = 0;
+        st.window_base = match &self.backend {
+            Backend::Dataflow(e) => e.stats(),
+            Backend::Sharded(e) => e.stats(),
+            _ => DataflowStats::default(),
+        };
+        Ok(())
+    }
+}
+
+/// A short human-readable label of the plan a backend runs, for replan
+/// events (the engine kind, plus the per-shard strategy for fleets).
+fn plan_label<R: Semiring>(backend: &Backend<R>) -> String {
+    match backend {
+        Backend::Sharded(e) => format!(
+            "sharded fleet x{} ({:?} per shard)",
+            e.shards(),
+            e.resolved_strategy()
+        ),
+        other => other.kind().to_string(),
+    }
 }
 
 impl<R: Semiring> Maintainer<R> for Session<R> {
@@ -405,13 +586,17 @@ impl<R: Semiring> Maintainer<R> for Session<R> {
     }
 
     fn apply(&mut self, upd: &Update<R>) -> Result<(), EngineError> {
-        self.backend.maintainer().apply(upd)
+        self.backend.maintainer().apply(upd)?;
+        self.after_ingest(std::slice::from_ref(upd))
     }
 
     /// Delegates to the backend's native batch path — the session never
-    /// re-implements ingestion, it only routes to the one trait surface.
+    /// re-implements ingestion, it only routes to the one trait surface
+    /// (plus the adaptive bookkeeping when a policy is armed).
     fn apply_batch(&mut self, batch: &[Update<R>]) -> Result<Relation<R>, EngineError> {
-        self.backend.maintainer().apply_batch(batch)
+        let delta = self.backend.maintainer().apply_batch(batch)?;
+        self.after_ingest(batch)?;
+        Ok(delta)
     }
 
     fn for_each_output(&mut self, f: &mut dyn FnMut(&Tuple, &R)) {
@@ -541,6 +726,200 @@ mod tests {
             .build(&Database::new())
             .unwrap();
         assert_eq!(s.explain().shards, 3);
+    }
+
+    /// Q(a,d) = R(a,b)·S(b,c)·T(c,d): acyclic but not hierarchical, so
+    /// auto-selection lands on the (order-sensitive) left-deep dataflow.
+    fn chain3() -> Query {
+        let [a, b, c, d] = ivm_data::vars(["sch_A", "sch_B", "sch_C", "sch_D"]);
+        Query::new(
+            "sch_chain",
+            [a, d],
+            vec![
+                ivm_query::Atom::new(sym("sch_R"), [a, b]),
+                ivm_query::Atom::new(sym("sch_S"), [b, c]),
+                ivm_query::Atom::new(sym("sch_T"), [c, d]),
+            ],
+        )
+    }
+
+    /// The empty-database-build bug, fixed by the adaptive trigger: a
+    /// session built before any data arrives cost-orders its joins from
+    /// all-zero counts; with a policy armed it must re-derive the plan on
+    /// the first non-empty batch and converge to exactly the plan a
+    /// populated build would have produced.
+    #[test]
+    fn adaptive_empty_build_converges_to_populated_build_plan() {
+        let q = chain3();
+        let (rn, sn, tn) = (sym("sch_R"), sym("sch_S"), sym("sch_T"));
+        let mut s = Session::<i64>::builder(q.clone())
+            .adaptive(ReplanPolicy::default())
+            .build(&Database::new())
+            .unwrap();
+        assert_eq!(s.engine_kind(), EngineKind::DataflowLeftDeep);
+        assert!(s.explain().adaptive.as_deref().unwrap().contains("armed"));
+        let blind_plan = s.describe();
+
+        // Skewed first batch: T is tiny, R is big — the informed atom
+        // order must open with T, not with the syntactic tie-break.
+        let mut batch: Vec<Update<i64>> = Vec::new();
+        let mut db: Database<i64> = Database::new();
+        for atom in &q.atoms {
+            db.create(atom.name, atom.schema.clone());
+        }
+        for i in 0..40i64 {
+            batch.push(Update::insert(rn, tup![i, i + 1]));
+        }
+        for i in 0..10i64 {
+            batch.push(Update::insert(sn, tup![i + 1, i + 2]));
+        }
+        batch.push(Update::insert(tn, tup![2i64, 3i64]));
+        s.apply_batch(&batch).unwrap();
+        db.apply_batch(&batch);
+
+        assert_eq!(s.explain().replans.len(), 1, "{}", s.explain());
+        assert_eq!(s.explain().replans[0].batch_index, 1);
+        assert_ne!(s.describe(), blind_plan);
+        let populated = Session::<i64>::builder(q).build(&db).unwrap();
+        assert_eq!(
+            s.describe(),
+            populated.describe(),
+            "empty-build + first batch must converge to the populated plan"
+        );
+        // And the replanned session still maintains correctly.
+        s.apply_batch(&[Update::insert(tn, tup![3i64, 4i64])])
+            .unwrap();
+        let mut total = 0i64;
+        s.for_each_output(&mut |_, p| total += p);
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn adaptive_is_inert_for_specialized_engines() {
+        let q = examples::fig3_query();
+        let (rn, sn) = (sym("f3_R"), sym("f3_S"));
+        let mut s = Session::<i64>::builder(q)
+            .adaptive(ReplanPolicy::default())
+            .build(&Database::new())
+            .unwrap();
+        assert_eq!(s.engine_kind(), EngineKind::EagerFact);
+        assert!(s.explain().adaptive.as_deref().unwrap().contains("inert"));
+        for i in 0..32i64 {
+            s.apply_batch(&[
+                Update::insert(rn, tup![i, 10i64]),
+                Update::insert(sn, tup![i, 20i64]),
+            ])
+            .unwrap();
+        }
+        assert!(s.explain().replans.is_empty());
+    }
+
+    /// An observed binary-join blowup must switch a forced left-deep plan
+    /// to the worst-case-optimal multiway plan mid-stream, and the
+    /// explain report must track the engine actually running.
+    #[test]
+    fn adaptive_blowup_switches_left_deep_to_multiway() {
+        let [a, b, c] = ivm_data::vars(["sbl_A", "sbl_B", "sbl_C"]);
+        let (rn, sn, tn) = (sym("sbl_R"), sym("sbl_S"), sym("sbl_T"));
+        let q = Query::new(
+            "sbl_tri",
+            [],
+            vec![
+                ivm_query::Atom::new(rn, [a, b]),
+                ivm_query::Atom::new(sn, [b, c]),
+                ivm_query::Atom::new(tn, [c, a]),
+            ],
+        );
+        let mut s = Session::<i64>::builder(q)
+            .engine(EngineKind::DataflowLeftDeep)
+            .adaptive(ReplanPolicy {
+                min_batches_between: 2,
+                min_replay_fraction: 0.1,
+                min_cost_ratio: 1.5,
+                blowup_factor: 2.0,
+            })
+            .build(&Database::new())
+            .unwrap();
+        assert_eq!(s.engine_kind(), EngineKind::DataflowLeftDeep);
+        // A dense hub: every delta edge matches many partners, so the
+        // left-deep chain materializes far more binary intermediates than
+        // it emits output deltas.
+        for round in 0..12i64 {
+            let batch: Vec<Update<i64>> = (0..16i64)
+                .flat_map(|i| {
+                    let v = round * 16 + i;
+                    [
+                        Update::insert(rn, tup![0i64, v]),
+                        Update::insert(sn, tup![v, 0i64]),
+                        Update::insert(tn, tup![0i64, 0i64]),
+                    ]
+                })
+                .collect();
+            s.apply_batch(&batch).unwrap();
+        }
+        assert_eq!(
+            s.engine_kind(),
+            EngineKind::DataflowMultiway,
+            "{}",
+            s.explain()
+        );
+        assert!(s
+            .explain()
+            .replans
+            .iter()
+            .any(|ev| ev.reason.contains("blowup")));
+        // The cost profile was refreshed along with the engine.
+        assert!(s.explain().cost.update.contains("worst-case-optimal"));
+    }
+
+    /// A sharded adaptive session broadcasts the replan to every worker
+    /// and keeps agreeing with the single-threaded oracle afterwards.
+    #[test]
+    fn adaptive_sharded_replans_and_stays_correct() {
+        let [x, y, z] = ivm_data::vars(["sad_X", "sad_Y", "sad_Z"]);
+        let (rn, sn) = (sym("sad_R"), sym("sad_S"));
+        let q = Query::new(
+            "sad_star",
+            [x, y, z],
+            vec![
+                ivm_query::Atom::new(rn, [x, y]),
+                ivm_query::Atom::new(sn, [x, z]),
+            ],
+        );
+        let mut s = Session::<i64>::builder(q.clone())
+            .shards(2)
+            .adaptive(ReplanPolicy::default())
+            .build(&Database::new())
+            .unwrap();
+        assert_eq!(s.engine_kind(), EngineKind::Sharded);
+        let mut db: Database<i64> = Database::new();
+        db.create(rn, q.atoms[0].schema.clone());
+        db.create(sn, q.atoms[1].schema.clone());
+        // Skewed stream: R grows 30× faster than S, so the first batch
+        // already flips the blind order.
+        for i in 0..6i64 {
+            let mut batch: Vec<Update<i64>> = (0..30)
+                .map(|j| Update::insert(rn, tup![(i * 30 + j) % 7, i * 30 + j]))
+                .collect();
+            batch.push(Update::insert(sn, tup![i % 7, i]));
+            s.apply_batch(&batch).unwrap();
+            db.apply_batch(&batch);
+        }
+        assert!(
+            !s.explain().replans.is_empty(),
+            "sharded blind build must replan: {}",
+            s.explain()
+        );
+        let expect = ivm_data::ops::eval_join_aggregate(
+            &[db.relation(rn), db.relation(sn)],
+            &q.free,
+            ivm_data::ops::lift_one,
+        );
+        let got = s.output();
+        assert_eq!(got.len(), expect.len());
+        for (t, p) in expect.iter() {
+            assert_eq!(&got.get(t), p, "at {t:?}");
+        }
     }
 
     #[test]

@@ -28,7 +28,9 @@ use crate::worker::{self, Job, Report, WorkerHandle};
 use ivm_core::{EngineError, Maintainer};
 use ivm_data::ops::Lift;
 use ivm_data::{Database, FxHashMap, FxHashSet, Relation, Schema, Sym, Tuple, Update};
-use ivm_dataflow::{Cardinalities, DataflowEngine, DataflowStats, DeltaBatch, JoinStrategy};
+use ivm_dataflow::{
+    resolve_strategy, Cardinalities, DataflowEngine, DataflowStats, DeltaBatch, JoinStrategy,
+};
 use ivm_query::Query;
 use ivm_ring::Semiring;
 use std::sync::mpsc::Receiver;
@@ -56,6 +58,12 @@ pub struct ShardedEngine<R: Semiring> {
     output: Relation<R>,
     dynamics: FxHashSet<Sym>,
     statics: FxHashSet<Sym>,
+    /// The concrete per-shard join plan in force, recorded at (re)lowering
+    /// time — mirrors `DataflowEngine::resolved_strategy` for the fleet.
+    resolved: JoinStrategy,
+    /// The cardinality snapshot the current fleet plan was ordered by
+    /// (global counts; replans broadcast one snapshot to every shard).
+    lowered_cards: Cardinalities,
     /// Set once a shard reports a failure (engine error or worker panic):
     /// the fleet's state is no longer trustworthy, so every subsequent
     /// operation fails fast with this error instead of hanging on reports
@@ -126,6 +134,7 @@ impl<R: Semiring> ShardedEngine<R> {
         }
         statics.retain(|s| !dynamics.contains(s));
 
+        let resolved = resolve_strategy(&query, strategy);
         Ok(ShardedEngine {
             query,
             router,
@@ -139,6 +148,8 @@ impl<R: Semiring> ShardedEngine<R> {
             output,
             dynamics,
             statics,
+            resolved,
+            lowered_cards: cards,
             poisoned: None,
         })
     }
@@ -156,6 +167,70 @@ impl<R: Semiring> ShardedEngine<R> {
     /// One line describing the fleet: shard count + routing plan.
     pub fn describe(&self) -> String {
         format!("{} shard(s); {}", self.shards(), self.plan().describe())
+    }
+
+    /// The concrete per-shard join plan in force — recorded when the
+    /// fleet was (re)lowered, never `Auto`.
+    pub fn resolved_strategy(&self) -> JoinStrategy {
+        self.resolved
+    }
+
+    /// The cardinality snapshot the current fleet plan was ordered by.
+    pub fn lowered_cards(&self) -> &Cardinalities {
+        &self.lowered_cards
+    }
+
+    /// Re-lower **every** shard's dataflow onto `strategy` with orders
+    /// derived from `cards` (learned counts), replaying `db` — the
+    /// current base state the caller owns — through the unchanged router.
+    ///
+    /// The replan is broadcast through the worker queues, so FIFO puts it
+    /// exactly *between* batches on every shard: everything enqueued
+    /// before it completes first (and settles into the view along the
+    /// way), everything enqueued after runs on the fresh plan. All shards
+    /// receive the same strategy and the same global cardinalities, so
+    /// the fleet re-lowers consistently even where per-shard slice sizes
+    /// would order differently. Carried counters survive exactly as in
+    /// `DataflowEngine::replan_with_cards`; only the shard *routing* plan
+    /// is fixed at construction and deliberately not revisited (re-keying
+    /// would reshuffle every index across the fleet).
+    ///
+    /// Blocks until every shard has re-lowered; a shard failure poisons
+    /// the engine per the usual contract.
+    pub fn replan_with_cards(
+        &mut self,
+        db: &Database<R>,
+        strategy: JoinStrategy,
+        cards: &Cardinalities,
+    ) -> Result<(), EngineError> {
+        self.check_poisoned()?;
+        let shard_dbs = split_database(db, &self.query, &self.router);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let shards = self.workers.len();
+        for (shard, shard_db) in shard_dbs.into_iter().enumerate() {
+            self.workers[shard].send(Job::Replan {
+                seq,
+                strategy,
+                cards: cards.clone(),
+                db: shard_db,
+            })?;
+        }
+        self.last_empty = None;
+        self.in_flight.insert(
+            seq,
+            Pending {
+                remaining: shards,
+                delta: Relation::new(self.query.free.clone()),
+            },
+        );
+        // The replan deltas are empty by construction; waiting here both
+        // settles earlier in-flight batches and absorbs the refreshed
+        // per-shard stats snapshots.
+        self.wait_for(seq)?;
+        self.resolved = resolve_strategy(&self.query, strategy);
+        self.lowered_cards = cards.clone();
+        Ok(())
     }
 
     /// Route `batch` and enqueue it on the shard queues **without waiting
@@ -646,6 +721,73 @@ mod tests {
             EngineError::UnknownRelation(sym("she_rogue"))
         );
         assert!(eng.drain().is_err());
+    }
+
+    #[test]
+    fn fleet_replan_preserves_state_and_carried_stats() {
+        let q = star2();
+        let (rn, sn) = (q.atoms[0].name, q.atoms[1].name);
+        let mut db: Database<i64> = Database::new();
+        db.create(rn, q.atoms[0].schema.clone());
+        db.create(sn, q.atoms[1].schema.clone());
+        let mut eng = ShardedEngine::<i64>::new(q.clone(), &db, lift_one, 3).unwrap();
+        assert_eq!(eng.resolved_strategy(), JoinStrategy::LeftDeep);
+        for i in 0..24i64 {
+            let batch = vec![
+                Update::insert(rn, tup![i % 5, i]),
+                Update::insert(sn, tup![i % 5, i + 100]),
+            ];
+            eng.apply_batch(&batch).unwrap();
+            db.apply_batch(&batch);
+        }
+        let before = eng.stats();
+        let view_before: Vec<_> = {
+            let mut v: Vec<_> = eng
+                .output_relation()
+                .iter()
+                .map(|(t, p)| (t.clone(), *p))
+                .collect();
+            v.sort();
+            v
+        };
+
+        // Broadcast a consistent re-lowering from learned-style cards.
+        let mut cards = Cardinalities::none();
+        cards.set(rn, db.relation(rn).len()).set(sn, 1);
+        eng.replan_with_cards(&db, JoinStrategy::Multiway, &cards)
+            .unwrap();
+        assert_eq!(eng.resolved_strategy(), JoinStrategy::Multiway);
+        assert_eq!(eng.lowered_cards().get(sn), 1);
+
+        // State reproduced, history carried (monotone counters).
+        let mut view_after: Vec<_> = eng
+            .output_relation()
+            .iter()
+            .map(|(t, p)| (t.clone(), *p))
+            .collect();
+        view_after.sort();
+        assert_eq!(view_before, view_after);
+        let after = eng.stats();
+        assert!(after.batches >= before.batches);
+        assert_eq!(after.updates_in, before.updates_in);
+
+        // And the fresh plan keeps maintaining correctly on top.
+        let batch = vec![
+            Update::insert(rn, tup![2i64, 999i64]),
+            Update::delete(sn, tup![2i64, 102i64]),
+        ];
+        eng.apply_batch(&batch).unwrap();
+        db.apply_batch(&batch);
+        let expect = {
+            let per_atom = [db.relation(rn), db.relation(sn)];
+            eval_join_aggregate(&per_atom, &q.free, lift_one)
+        };
+        let got = eng.output_relation();
+        assert_eq!(got.len(), expect.len());
+        for (t, p) in expect.iter() {
+            assert_eq!(&got.get(t), p, "at {t:?}");
+        }
+        assert!(eng.stats().updates_in > after.updates_in);
     }
 
     #[test]

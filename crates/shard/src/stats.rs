@@ -92,4 +92,16 @@ mod tests {
         assert_eq!(s.balance(), 1.0);
         assert_eq!(s.merged(), DataflowStats::default());
     }
+
+    /// An unstarted stream — workers spawned but no batch settled yet —
+    /// has non-empty but all-zero busy times; `balance()` must not
+    /// divide by the zero `max_busy` (a NaN here used to be able to leak
+    /// into `BENCH_shard.json` rows).
+    #[test]
+    fn unstarted_fleet_balance_is_finite() {
+        let s = stats_with_busy(&[0, 0, 0, 0]);
+        assert_eq!(s.max_busy(), Duration::ZERO);
+        assert_eq!(s.balance(), 1.0);
+        assert!(s.balance().is_finite());
+    }
 }

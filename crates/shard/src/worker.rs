@@ -10,8 +10,8 @@
 //! against result delivery.
 
 use ivm_core::EngineError;
-use ivm_data::Relation;
-use ivm_dataflow::{DataflowEngine, DataflowStats, DeltaBatch};
+use ivm_data::{Database, Relation};
+use ivm_dataflow::{Cardinalities, DataflowEngine, DataflowStats, DeltaBatch, JoinStrategy};
 use ivm_ring::Semiring;
 use std::panic::AssertUnwindSafe;
 use std::sync::mpsc::{Receiver, Sender, SyncSender};
@@ -32,6 +32,25 @@ pub(crate) enum Job<R> {
         /// This shard's routed slice of the batch, already consolidated
         /// by the router (applied without re-consolidation).
         delta: DeltaBatch<R>,
+    },
+    /// Re-lower this shard's plan from learned cardinalities, replaying
+    /// the carried database slice. Broadcast to every shard with the
+    /// *same* strategy and cards, so the fleet re-lowers consistently;
+    /// because the queue is FIFO, the replan lands exactly between
+    /// batches — after everything enqueued before it, before everything
+    /// after. Reported like a batch (with an empty delta), so the facade
+    /// can await fleet-wide completion and absorb the refreshed stats.
+    Replan {
+        /// Sequence number, shared by the whole broadcast.
+        seq: u64,
+        /// The join strategy to lower (typically concrete, from the
+        /// replan policy).
+        strategy: JoinStrategy,
+        /// Learned cardinalities to derive the fresh orders from —
+        /// global counts, identical on every shard.
+        cards: Cardinalities,
+        /// This shard's slice of the current base state, to replay.
+        db: Database<R>,
     },
 }
 
@@ -147,13 +166,38 @@ pub(crate) fn spawn<R: Semiring>(
         .name(format!("ivm-shard-{shard}"))
         .spawn(move || {
             let mut busy = Duration::ZERO;
-            while let Ok(Job::Batch { seq, delta }) = jobs_rx.recv() {
+            while let Ok(job) = jobs_rx.recv() {
                 // Catch panics so one poisoned shard reports a failure
                 // instead of silently leaving the batch in flight forever
                 // (its queue sender would stay alive via the siblings).
-                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                    timed(|| engine.apply_delta_batch(&delta))
-                }));
+                let (seq, outcome) = match job {
+                    Job::Batch { seq, delta } => (
+                        seq,
+                        std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            timed(|| engine.apply_delta_batch(&delta))
+                        })),
+                    ),
+                    Job::Replan {
+                        seq,
+                        strategy,
+                        cards,
+                        db,
+                    } => {
+                        // A replan "delta" is empty by construction: the
+                        // replay reproduces the shard's exact state.
+                        let free = engine.output_relation().schema().clone();
+                        (
+                            seq,
+                            std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                timed(|| {
+                                    engine
+                                        .replan_with_cards(&db, strategy, cards)
+                                        .map(|()| Relation::new(free))
+                                })
+                            })),
+                        )
+                    }
+                };
                 let (delta, spent, dead) = match outcome {
                     Ok((delta, spent)) => (delta, spent, false),
                     Err(_) => (

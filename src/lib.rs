@@ -43,5 +43,7 @@ pub use ivm_data::{Batch, Database, Relation, Tuple, Update, Value};
 pub use ivm_dataflow::{DataflowEngine, DeltaBatch};
 pub use ivm_query::{Atom, Query};
 pub use ivm_ring::{Ring, Semiring};
-pub use ivm_session::{EngineKind, Explain, QueryClass, Session, SessionBuilder};
+pub use ivm_session::{
+    EngineKind, Explain, QueryClass, ReplanEvent, ReplanPolicy, Session, SessionBuilder,
+};
 pub use ivm_shard::ShardedEngine;

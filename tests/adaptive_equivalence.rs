@@ -1,0 +1,349 @@
+//! Replanning-equivalence harness: re-lowering a running engine at
+//! *arbitrary* stream points must be invisible in the maintained output.
+//!
+//! Each proptest case drives one query shape through a random mixed-sign
+//! update stream and injects replans at generated batch boundaries —
+//! flipping between the left-deep and worst-case-optimal strategies with
+//! *fresh cardinality orders* learned from the live base state — into
+//!
+//! 1. a single-threaded `DataflowEngine`
+//!    (`replan_with_cards`), and
+//! 2. `ShardedEngine` fleets of **1, 2, and 4 shards** (the broadcast
+//!    replan path through the worker queues),
+//!
+//! asserting after every batch that all agree with a from-scratch oracle
+//! over the mirrored base relations, and that the carried counters are
+//! monotone across every replan (history must survive, per-replay noise
+//! must not double-count). Shapes cover the planner's and shard
+//! planner's whole split: the self-join triangle (degenerate
+//! single-shard routing), the 4-cycle (broadcast replication), the star
+//! (fully partitioned), and — deterministically, below — the 5-relation
+//! Retailer join under its Inventory stream.
+
+use ivm_core::Maintainer;
+use ivm_data::ops::{eval_join_aggregate, lift_one};
+use ivm_data::{sym, tup, Database, Relation, Update};
+use ivm_dataflow::{Cardinalities, DataflowEngine, DataflowStats, JoinStrategy};
+use ivm_query::{Atom, Query};
+use ivm_shard::ShardedEngine;
+use ivm_workloads::RetailerGen;
+use proptest::prelude::*;
+
+/// The cyclic self-join triangle count `Q() = Σ E(a,b)·E(b,c)·E(c,a)`.
+fn triangle() -> Query {
+    let [a, b, c] = ivm_data::vars(["ae_A", "ae_B", "ae_C"]);
+    let e = sym("ae_E");
+    Query::new(
+        "ae_tri",
+        [],
+        vec![
+            Atom::new(e, [a, b]),
+            Atom::new(e, [b, c]),
+            Atom::new(e, [c, a]),
+        ],
+    )
+}
+
+/// The cyclic 4-cycle `Q() = Σ R(a,b)·S(b,c)·T(c,d)·U(d,a)`.
+fn four_cycle() -> Query {
+    let [a, b, c, d] = ivm_data::vars(["ae_4A", "ae_4B", "ae_4C", "ae_4D"]);
+    Query::new(
+        "ae_cycle4",
+        [],
+        vec![
+            Atom::new(sym("ae_4R"), [a, b]),
+            Atom::new(sym("ae_4S"), [b, c]),
+            Atom::new(sym("ae_4T"), [c, d]),
+            Atom::new(sym("ae_4U"), [d, a]),
+        ],
+    )
+}
+
+/// The acyclic full star `Q(x,y,z,w) = R(x,y)·S(x,z)·T(x,w)`.
+fn star() -> Query {
+    let [x, y, z, w] = ivm_data::vars(["ae_SX", "ae_SY", "ae_SZ", "ae_SW"]);
+    Query::new(
+        "ae_star",
+        [x, y, z, w],
+        vec![
+            Atom::new(sym("ae_SR"), [x, y]),
+            Atom::new(sym("ae_SS"), [x, z]),
+            Atom::new(sym("ae_ST"), [x, w]),
+        ],
+    )
+}
+
+type Op = (usize, (u64, u64), i64);
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (
+            0usize..4,
+            (0u64..4, 0u64..4),
+            prop_oneof![Just(1i64), Just(1), Just(-1), Just(2), Just(-2)],
+        ),
+        0..48,
+    )
+}
+
+fn distinct_relations(q: &Query) -> Vec<ivm_data::Sym> {
+    let mut rels = Vec::new();
+    for atom in &q.atoms {
+        if !rels.contains(&atom.name) {
+            rels.push(atom.name);
+        }
+    }
+    rels
+}
+
+/// From-scratch oracle over the mirrored base relations.
+fn oracle(q: &Query, mirror: &Database<i64>) -> Relation<i64> {
+    let per_atom: Vec<Relation<i64>> = q
+        .atoms
+        .iter()
+        .map(|atom| {
+            Relation::from_rows(
+                atom.schema.clone(),
+                mirror
+                    .relation(atom.name)
+                    .iter()
+                    .map(|(t, r)| (t.clone(), *r)),
+            )
+        })
+        .collect();
+    let refs: Vec<&Relation<i64>> = per_atom.iter().collect();
+    eval_join_aggregate(&refs, &q.free, lift_one)
+}
+
+fn outputs_match(
+    got: &Relation<i64>,
+    expect: &Relation<i64>,
+    ctx: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.len(), expect.len(), "{}: sizes differ", ctx);
+    for (t, p) in expect.iter() {
+        prop_assert_eq!(&got.get(t), p, "{} at {:?}", ctx, t);
+    }
+    Ok(())
+}
+
+/// Carried history must be monotone across a replan: every counter at
+/// least its pre-replan value, and the ingestion totals exactly equal
+/// (the replay's one-off preprocessing must not double-count).
+fn assert_monotone(
+    before: &DataflowStats,
+    after: &DataflowStats,
+    ctx: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert!(after.batches >= before.batches, "{}: batches shrank", ctx);
+    prop_assert_eq!(
+        after.updates_in,
+        before.updates_in,
+        "{}: replay double-counted updates_in",
+        ctx
+    );
+    prop_assert!(
+        after.deltas_in >= before.deltas_in,
+        "{}: deltas shrank",
+        ctx
+    );
+    prop_assert!(
+        after.output_delta_tuples >= before.output_delta_tuples,
+        "{}: output deltas shrank",
+        ctx
+    );
+    prop_assert!(
+        after.binary_join_tuples >= before.binary_join_tuples
+            && after.multiway_seeds >= before.multiway_seeds
+            && after.multiway_probes >= before.multiway_probes,
+        "{}: join counters shrank",
+        ctx
+    );
+    Ok(())
+}
+
+/// Drive one shape through the stream, replanning the single engine and
+/// every fleet at the generated batch boundaries — alternating strategy,
+/// orders re-derived from the live (learned) cardinalities each time —
+/// and compare everything to the oracle after every batch.
+fn check_shape_with_replans(
+    q: &Query,
+    ops: &[Op],
+    chunk: usize,
+    replan_at: &[usize],
+    start: JoinStrategy,
+) -> Result<(), TestCaseError> {
+    let rels = distinct_relations(q);
+    let updates: Vec<Update<i64>> = ops
+        .iter()
+        .filter(|(_, _, m)| *m != 0)
+        .map(|&(ri, (x, y), m)| Update::with_payload(rels[ri % rels.len()], tup![x, y], m))
+        .collect();
+
+    let mut mirror: Database<i64> = Database::new();
+    for &r in &rels {
+        mirror.create(
+            r,
+            q.atoms.iter().find(|a| a.name == r).unwrap().schema.clone(),
+        );
+    }
+    let mut single =
+        DataflowEngine::<i64>::new_with_strategy(q.clone(), &mirror, lift_one, start).unwrap();
+    let mut fleets: Vec<ShardedEngine<i64>> = [1usize, 2, 4]
+        .into_iter()
+        .map(|n| ShardedEngine::new_with_strategy(q.clone(), &mirror, lift_one, n, start).unwrap())
+        .collect();
+
+    let mut strategy = start;
+    for (batch_no, batch) in updates.chunks(chunk.max(1)).enumerate() {
+        if replan_at.contains(&batch_no) {
+            // Fresh orders from the live counts; alternate the strategy.
+            strategy = match strategy {
+                JoinStrategy::Multiway => JoinStrategy::LeftDeep,
+                _ => JoinStrategy::Multiway,
+            };
+            let cards = Cardinalities::from_db(&mirror, q);
+            let before = single.stats();
+            single
+                .replan_with_cards(&mirror, strategy, cards.clone())
+                .unwrap();
+            assert_monotone(&before, &single.stats(), "single replan")?;
+            prop_assert_eq!(single.resolved_strategy(), strategy);
+            for eng in &mut fleets {
+                let before = eng.stats();
+                eng.replan_with_cards(&mirror, strategy, &cards).unwrap();
+                assert_monotone(
+                    &before,
+                    &eng.stats(),
+                    &format!("fleet x{} replan", eng.shards()),
+                )?;
+                prop_assert_eq!(eng.resolved_strategy(), strategy);
+            }
+        }
+        single.apply_batch(batch).unwrap();
+        for eng in &mut fleets {
+            eng.apply_batch(batch).unwrap();
+        }
+        for u in batch {
+            mirror.apply(u);
+        }
+        let expect = oracle(q, &mirror);
+        outputs_match(
+            single.output_relation(),
+            &expect,
+            &format!("{:?} single ({:?})", q.name, strategy),
+        )?;
+        for eng in &fleets {
+            outputs_match(
+                eng.output_relation(),
+                &expect,
+                &format!("{:?} sharded x{} ({:?})", q.name, eng.shards(), strategy),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Self-join triangle (degenerate single-shard routing) under
+    /// replans at arbitrary points, starting from either strategy.
+    #[test]
+    fn triangle_replans_agree(
+        ops in ops_strategy(),
+        chunk in 1usize..9,
+        r1 in 0usize..4,
+        r2 in 4usize..8,
+        start_multiway in proptest::bool::ANY,
+    ) {
+        let start = if start_multiway { JoinStrategy::Multiway } else { JoinStrategy::LeftDeep };
+        check_shape_with_replans(&triangle(), &ops, chunk, &[r1, r2], start)?;
+    }
+
+    /// 4-cycle (broadcast replication path) under replans.
+    #[test]
+    fn four_cycle_replans_agree(
+        ops in ops_strategy(),
+        chunk in 1usize..9,
+        r1 in 0usize..4,
+        r2 in 4usize..8,
+        start_multiway in proptest::bool::ANY,
+    ) {
+        let start = if start_multiway { JoinStrategy::Multiway } else { JoinStrategy::LeftDeep };
+        check_shape_with_replans(&four_cycle(), &ops, chunk, &[r1, r2], start)?;
+    }
+
+    /// Acyclic star (fully partitioned) under replans.
+    #[test]
+    fn star_replans_agree(
+        ops in ops_strategy(),
+        chunk in 1usize..9,
+        r1 in 0usize..4,
+        r2 in 4usize..8,
+        start_multiway in proptest::bool::ANY,
+    ) {
+        let start = if start_multiway { JoinStrategy::Multiway } else { JoinStrategy::LeftDeep };
+        check_shape_with_replans(&star(), &ops, chunk, &[r1, r2], start)?;
+    }
+}
+
+/// The 5-relation Retailer join under its Inventory insert stream, with
+/// strategy-flipping replans injected mid-stream into both the
+/// single-threaded engine and a 2-shard fleet — deterministic, so it
+/// doubles as the wide-arity (beyond binary atoms) replan check.
+#[test]
+fn retailer_replans_mid_stream_match_oracle() {
+    let mut gen = RetailerGen::new(8, 3, 8, 42);
+    let db = gen.initial_db(400);
+    let q = gen.query().clone();
+    let mut mirror = db.clone();
+    let mut single = DataflowEngine::<i64>::new(q.clone(), &db, lift_one).unwrap();
+    assert_eq!(single.resolved_strategy(), JoinStrategy::LeftDeep);
+    let mut fleet = ShardedEngine::<i64>::new(q.clone(), &db, lift_one, 2).unwrap();
+
+    for i in 0..9 {
+        if i % 3 == 2 {
+            // Learned orders from the live mirror; alternate strategies.
+            let strategy = if i == 2 {
+                JoinStrategy::Multiway
+            } else {
+                JoinStrategy::LeftDeep
+            };
+            let cards = Cardinalities::from_db(&mirror, &q);
+            let before = (single.stats(), fleet.stats());
+            single
+                .replan_with_cards(&mirror, strategy, cards.clone())
+                .unwrap();
+            fleet.replan_with_cards(&mirror, strategy, &cards).unwrap();
+            assert!(single.stats().batches >= before.0.batches);
+            assert_eq!(single.stats().updates_in, before.0.updates_in);
+            assert!(fleet.stats().batches >= before.1.batches);
+            assert_eq!(fleet.stats().updates_in, before.1.updates_in);
+            assert_eq!(single.resolved_strategy(), strategy);
+            assert_eq!(fleet.resolved_strategy(), strategy);
+        }
+        let batch = gen.inventory_batch(60);
+        single.apply_batch(&batch).unwrap();
+        fleet.apply_batch(&batch).unwrap();
+        for u in &batch {
+            mirror.apply(u);
+        }
+    }
+
+    let per_atom: Vec<&Relation<i64>> = q
+        .atoms
+        .iter()
+        .map(|atom| mirror.relation(atom.name))
+        .collect();
+    let expect = eval_join_aggregate(&per_atom, &q.free, lift_one);
+    for (name, got) in [
+        ("single", single.output_relation()),
+        ("fleet", fleet.output_relation()),
+    ] {
+        assert_eq!(got.len(), expect.len(), "{name}");
+        for (t, p) in expect.iter() {
+            assert_eq!(&got.get(t), p, "{name} at {t:?}");
+        }
+    }
+}
