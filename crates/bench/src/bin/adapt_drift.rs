@@ -29,7 +29,7 @@
 //! Also emits `BENCH_adapt.json` (path override: `BENCH_ADAPT_JSON`) so
 //! CI records the adaptivity trajectory run over run.
 
-use ivm_bench::{fmt, json_escape, per_sec, ratio, scaled, Table};
+use ivm_bench::{bench_doc, fmt, per_sec, ratio, scaled, Json, Table};
 use ivm_core::Maintainer;
 use ivm_data::{sym, tup, vars, Database, Update};
 use ivm_query::{Atom, Query};
@@ -174,35 +174,23 @@ fn run(
 }
 
 fn emit_json(rows: &[Row], flip: usize) {
-    let num = |v: f64| {
-        if v.is_finite() {
-            format!("{v:.3}")
-        } else {
-            "null".to_string()
-        }
-    };
-    let mut out = String::from("{\n");
-    out.push_str(&format!(
-        "  \"bench\": \"adapt_drift\",\n  \"scale\": {},\n  \"flip_batch\": {flip},\n  \"rows\": [\n",
-        ivm_bench::scale(),
-    ));
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"engine\": \"{}\", \"half_a_tuples_per_sec\": {}, \
-             \"half_b_tuples_per_sec\": {}, \"replans\": {}}}{}\n",
-            json_escape(r.engine),
-            num(r.half_a_tps),
-            num(r.half_b_tps),
-            r.replans,
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    let path = std::env::var("BENCH_ADAPT_JSON").unwrap_or_else(|_| "BENCH_adapt.json".to_string());
-    match std::fs::write(&path, out) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("\ncould not write {path}: {e}"),
-    }
+    let doc = bench_doc("adapt_drift")
+        .field("flip_batch", Json::num(flip as f64))
+        .field(
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj()
+                            .field("engine", Json::str(r.engine))
+                            .field("half_a_tuples_per_sec", Json::num(r.half_a_tps))
+                            .field("half_b_tuples_per_sec", Json::num(r.half_b_tps))
+                            .field("replans", Json::num(r.replans as f64))
+                    })
+                    .collect(),
+            ),
+        );
+    ivm_bench::write_bench_json("BENCH_ADAPT_JSON", "BENCH_adapt.json", &doc);
 }
 
 fn main() {

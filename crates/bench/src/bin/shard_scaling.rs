@@ -24,7 +24,7 @@
 //! Also emits `BENCH_shard.json` (path override: `BENCH_SHARD_JSON`) so
 //! CI records the scaling trajectory run over run.
 
-use ivm_bench::{fmt, json_escape, per_sec, ratio, scaled, Table};
+use ivm_bench::{bench_doc, fmt, per_sec, ratio, scaled, Json, Table};
 use ivm_data::ops::lift_one;
 use ivm_data::{tup, Database, Update};
 use ivm_shard::ShardedEngine;
@@ -129,49 +129,41 @@ fn triangle_rows(rows: &mut Vec<Row>) {
 }
 
 fn emit_json(rows: &[Row]) {
-    let num = |v: f64| {
-        if v.is_finite() {
-            format!("{v:.3}")
-        } else {
-            "null".to_string()
-        }
-    };
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let mut out = String::from("{\n");
-    out.push_str(&format!(
-        "  \"bench\": \"shard_scaling\",\n  \"scale\": {},\n  \"cores\": {cores},\n  \"rows\": [\n",
-        ivm_bench::scale(),
-    ));
-    for (i, r) in rows.iter().enumerate() {
-        // Speedups are vs. the same workload's 1-shard row.
-        let base = rows
-            .iter()
-            .find(|b| b.workload == r.workload && b.shards == 1)
-            .expect("1-shard baseline present");
-        out.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"shards\": {}, \
-             \"wall_tuples_per_sec\": {}, \"scalable_tuples_per_sec\": {}, \
-             \"wall_speedup_vs_1shard\": {}, \"scalable_speedup_vs_1shard\": {}, \
-             \"balance\": {}, \"broadcast_copies\": {}}}{}\n",
-            json_escape(r.workload),
-            r.shards,
-            num(r.wall_tps),
-            num(r.scalable_tps),
-            num(ratio(r.wall_tps, base.wall_tps)),
-            num(ratio(r.scalable_tps, base.scalable_tps)),
-            num(r.balance),
-            r.broadcast_copies,
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    let path = std::env::var("BENCH_SHARD_JSON").unwrap_or_else(|_| "BENCH_shard.json".to_string());
-    match std::fs::write(&path, out) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("\ncould not write {path}: {e}"),
-    }
+    let doc = bench_doc("shard_scaling")
+        .field("cores", Json::num(cores as f64))
+        .field(
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        // Speedups are vs. the same workload's 1-shard row.
+                        let base = rows
+                            .iter()
+                            .find(|b| b.workload == r.workload && b.shards == 1)
+                            .expect("1-shard baseline present");
+                        Json::obj()
+                            .field("workload", Json::str(r.workload))
+                            .field("shards", Json::num(r.shards as f64))
+                            .field("wall_tuples_per_sec", Json::num(r.wall_tps))
+                            .field("scalable_tuples_per_sec", Json::num(r.scalable_tps))
+                            .field(
+                                "wall_speedup_vs_1shard",
+                                Json::num(ratio(r.wall_tps, base.wall_tps)),
+                            )
+                            .field(
+                                "scalable_speedup_vs_1shard",
+                                Json::num(ratio(r.scalable_tps, base.scalable_tps)),
+                            )
+                            .field("balance", Json::num(r.balance))
+                            .field("broadcast_copies", Json::num(r.broadcast_copies as f64))
+                    })
+                    .collect(),
+            ),
+        );
+    ivm_bench::write_bench_json("BENCH_SHARD_JSON", "BENCH_shard.json", &doc);
 }
 
 fn main() {

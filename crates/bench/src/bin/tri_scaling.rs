@@ -20,9 +20,16 @@
 //! Also emits `BENCH_tri.json` (path override: `BENCH_TRI_JSON`) so CI
 //! records the perf trajectory run over run.
 //!
+//! The dataflow rows run with a metrics registry attached by default (the
+//! instrumented configuration is the honest one to report); their `work`
+//! counters are then read back *from the registry snapshot*, so the bench
+//! doubles as an end-to-end check that the telemetry mirrors the engine's
+//! own stats. Set `RIVM_METRICS=0` to run them detached (the
+//! `obs_overhead` bin quantifies the difference).
+//!
 //! [`MultiwayJoin`]: ivm_dataflow::Dataflow::add_multiway_join
 
-use ivm_bench::{empirical_exponent, fmt, json_escape, ns_per, scaled, time, Table};
+use ivm_bench::{bench_doc, empirical_exponent, fmt, ns_per, scaled, time, Json, Table};
 use ivm_core::Maintainer;
 use ivm_data::ops::lift_one;
 use ivm_data::{tup, Database, Update};
@@ -30,7 +37,14 @@ use ivm_dataflow::{DataflowEngine, JoinStrategy};
 use ivm_ivme::{
     Rel, TriangleDelta, TriangleIvmEps, TriangleMaintainer, TrianglePairwiseMv, TriangleRecount,
 };
+use ivm_obs::MetricsRegistry;
 use ivm_workloads::graphs::EdgeStream;
+
+/// Whether the dataflow rows attach a metrics registry (default yes;
+/// `RIVM_METRICS=0` opts out).
+fn metrics_enabled() -> bool {
+    std::env::var("RIVM_METRICS").map_or(true, |v| v != "0")
+}
 
 /// `DataflowEngine` on the 3-relation triangle query, adapted to the
 /// kernel benchmark interface. Work is the engine's machine-independent
@@ -40,15 +54,27 @@ struct DataflowTriangle {
     eng: DataflowEngine<i64>,
     names: [ivm_data::Sym; 3],
     label: &'static str,
+    /// Attached unless `RIVM_METRICS=0`; when present, `work()` reads the
+    /// registry instead of the engine, exercising the telemetry path.
+    registry: Option<MetricsRegistry>,
 }
 
 impl DataflowTriangle {
     fn new(strategy: JoinStrategy, label: &'static str) -> Self {
         let q = ivm_query::examples::triangle_count();
         let names = [q.atoms[0].name, q.atoms[1].name, q.atoms[2].name];
-        let eng =
+        let mut eng =
             DataflowEngine::new_with_strategy(q, &Database::new(), lift_one, strategy).unwrap();
-        DataflowTriangle { eng, names, label }
+        let registry = metrics_enabled().then(MetricsRegistry::new);
+        if let Some(reg) = &registry {
+            eng.observe(reg, label);
+        }
+        DataflowTriangle {
+            eng,
+            names,
+            label,
+            registry,
+        }
     }
 }
 
@@ -64,12 +90,27 @@ impl TriangleMaintainer for DataflowTriangle {
     }
 
     fn work(&self) -> u64 {
-        let s = self.eng.stats();
-        s.deltas_in
-            + s.binary_join_tuples
-            + s.multiway_seeds
-            + s.multiway_probes
-            + s.output_delta_tuples
+        match &self.registry {
+            // Registry counters are synced at every batch boundary, so
+            // between applies they agree with the engine's own stats.
+            Some(reg) => {
+                let m = reg.snapshot();
+                let c = |k: &str| m.counter(&format!("{}.{k}", self.label));
+                c("deltas_in")
+                    + c("binary_join_tuples")
+                    + c("multiway_seeds")
+                    + c("multiway_probes")
+                    + c("output_delta_tuples")
+            }
+            None => {
+                let s = self.eng.stats();
+                s.deltas_in
+                    + s.binary_join_tuples
+                    + s.multiway_seeds
+                    + s.multiway_probes
+                    + s.output_delta_tuples
+            }
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -97,7 +138,13 @@ fn run(engine: &mut dyn TriangleMaintainer, n: usize, probe: usize) -> (f64, f64
         }
     });
     let ops = probe * 2;
-    ((engine.work() - w0) as f64 / ops as f64, ns_per(d, ops))
+    // Saturating: `work` may be rebased (e.g. counters reset by an engine
+    // replan) between the two reads; a wrapped subtraction would turn
+    // that into an absurd ~2^64 work figure instead of a visible zero.
+    (
+        engine.work().saturating_sub(w0) as f64 / ops as f64,
+        ns_per(d, ops),
+    )
 }
 
 /// One bench row, also serialized into `BENCH_tri.json`.
@@ -113,50 +160,32 @@ struct Row {
 }
 
 fn emit_json(sizes: &[usize], rows: &[Row]) {
-    let num = |v: f64| {
-        if v.is_finite() {
-            format!("{v:.3}")
-        } else {
-            "null".to_string()
-        }
-    };
-    let mut out = String::from("{\n");
-    out.push_str(&format!(
-        "  \"bench\": \"tri_scaling\",\n  \"scale\": {},\n",
-        ivm_bench::scale(),
-    ));
-    out.push_str(&format!(
-        "  \"sizes\": [{}],\n  \"rows\": [\n",
-        sizes
-            .iter()
-            .map(|n| n.to_string())
-            .collect::<Vec<_>>()
-            .join(", ")
-    ));
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"engine\": \"{}\", \"work_per_update\": [{}], \
-             \"empirical_exponent\": {}, \"ns_per_update\": {}, \
-             \"probe_updates\": {}, \"paper\": \"{}\"}}{}\n",
-            json_escape(&r.engine),
-            r.works
-                .iter()
-                .map(|&w| num(w))
-                .collect::<Vec<_>>()
-                .join(", "),
-            num(r.exponent),
-            num(r.ns_per_update),
-            r.probe_updates,
-            json_escape(&r.paper),
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    let path = std::env::var("BENCH_TRI_JSON").unwrap_or_else(|_| "BENCH_tri.json".to_string());
-    match std::fs::write(&path, out) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("\ncould not write {path}: {e}"),
-    }
+    let doc = bench_doc("tri_scaling")
+        .field("metrics_attached", Json::Bool(metrics_enabled()))
+        .field(
+            "sizes",
+            Json::Arr(sizes.iter().map(|&n| Json::num(n as f64)).collect()),
+        )
+        .field(
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj()
+                            .field("engine", Json::str(r.engine.as_str()))
+                            .field(
+                                "work_per_update",
+                                Json::Arr(r.works.iter().map(|&w| Json::num(w)).collect()),
+                            )
+                            .field("empirical_exponent", Json::num(r.exponent))
+                            .field("ns_per_update", Json::num(r.ns_per_update))
+                            .field("probe_updates", Json::num(r.probe_updates as f64))
+                            .field("paper", Json::str(r.paper.as_str()))
+                    })
+                    .collect(),
+            ),
+        );
+    ivm_bench::write_bench_json("BENCH_TRI_JSON", "BENCH_tri.json", &doc);
 }
 
 fn main() {

@@ -7,6 +7,8 @@
 
 use std::time::{Duration, Instant};
 
+pub use ivm_obs::Json;
+
 /// Scale factor for experiment sizes, read from `RIVM_SCALE` (default 1.0).
 /// Use e.g. `RIVM_SCALE=0.2` for a quick smoke run.
 pub fn scale() -> f64 {
@@ -108,10 +110,36 @@ impl Table {
     }
 }
 
-/// Escape a string for embedding in the hand-rolled `BENCH_*.json`
-/// emissions (no JSON dependency in the offline build environment).
+/// Escape a string for embedding in JSON emissions. Delegates to the
+/// telemetry crate's escaper (which also handles control characters);
+/// prefer building whole documents with [`Json`] via [`bench_doc`].
 pub fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    ivm_obs::json_escape(s)
+}
+
+/// Start a `BENCH_*.json` document with the header fields every
+/// experiment shares: the bench name and the [`scale`] it ran at. Bins
+/// append their own fields and hand the document to
+/// [`write_bench_json`] — one emission path instead of a hand-rolled
+/// string builder per binary.
+pub fn bench_doc(bench: &str) -> Json {
+    Json::obj()
+        .field("bench", Json::str(bench))
+        .field("scale", Json::num(scale()))
+}
+
+/// Write `doc` to the path named by the `env_var` override (default
+/// `default_path`), reporting where it went on stdout — the shared tail
+/// of every `BENCH_*.json` emission. Non-finite numbers were already
+/// mapped to `null` by [`Json::num`], so the file is always valid JSON.
+pub fn write_bench_json(env_var: &str, default_path: &str, doc: &Json) {
+    let path = std::env::var(env_var).unwrap_or_else(|_| default_path.to_string());
+    let mut body = doc.render();
+    body.push('\n');
+    match std::fs::write(&path, body) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
 }
 
 /// Format a float compactly.
@@ -159,6 +187,14 @@ mod tests {
     #[test]
     fn scaled_respects_min() {
         assert!(scaled(100, 10) >= 10);
+    }
+
+    #[test]
+    fn bench_doc_carries_header_and_nulls_non_finite() {
+        let doc = bench_doc("t").field("x", Json::num(f64::NAN));
+        let s = doc.render();
+        assert!(s.starts_with(r#"{"bench":"t","scale":"#), "{s}");
+        assert!(s.contains(r#""x":null"#), "{s}");
     }
 
     /// The empty/unstarted-stream guards: no `inf`/`NaN` throughput from

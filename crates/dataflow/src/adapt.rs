@@ -86,6 +86,38 @@ impl LearnedCardinalities {
     }
 }
 
+/// Which of the policy's three triggers fired a replan. The session's
+/// replan timeline renders these as short names, so an `explain()` reads
+/// as an audit log rather than a debug dump.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplanTrigger {
+    /// A blind-built plan re-lowered the moment learned counts would
+    /// order it differently.
+    FirstData,
+    /// Observed left-deep binary-intermediate blowup → multiway switch.
+    Blowup,
+    /// Predicted cost ratio of running vs. fresh orders crossed the
+    /// threshold.
+    CostRatio,
+}
+
+impl ReplanTrigger {
+    /// Short stable name, used in timelines and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplanTrigger::FirstData => "first-data",
+            ReplanTrigger::Blowup => "blowup",
+            ReplanTrigger::CostRatio => "cost-ratio",
+        }
+    }
+}
+
+impl std::fmt::Display for ReplanTrigger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A policy verdict: re-lower onto `strategy` with orders derived from
 /// `cards`, for the stated `reason`.
 #[derive(Clone, Debug)]
@@ -94,6 +126,8 @@ pub struct ReplanDecision {
     pub strategy: JoinStrategy,
     /// The learned snapshot to derive the fresh atom/variable orders from.
     pub cards: Cardinalities,
+    /// Which trigger fired (machine-readable counterpart of `reason`).
+    pub trigger: ReplanTrigger,
     /// Human-readable trigger, recorded in the session's replan events.
     pub reason: String,
 }
@@ -188,6 +222,7 @@ impl ReplanPolicy {
             return Some(ReplanDecision {
                 strategy: resolved,
                 cards,
+                trigger: ReplanTrigger::FirstData,
                 reason: "first non-empty data: the plan was lowered from \
                          all-zero cardinalities, so its orders were pure \
                          tie-breaking"
@@ -211,6 +246,7 @@ impl ReplanPolicy {
                 return Some(ReplanDecision {
                     strategy: JoinStrategy::Multiway,
                     cards,
+                    trigger: ReplanTrigger::Blowup,
                     reason: format!(
                         "observed binary-join blowup: {} intermediate tuples \
                          for {} input+output delta tuples in the window \
@@ -239,6 +275,7 @@ impl ReplanPolicy {
             return Some(ReplanDecision {
                 strategy: resolved,
                 cards,
+                trigger: ReplanTrigger::CostRatio,
                 reason: format!(
                     "learned cardinalities rate the running orders {:.1}× the \
                      fresh ones (threshold {:.1}×); re-deriving atom/variable \
@@ -347,6 +384,8 @@ mod tests {
             )
             .expect("blind build must replan on first data");
         assert_eq!(dec.strategy, JoinStrategy::LeftDeep);
+        assert_eq!(dec.trigger, ReplanTrigger::FirstData);
+        assert_eq!(dec.trigger.name(), "first-data");
         assert!(dec.reason.contains("all-zero"));
         assert_eq!(dec.cards.get(sym("ad_T")), 1);
     }
@@ -391,6 +430,7 @@ mod tests {
             .decide(&q, JoinStrategy::LeftDeep, &old, &learned, &w, 16)
             .expect("inverted sizes past hysteresis must reorder");
         assert_eq!(dec.strategy, JoinStrategy::LeftDeep);
+        assert_eq!(dec.trigger, ReplanTrigger::CostRatio);
         assert!(dec.reason.contains("re-deriving"));
         // A thin window (few updates ingested relative to the base the
         // replan would replay) blocks the reorder however old the clock:
@@ -425,6 +465,7 @@ mod tests {
             .decide(&q, JoinStrategy::LeftDeep, &old, &learned, &window, 64)
             .expect("blowup must trigger");
         assert_eq!(dec.strategy, JoinStrategy::Multiway);
+        assert_eq!(dec.trigger, ReplanTrigger::Blowup);
         assert!(dec.reason.contains("blowup"));
         // The multiway plan sees the same window without tripping: the
         // trigger is strategy-specific.

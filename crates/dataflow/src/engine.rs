@@ -38,6 +38,9 @@ pub struct DataflowEngine<R> {
     carried_stats: DataflowStats,
     dynamics: FxHashSet<Sym>,
     statics: FxHashSet<Sym>,
+    /// Attached telemetry `(registry, name prefix)`, kept here so a
+    /// re-plan can re-attach the fresh dataflow to the same series.
+    obs: Option<(ivm_obs::MetricsRegistry, String)>,
 }
 
 impl<R: Semiring> DataflowEngine<R> {
@@ -111,7 +114,19 @@ impl<R: Semiring> DataflowEngine<R> {
             carried_stats: DataflowStats::default(),
             dynamics,
             statics,
+            obs: None,
         })
+    }
+
+    /// Attach a metrics registry: batches record per-operator apply time
+    /// and tuple counts plus cumulative [`DataflowStats`] mirrors under
+    /// `{prefix}.*` (see [`Dataflow::attach_obs`]). The attachment
+    /// survives re-plans — the fresh dataflow re-binds to the same
+    /// series, so operator ids restart with the new plan while the
+    /// engine-level counters keep accumulating.
+    pub fn observe(&mut self, registry: &ivm_obs::MetricsRegistry, prefix: &str) {
+        self.dataflow.attach_obs(registry, prefix);
+        self.obs = Some((registry.clone(), prefix.to_string()));
     }
 
     /// Re-lower the query onto a fresh plan — e.g. after the cardinality
@@ -153,6 +168,9 @@ impl<R: Semiring> DataflowEngine<R> {
         // its post-preprocessing state (its constructor counters describe
         // preprocessing, not the update stream — zero them out).
         fresh.dataflow.reset_stats();
+        if let Some((registry, prefix)) = &self.obs {
+            fresh.dataflow.attach_obs(registry, prefix);
+        }
         self.dataflow = fresh.dataflow;
         self.strategy = strategy;
         self.resolved = fresh.resolved;

@@ -24,8 +24,10 @@ use crate::multiway::MultiwayState;
 use ivm_core::EngineError;
 use ivm_data::ops::{aggregate, Lift};
 use ivm_data::{GroupedIndex, Relation, Schema, Sym, Tuple, Update, Value};
+use ivm_obs::{Counter, Histogram, MetricsRegistry};
 use ivm_ring::Semiring;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Index of a node within its [`Dataflow`].
 pub type NodeId = usize;
@@ -119,6 +121,11 @@ pub struct DataflowStats {
     /// Index and membership probes performed by multiway searches — the
     /// machine-independent work measure of the WCOJ path.
     pub multiway_probes: u64,
+    /// Candidate values enumerated by multiway intersection steps (the
+    /// width of the leapfrog-style search frontier; each candidate then
+    /// costs `multiway_probes` membership checks against the other
+    /// atoms).
+    pub multiway_intersections: u64,
 }
 
 impl DataflowStats {
@@ -145,6 +152,7 @@ impl DataflowStats {
             binary_join_tuples,
             multiway_seeds,
             multiway_probes,
+            multiway_intersections,
         } = other;
         self.batches += batches;
         self.updates_in += updates_in;
@@ -153,6 +161,7 @@ impl DataflowStats {
         self.binary_join_tuples += binary_join_tuples;
         self.multiway_seeds += multiway_seeds;
         self.multiway_probes += multiway_probes;
+        self.multiway_intersections += multiway_intersections;
     }
 
     /// [`Self::merge`] by value, for iterator folds.
@@ -180,7 +189,54 @@ impl DataflowStats {
                 .saturating_sub(earlier.binary_join_tuples),
             multiway_seeds: self.multiway_seeds.saturating_sub(earlier.multiway_seeds),
             multiway_probes: self.multiway_probes.saturating_sub(earlier.multiway_probes),
+            multiway_intersections: self
+                .multiway_intersections
+                .saturating_sub(earlier.multiway_intersections),
         }
+    }
+}
+
+/// Registry handles of one operator node: cumulative apply time plus
+/// delta-in/delta-out tuple counts.
+struct OpObs {
+    apply_ns: Counter,
+    in_tuples: Counter,
+    out_tuples: Counter,
+}
+
+/// Registry handles of a whole dataflow. The counters mirror
+/// [`DataflowStats`] (pushed as increments at each batch boundary so the
+/// registry stays cumulative across [`Dataflow::reset_stats`]); the
+/// per-operator handles are written inline during propagation.
+struct GraphObs {
+    ops: Vec<OpObs>,
+    batch_ns: Histogram,
+    batches: Counter,
+    updates_in: Counter,
+    deltas_in: Counter,
+    output_delta_tuples: Counter,
+    binary_join_tuples: Counter,
+    multiway_seeds: Counter,
+    multiway_probes: Counter,
+    multiway_intersections: Counter,
+    /// Stats value already pushed to the registry; the next sync pushes
+    /// `stats.since(mirrored)`.
+    mirrored: DataflowStats,
+}
+
+impl GraphObs {
+    /// Push counter increments accumulated since the last sync.
+    fn sync(&mut self, stats: &DataflowStats) {
+        let d = stats.since(&self.mirrored);
+        self.batches.add(d.batches);
+        self.updates_in.add(d.updates_in);
+        self.deltas_in.add(d.deltas_in);
+        self.output_delta_tuples.add(d.output_delta_tuples);
+        self.binary_join_tuples.add(d.binary_join_tuples);
+        self.multiway_seeds.add(d.multiway_seeds);
+        self.multiway_probes.add(d.multiway_probes);
+        self.multiway_intersections.add(d.multiway_intersections);
+        self.mirrored = *stats;
     }
 }
 
@@ -191,6 +247,9 @@ pub struct Dataflow<R> {
     sink: Option<NodeId>,
     output: Relation<R>,
     stats: DataflowStats,
+    /// Telemetry handles, present only while a registry is attached.
+    /// `None` costs one branch per batch and nothing per tuple.
+    obs: Option<GraphObs>,
 }
 
 impl<R: Semiring> Dataflow<R> {
@@ -202,7 +261,62 @@ impl<R: Semiring> Dataflow<R> {
             sink: None,
             output: Relation::new(Schema::empty()),
             stats: DataflowStats::default(),
+            obs: None,
         }
+    }
+
+    /// Short lowercase operator label for metric names.
+    fn op_label(op: &Operator<R>) -> String {
+        match op {
+            Operator::Source { relation } => format!("source_{relation}"),
+            Operator::Filter { .. } => "filter".to_string(),
+            Operator::Map { .. } => "map".to_string(),
+            Operator::DeltaJoin(_) => "delta_join".to_string(),
+            Operator::MultiwayJoin(_) => "multiway_join".to_string(),
+            Operator::GroupAggregate { .. } => "group_aggregate".to_string(),
+        }
+    }
+
+    /// Attach a metrics registry: every future batch records per-operator
+    /// apply time and delta-in/delta-out tuple counts under
+    /// `{prefix}.op.{id}.{kind}.*`, a `{prefix}.batch_apply_ns`
+    /// histogram, and cumulative [`DataflowStats`] mirrors under
+    /// `{prefix}.*`. Counting starts from the *current* state — history
+    /// applied before attachment (e.g. preprocessing) is not back-filled.
+    /// Attaching again (even to the same registry) just re-resolves the
+    /// handles.
+    pub fn attach_obs(&mut self, registry: &MetricsRegistry, prefix: &str) {
+        let ops = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let base = format!("{prefix}.op.{i}.{}", Self::op_label(&n.op));
+                OpObs {
+                    apply_ns: registry.counter(&format!("{base}.apply_ns")),
+                    in_tuples: registry.counter(&format!("{base}.in_tuples")),
+                    out_tuples: registry.counter(&format!("{base}.out_tuples")),
+                }
+            })
+            .collect();
+        self.obs = Some(GraphObs {
+            ops,
+            batch_ns: registry.histogram(&format!("{prefix}.batch_apply_ns")),
+            batches: registry.counter(&format!("{prefix}.batches")),
+            updates_in: registry.counter(&format!("{prefix}.updates_in")),
+            deltas_in: registry.counter(&format!("{prefix}.deltas_in")),
+            output_delta_tuples: registry.counter(&format!("{prefix}.output_delta_tuples")),
+            binary_join_tuples: registry.counter(&format!("{prefix}.binary_join_tuples")),
+            multiway_seeds: registry.counter(&format!("{prefix}.multiway_seeds")),
+            multiway_probes: registry.counter(&format!("{prefix}.multiway_probes")),
+            multiway_intersections: registry.counter(&format!("{prefix}.multiway_intersections")),
+            mirrored: self.stats,
+        });
+    }
+
+    /// Drop the registry handles; subsequent batches record nothing.
+    pub fn detach_obs(&mut self) {
+        self.obs = None;
     }
 
     fn push_node(&mut self, node: Node<R>) -> NodeId {
@@ -378,6 +492,12 @@ impl<R: Semiring> Dataflow<R> {
     /// replay, whose one-off counter noise is not update-stream work.
     pub fn reset_stats(&mut self) {
         self.stats = DataflowStats::default();
+        // The registry keeps its cumulative totals; re-base the mirror so
+        // the next sync diffs against the fresh zeros instead of
+        // saturating against the discarded history.
+        if let Some(obs) = &mut self.obs {
+            obs.mirrored = DataflowStats::default();
+        }
     }
 
     /// Count updates received at a boundary that bypasses
@@ -443,15 +563,24 @@ impl<R: Semiring> Dataflow<R> {
         self.stats.batches += 1;
         let out_schema = self.nodes[sink].schema.clone();
         if batch.is_empty() {
+            if let Some(obs) = &mut self.obs {
+                obs.sync(&self.stats);
+            }
             return Ok(Relation::new(out_schema));
         }
         self.stats.deltas_in += batch.len() as u64;
+        let t_batch = self.obs.as_ref().map(|_| Instant::now());
 
         let nodes = &mut self.nodes;
         let stats = &mut self.stats;
+        let obs = &mut self.obs;
         let mut deltas: Vec<Option<Relation<R>>> = (0..nodes.len()).map(|_| None).collect();
         // Indexing, not iterating: each step splits `deltas` at `id` to
         // read predecessors while writing the current slot.
+        // Per-operator timing rides one running clock: each node's cost is
+        // the gap between consecutive reads (one `Instant::now()` per node,
+        // not two), keeping the attached hot path near the detached one.
+        let mut t_prev = t_batch;
         #[allow(clippy::needless_range_loop)]
         for id in 0..nodes.len() {
             let (done, rest) = deltas.split_at_mut(id);
@@ -509,6 +638,25 @@ impl<R: Semiring> Dataflow<R> {
                     .as_ref()
                     .map(|d| aggregate(d, group_by, *lift)),
             };
+            if let (Some(o), Some(prev)) = (obs.as_ref(), t_prev) {
+                let in_tuples: u64 = node
+                    .inputs
+                    .iter()
+                    .map(|&i| done[i].as_ref().map_or(0, |d| d.len() as u64))
+                    .sum();
+                // Untouched nodes (no input delta, nothing produced) skip
+                // the clock read and the counter writes entirely; their
+                // ~ns of dispatch time folds into the next touched node.
+                if in_tuples > 0 || delta.is_some() {
+                    let now = Instant::now();
+                    let h = &o.ops[id];
+                    h.apply_ns.add((now - prev).as_nanos() as u64);
+                    t_prev = Some(now);
+                    h.in_tuples.add(in_tuples);
+                    h.out_tuples
+                        .add(delta.as_ref().map_or(0, |d| d.len() as u64));
+                }
+            }
             // Propagate only non-empty deltas; empty ones are fixpoints.
             rest[0] = delta.filter(|d| !d.is_empty());
         }
@@ -519,6 +667,10 @@ impl<R: Semiring> Dataflow<R> {
         self.stats.output_delta_tuples += out_delta.len() as u64;
         for (t, r) in out_delta.iter() {
             self.output.apply(t.clone(), r);
+        }
+        if let (Some(o), Some(t0)) = (self.obs.as_mut(), t_batch) {
+            o.batch_ns.record_duration(t0.elapsed());
+            o.sync(&self.stats);
         }
         Ok(out_delta)
     }
@@ -758,6 +910,7 @@ mod tests {
             binary_join_tuples: 5,
             multiway_seeds: 6,
             multiway_probes: 7,
+            multiway_intersections: 8,
         };
         let b = DataflowStats {
             batches: 10,
@@ -767,6 +920,7 @@ mod tests {
             binary_join_tuples: 50,
             multiway_seeds: 60,
             multiway_probes: 70,
+            multiway_intersections: 80,
         };
         let m = a.merged(&b);
         assert_eq!(m.batches, 11);
@@ -776,7 +930,58 @@ mod tests {
         assert_eq!(m.binary_join_tuples, 55);
         assert_eq!(m.multiway_seeds, 66);
         assert_eq!(m.multiway_probes, 77);
+        assert_eq!(m.multiway_intersections, 88);
         // Merging the default is the identity.
         assert_eq!(b.merged(&DataflowStats::default()), b);
+
+        // since() is merge's saturating inverse. A window baseline can
+        // exceed the current snapshot after a counter reset (replan) or
+        // when a fleet's merged snapshot lags a baseline taken
+        // mid-settle; every field must clamp to zero, never wrap.
+        assert_eq!(m.since(&a), b);
+        let window = a.since(&b);
+        assert_eq!(window, DataflowStats::default(), "underflow must clamp");
+        assert_eq!(DataflowStats::default().since(&m), DataflowStats::default());
+    }
+
+    /// Attached registry mirrors the stats counters and records
+    /// per-operator apply time / tuple counts; detaching stops updates
+    /// but keeps the registry's cumulative values.
+    #[test]
+    fn attached_registry_mirrors_stats() {
+        use ivm_obs::MetricsRegistry;
+        let (mut df, rn, sn) = two_rel_flow();
+        let reg = MetricsRegistry::new();
+        df.attach_obs(&reg, "t.df");
+        let ups: Vec<Update<i64>> = vec![
+            Update::with_payload(rn, tup![1i64, 10i64], 2),
+            Update::with_payload(sn, tup![10i64, 7i64], 3),
+        ];
+        df.apply_batch(&ups).unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("t.df.batches"), df.stats().batches);
+        assert_eq!(snap.counter("t.df.updates_in"), 2);
+        assert_eq!(
+            snap.counter("t.df.output_delta_tuples"),
+            df.stats().output_delta_tuples
+        );
+        // Per-operator series exist: node 0 is Source(gr_R) and saw the
+        // consolidated R-delta on its output side.
+        assert_eq!(snap.counter("t.df.op.0.source_gr_R.out_tuples"), 1);
+        assert!(snap.histogram("t.df.batch_apply_ns").unwrap().count == 1);
+
+        // reset_stats re-bases the mirror: the registry keeps counting
+        // increments on top of its cumulative total.
+        df.reset_stats();
+        df.apply_batch(&[Update::with_payload(rn, tup![2i64, 10i64], 1)])
+            .unwrap();
+        let snap2 = reg.snapshot();
+        assert_eq!(snap2.counter("t.df.updates_in"), 3);
+        assert_eq!(snap2.counter("t.df.batches"), 2);
+
+        df.detach_obs();
+        df.apply_batch(&[Update::with_payload(rn, tup![3i64, 10i64], 1)])
+            .unwrap();
+        assert_eq!(reg.snapshot().counter("t.df.updates_in"), 3);
     }
 }

@@ -77,7 +77,7 @@ pub mod graph;
 pub mod multiway;
 pub mod planner;
 
-pub use adapt::{LearnedCardinalities, ReplanDecision, ReplanPolicy};
+pub use adapt::{LearnedCardinalities, ReplanDecision, ReplanPolicy, ReplanTrigger};
 pub use batch::DeltaBatch;
 pub use cost::Cardinalities;
 pub use engine::DataflowEngine;

@@ -516,6 +516,7 @@ fn search<R: Semiring>(
         .map(|(i, _)| i)
         .expect("at least one constraint per step");
     'vals: for val in maps[smallest].keys() {
+        stats.multiway_intersections += 1;
         for (i, m) in maps.iter().enumerate() {
             if i == smallest {
                 continue;

@@ -1,0 +1,148 @@
+//! A tiny self-contained JSON value — the offline build environment has
+//! no serde, and the telemetry surface only needs *emission*, never
+//! parsing. Object fields keep insertion order so snapshot and bench
+//! output stay diffable run-to-run.
+
+use std::fmt::Write as _;
+
+/// A JSON document fragment. Build with the constructors below, render
+/// with [`Json::render`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered object (duplicate keys are the caller's bug).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A number, mapping non-finite values to `null` (JSON has no
+    /// NaN/Inf; an unstarted benchmark's `0/0` must not poison a file).
+    pub fn num(v: f64) -> Json {
+        if v.is_finite() {
+            Json::Num(v)
+        } else {
+            Json::Null
+        }
+    }
+
+    pub fn str(v: impl Into<String>) -> Json {
+        Json::Str(v.into())
+    }
+
+    /// Empty object to push fields into.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Append a field to an object; panics on non-objects (construction
+    /// bug, not data-dependent).
+    pub fn field(mut self, key: impl Into<String>, value: Json) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.into(), value)),
+            other => panic!("Json::field on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Serialize to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    let _ = write!(out, "{}", *v as i64);
+                } else {
+                    let _ = write!(out, "{v}");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\":");
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Escape a string for inclusion inside JSON quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_document() {
+        let doc = Json::obj()
+            .field("name", Json::str("tri\"angle"))
+            .field("n", Json::num(42.0))
+            .field("frac", Json::num(0.5))
+            .field("bad", Json::num(f64::NAN))
+            .field("rows", Json::Arr(vec![Json::Bool(true), Json::Null]));
+        assert_eq!(
+            doc.render(),
+            r#"{"name":"tri\"angle","n":42,"frac":0.5,"bad":null,"rows":[true,null]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        assert_eq!(escape("a\nb\u{1}"), "a\\nb\\u0001");
+    }
+
+    #[test]
+    fn integral_floats_render_without_decimal_point() {
+        assert_eq!(Json::num(1e6).render(), "1000000");
+        assert_eq!(Json::num(1e16).render(), "10000000000000000");
+    }
+}

@@ -1,0 +1,35 @@
+//! Unified telemetry for the IVM stack.
+//!
+//! The paper frames IVM quality as a preprocessing/update-time/delay
+//! trade-off, and the adaptive layer makes runtime decisions from
+//! observed counters — so measurement is part of the system, not an
+//! afterthought. This crate is the substrate everything reports into:
+//!
+//! - [`MetricsRegistry`] — named [`Counter`]s, [`Gauge`]s, and
+//!   log-bucketed latency [`Histogram`]s. Registration is mutex-guarded
+//!   (setup path); the handles are shared atomics, so hot-path updates
+//!   are single relaxed RMW instructions. Engines hold `Option`al
+//!   handles: with no registry attached they pay nothing at all.
+//! - [`Tracer`] / [`Span`] — batch-lifecycle event log in a bounded
+//!   ring buffer (oldest events drop; [`Tracer::dropped`] counts them).
+//! - [`MetricsSnapshot`] — frozen copy with two exporters reading the
+//!   same data: Prometheus text exposition
+//!   ([`MetricsSnapshot::to_prometheus`]) and a JSON document
+//!   ([`MetricsSnapshot::to_json`]). The bench binaries emit their
+//!   `BENCH_*.json` through the same [`Json`] path.
+//!
+//! Naming convention used by the stack: dotted hierarchies like
+//! `ivm.dataflow.op.3.apply_ns` or `ivm.fleet.shard2.queue_depth`
+//! (dots become `_` in the Prometheus exposition).
+
+mod json;
+mod registry;
+mod snapshot;
+mod trace;
+
+pub use json::{escape as json_escape, Json};
+pub use registry::{
+    bucket_index, bucket_upper, Counter, Gauge, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS,
+};
+pub use snapshot::{prometheus_name, HistogramSnapshot, MetricsSnapshot};
+pub use trace::{Span, TraceEvent, Tracer};

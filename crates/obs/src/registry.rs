@@ -1,0 +1,302 @@
+//! Lock-free metric handles behind a named registry.
+//!
+//! Registration (name → handle) takes a mutex and is meant for setup
+//! paths: engines resolve their handles once when a registry is
+//! attached. The handles themselves are `Arc`-shared atomics — updating
+//! a counter on the hot path is a single relaxed `fetch_add`, and an
+//! engine with no registry attached carries `None` and pays nothing.
+
+use crate::snapshot::{HistogramSnapshot, MetricsSnapshot};
+use crate::trace::{Span, Tracer};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Number of power-of-two latency buckets: bucket `i` holds samples in
+/// `(2^(i-1), 2^i]` nanoseconds (bucket 0 is `[0, 1]`). 40 buckets reach
+/// `2^39 ns ≈ 9.2 min`, far beyond any batch this system applies.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// Monotone event count. Cloning shares the underlying atomic.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn add(&self, v: u64) {
+        // Skipping zero saves the atomic RMW on the (common) untouched
+        // operators of a batch without changing any observable value.
+        if v != 0 {
+            self.0.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Overwrite with an externally maintained cumulative value (e.g. a
+    /// worker report that already carries totals). The value must be
+    /// monotone for Prometheus semantics to hold; that is the caller's
+    /// contract, not enforced here.
+    pub fn store(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed level (queue depths, in-flight batches).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    pub fn add(&self, v: i64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// Log-bucketed latency histogram over nanosecond samples. Recording is
+/// two relaxed `fetch_add`s plus one on the bucket — no locks, no
+/// allocation.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+}
+
+/// Bucket index for a nanosecond sample: smallest `i` with `v <= 2^i`,
+/// clamped to the last bucket.
+pub fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        ((64 - (v - 1).leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` in nanoseconds (`u64::MAX` for
+/// the overflow bucket).
+pub fn bucket_upper(i: usize) -> u64 {
+    if i + 1 >= HISTOGRAM_BUCKETS {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+impl Histogram {
+    /// Record one sample in nanoseconds.
+    pub fn record(&self, ns: u64) {
+        self.0.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum_ns(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .0
+                .buckets
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (bucket_upper(i), b.load(Ordering::Relaxed)))
+                .filter(|&(_, n)| n > 0)
+                .collect(),
+            count: self.count(),
+            sum_ns: self.sum_ns(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    tracer: Tracer,
+}
+
+/// A named registry of metrics. Cheap to clone (one `Arc`); every clone
+/// sees the same metrics, so attach the same registry to a session, its
+/// shard workers, and an exporter thread freely.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry(Arc<Inner>);
+
+fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panicking shard worker must not wedge the exporter: recover the
+    // guard — metric maps are always structurally valid.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get-or-register a counter. Cold path (mutex + map); resolve once
+    /// and keep the handle.
+    pub fn counter(&self, name: &str) -> Counter {
+        locked(&self.0.counters)
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Get-or-register a gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        locked(&self.0.gauges)
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Get-or-register a histogram.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        locked(&self.0.histograms)
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The registry's batch-lifecycle tracer (bounded ring buffer).
+    pub fn tracer(&self) -> &Tracer {
+        &self.0.tracer
+    }
+
+    /// Open a [`Span`] on the registry's tracer; its wall time is logged
+    /// when dropped or [`Span::finish`]ed.
+    pub fn span(&self, label: impl Into<String>) -> Span {
+        self.0.tracer.span(label)
+    }
+
+    /// A point-in-time copy of every metric, safe to take while writers
+    /// are live (each cell is read atomically; cross-metric skew is
+    /// bounded by the scrape duration, as in any metrics system).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: locked(&self.0.counters)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: locked(&self.0.gauges)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: locked(&self.0.histograms)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state_across_clones_and_lookups() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(3);
+        b.add(4);
+        assert_eq!(reg.counter("x").get(), 7);
+
+        let g = reg.gauge("depth");
+        g.add(5);
+        g.dec();
+        assert_eq!(reg.gauge("depth").get(), 4);
+    }
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 20), 20);
+        assert_eq!(bucket_index((1 << 20) + 1), 21);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_accumulates() {
+        let h = Histogram::default();
+        h.record(1);
+        h.record(100);
+        h.record(100);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum_ns(), 201);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        // 100ns lands in bucket upper-bound 128.
+        assert!(snap.buckets.contains(&(128, 2)));
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("hits");
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+    }
+}

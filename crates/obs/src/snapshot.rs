@@ -1,0 +1,288 @@
+//! Point-in-time metric snapshots and their two export formats:
+//! Prometheus text exposition and a JSON document. Both render from the
+//! same [`MetricsSnapshot`], so a scrape endpoint and a `BENCH_*.json`
+//! file can never disagree about what the counters said.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Frozen histogram state: non-empty `(inclusive_upper_bound_ns, count)`
+/// buckets in ascending bound order, plus totals.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    pub buckets: Vec<(u64, u64)>,
+    pub count: u64,
+    pub sum_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (ns) of the bucket containing the `q`-quantile
+    /// sample, `q` in `[0, 1]`. Log-bucketed, so this is an upper
+    /// estimate within a factor of 2; 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for &(upper, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return upper;
+            }
+        }
+        self.buckets.last().map(|&(u, _)| u).unwrap_or(0)
+    }
+}
+
+/// A frozen copy of a [`MetricsRegistry`](crate::MetricsRegistry):
+/// plain maps, no atomics — compare, serialize, or diff freely.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Prometheus metric names allow `[a-zA-Z0-9_:]`; everything else
+/// (the registry's dotted hierarchy included) maps to `_`.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+impl MetricsSnapshot {
+    /// True when nothing was ever registered (e.g. a detached session).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Counter value by exact name, 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value by exact name, 0 if absent.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram by exact name, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Sum of every counter whose name starts with `prefix`.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Names (with values) under a dotted prefix — handy for dashboards
+    /// iterating e.g. every `ivm.fleet.shard3.` metric.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.counters
+            .iter()
+            .filter(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Prometheus text exposition format (version 0.0.4). Histograms
+    /// emit cumulative `_bucket{le=...}` series over the non-empty
+    /// bounds plus `+Inf`, `_sum`, and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let n = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let n = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cumulative = 0;
+            for &(upper, count) in &h.buckets {
+                cumulative += count;
+                if upper == u64::MAX {
+                    continue; // folded into +Inf below
+                }
+                let _ = writeln!(out, "{n}_bucket{{le=\"{upper}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{n}_sum {}", h.sum_ns);
+            let _ = writeln!(out, "{n}_count {}", h.count);
+        }
+        out
+    }
+
+    /// The snapshot as a JSON document:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {name:
+    /// {"count", "sum_ns", "mean_ns", "p99_upper_ns", "buckets": [[le,
+    /// n], ...]}}}`.
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::num(*v as f64)))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::num(*v as f64)))
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, h)| {
+                    let buckets = Json::Arr(
+                        h.buckets
+                            .iter()
+                            .filter(|&&(u, _)| u != u64::MAX)
+                            .map(|&(u, n)| {
+                                Json::Arr(vec![Json::num(u as f64), Json::num(n as f64)])
+                            })
+                            .collect(),
+                    );
+                    (
+                        k.clone(),
+                        Json::obj()
+                            .field("count", Json::num(h.count as f64))
+                            .field("sum_ns", Json::num(h.sum_ns as f64))
+                            .field("mean_ns", Json::num(h.mean_ns()))
+                            .field("p99_upper_ns", Json::num(h.quantile_ns(0.99) as f64))
+                            .field("buckets", buckets),
+                    )
+                })
+                .collect(),
+        );
+        Json::obj()
+            .field("counters", counters)
+            .field("gauges", gauges)
+            .field("histograms", histograms)
+    }
+
+    /// [`to_json`](Self::to_json) rendered to a string.
+    pub fn render_json(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    fn scrape_value(prom: &str, series: &str) -> Option<f64> {
+        prom.lines()
+            .find(|l| l.split_whitespace().next() == Some(series))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitized() {
+        assert_eq!(
+            prometheus_name("ivm.shard0.queue-depth"),
+            "ivm_shard0_queue_depth"
+        );
+        assert_eq!(prometheus_name("4shard"), "_4shard");
+    }
+
+    #[test]
+    fn quantiles_upper_bound_the_samples() {
+        let h = crate::registry::Histogram::default();
+        for ns in [10u64, 20, 30, 40, 1000] {
+            h.record(ns);
+        }
+        let s = h.snapshot();
+        assert!(s.quantile_ns(0.5) >= 20);
+        assert!(s.quantile_ns(1.0) >= 1000);
+        assert!((s.mean_ns() - 220.0).abs() < 1e-9);
+    }
+
+    /// The acceptance contract: the Prometheus exposition and the JSON
+    /// document must agree — same counters, same gauge levels, same
+    /// histogram totals — because they render from one snapshot.
+    #[test]
+    fn prometheus_and_json_agree() {
+        let reg = MetricsRegistry::new();
+        reg.counter("ivm.dataflow.updates_in").add(1234);
+        reg.gauge("ivm.fleet.shard0.queue_depth").set(-2);
+        let h = reg.histogram("ivm.session.ingest_ns");
+        h.record(700);
+        h.record(90_000);
+
+        let snap = reg.snapshot();
+        let prom = snap.to_prometheus();
+        let json = snap.render_json();
+
+        assert_eq!(
+            scrape_value(&prom, "ivm_dataflow_updates_in"),
+            Some(snap.counter("ivm.dataflow.updates_in") as f64)
+        );
+        assert_eq!(
+            scrape_value(&prom, "ivm_fleet_shard0_queue_depth"),
+            Some(snap.gauge("ivm.fleet.shard0.queue_depth") as f64)
+        );
+        assert_eq!(
+            scrape_value(&prom, "ivm_session_ingest_ns_count"),
+            Some(2.0)
+        );
+        assert_eq!(
+            scrape_value(&prom, "ivm_session_ingest_ns_sum"),
+            Some(90_700.0)
+        );
+        assert!(json.contains(r#""ivm.dataflow.updates_in":1234"#));
+        assert!(json.contains(r#""ivm.fleet.shard0.queue_depth":-2"#));
+        assert!(json.contains(r#""count":2,"sum_ns":90700"#));
+        // Cumulative bucket counts: the 700ns sample is ≤ 1024.
+        assert!(prom.contains("ivm_session_ingest_ns_bucket{le=\"1024\"} 1"));
+        assert!(prom.contains("ivm_session_ingest_ns_bucket{le=\"+Inf\"} 2"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders() {
+        let snap = MetricsSnapshot::default();
+        assert!(snap.is_empty());
+        assert_eq!(snap.to_prometheus(), "");
+        assert_eq!(
+            snap.render_json(),
+            r#"{"counters":{},"gauges":{},"histograms":{}}"#
+        );
+    }
+}

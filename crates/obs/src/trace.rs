@@ -1,0 +1,175 @@
+//! Batch-lifecycle tracing: named [`Span`]s append to a bounded
+//! ring-buffer event log. Unlike the metric atomics this takes a short
+//! mutex per *span* (not per tuple) — spans wrap whole batch phases, so
+//! contention is proportional to batch rate, and the ring discards the
+//! oldest events instead of growing without bound.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One completed span.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// What happened, e.g. `enqueue seq=3` or `drain`.
+    pub label: String,
+    /// Start offset from the tracer's creation instant.
+    pub start: Duration,
+    /// Wall-clock length of the span.
+    pub elapsed: Duration,
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    epoch: Instant,
+    capacity: usize,
+    events: Mutex<VecDeque<TraceEvent>>,
+    dropped: AtomicU64,
+}
+
+/// Bounded event log. Cloning shares the buffer.
+#[derive(Clone, Debug)]
+pub struct Tracer(Arc<TracerInner>);
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::with_capacity(1024)
+    }
+}
+
+impl Tracer {
+    /// A tracer retaining at most `capacity` most-recent events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tracer(Arc::new(TracerInner {
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 4096))),
+            dropped: AtomicU64::new(0),
+        }))
+    }
+
+    /// Open a span; it records itself on drop (or [`Span::finish`]).
+    pub fn span(&self, label: impl Into<String>) -> Span {
+        Span {
+            tracer: self.clone(),
+            label: label.into(),
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Record a completed event directly (spans use this internally).
+    pub fn record(&self, label: String, start: Instant, elapsed: Duration) {
+        let mut events = self.0.events.lock().unwrap_or_else(|e| e.into_inner());
+        if events.len() >= self.0.capacity {
+            events.pop_front();
+            self.0.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(TraceEvent {
+            label,
+            start: start.saturating_duration_since(self.0.epoch),
+            elapsed,
+        });
+    }
+
+    /// Copy of the retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.0
+            .events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// How many events the ring has discarded since creation.
+    pub fn dropped(&self) -> u64 {
+        self.0.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Discard all retained events (the dropped count keeps its total).
+    pub fn clear(&self) {
+        self.0
+            .events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+}
+
+/// RAII guard measuring one phase: created by [`Tracer::span`], logs
+/// its wall time when finished or dropped.
+#[derive(Debug)]
+pub struct Span {
+    tracer: Tracer,
+    label: String,
+    start: Instant,
+    armed: bool,
+}
+
+impl Span {
+    /// End the span now and log it (otherwise `Drop` does).
+    pub fn finish(mut self) {
+        self.record();
+    }
+
+    /// End without logging — for phases that turned out to be no-ops.
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+
+    fn record(&mut self) {
+        if self.armed {
+            self.armed = false;
+            self.tracer.record(
+                std::mem::take(&mut self.label),
+                self.start,
+                self.start.elapsed(),
+            );
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_on_drop_in_order() {
+        let t = Tracer::with_capacity(8);
+        {
+            let _a = t.span("first");
+        }
+        t.span("second").finish();
+        t.span("cancelled").cancel();
+        let ev = t.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].label, "first");
+        assert_eq!(ev[1].label, "second");
+        assert!(ev[1].start >= ev[0].start);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let t = Tracer::with_capacity(4);
+        for i in 0..10 {
+            t.span(format!("e{i}")).finish();
+        }
+        let ev = t.events();
+        assert_eq!(ev.len(), 4);
+        assert_eq!(ev[0].label, "e6");
+        assert_eq!(ev[3].label, "e9");
+        assert_eq!(t.dropped(), 6);
+        t.clear();
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 6);
+    }
+}

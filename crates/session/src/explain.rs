@@ -2,6 +2,7 @@
 
 use crate::classify::{Classification, QueryClass};
 use crate::select::EngineKind;
+use ivm_dataflow::ReplanTrigger;
 
 /// Predicted asymptotic costs for one (class, engine) pairing, stated in
 /// the paper's three-axis cost model: preprocessing, per-update work,
@@ -87,16 +88,48 @@ pub struct ReplanEvent {
     pub from: String,
     /// The engine/plan after the replan.
     pub to: String,
+    /// Which policy trigger fired (machine-readable; its
+    /// [`ReplanTrigger::name`] labels the timeline entry).
+    pub trigger: ReplanTrigger,
     /// The policy trigger, verbatim.
     pub reason: String,
+    /// Ingestion throughput (tuples/s) observed over the window that
+    /// *ended* with this replan — the plan the policy walked away from.
+    pub before_tps: f64,
+    /// Ingestion throughput observed since this replan, refreshed on
+    /// every later ingest. `None` until post-replan data arrives, so a
+    /// replan on the final batch honestly reports "unmeasured" instead
+    /// of a fabricated delta.
+    pub after_tps: Option<f64>,
+}
+
+/// Render tuples/second compactly for the replan timeline: three
+/// significant-ish digits with a `k`/`M` suffix keep the before→after
+/// delta readable at a glance.
+fn fmt_tps(tps: f64) -> String {
+    if !tps.is_finite() || tps <= 0.0 {
+        "0/s".to_string()
+    } else if tps >= 1e6 {
+        format!("{:.1}M/s", tps / 1e6)
+    } else if tps >= 1e3 {
+        format!("{:.1}k/s", tps / 1e3)
+    } else {
+        format!("{tps:.0}/s")
+    }
 }
 
 impl std::fmt::Display for ReplanEvent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "batch {}: {} -> {} ({})",
-            self.batch_index, self.from, self.to, self.reason
+            "batch {} [{}]: {} -> {} ({}); throughput {} -> {}",
+            self.batch_index,
+            self.trigger.name(),
+            self.from,
+            self.to,
+            self.reason,
+            fmt_tps(self.before_tps),
+            self.after_tps.map_or("unmeasured".into(), fmt_tps),
         )
     }
 }
@@ -177,8 +210,11 @@ impl std::fmt::Display for Explain {
         if let Some(ad) = &self.adaptive {
             writeln!(f, "adaptive: {ad}")?;
         }
-        for ev in &self.replans {
-            writeln!(f, "replan:   {ev}")?;
+        if !self.replans.is_empty() {
+            writeln!(f, "replans:  {} (timeline below)", self.replans.len())?;
+            for (i, ev) in self.replans.iter().enumerate() {
+                writeln!(f, "  #{}: {ev}", i + 1)?;
+            }
         }
         writeln!(f, "predicted: preprocessing {}", self.cost.preprocessing)?;
         writeln!(f, "           update        {}", self.cost.update)?;
@@ -195,5 +231,26 @@ mod tests {
         let p = cost_profile(QueryClass::QHierarchical, EngineKind::EagerFact);
         assert_eq!(p.update, "O(1)");
         assert_eq!(p.delay, "O(1)");
+    }
+
+    #[test]
+    fn replan_event_renders_trigger_and_throughput_delta() {
+        let ev = ReplanEvent {
+            batch_index: 3,
+            from: "DataflowLeftDeep".into(),
+            to: "DataflowMultiway".into(),
+            trigger: ReplanTrigger::Blowup,
+            reason: "observed binary blowup".into(),
+            before_tps: 1500.0,
+            after_tps: None,
+        };
+        let line = ev.to_string();
+        assert!(line.contains("batch 3 [blowup]"), "{line}");
+        assert!(line.contains("1.5k/s -> unmeasured"), "{line}");
+        let ev = ReplanEvent {
+            after_tps: Some(2_500_000.0),
+            ..ev
+        };
+        assert!(ev.to_string().contains("-> 2.5M/s"), "{}", ev);
     }
 }

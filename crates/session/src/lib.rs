@@ -49,6 +49,7 @@ pub mod session;
 
 pub use classify::{classify, Classification, QueryClass};
 pub use explain::{cost_profile, CostProfile, Explain, ReplanEvent};
-pub use ivm_dataflow::{LearnedCardinalities, ReplanPolicy};
+pub use ivm_dataflow::{LearnedCardinalities, ReplanPolicy, ReplanTrigger};
+pub use ivm_obs::{MetricsRegistry, MetricsSnapshot};
 pub use select::{select, EngineKind, Selection};
 pub use session::{Session, SessionBuilder};

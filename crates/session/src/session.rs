@@ -12,9 +12,11 @@ use ivm_data::{Database, FxHashSet, Relation, Sym, Tuple, Update};
 use ivm_dataflow::{
     DataflowEngine, DataflowStats, JoinStrategy, LearnedCardinalities, ReplanDecision, ReplanPolicy,
 };
+use ivm_obs::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
 use ivm_query::Query;
 use ivm_ring::Semiring;
 use ivm_shard::{ShardedEngine, ShardedStats};
+use std::time::Instant;
 
 /// Configures and builds a [`Session`].
 ///
@@ -36,6 +38,7 @@ pub struct SessionBuilder<R: Semiring> {
     shards: Option<usize>,
     forced: Option<EngineKind>,
     adaptive: Option<ReplanPolicy>,
+    observe: Option<MetricsRegistry>,
 }
 
 impl<R: Semiring> SessionBuilder<R> {
@@ -47,6 +50,7 @@ impl<R: Semiring> SessionBuilder<R> {
             shards: None,
             forced: None,
             adaptive: None,
+            observe: None,
         }
     }
 
@@ -72,6 +76,27 @@ impl<R: Semiring> SessionBuilder<R> {
     /// Use a custom payload lifting instead of `lift_one`.
     pub fn lift(mut self, lift: Lift<R>) -> Self {
         self.lift = lift;
+        self
+    }
+
+    /// Attach a metrics registry: the session and its backend publish
+    /// live counters, gauges, and latency histograms into `registry`.
+    ///
+    /// Session-level series live under `ivm.session.*` (ingestion calls,
+    /// tuples, wall-clock ingest latency, replans). A dataflow-backed
+    /// session additionally publishes per-operator apply time and tuple
+    /// counters under `ivm.dataflow.*`; a sharded fleet publishes
+    /// per-shard queue depth, enqueue-to-settle latency, busy/idle time,
+    /// and router-side timings under `ivm.fleet.*`, with each worker's
+    /// operators under `ivm.fleet.shard{i}.dataflow.*`. Adaptive replans
+    /// re-attach the fresh plan automatically, so series survive
+    /// re-lowering (counters stay cumulative across the reset).
+    ///
+    /// Without this call every metrics hook in the stack stays a no-op
+    /// (`Option` fields left `None` — nothing is allocated or timed), and
+    /// [`Session::metrics`] returns an empty snapshot.
+    pub fn observe(mut self, registry: &MetricsRegistry) -> Self {
+        self.observe = Some(registry.clone());
         self
     }
 
@@ -129,7 +154,7 @@ impl<R: Semiring> SessionBuilder<R> {
         };
         let forced = self.forced.is_some();
         let mut fallback = None;
-        let backend =
+        let mut backend =
             match Self::build_backend(selection.kind, &self.query, db, self.lift, self.shards) {
                 Ok(b) => b,
                 Err(e) if !forced && selection.kind.is_specialized() => {
@@ -167,6 +192,26 @@ impl<R: Semiring> SessionBuilder<R> {
                 selection.kind, selection.reason
             ),
         };
+        // Attach observability before the first batch, so even
+        // preprocessing-era series start from a known base. Backends
+        // without dataflow internals still get the session-level series.
+        let obs = match &self.observe {
+            None => None,
+            Some(registry) => {
+                match &mut backend {
+                    Backend::Dataflow(e) => e.observe(registry, "ivm.dataflow"),
+                    Backend::Sharded(s) => s.observe(registry, "ivm.fleet")?,
+                    _ => {}
+                }
+                Some(SessionObs {
+                    registry: registry.clone(),
+                    ingest_ns: registry.histogram("ivm.session.ingest_ns"),
+                    batches: registry.counter("ivm.session.batches"),
+                    updates: registry.counter("ivm.session.updates"),
+                    replans: registry.counter("ivm.session.replans"),
+                })
+            }
+        };
         // Arm adaptive replanning only where a re-lowering exists to
         // trigger; the mirror is only paid for when it can be used.
         let (adaptive_note, adaptive) = match self.adaptive {
@@ -183,6 +228,8 @@ impl<R: Semiring> SessionBuilder<R> {
                             batch_index: 0,
                             batches_since_replan: 0,
                             window_base: DataflowStats::default(),
+                            window_started: Instant::now(),
+                            window_updates: 0,
                         }),
                     )
                 } else {
@@ -211,6 +258,7 @@ impl<R: Semiring> SessionBuilder<R> {
             backend,
             explain,
             adaptive,
+            obs,
         })
     }
 
@@ -308,6 +356,25 @@ struct AdaptiveState<R: Semiring> {
     /// Engine counters at the last replan — the policy judges the window
     /// since, not lifetime totals.
     window_base: DataflowStats,
+    /// When the current window opened (build or last replan) — the
+    /// denominator of the window's ingestion throughput, which replan
+    /// events record as their before/after evidence.
+    window_started: Instant,
+    /// Updates ingested in the current window (the numerator).
+    window_updates: u64,
+}
+
+/// The session-level metric handles behind [`SessionBuilder::observe`]:
+/// engine-agnostic ingestion series every backend gets, plus the registry
+/// itself for [`Session::metrics`] snapshots.
+struct SessionObs {
+    registry: MetricsRegistry,
+    /// Wall-clock latency of each ingestion call (backend apply/enqueue
+    /// plus adaptive bookkeeping), under `ivm.session.ingest_ns`.
+    ingest_ns: Histogram,
+    batches: Counter,
+    updates: Counter,
+    replans: Counter,
 }
 
 /// Mirror every distinct atom relation of `query` out of `db` (statics
@@ -395,6 +462,7 @@ pub struct Session<R: Semiring> {
     backend: Backend<R>,
     explain: Explain,
     adaptive: Option<AdaptiveState<R>>,
+    obs: Option<SessionObs>,
 }
 
 impl<R: Semiring> Session<R> {
@@ -444,11 +512,14 @@ impl<R: Semiring> Session<R> {
     /// synchronously and discards the delta, so the calling code stays
     /// engine-agnostic.
     pub fn enqueue_batch(&mut self, batch: &[Update<R>]) -> Result<(), EngineError> {
+        let t0 = self.obs.as_ref().map(|_| Instant::now());
         match &mut self.backend {
             Backend::Sharded(e) => e.enqueue_batch(batch).map(|_| ())?,
             other => other.maintainer().apply_batch(batch).map(|_| ())?,
         }
-        self.after_ingest(batch)
+        self.after_ingest(batch)?;
+        self.obs_ingest(batch.len(), t0);
+        Ok(())
     }
 
     /// Settle all enqueued batches into the maintained view. A no-op for
@@ -503,6 +574,31 @@ impl<R: Semiring> Session<R> {
         }
     }
 
+    /// A point-in-time snapshot of every metric the session publishes —
+    /// session-level ingestion series plus whatever the backend exposes
+    /// (per-operator timings for dataflow, per-shard queues/latencies for
+    /// fleets). Empty unless the session was built with
+    /// [`SessionBuilder::observe`]. Render it with
+    /// [`MetricsSnapshot::to_prometheus`] or
+    /// [`MetricsSnapshot::render_json`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        match &self.obs {
+            Some(o) => o.registry.snapshot(),
+            None => MetricsSnapshot::default(),
+        }
+    }
+
+    /// Close out one observed ingestion call: latency into the histogram,
+    /// call/tuple counts onto the counters. `t0` is `Some` exactly when a
+    /// registry is attached, so detached sessions never read the clock.
+    fn obs_ingest(&self, updates: usize, t0: Option<Instant>) {
+        if let (Some(o), Some(t0)) = (&self.obs, t0) {
+            o.ingest_ns.record_duration(t0.elapsed());
+            o.batches.inc();
+            o.updates.add(updates as u64);
+        }
+    }
+
     /// Adaptive bookkeeping after a batch the backend *accepted*: apply
     /// it to the mirror, refresh the learned cardinalities, and consult
     /// the policy — re-lowering the plan (and recording the event in
@@ -517,6 +613,23 @@ impl<R: Semiring> Session<R> {
         st.learned.refresh(&st.mirror, &st.query);
         st.batch_index += 1;
         st.batches_since_replan += 1;
+        st.window_updates += batch.len() as u64;
+        // The throughput of the window running *now* — evidence for the
+        // replan events on both sides of it: it closes the last event's
+        // `after_tps` (refreshed on every ingest, so the recorded value
+        // always covers the whole post-replan window so far) and, if a
+        // replan fires below, it becomes the new event's `before_tps`.
+        let window_tps = {
+            let secs = st.window_started.elapsed().as_secs_f64();
+            if secs > 0.0 {
+                st.window_updates as f64 / secs
+            } else {
+                0.0
+            }
+        };
+        if let Some(last) = self.explain.replans.last_mut() {
+            last.after_tps = Some(window_tps);
+        }
 
         let (resolved, lowered, stats) = match &self.backend {
             Backend::Dataflow(e) => (e.resolved_strategy(), e.lowered_cards().clone(), e.stats()),
@@ -538,6 +651,7 @@ impl<R: Semiring> Session<R> {
         let ReplanDecision {
             strategy,
             cards,
+            trigger,
             reason,
         } = decision;
 
@@ -552,8 +666,14 @@ impl<R: Semiring> Session<R> {
             batch_index: st.batch_index,
             from,
             to: plan_label(&self.backend),
+            trigger,
             reason,
+            before_tps: window_tps,
+            after_tps: None,
         });
+        if let Some(o) = &self.obs {
+            o.replans.inc();
+        }
         // Keep the report describing the plan actually running.
         self.explain.engine = kind;
         self.explain.cost = cost_profile(self.explain.classification.class, kind);
@@ -563,6 +683,8 @@ impl<R: Semiring> Session<R> {
             Backend::Sharded(e) => e.stats(),
             _ => DataflowStats::default(),
         };
+        st.window_started = Instant::now();
+        st.window_updates = 0;
         Ok(())
     }
 }
@@ -586,16 +708,21 @@ impl<R: Semiring> Maintainer<R> for Session<R> {
     }
 
     fn apply(&mut self, upd: &Update<R>) -> Result<(), EngineError> {
+        let t0 = self.obs.as_ref().map(|_| Instant::now());
         self.backend.maintainer().apply(upd)?;
-        self.after_ingest(std::slice::from_ref(upd))
+        self.after_ingest(std::slice::from_ref(upd))?;
+        self.obs_ingest(1, t0);
+        Ok(())
     }
 
     /// Delegates to the backend's native batch path — the session never
     /// re-implements ingestion, it only routes to the one trait surface
     /// (plus the adaptive bookkeeping when a policy is armed).
     fn apply_batch(&mut self, batch: &[Update<R>]) -> Result<Relation<R>, EngineError> {
+        let t0 = self.obs.as_ref().map(|_| Instant::now());
         let delta = self.backend.maintainer().apply_batch(batch)?;
         self.after_ingest(batch)?;
+        self.obs_ingest(batch.len(), t0);
         Ok(delta)
     }
 
@@ -920,6 +1047,93 @@ mod tests {
         for (t, p) in expect.iter() {
             assert_eq!(&got.get(t), p, "at {t:?}");
         }
+    }
+
+    /// The acceptance shape of the observability PR: a 4-shard adaptive
+    /// session with a registry attached publishes session-, fleet-, and
+    /// operator-level series; `metrics()` snapshots them; the replan
+    /// timeline carries trigger names and throughput deltas; and the two
+    /// export formats agree.
+    #[test]
+    fn observed_sharded_adaptive_session_publishes_metrics() {
+        let [x, y, z] = ivm_data::vars(["som_X", "som_Y", "som_Z"]);
+        let (rn, sn) = (sym("som_R"), sym("som_S"));
+        let q = Query::new(
+            "som_star",
+            [x, y, z],
+            vec![
+                ivm_query::Atom::new(rn, [x, y]),
+                ivm_query::Atom::new(sn, [x, z]),
+            ],
+        );
+        let registry = MetricsRegistry::new();
+        let mut s = Session::<i64>::builder(q)
+            .shards(4)
+            .adaptive(ReplanPolicy::default())
+            .observe(&registry)
+            .build(&Database::new())
+            .unwrap();
+        assert_eq!(s.explain().shards, 4);
+        let mut total_updates = 0u64;
+        for i in 0..6i64 {
+            let mut batch: Vec<Update<i64>> = (0..30)
+                .map(|j| Update::insert(rn, tup![(i * 30 + j) % 7, i * 30 + j]))
+                .collect();
+            batch.push(Update::insert(sn, tup![i % 7, i]));
+            total_updates += batch.len() as u64;
+            s.apply_batch(&batch).unwrap();
+        }
+        s.drain().unwrap();
+
+        let m = s.metrics();
+        // Session-level ingestion series.
+        assert_eq!(m.counter("ivm.session.batches"), 6);
+        assert_eq!(m.counter("ivm.session.updates"), total_updates);
+        assert_eq!(m.histogram("ivm.session.ingest_ns").unwrap().count, 6);
+        // Fleet-level: per-shard queues settled, updates conserved.
+        assert_eq!(m.counter("ivm.fleet.updates_in"), total_updates);
+        for shard in 0..4 {
+            assert_eq!(m.gauge(&format!("ivm.fleet.shard{shard}.queue_depth")), 0);
+        }
+        // Per-operator timings exist under the workers' dataflows.
+        assert!(
+            m.counters_with_prefix("ivm.fleet.shard0.dataflow.op.")
+                .next()
+                .is_some(),
+            "expected per-operator series; got:\n{}",
+            m.to_prometheus()
+        );
+        // The blind empty-database build replanned on first data, and the
+        // event carries its trigger and throughput evidence.
+        assert_eq!(
+            m.counter("ivm.session.replans"),
+            s.explain().replans.len() as u64
+        );
+        let ev = &s.explain().replans[0];
+        assert_eq!(ev.trigger, ivm_dataflow::ReplanTrigger::FirstData);
+        assert!(ev.before_tps > 0.0);
+        assert!(ev.after_tps.is_some(), "later ingests refresh after_tps");
+        let rendered = s.explain().to_string();
+        assert!(rendered.contains("[first-data]"), "{rendered}");
+        assert!(rendered.contains("replans:"), "{rendered}");
+        // Both export formats render every series.
+        let prom = m.to_prometheus();
+        let json = m.render_json();
+        assert!(prom.contains("ivm_session_ingest_ns_bucket"), "{prom}");
+        assert!(json.contains("ivm.session.ingest_ns"), "{json}");
+    }
+
+    #[test]
+    fn detached_session_metrics_are_empty() {
+        let q = examples::fig3_query();
+        let (rn, sn) = (sym("f3_R"), sym("f3_S"));
+        let mut s = Session::<i64>::builder(q).build(&Database::new()).unwrap();
+        s.apply_batch(&[
+            Update::insert(rn, tup![1i64, 10i64]),
+            Update::insert(sn, tup![1i64, 20i64]),
+        ])
+        .unwrap();
+        assert!(s.metrics().is_empty());
     }
 
     #[test]

@@ -31,15 +31,100 @@ use ivm_data::{Database, FxHashMap, FxHashSet, Relation, Schema, Sym, Tuple, Upd
 use ivm_dataflow::{
     resolve_strategy, Cardinalities, DataflowEngine, DataflowStats, DeltaBatch, JoinStrategy,
 };
+use ivm_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use ivm_query::Query;
 use ivm_ring::Semiring;
 use std::sync::mpsc::Receiver;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A batch whose shard deltas have not all arrived yet.
 struct Pending<R> {
     remaining: usize,
     delta: Relation<R>,
+    /// When the batch was enqueued — settling records the
+    /// enqueue-to-settle latency when a registry is attached.
+    enqueued: Instant,
+    /// Replan broadcasts settle through the same path but are not
+    /// stream batches; their latency is not a batch latency.
+    replan: bool,
+}
+
+/// Facade-side registry handles of one shard.
+struct ShardObs {
+    /// Jobs sent to the shard and not yet reported back — the live
+    /// depth of its bounded queue (plus the one job being applied).
+    queue_depth: Gauge,
+    /// Cumulative busy time (thread CPU where available; mirrors
+    /// [`ShardedStats::busy`]).
+    busy_ns: Counter,
+    /// Wall time since attach not spent busy — the shard's idle/skew
+    /// indicator, refreshed at every settled report.
+    idle_ns: Gauge,
+    /// Cumulative per-shard dataflow counters (stored from reports).
+    batches: Counter,
+    updates_in: Counter,
+    deltas_in: Counter,
+    output_delta_tuples: Counter,
+}
+
+/// Facade-side registry handles of the whole fleet.
+struct FleetObs {
+    attached: Instant,
+    per_shard: Vec<ShardObs>,
+    /// Busy baseline at attach, per shard: idle accounting must not
+    /// charge pre-attach history.
+    busy_base: Vec<Duration>,
+    /// Enqueue-to-settle latency of stream batches.
+    settle_ns: Histogram,
+    /// Router-side time consolidating raw updates into a [`DeltaBatch`].
+    router_consolidate_ns: Counter,
+    /// Router-side time hash-partitioning a consolidated batch.
+    router_partition_ns: Counter,
+    routed: Counter,
+    broadcast_copies: Counter,
+    batches_enqueued: Counter,
+    /// Fleet-merged cumulative counters (always Σ of the per-shard
+    /// stored values, refreshed together at each settle).
+    updates_in: Counter,
+    batches: Counter,
+    deltas_in: Counter,
+    output_delta_tuples: Counter,
+}
+
+impl FleetObs {
+    /// Store one shard's cumulative report values and refresh the
+    /// fleet-merged series from the facade's per-shard snapshots.
+    fn on_report(
+        &self,
+        shard: usize,
+        stats: &DataflowStats,
+        busy: Duration,
+        merged: &DataflowStats,
+    ) {
+        let s = &self.per_shard[shard];
+        s.queue_depth.dec();
+        s.busy_ns.store(busy.as_nanos() as u64);
+        let spent = busy.saturating_sub(self.busy_base[shard]);
+        s.idle_ns
+            .set(self.attached.elapsed().saturating_sub(spent).as_nanos() as i64);
+        s.batches.store(stats.batches);
+        s.updates_in.store(stats.updates_in);
+        s.deltas_in.store(stats.deltas_in);
+        s.output_delta_tuples.store(stats.output_delta_tuples);
+        self.batches.store(merged.batches);
+        self.updates_in.store(merged.updates_in);
+        self.deltas_in.store(merged.deltas_in);
+        self.output_delta_tuples.store(merged.output_delta_tuples);
+    }
+
+    /// A poisoned fleet has no live queues: a stuck non-zero depth
+    /// would read as permanent backlog on an engine that will never
+    /// process anything again.
+    fn on_poison(&self) {
+        for s in &self.per_shard {
+            s.queue_depth.set(0);
+        }
+    }
 }
 
 /// Hash-partitioned parallel engine over `ivm-dataflow` worker shards.
@@ -69,6 +154,8 @@ pub struct ShardedEngine<R: Semiring> {
     /// operation fails fast with this error instead of hanging on reports
     /// that will never come.
     poisoned: Option<EngineError>,
+    /// Facade-side telemetry handles; `None` (detached) costs nothing.
+    obs: Option<FleetObs>,
 }
 
 impl<R: Semiring> ShardedEngine<R> {
@@ -151,7 +238,82 @@ impl<R: Semiring> ShardedEngine<R> {
             resolved,
             lowered_cards: cards,
             poisoned: None,
+            obs: None,
         })
+    }
+
+    /// Attach a metrics registry to the whole fleet under `{prefix}.*`:
+    ///
+    /// * facade side — per-shard `shard{i}.queue_depth` /
+    ///   `shard{i}.busy_ns` / `shard{i}.idle_ns` and counter mirrors,
+    ///   fleet-merged counters, the `settle_ns` enqueue-to-settle
+    ///   latency histogram, and `router.*` consolidation/partition
+    ///   timings;
+    /// * worker side — each shard's dataflow attaches under
+    ///   `{prefix}.shard{i}.dataflow.*` (per-operator apply time and
+    ///   tuple counts), via a broadcast [`Job::Observe`] that FIFO
+    ///   ordering lands between batches.
+    ///
+    /// Counter mirrors are *stored* cumulative values (report-driven),
+    /// so they survive replans the same way [`Self::stats`] does.
+    pub fn observe(&mut self, registry: &MetricsRegistry, prefix: &str) -> Result<(), EngineError> {
+        self.check_poisoned()?;
+        let per_shard = (0..self.workers.len())
+            .map(|i| {
+                let base = format!("{prefix}.shard{i}");
+                let s = ShardObs {
+                    queue_depth: registry.gauge(&format!("{base}.queue_depth")),
+                    busy_ns: registry.counter(&format!("{base}.busy_ns")),
+                    idle_ns: registry.gauge(&format!("{base}.idle_ns")),
+                    batches: registry.counter(&format!("{base}.batches")),
+                    updates_in: registry.counter(&format!("{base}.updates_in")),
+                    deltas_in: registry.counter(&format!("{base}.deltas_in")),
+                    output_delta_tuples: registry.counter(&format!("{base}.output_delta_tuples")),
+                };
+                // Seed from the facade's current snapshots so the series
+                // start truthful (preprocessing included) even before the
+                // first report arrives.
+                s.busy_ns.store(self.shard_busy[i].as_nanos() as u64);
+                s.batches.store(self.shard_stats[i].batches);
+                s.updates_in.store(self.shard_stats[i].updates_in);
+                s.deltas_in.store(self.shard_stats[i].deltas_in);
+                s.output_delta_tuples
+                    .store(self.shard_stats[i].output_delta_tuples);
+                s
+            })
+            .collect();
+        let merged = self.stats();
+        let obs = FleetObs {
+            attached: Instant::now(),
+            per_shard,
+            busy_base: self.shard_busy.clone(),
+            settle_ns: registry.histogram(&format!("{prefix}.settle_ns")),
+            router_consolidate_ns: registry.counter(&format!("{prefix}.router.consolidate_ns")),
+            router_partition_ns: registry.counter(&format!("{prefix}.router.partition_ns")),
+            routed: registry.counter(&format!("{prefix}.router.routed")),
+            broadcast_copies: registry.counter(&format!("{prefix}.router.broadcast_copies")),
+            batches_enqueued: registry.counter(&format!("{prefix}.batches_enqueued")),
+            updates_in: registry.counter(&format!("{prefix}.updates_in")),
+            batches: registry.counter(&format!("{prefix}.batches")),
+            deltas_in: registry.counter(&format!("{prefix}.deltas_in")),
+            output_delta_tuples: registry.counter(&format!("{prefix}.output_delta_tuples")),
+        };
+        obs.batches.store(merged.batches);
+        obs.updates_in.store(merged.updates_in);
+        obs.deltas_in.store(merged.deltas_in);
+        obs.output_delta_tuples.store(merged.output_delta_tuples);
+        let rs = self.router.stats();
+        obs.routed.store(rs.routed);
+        obs.broadcast_copies.store(rs.broadcast_copies);
+        // Broadcast worker-side attachment (FIFO: lands between batches).
+        for (i, w) in self.workers.iter().enumerate() {
+            w.send(Job::Observe {
+                registry: registry.clone(),
+                prefix: format!("{prefix}.shard{i}.dataflow"),
+            })?;
+        }
+        self.obs = Some(obs);
+        Ok(())
     }
 
     /// Number of shards.
@@ -215,6 +377,9 @@ impl<R: Semiring> ShardedEngine<R> {
                 cards: cards.clone(),
                 db: shard_db,
             })?;
+            if let Some(obs) = &self.obs {
+                obs.per_shard[shard].queue_depth.inc();
+            }
         }
         self.last_empty = None;
         self.in_flight.insert(
@@ -222,6 +387,8 @@ impl<R: Semiring> ShardedEngine<R> {
             Pending {
                 remaining: shards,
                 delta: Relation::new(self.query.free.clone()),
+                enqueued: Instant::now(),
+                replan: true,
             },
         );
         // The replan deltas are empty by construction; waiting here both
@@ -253,14 +420,28 @@ impl<R: Semiring> ShardedEngine<R> {
 
         let seq = self.next_seq;
         self.next_seq += 1;
+        let t0 = self.obs.as_ref().map(|_| Instant::now());
         let consolidated = DeltaBatch::from_updates(batch);
+        let t1 = self.obs.as_ref().map(|_| Instant::now());
         let parts = self.router.split(&consolidated);
+        if let (Some(obs), Some(t0), Some(t1)) = (&self.obs, t0, t1) {
+            obs.router_consolidate_ns
+                .add(t1.duration_since(t0).as_nanos() as u64);
+            obs.router_partition_ns.add(t1.elapsed().as_nanos() as u64);
+            let rs = self.router.stats();
+            obs.routed.store(rs.routed);
+            obs.broadcast_copies.store(rs.broadcast_copies);
+            obs.batches_enqueued.inc();
+        }
         let mut sent = 0usize;
         for (shard, part) in parts.into_iter().enumerate() {
             if part.is_empty() {
                 continue;
             }
             self.workers[shard].send(Job::Batch { seq, delta: part })?;
+            if let Some(obs) = &self.obs {
+                obs.per_shard[shard].queue_depth.inc();
+            }
             sent += 1;
         }
         if sent == 0 {
@@ -273,6 +454,8 @@ impl<R: Semiring> ShardedEngine<R> {
                 Pending {
                     remaining: sent,
                     delta: Relation::new(self.query.free.clone()),
+                    enqueued: Instant::now(),
+                    replan: false,
                 },
             );
         }
@@ -364,6 +547,9 @@ impl<R: Semiring> ShardedEngine<R> {
                 let e = EngineError::ShardFailure("all shard workers hung up".into());
                 self.poisoned = Some(e.clone());
                 self.in_flight.clear();
+                if let Some(obs) = &self.obs {
+                    obs.on_poison();
+                }
                 Err(e)
             }
         }
@@ -384,11 +570,21 @@ impl<R: Semiring> ShardedEngine<R> {
     ) -> Result<Option<Relation<R>>, EngineError> {
         self.shard_stats[report.shard] = report.stats;
         self.shard_busy[report.shard] = report.busy;
+        if let Some(obs) = &self.obs {
+            let merged = self
+                .shard_stats
+                .iter()
+                .fold(DataflowStats::default(), |acc, s| acc.merged(s));
+            obs.on_report(report.shard, &report.stats, report.busy, &merged);
+        }
         let delta = match report.delta {
             Ok(d) => d,
             Err(e) => {
                 self.poisoned = Some(e.clone());
                 self.in_flight.clear();
+                if let Some(obs) = &self.obs {
+                    obs.on_poison();
+                }
                 return Err(e);
             }
         };
@@ -405,6 +601,11 @@ impl<R: Semiring> ShardedEngine<R> {
             .in_flight
             .remove(&report.seq)
             .expect("pending entry vanished");
+        if let Some(obs) = &self.obs {
+            if !done.replan {
+                obs.settle_ns.record_duration(done.enqueued.elapsed());
+            }
+        }
         fold_delta(&mut self.output, &done.delta);
         Ok(if claim == Some(report.seq) {
             Some(done.delta)
@@ -706,6 +907,8 @@ mod tests {
             Pending {
                 remaining: 1,
                 delta: Relation::new(eng.query.free.clone()),
+                enqueued: Instant::now(),
+                replan: false,
             },
         );
         // The drain surfaces the failure instead of blocking forever...
@@ -721,6 +924,101 @@ mod tests {
             EngineError::UnknownRelation(sym("she_rogue"))
         );
         assert!(eng.drain().is_err());
+    }
+
+    /// An observed fleet mirrors its counters into the registry —
+    /// per-shard and fleet-merged values agree with `sharded_stats()` —
+    /// and queue-depth gauges return to zero once drained.
+    #[test]
+    fn observed_fleet_mirrors_counters_and_queues_settle_to_zero() {
+        let q = star2();
+        let (rn, sn) = (q.atoms[0].name, q.atoms[1].name);
+        let mut eng = ShardedEngine::<i64>::new(q, &Database::new(), lift_one, 4).unwrap();
+        let reg = MetricsRegistry::new();
+        eng.observe(&reg, "t.fleet").unwrap();
+        for i in 0..12i64 {
+            eng.enqueue_batch(&[
+                Update::insert(rn, tup![i % 6, i]),
+                Update::insert(sn, tup![i % 6, i + 100]),
+            ])
+            .unwrap();
+        }
+        eng.drain().unwrap();
+        let snap = reg.snapshot();
+        let st = eng.sharded_stats();
+        let merged = st.merged();
+        assert_eq!(snap.counter("t.fleet.updates_in"), merged.updates_in);
+        let per_shard_sum: u64 = (0..4)
+            .map(|i| snap.counter(&format!("t.fleet.shard{i}.updates_in")))
+            .sum();
+        assert_eq!(per_shard_sum, merged.updates_in);
+        for i in 0..4 {
+            assert_eq!(
+                snap.gauge(&format!("t.fleet.shard{i}.queue_depth")),
+                0,
+                "drained shard {i} must have an empty queue"
+            );
+            assert_eq!(
+                snap.counter(&format!("t.fleet.shard{i}.busy_ns")),
+                st.busy[i].as_nanos() as u64
+            );
+        }
+        assert_eq!(snap.counter("t.fleet.batches_enqueued"), 12);
+        assert_eq!(snap.counter("t.fleet.router.routed"), st.router.routed);
+        assert!(snap.counter("t.fleet.router.consolidate_ns") > 0);
+        let settle = snap.histogram("t.fleet.settle_ns").unwrap();
+        assert_eq!(settle.count, 12, "one latency sample per settled batch");
+        // Worker-side dataflow series arrived through Job::Observe.
+        assert!(
+            snap.counters
+                .keys()
+                .any(|k| k.starts_with("t.fleet.shard0.dataflow.op.")),
+            "expected per-operator series, got: {:?}",
+            snap.counters.keys().take(8).collect::<Vec<_>>()
+        );
+    }
+
+    /// Satellite: a poisoned shard must not leave gauges stuck non-zero
+    /// — the queue depths of a dead fleet read zero, not a phantom
+    /// backlog.
+    #[test]
+    fn poisoned_fleet_zeroes_queue_gauges() {
+        let q = star2();
+        let mut eng = ShardedEngine::<i64>::new(q, &Database::new(), lift_one, 2).unwrap();
+        let reg = MetricsRegistry::new();
+        eng.observe(&reg, "t.poison").unwrap();
+        let rogue =
+            DeltaBatch::from_updates(&[Update::<i64>::insert(sym("she_rogue2"), tup![1i64, 1i64])]);
+        eng.workers[0]
+            .send(crate::worker::Job::Batch {
+                seq: 0,
+                delta: rogue,
+            })
+            .unwrap();
+        if let Some(obs) = &eng.obs {
+            obs.per_shard[0].queue_depth.inc();
+        }
+        eng.next_seq = 1;
+        eng.in_flight.insert(
+            0,
+            Pending {
+                remaining: 1,
+                delta: Relation::new(eng.query.free.clone()),
+                enqueued: Instant::now(),
+                replan: false,
+            },
+        );
+        assert!(eng.drain().is_err());
+        let snap = reg.snapshot();
+        for i in 0..2 {
+            assert_eq!(
+                snap.gauge(&format!("t.poison.shard{i}.queue_depth")),
+                0,
+                "poisoned fleet must zero its queue gauges"
+            );
+        }
+        // And observing a poisoned fleet fails fast like everything else.
+        assert!(eng.observe(&reg, "t.poison").is_err());
     }
 
     #[test]

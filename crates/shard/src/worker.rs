@@ -52,6 +52,16 @@ pub(crate) enum Job<R> {
         /// This shard's slice of the current base state, to replay.
         db: Database<R>,
     },
+    /// Attach a metrics registry to this shard's engine: per-operator
+    /// apply time and counter mirrors appear under `{prefix}.*`. Not
+    /// reported — it is instantaneous and the facade need not await it
+    /// (FIFO ordering already sequences it against batches).
+    Observe {
+        /// The shared fleet registry (cheap `Arc` clone).
+        registry: ivm_obs::MetricsRegistry,
+        /// Name prefix for this shard's dataflow series.
+        prefix: String,
+    },
 }
 
 /// A worker's answer to one [`Job`].
@@ -171,6 +181,10 @@ pub(crate) fn spawn<R: Semiring>(
                 // instead of silently leaving the batch in flight forever
                 // (its queue sender would stay alive via the siblings).
                 let (seq, outcome) = match job {
+                    Job::Observe { registry, prefix } => {
+                        engine.observe(&registry, &prefix);
+                        continue;
+                    }
                     Job::Batch { seq, delta } => (
                         seq,
                         std::panic::catch_unwind(AssertUnwindSafe(|| {

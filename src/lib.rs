@@ -10,6 +10,7 @@
 //! | payloads | [`ring`] | semirings/rings: `Z`, reals, Boolean, tropical, covariance |
 //! | storage | [`data`] | relations, tuples, schemas, grouped indexes, updates |
 //! | language | [`query`] | query AST + the dichotomy analyses (q-hierarchical, CQAP, FDs) |
+//! | telemetry | [`obs`] | lock-free metrics registry, histograms, tracer, Prometheus/JSON export |
 //! | engines | [`core`] | per-class maintenance engines (view trees, cascades, CQAPs) |
 //! | runtime | [`dataflow`] | generic batched delta-dataflow engine for arbitrary CQs |
 //! | scale-out | [`shard`] | hash-partitioned parallel shards with async batch ingestion |
@@ -31,6 +32,7 @@ pub use ivm_core as core;
 pub use ivm_data as data;
 pub use ivm_dataflow as dataflow;
 pub use ivm_ivme as ivme;
+pub use ivm_obs as obs;
 pub use ivm_oumv as oumv;
 pub use ivm_query as query;
 pub use ivm_ring as ring;
@@ -41,9 +43,11 @@ pub use ivm_workloads as workloads;
 pub use ivm_core::Maintainer;
 pub use ivm_data::{Batch, Database, Relation, Tuple, Update, Value};
 pub use ivm_dataflow::{DataflowEngine, DeltaBatch};
+pub use ivm_obs::{MetricsRegistry, MetricsSnapshot};
 pub use ivm_query::{Atom, Query};
 pub use ivm_ring::{Ring, Semiring};
 pub use ivm_session::{
-    EngineKind, Explain, QueryClass, ReplanEvent, ReplanPolicy, Session, SessionBuilder,
+    EngineKind, Explain, QueryClass, ReplanEvent, ReplanPolicy, ReplanTrigger, Session,
+    SessionBuilder,
 };
 pub use ivm_shard::ShardedEngine;
