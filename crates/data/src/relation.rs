@@ -224,6 +224,12 @@ impl<R: Semiring> GroupedIndex<R> {
         self.groups.len()
     }
 
+    /// Total tuples indexed across all groups. O(#groups) — meant for
+    /// memory censuses, not hot paths.
+    pub fn tuple_count(&self) -> usize {
+        self.groups.values().map(|g| g.len()).sum()
+    }
+
     /// Apply a single-tuple delta. Amortized O(1).
     pub fn apply(&mut self, t: &Tuple, delta: &R) {
         if delta.is_zero() {

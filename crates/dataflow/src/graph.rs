@@ -20,7 +20,7 @@
 //! always sound.
 
 use crate::batch::DeltaBatch;
-use crate::multiway::MultiwayState;
+use crate::multiway::{MultiwayState, StoreHub};
 use ivm_core::EngineError;
 use ivm_data::ops::{aggregate, Lift};
 use ivm_data::{GroupedIndex, Relation, Schema, Sym, Tuple, Update, Value};
@@ -510,6 +510,57 @@ impl<R: Semiring> Dataflow<R> {
     /// Number of operator nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Join every multiway-join input fed directly by a [`Source`] node
+    /// onto `hub`'s shared store for that source's relation, switching
+    /// those slots to coordinator-driven advancement (see [`StoreHub`]).
+    /// Returns the number of dedup hits — slots that adopted a store
+    /// some earlier engine had already donated. Slots fed by derived
+    /// (non-source) inputs keep their private stores.
+    ///
+    /// [`Source`]: Dataflow::add_source
+    pub fn share_multiway_stores(&mut self, hub: &StoreHub<R>) -> usize {
+        let source_of: Vec<Option<Sym>> = self
+            .nodes
+            .iter()
+            .map(|n| match &n.op {
+                Operator::Source { relation } => Some(*relation),
+                _ => None,
+            })
+            .collect();
+        let mut hits = 0;
+        for node in &mut self.nodes {
+            let inputs = node.inputs.clone();
+            if let Operator::MultiwayJoin(state) = &mut node.op {
+                for (slot, &input) in inputs.iter().enumerate() {
+                    if let Some(rel) = source_of[input] {
+                        if state.share_slot(slot, rel, hub) {
+                            hits += 1;
+                        }
+                    }
+                }
+            }
+        }
+        hits
+    }
+
+    /// Tuples resident in state this dataflow *owns*: the output view,
+    /// binary-join indexes, and non-hub multiway stores. Hub-shared
+    /// stores are excluded so a census over many engines plus one hub
+    /// counts each shared relation exactly once.
+    pub fn resident_tuples(&self) -> usize {
+        let mut n = self.output.len();
+        for node in &self.nodes {
+            match &node.op {
+                Operator::DeltaJoin(js) => {
+                    n += js.left.tuple_count() + js.right.tuple_count();
+                }
+                Operator::MultiwayJoin(state) => n += state.owned_tuples(),
+                _ => {}
+            }
+        }
+        n
     }
 
     /// Whether some source listens to `relation`. O(1).

@@ -82,4 +82,5 @@ pub use batch::DeltaBatch;
 pub use cost::Cardinalities;
 pub use engine::DataflowEngine;
 pub use graph::{Dataflow, DataflowStats, NodeId};
+pub use multiway::StoreHub;
 pub use planner::{lower, lower_with, resolve_strategy, JoinStrategy};

@@ -40,9 +40,18 @@
 //! Old stores advance only after all terms, so the old/new discipline needs
 //! no sequencing and self-joins need no per-occurrence state.
 
+use crate::batch::DeltaBatch;
 use crate::graph::DataflowStats;
-use ivm_data::{FxHashMap, Relation, Schema, Tuple, Value};
+use ivm_data::{FxHashMap, Relation, Schema, Sym, Tuple, Value};
 use ivm_ring::Semiring;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Recover from a poisoned store lock: the store's invariants are
+/// maintained tuple-at-a-time (no multi-step critical sections), so the
+/// data is coherent even if a peer engine panicked mid-batch elsewhere.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// A hash-trie level: for one access pattern `(key columns → value
 /// column)`, the values reachable under each key assignment, with the
@@ -208,11 +217,117 @@ struct SeedPlan {
     steps: Vec<Step>,
 }
 
+/// A registry of multiway [`Store`]s shared *across* engines, keyed by
+/// base relation. A serving layer maintaining many views over one ingest
+/// stream hands the same hub to every member engine's builder: the first
+/// engine to join a relation donates its store, later engines adopt it,
+/// and the hub owner advances every shared store exactly once per batch
+/// via [`StoreHub::advance_batch`].
+///
+/// # Coordinator-advance protocol
+///
+/// A store shared between engines must stay at the *pre-batch* state
+/// until every member has run its inclusion–exclusion search for the
+/// epoch — the `R_i^old` factors of the delta expansion. Member engines
+/// therefore never advance shared slots inside
+/// [`MultiwayState::apply`]; the coordinator calls
+/// [`StoreHub::advance_batch`] once per epoch, after all members, with
+/// the same consolidated batch it fed them. Owned (non-shared) slots
+/// keep the original in-engine advance.
+///
+/// Adopting an existing store at build time is sound because a freshly
+/// built engine's preprocessed store holds exactly the same tuples as
+/// the hub store for that relation: both replay the same base state at
+/// the same epoch. The swap is pure storage dedup, not a semantic
+/// change.
+pub struct StoreHub<R> {
+    stores: Arc<Mutex<FxHashMap<Sym, SharedStore<R>>>>,
+}
+
+/// One store slot, aliasable across engines through a [`StoreHub`].
+type SharedStore<R> = Arc<Mutex<Store<R>>>;
+
+// Manual impls: `R` itself need not be Clone/Default for the hub handle
+// to be cheap to copy around.
+impl<R> Clone for StoreHub<R> {
+    fn clone(&self) -> Self {
+        StoreHub {
+            stores: Arc::clone(&self.stores),
+        }
+    }
+}
+
+impl<R> Default for StoreHub<R> {
+    fn default() -> Self {
+        StoreHub {
+            stores: Arc::new(Mutex::new(FxHashMap::default())),
+        }
+    }
+}
+
+impl<R: Semiring> StoreHub<R> {
+    /// A fresh, empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Join the hub on `relation`, offering `own` as the donated store.
+    /// Returns the store every member should use, plus `true` when an
+    /// earlier member's store was adopted (a dedup hit: `own` is
+    /// discarded, which is sound because its contents equal the adopted
+    /// store's — see the type-level docs).
+    fn join(&self, relation: Sym, own: SharedStore<R>) -> (SharedStore<R>, bool) {
+        let mut map = relock(&self.stores);
+        match map.entry(relation) {
+            std::collections::hash_map::Entry::Occupied(e) => (Arc::clone(e.get()), true),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(Arc::clone(&own));
+                (own, false)
+            }
+        }
+    }
+
+    /// Advance every shared store by the epoch's consolidated batch.
+    /// Call exactly once per epoch, after all member engines have
+    /// processed the batch.
+    pub fn advance_batch(&self, batch: &DeltaBatch<R>) {
+        let map = relock(&self.stores);
+        for (rel, store) in map.iter() {
+            if let Some(delta) = batch.delta(*rel) {
+                let mut s = relock(store);
+                for (t, r) in delta.iter() {
+                    s.apply(t, r);
+                }
+            }
+        }
+    }
+
+    /// Relations currently shared through this hub.
+    pub fn relations(&self) -> Vec<Sym> {
+        relock(&self.stores).keys().copied().collect()
+    }
+
+    /// Total tuples resident across the hub's shared stores — each
+    /// relation counted once no matter how many engines read it.
+    pub fn stored_tuples(&self) -> usize {
+        relock(&self.stores)
+            .values()
+            .map(|s| relock(s).tuples.len())
+            .sum()
+    }
+}
+
 /// State of one [`MultiwayJoin`](crate::Dataflow::add_multiway_join) node.
 pub struct MultiwayState<R> {
     atoms: Vec<AtomSpec>,
     var_order: Schema,
-    stores: Vec<Store<R>>,
+    /// Per-input stores. Behind `Arc<Mutex<_>>` so a [`StoreHub`] can
+    /// alias a slot across engines; a slot is uncontended (and the lock
+    /// uncontested) unless it was [`Self::share_slot`]'d.
+    stores: Vec<SharedStore<R>>,
+    /// `shared[slot]` ⇒ the slot belongs to a hub and is advanced by the
+    /// coordinator, not by [`Self::apply`].
+    shared: Vec<bool>,
     plans: Vec<SeedPlan>,
 }
 
@@ -247,9 +362,23 @@ impl<R: Semiring> MultiwayState<R> {
         MultiwayState {
             atoms: specs,
             var_order,
-            stores: (0..n_inputs).map(|_| Store::new()).collect(),
+            stores: (0..n_inputs)
+                .map(|_| Arc::new(Mutex::new(Store::new())))
+                .collect(),
+            shared: vec![false; n_inputs],
             plans,
         }
+    }
+
+    /// Swap input `slot`'s store for the hub's shared store of
+    /// `relation` (donating ours if the hub has none yet), and mark the
+    /// slot coordinator-advanced. Returns `true` on a dedup hit — an
+    /// earlier engine's store was adopted.
+    pub(crate) fn share_slot(&mut self, slot: usize, relation: Sym, hub: &StoreHub<R>) -> bool {
+        let (store, existing) = hub.join(relation, Arc::clone(&self.stores[slot]));
+        self.stores[slot] = store;
+        self.shared[slot] = true;
+        existing
     }
 
     fn build_plan(specs: &[AtomSpec], var_order: &Schema, seed: usize) -> SeedPlan {
@@ -321,17 +450,33 @@ impl<R: Semiring> MultiwayState<R> {
     /// exposed so tests can assert that self-join occurrences share
     /// indexes instead of duplicating them.
     pub fn index_counts(&self) -> Vec<usize> {
-        self.stores.iter().map(|s| s.indexes.len()).collect()
+        self.stores
+            .iter()
+            .map(|s| relock(s).indexes.len())
+            .collect()
     }
 
-    /// Total tuples held across the shared stores.
+    /// Total tuples reachable across this node's stores, hub-shared slots
+    /// included.
     pub fn stored_tuples(&self) -> usize {
-        self.stores.iter().map(|s| s.tuples.len()).sum()
+        self.stores.iter().map(|s| relock(s).tuples.len()).sum()
+    }
+
+    /// Tuples in stores this node *owns* — hub-shared slots excluded, so
+    /// a fleet-wide memory census never double-counts a shared store.
+    pub fn owned_tuples(&self) -> usize {
+        self.stores
+            .iter()
+            .zip(&self.shared)
+            .filter(|(_, &sh)| !sh)
+            .map(|(s, _)| relock(s).tuples.len())
+            .sum()
     }
 
     /// Propagate one consolidated batch: run every inclusion–exclusion
-    /// term seeded from the changed tuples, then advance the shared
-    /// stores. Returns the output delta over `var_order`.
+    /// term seeded from the changed tuples, then advance the *owned*
+    /// stores (hub-shared slots are advanced by the hub coordinator —
+    /// see [`StoreHub`]). Returns the output delta over `var_order`.
     pub(crate) fn apply(
         &mut self,
         input_deltas: &[Option<&Relation<R>>],
@@ -356,6 +501,13 @@ impl<R: Semiring> MultiwayState<R> {
             "more than 63 simultaneously updated atom occurrences unsupported"
         );
 
+        // Lock every input slot once for the whole batch. With no hub
+        // the locks are uncontended; with a hub this serializes member
+        // engines per store, which the coordinator drives sequentially
+        // anyway.
+        let mut guards: Vec<MutexGuard<'_, Store<R>>> =
+            self.stores.iter().map(|s| relock(s)).collect();
+
         // Ensure every pattern any term can probe, old and delta side,
         // before the search holds shared references into the stores.
         let mut delta_stores = delta_stores;
@@ -363,7 +515,7 @@ impl<R: Semiring> MultiwayState<R> {
             for step in &self.plans[seed].steps {
                 for c in &step.constraints {
                     let input = self.atoms[c.atom].input;
-                    self.stores[input].ensure_index(&c.key_pos, c.val_pos);
+                    guards[input].ensure_index(&c.key_pos, c.val_pos);
                     if let Some(ds) = delta_stores[input].as_mut() {
                         ds.ensure_index(&c.key_pos, c.val_pos);
                     }
@@ -373,42 +525,48 @@ impl<R: Semiring> MultiwayState<R> {
 
         let mut out = Relation::new(self.var_order.clone());
         let mut binding: Vec<Option<Value>> = vec![None; self.var_order.arity()];
-        for mask in 1u64..(1 << d_atoms.len()) {
-            let in_s: Vec<usize> = (0..d_atoms.len())
-                .filter(|&k| mask & (1 << k) != 0)
-                .map(|k| d_atoms[k])
-                .collect();
-            // Per-term store selection: S-atoms read the batch delta,
-            // everyone else reads the old shared store.
-            let sel: Vec<&Store<R>> = self
-                .atoms
-                .iter()
-                .enumerate()
-                .map(|(j, spec)| {
-                    if in_s.contains(&j) {
-                        delta_stores[spec.input]
-                            .as_ref()
-                            .expect("S-atoms have a delta")
-                    } else {
-                        &self.stores[spec.input]
-                    }
-                })
-                .collect();
-            run_term(
-                &self.atoms,
-                &self.plans,
-                &in_s,
-                &sel,
-                &mut binding,
-                &mut out,
-                stats,
-            );
+        {
+            let old: Vec<&Store<R>> = guards.iter().map(|g| &**g).collect();
+            for mask in 1u64..(1 << d_atoms.len()) {
+                let in_s: Vec<usize> = (0..d_atoms.len())
+                    .filter(|&k| mask & (1 << k) != 0)
+                    .map(|k| d_atoms[k])
+                    .collect();
+                // Per-term store selection: S-atoms read the batch delta,
+                // everyone else reads the old shared store.
+                let sel: Vec<&Store<R>> = self
+                    .atoms
+                    .iter()
+                    .enumerate()
+                    .map(|(j, spec)| {
+                        if in_s.contains(&j) {
+                            delta_stores[spec.input]
+                                .as_ref()
+                                .expect("S-atoms have a delta")
+                        } else {
+                            old[spec.input]
+                        }
+                    })
+                    .collect();
+                run_term(
+                    &self.atoms,
+                    &self.plans,
+                    &in_s,
+                    &sel,
+                    &mut binding,
+                    &mut out,
+                    stats,
+                );
+            }
         }
 
         for (slot, d) in input_deltas.iter().enumerate() {
+            if self.shared[slot] {
+                continue; // the hub coordinator advances this store
+            }
             if let Some(d) = d {
                 for (t, r) in d.iter() {
-                    self.stores[slot].apply(t, r);
+                    guards[slot].apply(t, r);
                 }
             }
         }
@@ -662,6 +820,51 @@ mod tests {
             }
         }
         assert!(stats.multiway_seeds > 0);
+    }
+
+    #[test]
+    fn hub_shared_store_stays_oracle_correct() {
+        // Two independent triangle states over the same edge relation,
+        // joined through one hub: both must see identical deltas on every
+        // batch, the hub must hold the relation's tuples exactly once,
+        // and the second join must report a dedup hit.
+        let e_sym = sym("mw_hubE");
+        let (mut st1, _) = triangle_state();
+        let (mut st2, _) = triangle_state();
+        let hub: StoreHub<i64> = StoreHub::new();
+        assert!(!st1.share_slot(0, e_sym, &hub), "first join donates");
+        assert!(st2.share_slot(0, e_sym, &hub), "second join adopts");
+        assert_eq!(hub.relations(), vec![e_sym]);
+
+        let mut stats = DataflowStats::default();
+        let batches: Vec<Vec<(i64, i64, i64)>> = vec![
+            vec![(1, 2, 1), (2, 3, 1), (3, 1, 1), (1, 9, 1)],
+            vec![(4, 5, 1), (5, 4, 1), (4, 4, 1)],
+            vec![(2, 3, -1), (1, 9, -1)],
+        ];
+        for edges in batches {
+            let d = edge_delta(&edges);
+            let o1 = st1.apply(&[Some(&d)], &mut stats).unwrap();
+            let o2 = st2.apply(&[Some(&d)], &mut stats).unwrap();
+            assert_eq!(o1.len(), o2.len());
+            for (t, r) in o1.iter() {
+                assert_eq!(&o2.get(t), r, "members disagree at {t:?}");
+            }
+            // Neither member advanced the shared slot in-engine...
+            assert_eq!(st1.stored_tuples(), st2.stored_tuples());
+            assert_eq!(st1.owned_tuples(), 0, "shared slot is not owned");
+            // ...the coordinator advances it once per epoch.
+            let mut batch = DeltaBatch::new();
+            for (t, r) in d.iter() {
+                batch.push(&ivm_data::Update::with_payload(e_sym, t.clone(), *r));
+            }
+            hub.advance_batch(&batch);
+        }
+        // Post-stream: edges {12,23,31,19,45,54,44} minus {23,19} = 5
+        // tuples, resident once in the hub, visible from both members.
+        assert_eq!(hub.stored_tuples(), 5);
+        assert_eq!(st1.stored_tuples(), 5);
+        assert_eq!(st2.stored_tuples(), 5);
     }
 
     #[test]

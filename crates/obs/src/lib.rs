@@ -23,11 +23,13 @@
 //! (dots become `_` in the Prometheus exposition).
 
 mod json;
+mod ns;
 mod registry;
 mod snapshot;
 mod trace;
 
 pub use json::{escape as json_escape, Json};
+pub use ns::Namespace;
 pub use registry::{
     bucket_index, bucket_upper, Counter, Gauge, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS,
 };

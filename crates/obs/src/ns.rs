@@ -1,0 +1,113 @@
+//! Dotted metric-name namespaces.
+//!
+//! The stack's metric names are dotted hierarchies (`ivm.serve.sub3.
+//! notify_ns`, `ivm.fleet.shard2.queue_depth`), and until now every
+//! layer `format!`ed them ad hoc. A [`Namespace`] is a cheap builder for
+//! one level of that hierarchy: `child` descends, `metric` renders a
+//! leaf name, and indexed fan-out layers (subscribers, shards) get
+//! stable per-member prefixes via [`Namespace::indexed`].
+//!
+//! Only name *construction* lives here; registration stays on
+//! [`MetricsRegistry`](crate::MetricsRegistry), so a namespace can be
+//! built and passed around long before any registry is attached.
+
+use crate::registry::{Counter, Gauge, Histogram, MetricsRegistry};
+
+/// A dotted metric-name prefix, e.g. `ivm.serve.sub3`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Namespace {
+    prefix: String,
+}
+
+impl Namespace {
+    /// A root namespace. `root` must be non-empty; it becomes the first
+    /// dotted segment.
+    pub fn new(root: impl Into<String>) -> Self {
+        let prefix = root.into();
+        assert!(!prefix.is_empty(), "namespace root must be non-empty");
+        Namespace { prefix }
+    }
+
+    /// Descend one level: `ns("ivm").child("serve")` prints as
+    /// `ivm.serve`.
+    pub fn child(&self, segment: &str) -> Namespace {
+        assert!(!segment.is_empty(), "namespace segment must be non-empty");
+        Namespace {
+            prefix: format!("{}.{segment}", self.prefix),
+        }
+    }
+
+    /// Descend into the `i`-th member of a fan-out layer:
+    /// `serve.indexed("sub", 3)` prints as `…serve.sub3`. Using the
+    /// member's *stable* id (not its current position) keeps series
+    /// identities intact across churn.
+    pub fn indexed(&self, kind: &str, i: u64) -> Namespace {
+        self.child(&format!("{kind}{i}"))
+    }
+
+    /// Render a leaf metric name under this namespace.
+    pub fn metric(&self, leaf: &str) -> String {
+        assert!(!leaf.is_empty(), "metric leaf must be non-empty");
+        format!("{}.{leaf}", self.prefix)
+    }
+
+    /// The dotted prefix itself.
+    pub fn as_str(&self) -> &str {
+        &self.prefix
+    }
+
+    /// Resolve a counter handle for `leaf` under this namespace.
+    pub fn counter(&self, registry: &MetricsRegistry, leaf: &str) -> Counter {
+        registry.counter(&self.metric(leaf))
+    }
+
+    /// Resolve a gauge handle for `leaf` under this namespace.
+    pub fn gauge(&self, registry: &MetricsRegistry, leaf: &str) -> Gauge {
+        registry.gauge(&self.metric(leaf))
+    }
+
+    /// Resolve a histogram handle for `leaf` under this namespace.
+    pub fn histogram(&self, registry: &MetricsRegistry, leaf: &str) -> Histogram {
+        registry.histogram(&self.metric(leaf))
+    }
+}
+
+impl std::fmt::Display for Namespace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_dotted_names() {
+        let serve = Namespace::new("ivm").child("serve");
+        assert_eq!(serve.as_str(), "ivm.serve");
+        assert_eq!(serve.metric("subscribers"), "ivm.serve.subscribers");
+        let sub = serve.indexed("sub", 7);
+        assert_eq!(sub.metric("notify_ns"), "ivm.serve.sub7.notify_ns");
+        assert_eq!(format!("{sub}"), "ivm.serve.sub7");
+    }
+
+    #[test]
+    fn handles_resolve_against_a_registry() {
+        let reg = MetricsRegistry::new();
+        let ns = Namespace::new("nst").child("layer");
+        ns.counter(&reg, "events").add(3);
+        ns.gauge(&reg, "depth").set(-2);
+        ns.histogram(&reg, "lat_ns").record(1000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("nst.layer.events"), 3);
+        assert_eq!(snap.gauge("nst.layer.depth"), -2);
+        assert_eq!(snap.histogram("nst.layer.lat_ns").unwrap().count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_segment_rejected() {
+        let _ = Namespace::new("x").child("");
+    }
+}

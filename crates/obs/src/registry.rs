@@ -202,6 +202,27 @@ impl MetricsRegistry {
             .clone()
     }
 
+    /// Adopt an externally created counter handle under `name`, so a
+    /// series that started counting before any registry was attached can
+    /// be published retroactively with its history intact (the serving
+    /// layer backfills per-subscriber handles this way). Replaces any
+    /// same-name handle — name uniqueness is the caller's contract.
+    pub fn register_counter(&self, name: &str, handle: &Counter) {
+        locked(&self.0.counters).insert(name.to_string(), handle.clone());
+    }
+
+    /// Adopt an externally created gauge handle under `name` (see
+    /// [`Self::register_counter`]).
+    pub fn register_gauge(&self, name: &str, handle: &Gauge) {
+        locked(&self.0.gauges).insert(name.to_string(), handle.clone());
+    }
+
+    /// Adopt an externally created histogram handle under `name` (see
+    /// [`Self::register_counter`]).
+    pub fn register_histogram(&self, name: &str, handle: &Histogram) {
+        locked(&self.0.histograms).insert(name.to_string(), handle.clone());
+    }
+
     /// The registry's batch-lifecycle tracer (bounded ring buffer).
     pub fn tracer(&self) -> &Tracer {
         &self.0.tracer

@@ -1,0 +1,175 @@
+//! Query canonicalization for subscription dedup.
+//!
+//! Two subscribers whose queries differ only by variable names and atom
+//! order maintain literally the same view, so they should share one
+//! engine. [`canonical_key`] renders a query into a string that is
+//! invariant under those two transformations: equal keys guarantee the
+//! queries are identical up to a variable bijection (same relation
+//! names, same dynamism, same free-variable order, same access-pattern
+//! positions), so sharing is always sound. The converse is best-effort —
+//! a rare missed equivalence yields two keys and two engines, which
+//! costs memory, never correctness.
+//!
+//! The algorithm is a greedy canonical labelling: free variables are
+//! pinned by their output position (`f0, f1, …` — free order is part of
+//! the view, so it must match exactly), then atoms are emitted smallest-
+//! rendering-first, naming bound variables `b0, b1, …` in order of first
+//! appearance. Greedy labelling can in principle pick a non-minimal
+//! form on highly symmetric self-joins, but it picks *deterministically*
+//! given the input order of equal-rendering atoms, and any two queries
+//! that reach the same key are isomorphic regardless.
+
+use ivm_data::FxHashMap;
+use ivm_query::Query;
+
+/// A candidate atom rendering: the rendered string, its index into the
+/// remaining-atoms list, and the bound-variable names it would commit.
+type Candidate = (String, usize, Vec<(ivm_data::Sym, String)>);
+
+/// The dedup key of `q`: equal keys ⟹ the queries are identical up to
+/// renaming bound variables (see module docs for exactly what is
+/// normalized). The query's *name* is ignored — it is diagnostic only.
+pub fn canonical_key(q: &Query) -> String {
+    let mut names: FxHashMap<ivm_data::Sym, String> = FxHashMap::default();
+    for (i, &v) in q.free.vars().iter().enumerate() {
+        names.insert(v, format!("f{i}"));
+    }
+    // Access-pattern split: which free positions are input variables.
+    let input_pos: Vec<usize> = q
+        .input
+        .vars()
+        .iter()
+        .map(|&v| q.free.position(v).expect("input ⊆ free"))
+        .collect();
+
+    let mut remaining: Vec<usize> = (0..q.atoms.len()).collect();
+    let mut parts: Vec<String> = Vec::with_capacity(q.atoms.len());
+    let mut bound_counter = 0usize;
+    while !remaining.is_empty() {
+        // Render every remaining atom, tentatively naming its still-
+        // unnamed variables in column order, and commit the smallest.
+        let mut best: Option<Candidate> = None;
+        for (ri, &ai) in remaining.iter().enumerate() {
+            let atom = &q.atoms[ai];
+            let mut tentative: Vec<(ivm_data::Sym, String)> = Vec::new();
+            let cols: Vec<String> = atom
+                .schema
+                .vars()
+                .iter()
+                .map(|&v| {
+                    if let Some(n) = names.get(&v) {
+                        n.clone()
+                    } else if let Some((_, n)) = tentative.iter().find(|(s, _)| *s == v) {
+                        n.clone()
+                    } else {
+                        let n = format!("b{}", bound_counter + tentative.len());
+                        tentative.push((v, n.clone()));
+                        n
+                    }
+                })
+                .collect();
+            let rendering = format!(
+                "{}{}({})",
+                atom.name,
+                if atom.dynamic { "" } else { "!" },
+                cols.join(",")
+            );
+            if best.as_ref().is_none_or(|(b, _, _)| rendering < *b) {
+                best = Some((rendering, ri, tentative));
+            }
+        }
+        let (rendering, ri, tentative) = best.expect("remaining is non-empty");
+        bound_counter += tentative.len();
+        names.extend(tentative);
+        parts.push(rendering);
+        remaining.remove(ri);
+    }
+    format!(
+        "free{};in{:?};{}",
+        q.free.arity(),
+        input_pos,
+        parts.join("*")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivm_data::{sym, vars};
+    use ivm_query::Atom;
+
+    #[test]
+    fn renamed_and_permuted_triangle_dedups() {
+        let e = sym("cn_E");
+        let [a, b, c] = vars(["cn_A", "cn_B", "cn_C"]);
+        let [x, y, z] = vars(["cn_X", "cn_Y", "cn_Z"]);
+        let q1 = Query::new(
+            "cn_t1",
+            [],
+            vec![
+                Atom::new(e, [a, b]),
+                Atom::new(e, [b, c]),
+                Atom::new(e, [c, a]),
+            ],
+        );
+        // Renamed variables AND rotated atom order.
+        let q2 = Query::new(
+            "cn_t2",
+            [],
+            vec![
+                Atom::new(e, [y, z]),
+                Atom::new(e, [z, x]),
+                Atom::new(e, [x, y]),
+            ],
+        );
+        assert_eq!(canonical_key(&q1), canonical_key(&q2));
+    }
+
+    #[test]
+    fn free_order_is_part_of_the_view() {
+        let (r, _) = (sym("cn_R"), ());
+        let [a, b] = vars(["cn_FA", "cn_FB"]);
+        let q1 = Query::new("cn_f1", [a, b], vec![Atom::new(r, [a, b])]);
+        let q2 = Query::new("cn_f2", [b, a], vec![Atom::new(r, [a, b])]);
+        // Q(a,b)=R(a,b) and Q(b,a)=R(a,b) produce column-swapped views:
+        // they must NOT share an engine.
+        assert_ne!(canonical_key(&q1), canonical_key(&q2));
+        // But renaming both variables consistently is invisible.
+        let [x, y] = vars(["cn_FX", "cn_FY"]);
+        let q3 = Query::new("cn_f3", [x, y], vec![Atom::new(r, [x, y])]);
+        assert_eq!(canonical_key(&q1), canonical_key(&q3));
+    }
+
+    #[test]
+    fn relation_names_and_dynamism_distinguish() {
+        let (r, s) = (sym("cn_DR"), sym("cn_DS"));
+        let [a, b] = vars(["cn_DA", "cn_DB"]);
+        let q1 = Query::new("cn_d1", [a], vec![Atom::new(r, [a, b])]);
+        let q2 = Query::new("cn_d2", [a], vec![Atom::new(s, [a, b])]);
+        assert_ne!(canonical_key(&q1), canonical_key(&q2));
+        let q3 = Query::new("cn_d3", [a], vec![Atom::new_static(r, [a, b])]);
+        assert_ne!(canonical_key(&q1), canonical_key(&q3));
+    }
+
+    #[test]
+    fn access_pattern_positions_distinguish() {
+        let r = sym("cn_PR");
+        let [a, b] = vars(["cn_PA", "cn_PB"]);
+        let plain = Query::new("cn_p1", [a, b], vec![Atom::new(r, [a, b])]);
+        let cqap = Query::with_access_pattern("cn_p2", [a], [b], vec![Atom::new(r, [a, b])]);
+        assert_ne!(canonical_key(&plain), canonical_key(&cqap));
+    }
+
+    #[test]
+    fn bound_variable_names_are_invisible() {
+        let (r, s) = (sym("cn_BR"), sym("cn_BS"));
+        let [a, b, b2] = vars(["cn_BA", "cn_BB", "cn_BB2"]);
+        let q1 = Query::new("cn_b1", [a], vec![Atom::new(r, [a, b]), Atom::new(s, [b])]);
+        let q2 = Query::new(
+            "cn_b2",
+            [a],
+            vec![Atom::new(s, [b2]), Atom::new(r, [a, b2])],
+        );
+        assert_eq!(canonical_key(&q1), canonical_key(&q2));
+    }
+}

@@ -1,0 +1,477 @@
+//! The serving node: shared base state, deduped engines, per-subscriber
+//! delivery taps.
+
+use crate::canon::canonical_key;
+use ivm_core::{EngineError, Maintainer};
+use ivm_data::{Database, FxHashMap, FxHashSet, Relation, Sym, Update};
+use ivm_dataflow::{DeltaBatch, StoreHub};
+use ivm_obs::{Counter, Gauge, Histogram, MetricsRegistry, Namespace};
+use ivm_query::Query;
+use ivm_ring::Semiring;
+use ivm_session::Session;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Stable identifier of one subscription, assigned at
+/// [`ServeNode::subscribe`] time and never reused.
+pub type SubId = u64;
+
+/// One epoch's changes to one maintained view, as delivered to a
+/// subscriber: the consolidated output delta of the batch. An empty
+/// delta is still delivered (exactly one `ViewDelta` per live
+/// subscriber per epoch), so receivers can track epochs without gaps.
+#[derive(Clone)]
+pub struct ViewDelta<R> {
+    /// The epoch (0-based [`ServeNode::apply_batch`] index) this delta
+    /// belongs to.
+    pub epoch: u64,
+    /// The view's name — the `Query::name` of the group's first-
+    /// registered query.
+    pub view: Sym,
+    /// The output delta: tuples over the query's free variables with
+    /// their payload changes.
+    pub delta: Relation<R>,
+}
+
+impl<R: Semiring> ViewDelta<R> {
+    /// The delta repackaged as a one-relation [`DeltaBatch`] changeset,
+    /// keyed by the view name — convenient for piping a subscription
+    /// into downstream batch consumers.
+    pub fn changes(&self) -> DeltaBatch<R> {
+        let mut b = DeltaBatch::new();
+        for (t, r) in self.delta.iter() {
+            b.push(&Update::with_payload(self.view, t.clone(), r.clone()));
+        }
+        b
+    }
+}
+
+/// A boxed subscriber callback (panic-isolated at delivery time).
+type DeltaCallback<R> = Box<dyn FnMut(&ViewDelta<R>)>;
+
+/// Where a tap's deliveries go.
+enum Sink<R> {
+    /// Synchronous callback, panic-isolated: a panic evicts the
+    /// subscriber, never the node.
+    Callback(DeltaCallback<R>),
+    /// Channel to a [`Subscription`]; a dropped receiver evicts the
+    /// subscriber on the next delivery.
+    Channel(mpsc::Sender<ViewDelta<R>>),
+}
+
+/// One subscriber's delivery endpoint inside a group.
+struct Tap<R> {
+    id: SubId,
+    sink: Sink<R>,
+    /// Always allocated (an `Arc`'d atomic) so history survives a later
+    /// [`ServeNode::observe`] backfill.
+    notify_ns: Histogram,
+    queue_depth: Gauge,
+}
+
+impl<R: Semiring> Tap<R> {
+    /// Deliver one epoch's delta. `false` means the subscriber is dead
+    /// (callback panicked or receiver dropped) and must be evicted.
+    fn deliver(&mut self, vd: &ViewDelta<R>) -> bool {
+        match &mut self.sink {
+            Sink::Callback(cb) => catch_unwind(AssertUnwindSafe(|| cb(vd))).is_ok(),
+            Sink::Channel(tx) => {
+                if tx.send(vd.clone()).is_ok() {
+                    self.queue_depth.inc();
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// One deduped engine and the taps riding it.
+struct Group<R: Semiring> {
+    /// The canonical key this group is registered under in the dedup map.
+    key: String,
+    session: Session<R>,
+    /// The view name deliveries carry (first-registered query's name).
+    view: Sym,
+    /// Dynamic relations the engine consumes — the per-group stream
+    /// filter.
+    rels: FxHashSet<Sym>,
+    taps: Vec<Tap<R>>,
+}
+
+/// The receiving end of a channel-backed subscription (see
+/// [`ServeNode::subscribe`]). Dropping it evicts the subscriber at its
+/// next delivery.
+pub struct Subscription<R> {
+    id: SubId,
+    rx: mpsc::Receiver<ViewDelta<R>>,
+    queue_depth: Gauge,
+}
+
+impl<R: Semiring> Subscription<R> {
+    /// The stable subscription id (pass to [`ServeNode::unsubscribe`],
+    /// [`ServeNode::view`]).
+    pub fn id(&self) -> SubId {
+        self.id
+    }
+
+    /// The next pending delivery, if any. Never blocks.
+    pub fn try_next(&mut self) -> Option<ViewDelta<R>> {
+        let vd = self.rx.try_recv().ok()?;
+        self.queue_depth.dec();
+        Some(vd)
+    }
+
+    /// Drain every pending delivery, in epoch order.
+    pub fn drain_pending(&mut self) -> Vec<ViewDelta<R>> {
+        let mut out = Vec::new();
+        while let Some(vd) = self.try_next() {
+            out.push(vd);
+        }
+        out
+    }
+}
+
+/// Node-level metric handles (see the crate docs for the namespace).
+struct ServeObs {
+    registry: MetricsRegistry,
+    ns: Namespace,
+    subscribers: Gauge,
+    groups: Gauge,
+    epochs: Counter,
+    ingest_ns: Histogram,
+    dedup_hits: Counter,
+    store_dedup_hits: Counter,
+    evictions: Counter,
+}
+
+impl ServeObs {
+    /// Publish a tap's pre-allocated handles under its stable id.
+    fn register_tap(&self, tap: &Tap<impl Semiring>) {
+        let sub = self.ns.indexed("sub", tap.id);
+        self.registry
+            .register_histogram(&sub.metric("notify_ns"), &tap.notify_ns);
+        self.registry
+            .register_gauge(&sub.metric("queue_depth"), &tap.queue_depth);
+    }
+}
+
+/// One shared ingest stream fanned out to many live views. See the
+/// crate docs for the dedup rule, the delivery/ordering guarantees, and
+/// the metric namespace.
+pub struct ServeNode<R: Semiring> {
+    /// The single authoritative base state; relations are created on
+    /// first mention by a subscriber's query and persist thereafter.
+    base: Database<R>,
+    /// Shared multiway trie stores across member engines.
+    hub: StoreHub<R>,
+    /// Deduped engines, iterated in creation order (delivery order).
+    groups: BTreeMap<u64, Group<R>>,
+    /// canonical key → group id.
+    key_map: FxHashMap<String, u64>,
+    /// subscription id → group id.
+    sub_group: FxHashMap<SubId, u64>,
+    next_group: u64,
+    next_sub: SubId,
+    epoch: u64,
+    obs: Option<ServeObs>,
+}
+
+impl<R: Semiring> ServeNode<R> {
+    /// An empty node: no base tuples, no subscribers.
+    pub fn new() -> Self {
+        ServeNode {
+            base: Database::new(),
+            hub: StoreHub::new(),
+            groups: BTreeMap::new(),
+            key_map: FxHashMap::default(),
+            sub_group: FxHashMap::default(),
+            next_group: 0,
+            next_sub: 0,
+            epoch: 0,
+            obs: None,
+        }
+    }
+
+    /// Attach a metrics registry. Node-level gauges snap to the current
+    /// truth immediately; per-subscriber handles allocated before this
+    /// call are backfilled with their history intact (they are shared
+    /// atomics, not new series).
+    pub fn observe(&mut self, registry: &MetricsRegistry) {
+        let ns = Namespace::new("ivm").child("serve");
+        let obs = ServeObs {
+            registry: registry.clone(),
+            subscribers: ns.gauge(registry, "subscribers"),
+            groups: ns.gauge(registry, "groups"),
+            epochs: ns.counter(registry, "epochs"),
+            ingest_ns: ns.histogram(registry, "ingest_ns"),
+            dedup_hits: ns.counter(registry, "dedup_hits"),
+            store_dedup_hits: ns.counter(registry, "store_dedup_hits"),
+            evictions: ns.counter(registry, "evictions"),
+            ns,
+        };
+        obs.subscribers.set(self.subscriber_count() as i64);
+        obs.groups.set(self.group_count() as i64);
+        for g in self.groups.values() {
+            for tap in &g.taps {
+                obs.register_tap(tap);
+            }
+        }
+        self.obs = Some(obs);
+    }
+
+    /// Subscribe with a channel: deliveries buffer in the returned
+    /// [`Subscription`] until drained. Dropping the subscription evicts
+    /// the subscriber at its next delivery.
+    pub fn subscribe(&mut self, query: Query) -> Result<Subscription<R>, EngineError> {
+        let (tx, rx) = mpsc::channel();
+        let id = self.add_tap(query, Sink::Channel(tx))?;
+        let gid = self.sub_group[&id];
+        let group = &self.groups[&gid];
+        let tap = group.taps.iter().find(|t| t.id == id).expect("just added");
+        Ok(Subscription {
+            id,
+            rx,
+            queue_depth: tap.queue_depth.clone(),
+        })
+    }
+
+    /// Subscribe with a synchronous callback, invoked once per epoch
+    /// with the view's delta. A panicking callback evicts only this
+    /// subscriber — ingest and sibling views are unaffected.
+    pub fn subscribe_with(
+        &mut self,
+        query: Query,
+        callback: impl FnMut(&ViewDelta<R>) + 'static,
+    ) -> Result<SubId, EngineError> {
+        self.add_tap(query, Sink::Callback(Box::new(callback)))
+    }
+
+    fn add_tap(&mut self, query: Query, sink: Sink<R>) -> Result<SubId, EngineError> {
+        let gid = self.group_for(query)?;
+        let id = self.next_sub;
+        self.next_sub += 1;
+        let tap = Tap {
+            id,
+            sink,
+            notify_ns: Histogram::default(),
+            queue_depth: Gauge::default(),
+        };
+        if let Some(o) = &self.obs {
+            o.register_tap(&tap);
+            o.subscribers.inc();
+        }
+        self.groups
+            .get_mut(&gid)
+            .expect("group exists")
+            .taps
+            .push(tap);
+        self.sub_group.insert(id, gid);
+        Ok(id)
+    }
+
+    /// Find or build the engine group maintaining `query`'s view.
+    fn group_for(&mut self, query: Query) -> Result<u64, EngineError> {
+        let key = canonical_key(&query);
+        if let Some(&gid) = self.key_map.get(&key) {
+            if let Some(o) = &self.obs {
+                o.dedup_hits.inc();
+            }
+            return Ok(gid);
+        }
+        // First mention of a relation defines it in the shared base, so
+        // later subscribers (and the update stream) see one authoritative
+        // copy.
+        for atom in &query.atoms {
+            if self.base.get(atom.name).is_none() {
+                self.base.create(atom.name, atom.schema.clone());
+            }
+        }
+        let view = query.name;
+        let rels: FxHashSet<Sym> = query
+            .atoms
+            .iter()
+            .filter(|a| a.dynamic)
+            .map(|a| a.name)
+            .collect();
+        let session = Session::builder(query)
+            .shared_stores(&self.hub)
+            .build(&self.base)?;
+        if let Some(o) = &self.obs {
+            o.store_dedup_hits.add(session.shared_store_hits() as u64);
+            o.groups.inc();
+        }
+        let gid = self.next_group;
+        self.next_group += 1;
+        self.groups.insert(
+            gid,
+            Group {
+                key: key.clone(),
+                session,
+                view,
+                rels,
+                taps: Vec::new(),
+            },
+        );
+        self.key_map.insert(key, gid);
+        Ok(gid)
+    }
+
+    /// Drop subscription `id`. Returns `false` if it was already gone
+    /// (unsubscribed, or evicted after a delivery failure). The last
+    /// tap leaving a group retires the group's engine.
+    pub fn unsubscribe(&mut self, id: SubId) -> bool {
+        let Some(gid) = self.sub_group.remove(&id) else {
+            return false;
+        };
+        let group = self.groups.get_mut(&gid).expect("group exists");
+        group.taps.retain(|t| t.id != id);
+        if let Some(o) = &self.obs {
+            o.subscribers.dec();
+        }
+        if group.taps.is_empty() {
+            let group = self.groups.remove(&gid).expect("group exists");
+            self.key_map.remove(&group.key);
+            if let Some(o) = &self.obs {
+                o.groups.dec();
+            }
+        }
+        true
+    }
+
+    /// Ingest one batch: advance the shared base, propagate through
+    /// every engine group, deliver one [`ViewDelta`] per live
+    /// subscriber, evict dead subscribers, then advance the shared
+    /// store hub — exactly once, after all members (the coordinator
+    /// half of the [`StoreHub`] protocol).
+    ///
+    /// Rejection is atomic: every update must target a relation some
+    /// subscriber's query has declared, or the whole batch is refused
+    /// with [`EngineError::UnknownRelation`] before anything advances.
+    pub fn apply_batch(&mut self, batch: &[Update<R>]) -> Result<(), EngineError> {
+        for u in batch {
+            if self.base.get(u.relation).is_none() {
+                return Err(EngineError::UnknownRelation(u.relation));
+            }
+        }
+        let t0 = self.obs.as_ref().map(|_| Instant::now());
+        self.base.apply_batch(batch);
+        let epoch = self.epoch;
+        let mut evicted = 0u64;
+        for group in self.groups.values_mut() {
+            let sub_batch: Vec<Update<R>> = batch
+                .iter()
+                .filter(|u| group.rels.contains(&u.relation))
+                .cloned()
+                .collect();
+            // Filtered to the query's own dynamic relations, this cannot
+            // be rejected; a propagation error would still surface here.
+            let delta = group.session.apply_batch(&sub_batch)?;
+            let vd = ViewDelta {
+                epoch,
+                view: group.view,
+                delta,
+            };
+            group.taps.retain_mut(|tap| {
+                let t_notify = Instant::now();
+                let alive = tap.deliver(&vd);
+                tap.notify_ns.record_duration(t_notify.elapsed());
+                if !alive {
+                    // The endpoint is gone, and with it its queue: the
+                    // depth gauge settles to the truth.
+                    tap.queue_depth.set(0);
+                    evicted += 1;
+                }
+                alive
+            });
+        }
+        // Dead subscribers are gone; their bookkeeping follows.
+        if evicted > 0 {
+            let live: FxHashSet<SubId> = self
+                .groups
+                .values()
+                .flat_map(|g| g.taps.iter().map(|t| t.id))
+                .collect();
+            self.sub_group.retain(|id, _| live.contains(id));
+            let empty: Vec<u64> = self
+                .groups
+                .iter()
+                .filter(|(_, g)| g.taps.is_empty())
+                .map(|(&gid, _)| gid)
+                .collect();
+            for gid in empty {
+                let group = self.groups.remove(&gid).expect("group exists");
+                self.key_map.remove(&group.key);
+            }
+        }
+        // The hub advances LAST: every member engine searched this
+        // epoch against the pre-batch shared stores above.
+        self.hub.advance_batch(&DeltaBatch::from_updates(batch));
+        self.epoch += 1;
+        if let (Some(o), Some(t0)) = (&self.obs, t0) {
+            o.epochs.inc();
+            o.ingest_ns.record_duration(t0.elapsed());
+            o.evictions.add(evicted);
+            o.subscribers.set(self.subscriber_count() as i64);
+            o.groups.set(self.group_count() as i64);
+        }
+        Ok(())
+    }
+
+    /// A snapshot of subscription `id`'s full maintained view (tuples
+    /// over the query's free variables). `None` if the subscription is
+    /// gone.
+    pub fn view(&mut self, id: SubId) -> Option<Relation<R>> {
+        let gid = *self.sub_group.get(&id)?;
+        let group = self.groups.get_mut(&gid)?;
+        let schema = group.session.query().free.clone();
+        let mut rel = Relation::new(schema);
+        group.session.for_each_output(&mut |t, r| {
+            rel.apply(t.clone(), r);
+        });
+        Some(rel)
+    }
+
+    /// Live subscribers across all groups.
+    pub fn subscriber_count(&self) -> usize {
+        self.groups.values().map(|g| g.taps.len()).sum()
+    }
+
+    /// Live deduped engine groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Batches ingested so far (the next delivery's epoch number).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether subscription `id` is still live.
+    pub fn is_subscribed(&self, id: SubId) -> bool {
+        self.sub_group.contains_key(&id)
+    }
+
+    /// Node-wide resident-tuple census: the shared base, the shared
+    /// store hub (each shared relation once), and every group engine's
+    /// privately owned state. The headline number the serving layer
+    /// exists to shrink versus N independent sessions.
+    pub fn resident_tuples(&self) -> usize {
+        self.base.size()
+            + self.hub.stored_tuples()
+            + self
+                .groups
+                .values()
+                .map(|g| g.session.resident_tuples().unwrap_or(0))
+                .sum::<usize>()
+    }
+}
+
+impl<R: Semiring> Default for ServeNode<R> {
+    fn default() -> Self {
+        ServeNode::new()
+    }
+}

@@ -10,7 +10,8 @@ use ivm_core::{
 use ivm_data::ops::{lift_one, Lift};
 use ivm_data::{Database, FxHashSet, Relation, Sym, Tuple, Update};
 use ivm_dataflow::{
-    DataflowEngine, DataflowStats, JoinStrategy, LearnedCardinalities, ReplanDecision, ReplanPolicy,
+    DataflowEngine, DataflowStats, JoinStrategy, LearnedCardinalities, ReplanDecision,
+    ReplanPolicy, StoreHub,
 };
 use ivm_obs::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
 use ivm_query::Query;
@@ -39,6 +40,7 @@ pub struct SessionBuilder<R: Semiring> {
     forced: Option<EngineKind>,
     adaptive: Option<ReplanPolicy>,
     observe: Option<MetricsRegistry>,
+    shared: Option<StoreHub<R>>,
 }
 
 impl<R: Semiring> SessionBuilder<R> {
@@ -51,6 +53,7 @@ impl<R: Semiring> SessionBuilder<R> {
             forced: None,
             adaptive: None,
             observe: None,
+            shared: None,
         }
     }
 
@@ -100,6 +103,26 @@ impl<R: Semiring> SessionBuilder<R> {
         self
     }
 
+    /// Join the multiway trie stores of a coordinator-owned
+    /// [`StoreHub`]: where the session's lowered plan probes a relation
+    /// another hub member also maintains, both engines read one shared
+    /// store instead of mirroring it (see
+    /// [`DataflowEngine::share_stores`]). The serving layer (`ivm-serve`)
+    /// is the intended caller — its node advances the hub exactly once
+    /// per ingest batch via [`StoreHub::advance_batch`], after every
+    /// member engine has processed the batch.
+    ///
+    /// The hook is a no-op for backends without multiway trie stores
+    /// (specialized engines, pure left-deep plans). It is refused in
+    /// combination with [`SessionBuilder::adaptive`] (a replan re-lowers
+    /// the plan mid-epoch, which would desynchronize the hub's
+    /// deferred-advance protocol) and with sharded fleets (worker threads
+    /// own their stores).
+    pub fn shared_stores(mut self, hub: &StoreHub<R>) -> Self {
+        self.shared = Some(hub.clone());
+        self
+    }
+
     /// Arm adaptive replanning under `policy`.
     ///
     /// The session then mirrors the base state it feeds the engine,
@@ -131,6 +154,12 @@ impl<R: Semiring> SessionBuilder<R> {
     /// propagates its build error unchanged — forcing is how callers ask
     /// the dichotomy to be enforced rather than routed around.
     pub fn build(self, db: &Database<R>) -> Result<Session<R>, EngineError> {
+        // The adaptive window clock starts *here*, not after the backend
+        // stands up: the first window then spans classification, build,
+        // and preprocessing, so a replan firing on the very first batch
+        // still has a non-degenerate throughput denominator behind its
+        // `before_tps` evidence.
+        let built_at = Instant::now();
         // A shard request combined with a forced single-threaded engine is
         // contradictory; dropping either half silently would hand the
         // caller an unauditable session, so refuse instead.
@@ -142,6 +171,30 @@ impl<R: Semiring> SessionBuilder<R> {
                      engine; drop one of the two (only EngineKind::Sharded \
                      composes with .shards)"
                 )));
+            }
+        }
+        // Shared trie stores follow a coordinator-driven advance protocol
+        // (one `StoreHub::advance_batch` per ingest epoch, after every
+        // member searched). A mid-stream replan re-lowers the plan with
+        // fresh stores *between* a member's search and the hub's advance,
+        // and a sharded fleet hides its engines on worker threads — both
+        // would break the protocol silently, so refuse up front.
+        if self.shared.is_some() {
+            if self.adaptive.is_some() {
+                return Err(EngineError::NotSupported(
+                    "conflicting session request: .shared_stores() joins a \
+                     coordinator-advanced store hub but .adaptive() re-lowers \
+                     the plan mid-stream; drop one of the two"
+                        .into(),
+                ));
+            }
+            if self.shards.is_some() || self.forced == Some(EngineKind::Sharded) {
+                return Err(EngineError::NotSupported(
+                    "conflicting session request: .shared_stores() needs the \
+                     engine on the calling thread but a sharded fleet owns \
+                     its engines on workers; drop one of the two"
+                        .into(),
+                ));
             }
         }
         let cls = classify(&self.query);
@@ -212,6 +265,19 @@ impl<R: Semiring> SessionBuilder<R> {
                 })
             }
         };
+        // Join the store hub after preprocessing: the freshly built owned
+        // stores hold exactly the base state every other member's shared
+        // store holds at this epoch, so adopting (or donating) them is a
+        // pure storage dedup with no behavioral change. Gated on
+        // all-dynamic queries: the hub advances stores by relation name,
+        // and a static occurrence must never alias a store another
+        // member's updates advance.
+        let mut shared_store_hits = 0;
+        if let (Some(hub), Backend::Dataflow(e)) = (&self.shared, &mut backend) {
+            if self.query.atoms.iter().all(|a| a.dynamic) {
+                shared_store_hits = e.share_stores(hub);
+            }
+        }
         // Arm adaptive replanning only where a re-lowering exists to
         // trigger; the mirror is only paid for when it can be used.
         let (adaptive_note, adaptive) = match self.adaptive {
@@ -228,7 +294,7 @@ impl<R: Semiring> SessionBuilder<R> {
                             batch_index: 0,
                             batches_since_replan: 0,
                             window_base: DataflowStats::default(),
-                            window_started: Instant::now(),
+                            window_started: built_at,
                             window_updates: 0,
                         }),
                     )
@@ -259,6 +325,7 @@ impl<R: Semiring> SessionBuilder<R> {
             explain,
             adaptive,
             obs,
+            shared_store_hits,
         })
     }
 
@@ -463,6 +530,9 @@ pub struct Session<R: Semiring> {
     explain: Explain,
     adaptive: Option<AdaptiveState<R>>,
     obs: Option<SessionObs>,
+    /// Multiway store slots that adopted an existing [`StoreHub`] store
+    /// at build time (0 without [`SessionBuilder::shared_stores`]).
+    shared_store_hits: usize,
 }
 
 impl<R: Semiring> Session<R> {
@@ -566,6 +636,28 @@ impl<R: Semiring> Session<R> {
         }
     }
 
+    /// Tuples resident in this session's *privately owned* engine state
+    /// (join indexes, multiway trie stores, the materialized view) — the
+    /// per-session memory a serving layer amortizes away. Stores adopted
+    /// from a [`StoreHub`] via [`SessionBuilder::shared_stores`] are
+    /// excluded: they are counted once at the hub, not once per member.
+    /// `None` for backends that do not expose a state census.
+    pub fn resident_tuples(&self) -> Option<usize> {
+        match &self.backend {
+            Backend::Dataflow(e) => Some(e.resident_tuples()),
+            _ => None,
+        }
+    }
+
+    /// How many multiway store slots adopted a store another
+    /// [`StoreHub`] member had already donated when this session was
+    /// built — the storage-dedup wins of
+    /// [`SessionBuilder::shared_stores`]. Zero without a hub (or when
+    /// this session was the first to donate every store it probes).
+    pub fn shared_store_hits(&self) -> usize {
+        self.shared_store_hits
+    }
+
     /// Per-shard statistics, for shard-backed sessions.
     pub fn sharded_stats(&self) -> Option<ShardedStats> {
         match &self.backend {
@@ -619,13 +711,13 @@ impl<R: Semiring> Session<R> {
         // `after_tps` (refreshed on every ingest, so the recorded value
         // always covers the whole post-replan window so far) and, if a
         // replan fires below, it becomes the new event's `before_tps`.
+        // Clamp the denominator: on a coarse-granularity clock the window
+        // can read as zero elapsed time even though updates flowed, and a
+        // replan event recording `before_tps: 0.0` for a window that did
+        // work is indistinguishable from a dead stream.
         let window_tps = {
-            let secs = st.window_started.elapsed().as_secs_f64();
-            if secs > 0.0 {
-                st.window_updates as f64 / secs
-            } else {
-                0.0
-            }
+            let secs = st.window_started.elapsed().as_secs_f64().max(1e-9);
+            st.window_updates as f64 / secs
         };
         if let Some(last) = self.explain.replans.last_mut() {
             last.after_tps = Some(window_tps);
@@ -855,6 +947,100 @@ mod tests {
         assert_eq!(s.explain().shards, 3);
     }
 
+    #[test]
+    fn shared_stores_refuses_adaptive_and_sharded_builds() {
+        // A hub member's stores advance once per epoch, driven by the
+        // coordinator. Replanning mid-stream or hiding the engine on
+        // worker threads would break that protocol silently — all three
+        // combinations must refuse up front.
+        let hub = StoreHub::new();
+        let q = examples::triangle_count();
+        let err = Session::<i64>::builder(q.clone())
+            .shared_stores(&hub)
+            .adaptive(ReplanPolicy::default())
+            .build(&Database::new())
+            .unwrap_err();
+        assert!(
+            matches!(&err, EngineError::NotSupported(m) if m.contains("conflicting")),
+            "{err}"
+        );
+        let err = Session::<i64>::builder(q.clone())
+            .shared_stores(&hub)
+            .shards(2)
+            .build(&Database::new())
+            .unwrap_err();
+        assert!(
+            matches!(&err, EngineError::NotSupported(m) if m.contains("conflicting")),
+            "{err}"
+        );
+        let err = Session::<i64>::builder(q)
+            .shared_stores(&hub)
+            .engine(EngineKind::Sharded)
+            .build(&Database::new())
+            .unwrap_err();
+        assert!(
+            matches!(&err, EngineError::NotSupported(m) if m.contains("conflicting")),
+            "{err}"
+        );
+        // Refusal happens before anything joined the hub.
+        assert!(hub.relations().is_empty());
+    }
+
+    #[test]
+    fn shared_stores_hit_accounting_and_static_atom_gate() {
+        let hub = StoreHub::new();
+        let [a, b, c] = ivm_data::vars(["ssh_A", "ssh_B", "ssh_C"]);
+        let e = sym("ssh_E");
+        let tri = |name: &str| {
+            Query::new(
+                name,
+                [],
+                vec![
+                    ivm_query::Atom::new(e, [a, b]),
+                    ivm_query::Atom::new(e, [b, c]),
+                    ivm_query::Atom::new(e, [c, a]),
+                ],
+            )
+        };
+        let db = Database::new();
+        // First member donates its store: no hit.
+        let first = Session::<i64>::builder(tri("ssh_t1"))
+            .shared_stores(&hub)
+            .build(&db)
+            .unwrap();
+        assert_eq!(first.shared_store_hits(), 0);
+        assert_eq!(hub.relations(), vec![e]);
+        // Second member adopts it: one hit for the one shared relation.
+        let second = Session::<i64>::builder(tri("ssh_t2"))
+            .shared_stores(&hub)
+            .build(&db)
+            .unwrap();
+        assert_eq!(second.shared_store_hits(), 1);
+        // A query with a static atom must never alias a store that other
+        // members' updates advance — sharing is gated off entirely.
+        let q_static = Query::new(
+            "ssh_static",
+            [],
+            vec![
+                ivm_query::Atom::new(e, [a, b]),
+                ivm_query::Atom::new(e, [b, c]),
+                ivm_query::Atom::new_static(sym("ssh_F"), [c, a]),
+            ],
+        );
+        let gated = Session::<i64>::builder(q_static)
+            .shared_stores(&hub)
+            .build(&db)
+            .unwrap();
+        assert_eq!(gated.shared_store_hits(), 0);
+        assert!(
+            !hub.relations().contains(&sym("ssh_F")),
+            "static relations stay out of the hub"
+        );
+        // Without a hub the counter is inert.
+        let plain = Session::<i64>::builder(tri("ssh_t3")).build(&db).unwrap();
+        assert_eq!(plain.shared_store_hits(), 0);
+    }
+
     /// Q(a,d) = R(a,b)·S(b,c)·T(c,d): acyclic but not hierarchical, so
     /// auto-selection lands on the (order-sensitive) left-deep dataflow.
     fn chain3() -> Query {
@@ -919,6 +1105,40 @@ mod tests {
         let mut total = 0i64;
         s.for_each_output(&mut |_, p| total += p);
         assert!(total > 0);
+    }
+
+    /// Regression: the window clock opens at session *build*, not at the
+    /// first ingest. A replan firing on the very first batch — the
+    /// first-data trigger's whole purpose — must record a positive
+    /// `before_tps` for the window it closes, even though no earlier
+    /// ingest call ever read the clock (and even on a coarse clock, via
+    /// the clamped denominator).
+    #[test]
+    fn first_window_replan_records_positive_throughput() {
+        let q = chain3();
+        let (rn, sn, tn) = (sym("sch_R"), sym("sch_S"), sym("sch_T"));
+        let mut s = Session::<i64>::builder(q)
+            .adaptive(ReplanPolicy::default())
+            .build(&Database::new())
+            .unwrap();
+        let mut batch: Vec<Update<i64>> = Vec::new();
+        for i in 0..40i64 {
+            batch.push(Update::insert(rn, tup![i, i + 1]));
+        }
+        for i in 0..10i64 {
+            batch.push(Update::insert(sn, tup![i + 1, i + 2]));
+        }
+        batch.push(Update::insert(tn, tup![2i64, 3i64]));
+        s.apply_batch(&batch).unwrap();
+        let replans = &s.explain().replans;
+        assert_eq!(replans.len(), 1, "{}", s.explain());
+        assert_eq!(replans[0].batch_index, 1, "fires on the very first batch");
+        assert!(
+            replans[0].before_tps > 0.0 && replans[0].before_tps.is_finite(),
+            "a first-window replan must carry real throughput evidence, \
+             got {}",
+            replans[0].before_tps
+        );
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! A live dashboard served from one ingest stream: a [`ServeNode`] owns
+//! the base relations and a single `apply_batch` loop, while several
+//! subscribers — a triangle *count*, an α-renamed copy of it (the
+//! fabric collapses both onto one engine), the triangle *listing*
+//! (second engine, but its edge store is hub-shared with the count's),
+//! and a 4-cycle widget — each hold a live incrementally-maintained
+//! view and hear one `ViewDelta` per epoch.
+//!
+//! Mid-stream, the 4-cycle widget is closed (its engine retires; the
+//! base keeps absorbing its relations) and a latecomer subscribes to
+//! the listing — its first snapshot already reflects everything
+//! ingested before it arrived. The `ivm.serve.*` gauges are printed
+//! each round so the dedup and churn are visible in the numbers.
+//!
+//! Run: `cargo run --release --example serve_dashboard`
+
+use ivm::{Atom, MetricsRegistry, Query, ServeNode, Update, ViewDelta};
+use ivm_data::{sym, tup, vars};
+use std::cell::Cell;
+use std::rc::Rc;
+
+fn triangle_count(name: &str, vs: [&str; 3]) -> Query {
+    let e = sym("dash_E");
+    let [a, b, c] = vars(vs);
+    Query::new(
+        name,
+        [],
+        vec![
+            Atom::new(e, [a, b]),
+            Atom::new(e, [b, c]),
+            Atom::new(e, [c, a]),
+        ],
+    )
+}
+
+fn main() {
+    let registry = MetricsRegistry::new();
+    let mut node = ServeNode::<i64>::new();
+    node.observe(&registry);
+
+    // Panel 1: triangle count, consumed by a callback that keeps a
+    // running total on the "dashboard".
+    let tri_total: Rc<Cell<i64>> = Rc::default();
+    let tally = Rc::clone(&tri_total);
+    let tri_id = node
+        .subscribe_with(
+            triangle_count("dash_tri", ["dash_A", "dash_B", "dash_C"]),
+            move |vd: &ViewDelta<i64>| {
+                let d: i64 = vd.delta.iter().map(|(_, p)| *p).sum();
+                tally.set(tally.get() + d);
+            },
+        )
+        .unwrap();
+
+    // Panel 2: the same query α-renamed — the canonicalizer sees through
+    // the renaming and taps the existing engine instead of building one.
+    let mut tri_twin = node
+        .subscribe(triangle_count("dash_tri2", ["dash_X", "dash_Y", "dash_Z"]))
+        .unwrap();
+
+    // Panel 3: the triangle *listing* — different free set, so a second
+    // engine, but its trie store over dash_E is shared with the count's.
+    let e = sym("dash_E");
+    let [la, lb, lc] = vars(["dash_LA", "dash_LB", "dash_LC"]);
+    let listing = Query::new(
+        "dash_tri_listing",
+        [la, lb, lc],
+        vec![
+            Atom::new(e, [la, lb]),
+            Atom::new(e, [lb, lc]),
+            Atom::new(e, [lc, la]),
+        ],
+    );
+    let mut listing_sub = node.subscribe(listing.clone()).unwrap();
+
+    // Panel 4: a 4-cycle widget over its own relations; closed mid-run.
+    let cyc = ["dash_4R", "dash_4S", "dash_4T", "dash_4U"].map(sym);
+    let [ca, cb, cc, cd] = vars(["dash_CA", "dash_CB", "dash_CC", "dash_CD"]);
+    let widget = node
+        .subscribe(Query::new(
+            "dash_cycle4",
+            [],
+            vec![
+                Atom::new(cyc[0], [ca, cb]),
+                Atom::new(cyc[1], [cb, cc]),
+                Atom::new(cyc[2], [cc, cd]),
+                Atom::new(cyc[3], [cd, ca]),
+            ],
+        ))
+        .unwrap();
+    let widget_id = widget.id();
+    let mut widget = Some(widget);
+
+    println!(
+        "fabric: {} subscribers on {} engines (the α-renamed twin was deduped)\n",
+        node.subscriber_count(),
+        node.group_count()
+    );
+
+    // One ingest loop feeds every panel. Mixed-sign: edges rotate in and
+    // the oldest rotate out.
+    let mut late_listing = None;
+    for round in 0u64..8 {
+        let mut batch = Vec::new();
+        for i in 0..12u64 {
+            let (x, y) = ((round * 5 + i) % 9, (round * 3 + i * 7 + 1) % 9);
+            batch.push(Update::insert(e, tup![x, y]));
+            batch.push(Update::insert(cyc[(i % 4) as usize], tup![y, x]));
+            if round > 3 {
+                let (ox, oy) = (((round - 4) * 5 + i) % 9, ((round - 4) * 3 + i * 7 + 1) % 9);
+                batch.push(Update::delete(e, tup![ox, oy]));
+            }
+        }
+        node.apply_batch(&batch).unwrap();
+
+        if round == 2 {
+            // The widget panel is closed: its engine retires, its
+            // relations stay declared in the shared base.
+            drop(widget.take());
+            node.apply_batch(&[]).unwrap(); // eviction happens at delivery
+            assert!(!node.is_subscribed(widget_id));
+        }
+        if round == 4 {
+            // A latecomer joins the listing's existing engine; its view
+            // is complete from the first look.
+            let sub = node.subscribe(listing.clone()).unwrap();
+            let snapshot = node.view(sub.id()).unwrap();
+            println!(
+                "  round {round}: latecomer subscribed — initial snapshot already \
+                 lists {} triangles",
+                snapshot.len()
+            );
+            late_listing = Some(sub);
+        }
+
+        // Drain every pending epoch (the eviction round applied an extra
+        // empty batch) so the twin's running delta stays in lockstep.
+        let mut twin_delta = 0i64;
+        while let Some(vd) = tri_twin.try_next() {
+            twin_delta += vd.delta.iter().map(|(_, p)| *p).sum::<i64>();
+        }
+        let mut listed = 0usize;
+        while let Some(vd) = listing_sub.try_next() {
+            listed += vd.delta.len();
+        }
+        let m = registry.snapshot();
+        println!(
+            "round {round}: triangle count {:>4} (twin agrees: Δ{twin_delta:+}); \
+             {listed:>2} listing rows changed; subscribers={} groups={}",
+            tri_total.get(),
+            m.gauge("ivm.serve.subscribers"),
+            m.gauge("ivm.serve.groups"),
+        );
+    }
+
+    // The two counting panels never diverged, and the listing's support
+    // sums to the count — three views, one state.
+    let count_view = node.view(tri_id).unwrap();
+    let twin_view = node.view(tri_twin.id()).unwrap();
+    let listing_view = node.view(late_listing.as_ref().unwrap().id()).unwrap();
+    let count: i64 = count_view.iter().map(|(_, p)| *p).sum();
+    let listed: i64 = listing_view.iter().map(|(_, p)| *p).sum();
+    assert_eq!(count, twin_view.iter().map(|(_, p)| *p).sum::<i64>());
+    assert_eq!(count, listed, "Σ listing multiplicities = count");
+    assert_eq!(count, tri_total.get(), "callback total tracked the view");
+
+    let m = registry.snapshot();
+    println!(
+        "\nfinal: {count} triangles across {} live views on {} engines; \
+         dedup_hits={} store_dedup_hits={} evictions={} over {} epochs; \
+         {} resident tuples serve every panel",
+        node.subscriber_count(),
+        node.group_count(),
+        m.counter("ivm.serve.dedup_hits"),
+        m.counter("ivm.serve.store_dedup_hits"),
+        m.counter("ivm.serve.evictions"),
+        m.counter("ivm.serve.epochs"),
+        node.resident_tuples(),
+    );
+}

@@ -15,6 +15,7 @@
 //! | runtime | [`dataflow`] | generic batched delta-dataflow engine for arbitrary CQs |
 //! | scale-out | [`shard`] | hash-partitioned parallel shards with async batch ingestion |
 //! | front door | [`session`] | classify → select → one uniform [`Session`] handle |
+//! | serving | [`serve`] | one ingest stream fanned out to many live views ([`ServeNode`]) |
 //! | kernels | [`ivme`], [`oumv`] | specialized triangle/q-hierarchical kernels, lower bounds |
 //! | workloads | [`workloads`] | retailer, graph, PK-FK, Zipf generators |
 //!
@@ -36,16 +37,18 @@ pub use ivm_obs as obs;
 pub use ivm_oumv as oumv;
 pub use ivm_query as query;
 pub use ivm_ring as ring;
+pub use ivm_serve as serve;
 pub use ivm_session as session;
 pub use ivm_shard as shard;
 pub use ivm_workloads as workloads;
 
 pub use ivm_core::Maintainer;
 pub use ivm_data::{Batch, Database, Relation, Tuple, Update, Value};
-pub use ivm_dataflow::{DataflowEngine, DeltaBatch};
+pub use ivm_dataflow::{DataflowEngine, DeltaBatch, StoreHub};
 pub use ivm_obs::{MetricsRegistry, MetricsSnapshot};
 pub use ivm_query::{Atom, Query};
 pub use ivm_ring::{Ring, Semiring};
+pub use ivm_serve::{ServeNode, Subscription, ViewDelta};
 pub use ivm_session::{
     EngineKind, Explain, QueryClass, ReplanEvent, ReplanPolicy, ReplanTrigger, Session,
     SessionBuilder,

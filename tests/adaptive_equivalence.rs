@@ -19,113 +19,23 @@
 //! single-shard routing), the 4-cycle (broadcast replication), the star
 //! (fully partitioned), and — deterministically, below — the 5-relation
 //! Retailer join under its Inventory stream.
+//!
+//! Shapes, stream strategies, and the oracle live in `tests/common`.
 
+mod common;
+
+use common::{
+    edge_ops_default, edge_updates, four_cycle, mirror_db, oracle_db, outputs_match, star,
+    triangle, EdgeOp,
+};
 use ivm_core::Maintainer;
 use ivm_data::ops::{eval_join_aggregate, lift_one};
-use ivm_data::{sym, tup, Database, Relation, Update};
+use ivm_data::Relation;
 use ivm_dataflow::{Cardinalities, DataflowEngine, DataflowStats, JoinStrategy};
-use ivm_query::{Atom, Query};
+use ivm_query::Query;
 use ivm_shard::ShardedEngine;
 use ivm_workloads::RetailerGen;
 use proptest::prelude::*;
-
-/// The cyclic self-join triangle count `Q() = Σ E(a,b)·E(b,c)·E(c,a)`.
-fn triangle() -> Query {
-    let [a, b, c] = ivm_data::vars(["ae_A", "ae_B", "ae_C"]);
-    let e = sym("ae_E");
-    Query::new(
-        "ae_tri",
-        [],
-        vec![
-            Atom::new(e, [a, b]),
-            Atom::new(e, [b, c]),
-            Atom::new(e, [c, a]),
-        ],
-    )
-}
-
-/// The cyclic 4-cycle `Q() = Σ R(a,b)·S(b,c)·T(c,d)·U(d,a)`.
-fn four_cycle() -> Query {
-    let [a, b, c, d] = ivm_data::vars(["ae_4A", "ae_4B", "ae_4C", "ae_4D"]);
-    Query::new(
-        "ae_cycle4",
-        [],
-        vec![
-            Atom::new(sym("ae_4R"), [a, b]),
-            Atom::new(sym("ae_4S"), [b, c]),
-            Atom::new(sym("ae_4T"), [c, d]),
-            Atom::new(sym("ae_4U"), [d, a]),
-        ],
-    )
-}
-
-/// The acyclic full star `Q(x,y,z,w) = R(x,y)·S(x,z)·T(x,w)`.
-fn star() -> Query {
-    let [x, y, z, w] = ivm_data::vars(["ae_SX", "ae_SY", "ae_SZ", "ae_SW"]);
-    Query::new(
-        "ae_star",
-        [x, y, z, w],
-        vec![
-            Atom::new(sym("ae_SR"), [x, y]),
-            Atom::new(sym("ae_SS"), [x, z]),
-            Atom::new(sym("ae_ST"), [x, w]),
-        ],
-    )
-}
-
-type Op = (usize, (u64, u64), i64);
-
-fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        (
-            0usize..4,
-            (0u64..4, 0u64..4),
-            prop_oneof![Just(1i64), Just(1), Just(-1), Just(2), Just(-2)],
-        ),
-        0..48,
-    )
-}
-
-fn distinct_relations(q: &Query) -> Vec<ivm_data::Sym> {
-    let mut rels = Vec::new();
-    for atom in &q.atoms {
-        if !rels.contains(&atom.name) {
-            rels.push(atom.name);
-        }
-    }
-    rels
-}
-
-/// From-scratch oracle over the mirrored base relations.
-fn oracle(q: &Query, mirror: &Database<i64>) -> Relation<i64> {
-    let per_atom: Vec<Relation<i64>> = q
-        .atoms
-        .iter()
-        .map(|atom| {
-            Relation::from_rows(
-                atom.schema.clone(),
-                mirror
-                    .relation(atom.name)
-                    .iter()
-                    .map(|(t, r)| (t.clone(), *r)),
-            )
-        })
-        .collect();
-    let refs: Vec<&Relation<i64>> = per_atom.iter().collect();
-    eval_join_aggregate(&refs, &q.free, lift_one)
-}
-
-fn outputs_match(
-    got: &Relation<i64>,
-    expect: &Relation<i64>,
-    ctx: &str,
-) -> Result<(), TestCaseError> {
-    prop_assert_eq!(got.len(), expect.len(), "{}: sizes differ", ctx);
-    for (t, p) in expect.iter() {
-        prop_assert_eq!(&got.get(t), p, "{} at {:?}", ctx, t);
-    }
-    Ok(())
-}
 
 /// Carried history must be monotone across a replan: every counter at
 /// least its pre-replan value, and the ingestion totals exactly equal
@@ -168,25 +78,14 @@ fn assert_monotone(
 /// and compare everything to the oracle after every batch.
 fn check_shape_with_replans(
     q: &Query,
-    ops: &[Op],
+    ops: &[EdgeOp],
     chunk: usize,
     replan_at: &[usize],
     start: JoinStrategy,
 ) -> Result<(), TestCaseError> {
-    let rels = distinct_relations(q);
-    let updates: Vec<Update<i64>> = ops
-        .iter()
-        .filter(|(_, _, m)| *m != 0)
-        .map(|&(ri, (x, y), m)| Update::with_payload(rels[ri % rels.len()], tup![x, y], m))
-        .collect();
+    let updates = edge_updates(q, ops);
 
-    let mut mirror: Database<i64> = Database::new();
-    for &r in &rels {
-        mirror.create(
-            r,
-            q.atoms.iter().find(|a| a.name == r).unwrap().schema.clone(),
-        );
-    }
+    let mut mirror = mirror_db(q);
     let mut single =
         DataflowEngine::<i64>::new_with_strategy(q.clone(), &mirror, lift_one, start).unwrap();
     let mut fleets: Vec<ShardedEngine<i64>> = [1usize, 2, 4]
@@ -227,7 +126,7 @@ fn check_shape_with_replans(
         for u in batch {
             mirror.apply(u);
         }
-        let expect = oracle(q, &mirror);
+        let expect = oracle_db(q, &mirror);
         outputs_match(
             single.output_relation(),
             &expect,
@@ -251,40 +150,40 @@ proptest! {
     /// replans at arbitrary points, starting from either strategy.
     #[test]
     fn triangle_replans_agree(
-        ops in ops_strategy(),
+        ops in edge_ops_default(),
         chunk in 1usize..9,
         r1 in 0usize..4,
         r2 in 4usize..8,
         start_multiway in proptest::bool::ANY,
     ) {
         let start = if start_multiway { JoinStrategy::Multiway } else { JoinStrategy::LeftDeep };
-        check_shape_with_replans(&triangle(), &ops, chunk, &[r1, r2], start)?;
+        check_shape_with_replans(&triangle("ae_"), &ops, chunk, &[r1, r2], start)?;
     }
 
     /// 4-cycle (broadcast replication path) under replans.
     #[test]
     fn four_cycle_replans_agree(
-        ops in ops_strategy(),
+        ops in edge_ops_default(),
         chunk in 1usize..9,
         r1 in 0usize..4,
         r2 in 4usize..8,
         start_multiway in proptest::bool::ANY,
     ) {
         let start = if start_multiway { JoinStrategy::Multiway } else { JoinStrategy::LeftDeep };
-        check_shape_with_replans(&four_cycle(), &ops, chunk, &[r1, r2], start)?;
+        check_shape_with_replans(&four_cycle("ae_"), &ops, chunk, &[r1, r2], start)?;
     }
 
     /// Acyclic star (fully partitioned) under replans.
     #[test]
     fn star_replans_agree(
-        ops in ops_strategy(),
+        ops in edge_ops_default(),
         chunk in 1usize..9,
         r1 in 0usize..4,
         r2 in 4usize..8,
         start_multiway in proptest::bool::ANY,
     ) {
         let start = if start_multiway { JoinStrategy::Multiway } else { JoinStrategy::LeftDeep };
-        check_shape_with_replans(&star(), &ops, chunk, &[r1, r2], start)?;
+        check_shape_with_replans(&star("ae_"), &ops, chunk, &[r1, r2], start)?;
     }
 }
 

@@ -22,58 +22,27 @@
 //!   series.
 //!
 //! The vendored proptest shim seeds deterministically from the test
-//! name, so failures reproduce.
+//! name, so failures reproduce. The star shape (every relation
+//! hash-partitioned on the shared variable, so all four shards do real
+//! work and nothing is broadcast) and the stream strategy live in
+//! `tests/common`.
 
-use ivm::{Database, MetricsRegistry, Query, Session, Update};
-use ivm_data::{sym, tup};
-use ivm_query::Atom;
+mod common;
+
+use common::{edge_ops, edge_updates, star, EdgeOp};
+use ivm::{Database, MetricsRegistry, Session};
 use proptest::prelude::*;
 
-/// Acyclic star Q(x,y,z,w) = R(x,y)·S(x,z)·T(x,w): every relation is
-/// hash-partitioned on the shared variable `x`, so all four shards do
-/// real work and nothing is broadcast.
-fn star3() -> Query {
-    let [x, y, z, w] = ivm_data::vars(["obp_X", "obp_Y", "obp_Z", "obp_W"]);
-    Query::new(
-        "obp_star",
-        [x, y, z, w],
-        vec![
-            Atom::new(sym("obp_R"), [x, y]),
-            Atom::new(sym("obp_S"), [x, z]),
-            Atom::new(sym("obp_T"), [x, w]),
-        ],
-    )
-}
-
-/// `(relation index, tuple, ring multiplicity)` — deletes of tuples never
-/// inserted are legal (payloads go negative in ℤ).
-type Op = (usize, (u64, u64), i64);
-
-fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        (
-            0usize..3,
-            (0u64..6, 0u64..6),
-            prop_oneof![Just(1i64), Just(1), Just(-1), Just(2), Just(-2)],
-        ),
-        1..72,
-    )
-}
-
-fn check_conservation(ops: &[Op], chunk: usize) -> Result<(), TestCaseError> {
-    let q = star3();
-    let names = [q.atoms[0].name, q.atoms[1].name, q.atoms[2].name];
+fn check_conservation(ops: &[EdgeOp], chunk: usize) -> Result<(), TestCaseError> {
+    let q = star("obp_");
     let registry = MetricsRegistry::new();
-    let mut s = Session::<i64>::builder(q)
+    let mut s = Session::<i64>::builder(q.clone())
         .shards(4)
         .observe(&registry)
         .build(&Database::new())
         .expect("star is shardable");
 
-    let updates: Vec<Update<i64>> = ops
-        .iter()
-        .map(|&(r, (a, b), m)| Update::with_payload(names[r], tup![a, b], m))
-        .collect();
+    let updates = edge_updates(&q, ops);
     let mut total = 0u64;
     for batch in updates.chunks(chunk) {
         s.enqueue_batch(batch).expect("valid batch");
@@ -84,7 +53,7 @@ fn check_conservation(ops: &[Op], chunk: usize) -> Result<(), TestCaseError> {
     let m = s.metrics();
     // The session counts the raw stream; consolidation happens below it.
     prop_assert_eq!(m.counter("ivm.session.updates"), total);
-    prop_assert!(m.counter("ivm.session.batches") >= u64::from(!ops.is_empty()));
+    prop_assert!(m.counter("ivm.session.batches") >= u64::from(!updates.is_empty()));
 
     // Global == Σ per-shard for every series the facade stores from
     // worker reports.
@@ -147,7 +116,7 @@ proptest! {
 
     #[test]
     fn sharded_metrics_conserve_across_shards(
-        ops in ops_strategy(),
+        ops in edge_ops(3, 6, 1..72),
         chunk in 1usize..9,
     ) {
         check_conservation(&ops, chunk)?;

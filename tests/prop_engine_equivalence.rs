@@ -21,126 +21,27 @@
 //! partitioned by the shared variable). 64 cases per shape; the vendored
 //! proptest shim seeds each test deterministically from its name, so
 //! failures reproduce.
+//!
+//! Shapes, stream strategies, and the oracle live in `tests/common`.
 
+mod common;
+
+use common::{
+    edge_ops_default, edge_updates, empty_base, four_cycle, oracle, outputs_match, star, triangle,
+    EdgeOp,
+};
 use ivm_core::Maintainer;
-use ivm_data::ops::{eval_join_aggregate, lift_one};
-use ivm_data::{sym, tup, Database, Relation, Tuple, Update};
+use ivm_data::ops::lift_one;
+use ivm_data::{sym, tup, Database, Tuple, Update};
 use ivm_dataflow::{DataflowEngine, JoinStrategy};
-use ivm_query::{Atom, Query};
+use ivm_query::Query;
 use ivm_shard::ShardedEngine;
 use proptest::prelude::*;
 
-/// The cyclic self-join triangle count `Q() = Σ E(a,b)·E(b,c)·E(c,a)`.
-fn triangle() -> Query {
-    let [a, b, c] = ivm_data::vars(["pe_A", "pe_B", "pe_C"]);
-    let e = sym("pe_E");
-    Query::new(
-        "pe_tri",
-        [],
-        vec![
-            Atom::new(e, [a, b]),
-            Atom::new(e, [b, c]),
-            Atom::new(e, [c, a]),
-        ],
-    )
-}
-
-/// The cyclic 4-cycle `Q() = Σ R(a,b)·S(b,c)·T(c,d)·U(d,a)`.
-fn four_cycle() -> Query {
-    let [a, b, c, d] = ivm_data::vars(["pe_4A", "pe_4B", "pe_4C", "pe_4D"]);
-    Query::new(
-        "pe_cycle4",
-        [],
-        vec![
-            Atom::new(sym("pe_4R"), [a, b]),
-            Atom::new(sym("pe_4S"), [b, c]),
-            Atom::new(sym("pe_4T"), [c, d]),
-            Atom::new(sym("pe_4U"), [d, a]),
-        ],
-    )
-}
-
-/// The acyclic full star `Q(x,y,z,w) = R(x,y)·S(x,z)·T(x,w)` — here the
-/// multiway plan is exercised by force, not by the cyclicity split.
-fn star() -> Query {
-    let [x, y, z, w] = ivm_data::vars(["pe_SX", "pe_SY", "pe_SZ", "pe_SW"]);
-    Query::new(
-        "pe_star",
-        [x, y, z, w],
-        vec![
-            Atom::new(sym("pe_SR"), [x, y]),
-            Atom::new(sym("pe_SS"), [x, z]),
-            Atom::new(sym("pe_ST"), [x, w]),
-        ],
-    )
-}
-
-/// One generated op: (relation pick, edge endpoints, signed multiplicity).
-type Op = (usize, (u64, u64), i64);
-
-/// The op-stream strategy: small value domain (forces duplicates and
-/// triangle closures), multiplicities biased to ±1 with occasional ±2,
-/// deletes unconditional — absent tuples go to negative multiplicity and
-/// must round-trip through every engine identically.
-fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        (
-            0usize..4,
-            (0u64..4, 0u64..4),
-            prop_oneof![Just(1i64), Just(1), Just(-1), Just(2), Just(-2)],
-        ),
-        0..48,
-    )
-}
-
-/// Distinct relations of `q`, in first-occurrence order.
-fn distinct_relations(q: &Query) -> Vec<ivm_data::Sym> {
-    let mut rels = Vec::new();
-    for atom in &q.atoms {
-        if !rels.contains(&atom.name) {
-            rels.push(atom.name);
-        }
-    }
-    rels
-}
-
-/// From-scratch oracle: join-aggregate over one relation copy per atom.
-fn oracle(q: &Query, base: &ivm_data::FxHashMap<ivm_data::Sym, Relation<i64>>) -> Relation<i64> {
-    let per_atom: Vec<Relation<i64>> = q
-        .atoms
-        .iter()
-        .map(|atom| {
-            Relation::from_rows(
-                atom.schema.clone(),
-                base[&atom.name].iter().map(|(t, r)| (t.clone(), *r)),
-            )
-        })
-        .collect();
-    let refs: Vec<&Relation<i64>> = per_atom.iter().collect();
-    eval_join_aggregate(&refs, &q.free, lift_one)
-}
-
-fn outputs_match(
-    got: &Relation<i64>,
-    expect: &Relation<i64>,
-    ctx: &str,
-) -> Result<(), TestCaseError> {
-    prop_assert_eq!(got.len(), expect.len(), "{}: sizes differ", ctx);
-    for (t, p) in expect.iter() {
-        prop_assert_eq!(&got.get(t), p, "{} at {:?}", ctx, t);
-    }
-    Ok(())
-}
-
 /// Drive one query shape through both plans and the oracle, comparing
 /// after every applied batch.
-fn check_shape(q: &Query, ops: &[Op], chunk: usize) -> Result<(), TestCaseError> {
-    let rels = distinct_relations(q);
-    let updates: Vec<Update<i64>> = ops
-        .iter()
-        .filter(|(_, _, m)| *m != 0)
-        .map(|&(ri, (x, y), m)| Update::with_payload(rels[ri % rels.len()], tup![x, y], m))
-        .collect();
+fn check_shape(q: &Query, ops: &[EdgeOp], chunk: usize) -> Result<(), TestCaseError> {
+    let updates = edge_updates(q, ops);
 
     let db = Database::new();
     let mut left =
@@ -156,15 +57,7 @@ fn check_shape(q: &Query, ops: &[Op], chunk: usize) -> Result<(), TestCaseError>
         .into_iter()
         .map(|n| ShardedEngine::new(q.clone(), &db, lift_one, n).unwrap())
         .collect();
-    let mut base: ivm_data::FxHashMap<ivm_data::Sym, Relation<i64>> = rels
-        .iter()
-        .map(|&r| {
-            (
-                r,
-                Relation::new(q.atoms.iter().find(|a| a.name == r).unwrap().schema.clone()),
-            )
-        })
-        .collect();
+    let mut base = empty_base(q);
 
     for batch in updates.chunks(chunk.max(1)) {
         left.apply_batch(batch).unwrap();
@@ -172,11 +65,7 @@ fn check_shape(q: &Query, ops: &[Op], chunk: usize) -> Result<(), TestCaseError>
         for eng in &mut sharded {
             eng.apply_batch(batch).unwrap();
         }
-        for u in batch {
-            base.get_mut(&u.relation)
-                .unwrap()
-                .apply(u.tuple.clone(), &u.payload);
-        }
+        common::apply_to_base(&mut base, batch);
         let expect = oracle(q, &base);
         outputs_match(
             left.output_relation(),
@@ -208,53 +97,36 @@ proptest! {
     /// Cyclic self-join triangle: left-deep ≡ multiway ≡ oracle on every
     /// batch prefix of a random mixed-sign stream.
     #[test]
-    fn triangle_engines_agree(ops in ops_strategy(), chunk in 1usize..9) {
-        check_shape(&triangle(), &ops, chunk)?;
+    fn triangle_engines_agree(ops in edge_ops_default(), chunk in 1usize..9) {
+        check_shape(&triangle("pe_"), &ops, chunk)?;
     }
 
     /// Cyclic 4-cycle over four distinct relations.
     #[test]
-    fn four_cycle_engines_agree(ops in ops_strategy(), chunk in 1usize..9) {
-        check_shape(&four_cycle(), &ops, chunk)?;
+    fn four_cycle_engines_agree(ops in edge_ops_default(), chunk in 1usize..9) {
+        check_shape(&four_cycle("pe_"), &ops, chunk)?;
     }
 
     /// Acyclic star with all variables free (multiway forced).
     #[test]
-    fn star_engines_agree(ops in ops_strategy(), chunk in 1usize..9) {
-        check_shape(&star(), &ops, chunk)?;
+    fn star_engines_agree(ops in edge_ops_default(), chunk in 1usize..9) {
+        check_shape(&star("pe_"), &ops, chunk)?;
     }
 
     /// Pipelined ingestion is just a reordering of the same ring algebra:
     /// enqueue-everything-then-drain must equal the synchronous engine and
     /// the oracle, on the shape whose plan replicates (broadcasts) atoms.
     #[test]
-    fn pipelined_sharded_four_cycle_agrees(ops in ops_strategy(), chunk in 1usize..9) {
-        let q = four_cycle();
-        let rels = distinct_relations(&q);
-        let updates: Vec<Update<i64>> = ops
-            .iter()
-            .filter(|(_, _, m)| *m != 0)
-            .map(|&(ri, (x, y), m)| Update::with_payload(rels[ri % rels.len()], tup![x, y], m))
-            .collect();
+    fn pipelined_sharded_four_cycle_agrees(ops in edge_ops_default(), chunk in 1usize..9) {
+        let q = four_cycle("pe_");
+        let updates = edge_updates(&q, &ops);
         let db = Database::new();
         let mut eng = ShardedEngine::<i64>::new(q.clone(), &db, lift_one, 3).unwrap();
-        let mut base: ivm_data::FxHashMap<ivm_data::Sym, Relation<i64>> = rels
-            .iter()
-            .map(|&r| {
-                (
-                    r,
-                    Relation::new(q.atoms.iter().find(|a| a.name == r).unwrap().schema.clone()),
-                )
-            })
-            .collect();
+        let mut base = empty_base(&q);
         for batch in updates.chunks(chunk.max(1)) {
             // Fire-and-forget; nothing is awaited until the drain below.
             eng.enqueue_batch(batch).unwrap();
-            for u in batch {
-                base.get_mut(&u.relation)
-                    .unwrap()
-                    .apply(u.tuple.clone(), &u.payload);
-            }
+            common::apply_to_base(&mut base, batch);
         }
         eng.drain().unwrap();
         let expect = oracle(&q, &base);
@@ -264,14 +136,9 @@ proptest! {
     /// Single-tuple application order is immaterial: one batch equals the
     /// same updates applied one at a time, on both plans.
     #[test]
-    fn batch_equals_singles_on_both_plans(ops in ops_strategy()) {
-        let q = triangle();
-        let rels = distinct_relations(&q);
-        let updates: Vec<Update<i64>> = ops
-            .iter()
-            .filter(|(_, _, m)| *m != 0)
-            .map(|&(ri, (x, y), m)| Update::with_payload(rels[ri % rels.len()], tup![x, y], m))
-            .collect();
+    fn batch_equals_singles_on_both_plans(ops in edge_ops_default()) {
+        let q = triangle("pe_");
+        let updates = edge_updates(&q, &ops);
         for strategy in [JoinStrategy::LeftDeep, JoinStrategy::Multiway] {
             let db = Database::new();
             let mut one =
@@ -300,11 +167,11 @@ fn harness_shapes_cover_all_shard_plan_paths() {
     let db = Database::new();
     // Self-join triangle: occurrences permute the columns of E, so no
     // physical partition serves all of them → degenerate serial routing.
-    let tri = ShardedEngine::<i64>::new(triangle(), &db, lift_one, 4).unwrap();
+    let tri = ShardedEngine::<i64>::new(triangle("pe_"), &db, lift_one, 4).unwrap();
     assert!(tri.plan().is_degenerate(), "{}", tri.describe());
 
     // 4-cycle: a covers R and U; S and T replicate → broadcast path.
-    let mut cyc = ShardedEngine::<i64>::new(four_cycle(), &db, lift_one, 4).unwrap();
+    let mut cyc = ShardedEngine::<i64>::new(four_cycle("pe_"), &db, lift_one, 4).unwrap();
     assert_eq!(cyc.plan().partitioned_count(), 2, "{}", cyc.describe());
     assert_eq!(cyc.plan().broadcast_count(), 2, "{}", cyc.describe());
     let batch: Vec<Update<i64>> = (0..8u64)
@@ -325,7 +192,7 @@ fn harness_shapes_cover_all_shard_plan_paths() {
 
     // Star: x occurs in every atom → everything partitions, nothing
     // replicates.
-    let star_eng = ShardedEngine::<i64>::new(star(), &db, lift_one, 4).unwrap();
+    let star_eng = ShardedEngine::<i64>::new(star("pe_"), &db, lift_one, 4).unwrap();
     assert_eq!(
         star_eng.plan().broadcast_count(),
         0,
@@ -341,7 +208,7 @@ fn harness_shapes_cover_all_shard_plan_paths() {
 /// and both still agree with the oracle.
 #[test]
 fn triangle_multiway_materializes_no_binary_intermediates() {
-    let q = triangle();
+    let q = triangle("pe_");
     let e = q.atoms[0].name;
     let updates: Vec<Update<i64>> = (0..14u64)
         .flat_map(|i| (0..14u64).map(move |j| (i, j)))

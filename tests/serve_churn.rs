@@ -1,0 +1,258 @@
+//! Subscriber-churn isolation: a misbehaving subscriber — a panicking
+//! callback, or a channel whose receiver was dropped — is evicted at the
+//! failing delivery and nothing else notices. Ingest never stalls,
+//! sibling taps on the *same* deduped engine keep receiving exact
+//! deltas, other groups are untouched, and after the churn the
+//! `ivm.serve.*` gauges read the surviving truth (subscriber and group
+//! counts, zeroed queue depths for the dead).
+//!
+//! Shapes and the comparison helper live in `tests/common`.
+
+mod common;
+
+use common::{four_cycle, triangle};
+use ivm_core::Maintainer;
+use ivm_data::{sym, tup, Database, Update};
+use ivm_obs::MetricsRegistry;
+use ivm_serve::{ServeNode, ViewDelta};
+use ivm_session::Session;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A deterministic mixed-sign stream over the triangle's edge relation
+/// and the 4-cycle's four relations, so both groups see real deltas.
+fn stream(prefix: &str) -> Vec<Update<i64>> {
+    let e = sym(&format!("{prefix}E"));
+    let cyc = ["4R", "4S", "4T", "4U"].map(|s| sym(&format!("{prefix}{s}")));
+    (0..32u64)
+        .flat_map(|i| {
+            let (x, y) = (i % 4, (i * 3 + 1) % 4);
+            [
+                Update::with_payload(e, tup![x, y], if i % 9 == 0 { -1 } else { 1 }),
+                Update::insert(cyc[(i % 4) as usize], tup![y, x]),
+            ]
+        })
+        .collect()
+}
+
+/// A callback that panics from epoch `at` on evicts exactly that
+/// subscriber: the sibling tap on the same engine and the other group
+/// keep matching their independent reference sessions, ingest continues,
+/// and the eviction is visible in the counters and gauges.
+#[test]
+fn panicking_callback_is_evicted_without_corrupting_siblings() {
+    // catch_unwind still runs the panic hook; silence the *expected*
+    // panic (and only it) so it doesn't spray backtraces into output.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let expected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.contains("subscriber bug"));
+        if !expected {
+            prev(info);
+        }
+    }));
+    let registry = MetricsRegistry::new();
+    let mut node = ServeNode::<i64>::new();
+    node.observe(&registry);
+
+    let tri = triangle("svc_");
+    let cyc = four_cycle("svc_");
+    // Sibling on the same deduped engine as the panicking subscriber.
+    let mut tri_sub = node.subscribe(tri.clone()).unwrap();
+    let seen: Rc<RefCell<Vec<u64>>> = Rc::default();
+    let seen2 = Rc::clone(&seen);
+    let bomb = node
+        .subscribe_with(tri.clone(), move |vd: &ViewDelta<i64>| {
+            if vd.epoch >= 2 {
+                panic!("subscriber bug");
+            }
+            seen2.borrow_mut().push(vd.epoch);
+        })
+        .unwrap();
+    let mut cyc_sub = node.subscribe(cyc.clone()).unwrap();
+    assert_eq!(node.group_count(), 2);
+    assert_eq!(node.subscriber_count(), 3);
+
+    // Independent references over private mirrors.
+    let mut mirror = Database::<i64>::new();
+    for q in [&tri, &cyc] {
+        for atom in &q.atoms {
+            if mirror.get(atom.name).is_none() {
+                mirror.create(atom.name, atom.schema.clone());
+            }
+        }
+    }
+    let mut ref_tri = Session::<i64>::builder(tri).build(&mirror).unwrap();
+    let mut ref_cyc = Session::<i64>::builder(cyc).build(&mirror).unwrap();
+
+    let updates = stream("svc_");
+    let e = sym("svc_E");
+    for (i, batch) in updates.chunks(8).enumerate() {
+        node.apply_batch(batch).unwrap();
+        mirror.apply_batch(batch);
+        // Independent sessions see the stream filtered to their own
+        // relations, exactly as the node filters per group.
+        let (tri_part, cyc_part): (Vec<Update<i64>>, Vec<Update<i64>>) =
+            batch.iter().cloned().partition(|u| u.relation == e);
+        let d_tri = ref_tri.apply_batch(&tri_part).unwrap();
+        let d_cyc = ref_cyc.apply_batch(&cyc_part).unwrap();
+        for (sub, expect) in [(&mut tri_sub, &d_tri), (&mut cyc_sub, &d_cyc)] {
+            let vd = sub.try_next().expect("live subscribers hear every epoch");
+            assert_eq!(vd.epoch, i as u64);
+            assert_eq!(vd.delta.len(), expect.len(), "epoch {i}");
+            for (t, p) in expect.iter() {
+                assert_eq!(&vd.delta.get(t), p, "epoch {i} at {t:?}");
+            }
+        }
+        // The bomb heard epochs 0 and 1, then blew up and was evicted —
+        // from epoch 2 on the node no longer knows it.
+        assert_eq!(node.is_subscribed(bomb), i < 2, "epoch {i}");
+    }
+    let _ = std::panic::take_hook();
+
+    assert_eq!(&*seen.borrow(), &[0, 1], "deliveries before the panic");
+    assert_eq!(node.subscriber_count(), 2);
+    assert_eq!(node.group_count(), 2, "the sibling keeps the engine alive");
+    let m = registry.snapshot();
+    assert_eq!(m.counter("ivm.serve.evictions"), 1);
+    assert_eq!(m.gauge("ivm.serve.subscribers"), 2);
+    assert_eq!(m.gauge("ivm.serve.groups"), 2);
+    assert_eq!(m.counter("ivm.serve.epochs"), 8, "ingest never stalled");
+}
+
+/// Dropping a `Subscription` receiver evicts the subscriber at its next
+/// delivery; if it was the last tap of its group the engine retires too,
+/// and every gauge — subscribers, groups, the dead tap's queue depth —
+/// settles to the surviving truth while ingest continues unstalled.
+#[test]
+fn dropped_receiver_retires_tap_and_group_and_gauges_settle() {
+    let registry = MetricsRegistry::new();
+    let mut node = ServeNode::<i64>::new();
+    node.observe(&registry);
+
+    let tri = triangle("svd_");
+    let cyc = four_cycle("svd_");
+    let mut keeper = node.subscribe(tri.clone()).unwrap();
+    let goner = node.subscribe(cyc.clone()).unwrap();
+    let goner_id = goner.id();
+    assert_eq!(node.group_count(), 2);
+
+    let updates = stream("svd_");
+    let mut chunks = updates.chunks(8);
+
+    // One healthy epoch: both hear it; the goner leaves its delivery
+    // undrained so its queue-depth gauge is provably nonzero.
+    node.apply_batch(chunks.next().unwrap()).unwrap();
+    assert!(keeper.try_next().is_some());
+    let m = registry.snapshot();
+    assert_eq!(m.gauge(&format!("ivm.serve.sub{goner_id}.queue_depth")), 1);
+    assert_eq!(m.gauge("ivm.serve.subscribers"), 2);
+    assert_eq!(m.gauge("ivm.serve.groups"), 2);
+
+    // Drop the receiver mid-stream; the next delivery fails, the tap is
+    // evicted, and — as the group's only tap — the 4-cycle engine
+    // retires with it.
+    drop(goner);
+    node.apply_batch(chunks.next().unwrap()).unwrap();
+    assert!(!node.is_subscribed(goner_id));
+    assert_eq!(node.subscriber_count(), 1);
+    assert_eq!(node.group_count(), 1);
+    assert!(
+        keeper.try_next().is_some(),
+        "the keeper never misses a beat"
+    );
+
+    let m = registry.snapshot();
+    assert_eq!(m.counter("ivm.serve.evictions"), 1);
+    assert_eq!(m.gauge("ivm.serve.subscribers"), 1);
+    assert_eq!(m.gauge("ivm.serve.groups"), 1);
+    assert_eq!(
+        m.gauge(&format!("ivm.serve.sub{goner_id}.queue_depth")),
+        0,
+        "a dead tap owes nothing"
+    );
+
+    // Ingest keeps flowing — including updates to the retired group's
+    // relations, which stay declared in the shared base — and the
+    // keeper's view is still exact.
+    let mut mirror = Database::<i64>::new();
+    for q in [&tri, &cyc] {
+        for atom in &q.atoms {
+            if mirror.get(atom.name).is_none() {
+                mirror.create(atom.name, atom.schema.clone());
+            }
+        }
+    }
+    let e = sym("svd_E");
+    let mut ref_tri = Session::<i64>::builder(tri).build(&mirror).unwrap();
+    for batch in updates.chunks(8) {
+        // Replay the whole stream against the reference to reach the
+        // node's cumulative state (the node already ingested the first
+        // two chunks above); the independent session sees it filtered
+        // to its own relation, as always.
+        mirror.apply_batch(batch);
+        let filtered: Vec<Update<i64>> =
+            batch.iter().filter(|u| u.relation == e).cloned().collect();
+        ref_tri.apply_batch(&filtered).unwrap();
+    }
+    for batch in chunks {
+        node.apply_batch(batch).unwrap();
+        assert!(keeper.try_next().is_some());
+    }
+    let got = node.view(keeper.id()).expect("keeper is live");
+    let expect = ref_tri.output();
+    assert_eq!(got.len(), expect.len());
+    for (t, p) in expect.iter() {
+        assert_eq!(&got.get(t), p, "keeper view at {t:?}");
+    }
+
+    // Late unsubscribe of the keeper empties the node entirely; gauges
+    // follow.
+    assert!(node.unsubscribe(keeper.id()));
+    let m = registry.snapshot();
+    assert_eq!(m.gauge("ivm.serve.subscribers"), 0);
+    assert_eq!(m.gauge("ivm.serve.groups"), 0);
+    assert_eq!(node.subscriber_count(), 0);
+    assert_eq!(node.group_count(), 0);
+}
+
+/// A resubscription after total churn builds a fresh engine from the
+/// node's *current* base — the stream ingested while nobody listened is
+/// still reflected, because the base outlives every group.
+#[test]
+fn resubscribe_after_total_churn_sees_accumulated_base() {
+    let mut node = ServeNode::<i64>::new();
+    let tri = triangle("sve_");
+    let first = node.subscribe(tri.clone()).unwrap();
+    let updates = stream("sve_");
+    // Only the triangle's relation is declared — filter the stream.
+    let e = sym("sve_E");
+    let tri_stream: Vec<Update<i64>> = updates
+        .iter()
+        .filter(|u| u.relation == e)
+        .cloned()
+        .collect();
+    let (head, tail) = tri_stream.split_at(tri_stream.len() / 2);
+
+    node.apply_batch(head).unwrap();
+    assert!(node.unsubscribe(first.id()));
+    assert_eq!(node.group_count(), 0);
+    // Nobody is listening, but the base keeps absorbing the stream.
+    node.apply_batch(tail).unwrap();
+
+    let mut sub = node.subscribe(tri.clone()).unwrap();
+    // The fresh engine preprocessed the full accumulated base.
+    let mut mirror = Database::<i64>::new();
+    mirror.create(e, tri.atoms[0].schema.clone());
+    mirror.apply_batch(&tri_stream);
+    let mut ref_tri = Session::<i64>::builder(tri).build(&mirror).unwrap();
+    let got = node.view(sub.id()).expect("fresh subscriber");
+    let expect = ref_tri.output();
+    assert_eq!(got.len(), expect.len());
+    for (t, p) in expect.iter() {
+        assert_eq!(&got.get(t), p, "resubscribed view at {t:?}");
+    }
+    assert!(sub.try_next().is_none(), "no deliveries before next epoch");
+}

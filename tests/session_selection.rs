@@ -10,103 +10,29 @@
 //! and the 5-relation Retailer join (→ eager-fact view trees), and the
 //! triangle-detection CQAP (→ fractured CQAP engine, checked through both
 //! full enumeration and constant-delay probes).
+//!
+//! Stream strategies and the oracle live in `tests/common`.
 
+mod common;
+
+use common::{
+    clamped_updates, empty_base, four_cycle, oracle, outputs_match, triangle, wide_ops, WideOp,
+};
 use ivm::{Database, EngineKind, Maintainer, QueryClass, Relation, Session, Update};
-use ivm_data::ops::{eval_join_aggregate, lift_one};
-use ivm_data::{sym, Tuple, Value};
+use ivm_data::sym;
 use ivm_query::examples;
 use ivm_query::Query;
 use proptest::prelude::*;
-
-/// One generated op: (atom pick, raw column values, signed multiplicity).
-/// Tuples are cut to each relation's arity, so one strategy serves every
-/// shape from binary edges to the 4-column Sales relation.
-type Op = (usize, (u64, u64, u64, u64), i64);
-
-fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        (
-            0usize..8,
-            (0u64..3, 0u64..3, 0u64..3, 0u64..3),
-            prop_oneof![Just(1i64), Just(1), Just(-1), Just(2), Just(-2)],
-        ),
-        0..40,
-    )
-}
-
-/// Distinct relations of `q`, in first-occurrence order, with schemas.
-fn distinct_relations(q: &Query) -> Vec<(ivm_data::Sym, ivm_data::Schema)> {
-    let mut rels: Vec<(ivm_data::Sym, ivm_data::Schema)> = Vec::new();
-    for atom in &q.atoms {
-        if !rels.iter().any(|(n, _)| *n == atom.name) {
-            rels.push((atom.name, atom.schema.clone()));
-        }
-    }
-    rels
-}
-
-/// Turn generated ops into a *valid* mixed ± stream (Sec. 2: deletes
-/// never push a tuple's multiplicity below zero). The view-tree engines
-/// maintain the paper's update model, where streams are valid by
-/// definition; clamping keeps the comparison meaningful for every
-/// backend while still exercising deletes, duplicates, and cancellation.
-fn to_updates(q: &Query, ops: &[Op]) -> Vec<Update<i64>> {
-    let rels = distinct_relations(q);
-    let mut counts: ivm_data::FxHashMap<(ivm_data::Sym, Tuple), i64> = Default::default();
-    ops.iter()
-        .filter(|(_, _, m)| *m != 0)
-        .filter_map(|&(ri, vals, m)| {
-            let (name, schema) = &rels[ri % rels.len()];
-            let cols = [vals.0, vals.1, vals.2, vals.3];
-            let t = Tuple::new((0..schema.arity()).map(|i| Value::from(cols[i % 4] as i64)));
-            let cur = counts.entry((*name, t.clone())).or_insert(0);
-            let m = m.max(-*cur);
-            if m == 0 {
-                return None;
-            }
-            *cur += m;
-            Some(Update::with_payload(*name, t, m))
-        })
-        .collect()
-}
-
-/// From-scratch oracle: join-aggregate over one relation copy per atom.
-fn oracle(q: &Query, base: &ivm_data::FxHashMap<ivm_data::Sym, Relation<i64>>) -> Relation<i64> {
-    let per_atom: Vec<Relation<i64>> = q
-        .atoms
-        .iter()
-        .map(|atom| {
-            Relation::from_rows(
-                atom.schema.clone(),
-                base[&atom.name].iter().map(|(t, r)| (t.clone(), *r)),
-            )
-        })
-        .collect();
-    let refs: Vec<&Relation<i64>> = per_atom.iter().collect();
-    eval_join_aggregate(&refs, &q.free, lift_one)
-}
-
-fn outputs_match(
-    got: &Relation<i64>,
-    expect: &Relation<i64>,
-    ctx: &str,
-) -> Result<(), TestCaseError> {
-    prop_assert_eq!(got.len(), expect.len(), "{}: sizes differ", ctx);
-    for (t, p) in expect.iter() {
-        prop_assert_eq!(&got.get(t), p, "{} at {:?}", ctx, t);
-    }
-    Ok(())
-}
 
 /// Drive one query through an auto-selected session and a 2-shard fleet,
 /// comparing both against the oracle after every batch.
 fn check_auto_selection(
     q: &Query,
     expected: EngineKind,
-    ops: &[Op],
+    ops: &[WideOp],
     chunk: usize,
 ) -> Result<(), TestCaseError> {
-    let updates = to_updates(q, ops);
+    let updates = clamped_updates(q, ops);
     let db = Database::new();
     let mut auto = Session::<i64>::builder(q.clone()).build(&db).unwrap();
     prop_assert_eq!(auto.engine_kind(), expected, "auto pick for {:?}", q.name);
@@ -117,18 +43,11 @@ fn check_auto_selection(
         .unwrap();
     prop_assert_eq!(fleet.engine_kind(), EngineKind::Sharded);
 
-    let mut base: ivm_data::FxHashMap<ivm_data::Sym, Relation<i64>> = distinct_relations(q)
-        .into_iter()
-        .map(|(n, s)| (n, Relation::new(s)))
-        .collect();
+    let mut base = empty_base(q);
     for batch in updates.chunks(chunk.max(1)) {
         auto.apply_batch(batch).unwrap();
         fleet.apply_batch(batch).unwrap();
-        for u in batch {
-            base.get_mut(&u.relation)
-                .unwrap()
-                .apply(u.tuple.clone(), &u.payload);
-        }
+        common::apply_to_base(&mut base, batch);
         let expect = oracle(q, &base);
         outputs_match(&auto.output(), &expect, &format!("{:?} auto", q.name))?;
         outputs_match(&fleet.output(), &expect, &format!("{:?} sharded", q.name))?;
@@ -141,24 +60,13 @@ proptest! {
 
     /// Cyclic self-join triangle → worst-case-optimal multiway.
     #[test]
-    fn selects_multiway_for_self_join_triangle(ops in ops_strategy(), chunk in 1usize..9) {
-        let [a, b, c] = ivm_data::vars(["ss_A", "ss_B", "ss_C"]);
-        let e = sym("ss_E");
-        let q = Query::new(
-            "ss_tri",
-            [],
-            vec![
-                ivm_query::Atom::new(e, [a, b]),
-                ivm_query::Atom::new(e, [b, c]),
-                ivm_query::Atom::new(e, [c, a]),
-            ],
-        );
-        check_auto_selection(&q, EngineKind::DataflowMultiway, &ops, chunk)?;
+    fn selects_multiway_for_self_join_triangle(ops in wide_ops(), chunk in 1usize..9) {
+        check_auto_selection(&triangle("ss_"), EngineKind::DataflowMultiway, &ops, chunk)?;
     }
 
     /// The paper's 3-relation triangle count → multiway as well.
     #[test]
-    fn selects_multiway_for_triangle_count(ops in ops_strategy(), chunk in 1usize..9) {
+    fn selects_multiway_for_triangle_count(ops in wide_ops(), chunk in 1usize..9) {
         check_auto_selection(
             &examples::triangle_count(),
             EngineKind::DataflowMultiway,
@@ -170,28 +78,19 @@ proptest! {
     /// Cyclic 4-cycle → multiway; the 2-shard fleet exercises the
     /// broadcast-replication routing underneath the session.
     #[test]
-    fn selects_multiway_for_four_cycle(ops in ops_strategy(), chunk in 1usize..9) {
-        let [a, b, c, d] = ivm_data::vars(["ss_4A", "ss_4B", "ss_4C", "ss_4D"]);
-        let q = Query::new(
-            "ss_cycle4",
-            [],
-            vec![
-                ivm_query::Atom::new(sym("ss_4R"), [a, b]),
-                ivm_query::Atom::new(sym("ss_4S"), [b, c]),
-                ivm_query::Atom::new(sym("ss_4T"), [c, d]),
-                ivm_query::Atom::new(sym("ss_4U"), [d, a]),
-            ],
-        );
-        check_auto_selection(&q, EngineKind::DataflowMultiway, &ops, chunk)?;
+    fn selects_multiway_for_four_cycle(ops in wide_ops(), chunk in 1usize..9) {
+        check_auto_selection(&four_cycle("ss_"), EngineKind::DataflowMultiway, &ops, chunk)?;
     }
 
-    /// Acyclic full star (all variables free, so q-hierarchy fails on the
-    /// bound-dominating root) → left-deep dataflow.
+    /// Acyclic full star with the center variable *bound* (all the leaf
+    /// variables free, so q-hierarchy fails on the bound-dominating root)
+    /// → left-deep dataflow. Note the free set differs from the harness
+    /// star in `tests/common`, which frees everything.
     #[test]
-    fn selects_leftdeep_for_star(ops in ops_strategy(), chunk in 1usize..9) {
+    fn selects_leftdeep_for_star(ops in wide_ops(), chunk in 1usize..9) {
         let [x, y, z, w] = ivm_data::vars(["ss_SX", "ss_SY", "ss_SZ", "ss_SW"]);
         let q = Query::new(
-            "ss_star",
+            "ss_bstar",
             [y, z, w],
             vec![
                 ivm_query::Atom::new(sym("ss_SR"), [x, y]),
@@ -204,7 +103,7 @@ proptest! {
 
     /// The acyclic 3-path → left-deep dataflow.
     #[test]
-    fn selects_leftdeep_for_path3(ops in ops_strategy(), chunk in 1usize..9) {
+    fn selects_leftdeep_for_path3(ops in wide_ops(), chunk in 1usize..9) {
         check_auto_selection(
             &examples::path3_query(),
             EngineKind::DataflowLeftDeep,
@@ -215,14 +114,14 @@ proptest! {
 
     /// Fig 3 (q-hierarchical) → the eager-fact view tree.
     #[test]
-    fn selects_eager_fact_for_fig3(ops in ops_strategy(), chunk in 1usize..9) {
+    fn selects_eager_fact_for_fig3(ops in wide_ops(), chunk in 1usize..9) {
         check_auto_selection(&examples::fig3_query(), EngineKind::EagerFact, &ops, chunk)?;
     }
 
     /// The 5-relation Retailer join (q-hierarchical under the Σ-reduct)
     /// → eager-fact, including under mixed-sign multi-arity streams.
     #[test]
-    fn selects_eager_fact_for_retailer(ops in ops_strategy(), chunk in 1usize..9) {
+    fn selects_eager_fact_for_retailer(ops in wide_ops(), chunk in 1usize..9) {
         check_auto_selection(
             &examples::retailer_query().0,
             EngineKind::EagerFact,
@@ -235,22 +134,15 @@ proptest! {
     /// enumeration (the Maintainer surface the session exposes) matches
     /// the oracle, and per-input probes match the oracle pointwise.
     #[test]
-    fn selects_cqap_for_triangle_detection(ops in ops_strategy(), chunk in 1usize..9) {
+    fn selects_cqap_for_triangle_detection(ops in wide_ops(), chunk in 1usize..9) {
         let q = examples::triangle_detect_cqap();
-        let updates = to_updates(&q, &ops);
+        let updates = clamped_updates(&q, &ops);
         let mut s = Session::<i64>::builder(q.clone()).build(&Database::new()).unwrap();
         prop_assert_eq!(s.engine_kind(), EngineKind::Cqap);
-        let mut base: ivm_data::FxHashMap<ivm_data::Sym, Relation<i64>> = distinct_relations(&q)
-            .into_iter()
-            .map(|(n, sch)| (n, Relation::new(sch)))
-            .collect();
+        let mut base = empty_base(&q);
         for batch in updates.chunks(chunk.max(1)) {
             s.apply_batch(batch).unwrap();
-            for u in batch {
-                base.get_mut(&u.relation)
-                    .unwrap()
-                    .apply(u.tuple.clone(), &u.payload);
-            }
+            common::apply_to_base(&mut base, batch);
         }
         let expect = oracle(&q, &base);
         outputs_match(&s.output(), &expect, "cqap full enumeration")?;
@@ -319,22 +211,10 @@ fn selection_table_is_exactly_as_documented() {
     assert_eq!(s.engine_kind(), EngineKind::Sharded);
     assert_eq!(s.explain().shards, 4);
     // Degenerate shard plans report the fleet actually stood up.
-    let s = Session::<i64>::builder({
-        let [a, b, c] = ivm_data::vars(["ss_dA", "ss_dB", "ss_dC"]);
-        let e = sym("ss_dE");
-        Query::new(
-            "ss_dtri",
-            [],
-            vec![
-                ivm_query::Atom::new(e, [a, b]),
-                ivm_query::Atom::new(e, [b, c]),
-                ivm_query::Atom::new(e, [c, a]),
-            ],
-        )
-    })
-    .shards(4)
-    .build(&db)
-    .unwrap();
+    let s = Session::<i64>::builder(triangle("ss_d"))
+        .shards(4)
+        .build(&db)
+        .unwrap();
     assert_eq!(s.engine_kind(), EngineKind::Sharded);
     assert_eq!(
         s.explain().shards,
