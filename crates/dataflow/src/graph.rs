@@ -24,7 +24,7 @@ use crate::multiway::{MultiwayState, StoreHub};
 use ivm_core::EngineError;
 use ivm_data::ops::{aggregate, Lift};
 use ivm_data::{GroupedIndex, Relation, Schema, Sym, Tuple, Update, Value};
-use ivm_obs::{Counter, Histogram, MetricsRegistry};
+use ivm_obs::{Counter, Histogram, LabelId, MetricsRegistry, Tracer};
 use ivm_ring::Semiring;
 use std::sync::Arc;
 use std::time::Instant;
@@ -202,6 +202,9 @@ struct OpObs {
     apply_ns: Counter,
     in_tuples: Counter,
     out_tuples: Counter,
+    /// Interned trace label (`op.{id}.{kind}`), resolved at attach time
+    /// so the hot path records spans without allocating.
+    span_label: LabelId,
 }
 
 /// Registry handles of a whole dataflow. The counters mirror
@@ -219,6 +222,11 @@ struct GraphObs {
     multiway_seeds: Counter,
     multiway_probes: Counter,
     multiway_intersections: Counter,
+    /// The registry's tracer; per-operator spans join whatever epoch
+    /// root is ambient on the applying thread.
+    tracer: Tracer,
+    /// Interned label for the whole-batch span (`engine.apply_batch`).
+    batch_label: LabelId,
     /// Stats value already pushed to the registry; the next sync pushes
     /// `stats.since(mirrored)`.
     mirrored: DataflowStats,
@@ -291,11 +299,13 @@ impl<R: Semiring> Dataflow<R> {
             .iter()
             .enumerate()
             .map(|(i, n)| {
-                let base = format!("{prefix}.op.{i}.{}", Self::op_label(&n.op));
+                let kind = Self::op_label(&n.op);
+                let base = format!("{prefix}.op.{i}.{kind}");
                 OpObs {
                     apply_ns: registry.counter(&format!("{base}.apply_ns")),
                     in_tuples: registry.counter(&format!("{base}.in_tuples")),
                     out_tuples: registry.counter(&format!("{base}.out_tuples")),
+                    span_label: registry.tracer().intern(&format!("op.{i}.{kind}")),
                 }
             })
             .collect();
@@ -310,6 +320,8 @@ impl<R: Semiring> Dataflow<R> {
             multiway_seeds: registry.counter(&format!("{prefix}.multiway_seeds")),
             multiway_probes: registry.counter(&format!("{prefix}.multiway_probes")),
             multiway_intersections: registry.counter(&format!("{prefix}.multiway_intersections")),
+            tracer: registry.tracer().clone(),
+            batch_label: registry.tracer().intern("engine.apply_batch"),
             mirrored: self.stats,
         });
     }
@@ -620,6 +632,13 @@ impl<R: Semiring> Dataflow<R> {
             return Ok(Relation::new(out_schema));
         }
         self.stats.deltas_in += batch.len() as u64;
+        // Under an ambient epoch root (session/serve ingest), the whole
+        // batch gets a span and each touched operator becomes its child;
+        // standalone use (no root) traces nothing.
+        let batch_span = self
+            .obs
+            .as_ref()
+            .and_then(|o| o.tracer.child_span(o.batch_label));
         let t_batch = self.obs.as_ref().map(|_| Instant::now());
 
         let nodes = &mut self.nodes;
@@ -702,6 +721,17 @@ impl<R: Semiring> Dataflow<R> {
                     let now = Instant::now();
                     let h = &o.ops[id];
                     h.apply_ns.add((now - prev).as_nanos() as u64);
+                    // The operator span rides the same running clock —
+                    // no extra `Instant::now()` for tracing.
+                    if let Some(bs) = &batch_span {
+                        o.tracer.record_at(
+                            h.span_label,
+                            Some(bs.id()),
+                            bs.epoch(),
+                            prev,
+                            now - prev,
+                        );
+                    }
                     t_prev = Some(now);
                     h.in_tuples.add(in_tuples);
                     h.out_tuples

@@ -1,0 +1,203 @@
+//! Crash flight recorder: a JSON post-mortem for the moments the
+//! pipeline dies mid-epoch.
+//!
+//! When a shard is poisoned, a worker panics, or a subscriber is
+//! evicted, the metrics alone say *that* something failed; the flight
+//! recorder says *where in the epoch* — it folds the last K epochs of
+//! spans into waterfalls and staples a full [`MetricsSnapshot`] to
+//! them, all as one self-contained JSON document written through the
+//! crate's own [`Json`] writer (no serialization dependency).
+//!
+//! Dumps land under `$RIVM_FLIGHT_DIR` (default `target/flight/`) as
+//! `flight-<reason>-<pid>-<n>.json`; writing is best-effort and never
+//! takes the failure path down with it.
+
+use crate::json::Json;
+use crate::registry::MetricsRegistry;
+use crate::waterfall::EpochWaterfall;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default number of trailing epochs retained in a dump.
+pub const DEFAULT_KEEP_EPOCHS: usize = 8;
+
+/// Distinguishes dumps within one process even when reasons repeat.
+static DUMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Captures post-mortem documents from a [`MetricsRegistry`] — spans,
+/// waterfalls, and the full snapshot — and writes them to disk on the
+/// pipeline's failure paths.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    registry: MetricsRegistry,
+    keep_epochs: usize,
+    dir: PathBuf,
+}
+
+impl FlightRecorder {
+    /// A recorder over `registry`, keeping [`DEFAULT_KEEP_EPOCHS`]
+    /// trailing epochs, dumping to `$RIVM_FLIGHT_DIR` or
+    /// `target/flight/`.
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        let dir = std::env::var_os("RIVM_FLIGHT_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target/flight"));
+        FlightRecorder {
+            registry: registry.clone(),
+            keep_epochs: DEFAULT_KEEP_EPOCHS,
+            dir,
+        }
+    }
+
+    /// Keep the last `k` epochs of spans per dump (minimum 1).
+    pub fn keep_epochs(mut self, k: usize) -> Self {
+        self.keep_epochs = k.max(1);
+        self
+    }
+
+    /// Override the dump directory.
+    pub fn dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.dir = dir.into();
+        self
+    }
+
+    /// Build the post-mortem document without touching the filesystem:
+    /// reason and detail, the last K epochs as waterfalls, the raw
+    /// retained spans of those epochs, and a full metrics snapshot.
+    pub fn document(&self, reason: &str, detail: &str) -> Json {
+        let tracer = self.registry.tracer();
+        let events = tracer.events();
+        let mut falls = EpochWaterfall::from_events(&events);
+        if falls.len() > self.keep_epochs {
+            falls.drain(..falls.len() - self.keep_epochs);
+        }
+        let kept: std::collections::BTreeSet<u64> = falls.iter().map(|w| w.epoch).collect();
+        let spans: Vec<Json> = events
+            .iter()
+            .filter(|e| kept.contains(&e.epoch))
+            .map(|e| {
+                Json::obj()
+                    .field("id", Json::num(e.id as f64))
+                    .field(
+                        "parent",
+                        e.parent.map_or(Json::Null, |p| Json::num(p as f64)),
+                    )
+                    .field("epoch", Json::num(e.epoch as f64))
+                    .field("label", Json::str(e.label.clone()))
+                    .field("start_ns", Json::num(e.start_ns() as f64))
+                    .field("elapsed_ns", Json::num(e.elapsed_ns() as f64))
+            })
+            .collect();
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as f64)
+            .unwrap_or(0.0);
+        Json::obj()
+            .field("reason", Json::str(reason))
+            .field("detail", Json::str(detail))
+            .field("unix_ms", Json::num(unix_ms))
+            .field("keep_epochs", Json::num(self.keep_epochs as f64))
+            .field("dropped_spans", Json::num(tracer.dropped() as f64))
+            .field(
+                "epochs",
+                Json::Arr(falls.iter().map(|w| w.to_json()).collect()),
+            )
+            .field("spans", Json::Arr(spans))
+            .field("snapshot", self.registry.snapshot().to_json())
+    }
+
+    /// Write the post-mortem to the dump directory and return its path.
+    /// Best-effort: any I/O error returns `None` — the recorder must
+    /// never make a failure path worse.
+    pub fn dump(&self, reason: &str, detail: &str) -> Option<PathBuf> {
+        let doc = self.document(reason, detail);
+        let slug: String = reason
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        let name = format!(
+            "flight-{slug}-{}-{}.json",
+            std::process::id(),
+            DUMP_SEQ.fetch_add(1, Ordering::Relaxed),
+        );
+        let path = self.dir.join(name);
+        self.write(&path, &doc.render()).ok()?;
+        Some(path)
+    }
+
+    fn write(&self, path: &Path, body: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        std::fs::write(path, body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    fn traced_registry(epochs: u64) -> MetricsRegistry {
+        let registry = MetricsRegistry::new();
+        registry.counter("ivm.test.batches").add(epochs);
+        let t = registry.tracer();
+        let root = t.intern("ingest");
+        let stage = t.intern("shard0.apply");
+        for epoch in 0..epochs {
+            let s = t.enter(root, epoch);
+            t.record_at(
+                stage,
+                Some(s.id()),
+                epoch,
+                Instant::now(),
+                Duration::from_micros(3),
+            );
+            s.finish();
+        }
+        registry
+    }
+
+    #[test]
+    fn document_keeps_last_k_epochs_and_snapshot() {
+        let registry = traced_registry(6);
+        let fr = FlightRecorder::new(&registry).keep_epochs(2);
+        let doc = fr.document("unit-test", "synthetic failure");
+        let text = doc.render();
+        assert!(text.contains("\"reason\":\"unit-test\""));
+        assert!(text.contains("\"snapshot\""));
+        // Only epochs 4 and 5 survive the K=2 window.
+        assert!(text.contains("\"epoch\":5"));
+        assert!(!text.contains("\"epoch\":1,"));
+        let parsed = Json::parse(&text).expect("dump is parseable JSON");
+        match &parsed {
+            Json::Obj(fields) => {
+                let epochs = fields
+                    .iter()
+                    .find(|(k, _)| k == "epochs")
+                    .map(|(_, v)| v)
+                    .expect("has epochs array");
+                match epochs {
+                    Json::Arr(a) => assert_eq!(a.len(), 2),
+                    other => panic!("epochs should be an array, got {other:?}"),
+                }
+            }
+            other => panic!("dump should be an object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dump_writes_a_file_best_effort() {
+        let registry = traced_registry(3);
+        let dir = std::env::temp_dir().join(format!("rivm-flight-test-{}", std::process::id()));
+        let fr = FlightRecorder::new(&registry).dir(&dir);
+        let path = fr.dump("shard poisoned!", "worker 2 hung up").unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(Json::parse(&body).is_some());
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("flight-shard-poisoned-"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,264 @@
+//! A dependency-free scrape endpoint over `std::net::TcpListener`.
+//!
+//! One background thread accepts connections and answers three routes
+//! from the attached [`MetricsRegistry`]:
+//!
+//! | route            | body                                           |
+//! |------------------|------------------------------------------------|
+//! | `/metrics`       | Prometheus text exposition of the snapshot     |
+//! | `/snapshot.json` | the full [`MetricsSnapshot`] as JSON           |
+//! | `/epochs.json`   | recent [`EpochWaterfall`]s from the trace ring |
+//!
+//! Each response is built from a fresh snapshot at request time, so a
+//! scraper always sees a consistent point-in-time view regardless of
+//! ingest concurrency. The server speaks just enough HTTP/1.x for
+//! `curl` and Prometheus: it reads the request line, answers with
+//! `Content-Length`, and closes. Bind to port 0 in tests and read the
+//! real port back from [`MetricsServer::addr`].
+//!
+//! [`MetricsSnapshot`]: crate::MetricsSnapshot
+
+use crate::json::Json;
+use crate::registry::MetricsRegistry;
+use crate::waterfall::EpochWaterfall;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How many recent epochs `/epochs.json` returns at most.
+const EPOCHS_LIMIT: usize = 32;
+
+/// A live exposition endpoint. Dropping it stops the accept loop and
+/// joins the server thread.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:9184"`, or `"127.0.0.1:0"` for an
+    /// ephemeral port) and serve `registry` until dropped.
+    pub fn start(addr: &str, registry: &MetricsRegistry) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let registry = registry.clone();
+            std::thread::Builder::new()
+                .name("ivm-obs-http".into())
+                .spawn(move || accept_loop(listener, registry, stop))?
+        };
+        Ok(MetricsServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The actually bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop is blocked in accept(); poke it awake with a
+        // throwaway connection so it can observe the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, registry: MetricsRegistry, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        // A stalled client must not wedge the (single-threaded) loop.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let _ = handle(&mut stream, &registry);
+    }
+}
+
+fn handle(stream: &mut TcpStream, registry: &MetricsRegistry) -> std::io::Result<()> {
+    // Read the complete header block before answering — closing with
+    // unread request bytes in the socket makes the kernel RST the
+    // connection under the client's feet. Headers themselves are
+    // ignored (every route is a parameterless GET).
+    let mut buf = Vec::with_capacity(256);
+    let mut chunk = [0u8; 256];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 8192 {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let line = buf
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(&[]);
+    let line = String::from_utf8_lossy(line);
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            "only GET is served\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                registry.snapshot().to_prometheus(),
+            ),
+            "/snapshot.json" => (
+                "200 OK",
+                "application/json",
+                registry.snapshot().render_json(),
+            ),
+            "/epochs.json" => ("200 OK", "application/json", epochs_body(registry)),
+            "/" => (
+                "200 OK",
+                "text/plain",
+                "ivm-obs exposition endpoint\nroutes: /metrics /snapshot.json /epochs.json\n"
+                    .to_string(),
+            ),
+            _ => ("404 Not Found", "text/plain", "unknown route\n".to_string()),
+        }
+    };
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn epochs_body(registry: &MetricsRegistry) -> String {
+    let events = registry.tracer().events();
+    let mut falls = EpochWaterfall::from_events(&events);
+    if falls.len() > EPOCHS_LIMIT {
+        falls.drain(..falls.len() - EPOCHS_LIMIT);
+    }
+    Json::obj()
+        .field(
+            "dropped_spans",
+            Json::num(registry.tracer().dropped() as f64),
+        )
+        .field(
+            "epochs",
+            Json::Arr(falls.iter().map(|w| w.to_json()).collect()),
+        )
+        .render()
+}
+
+/// Issue a bare HTTP GET against `addr` and return the response body.
+/// Test helper for this crate and downstream integration tests (we have
+/// no HTTP client dependency); also handy in examples to print a
+/// curl-equivalent transcript.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    // One write: a request split across segments could race the
+    // server's response-and-close.
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    match response.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_string()),
+        None => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "no header/body separator in response",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    fn live_registry() -> MetricsRegistry {
+        let registry = MetricsRegistry::new();
+        registry.counter("ivm.session.batches").add(3);
+        registry.gauge("ivm.fleet.queue_depth").set(2);
+        registry.histogram("ivm.session.ingest_ns").record(4096);
+        let t = registry.tracer();
+        let root = t.intern("session.ingest");
+        let stage = t.intern("shard0.apply");
+        for epoch in 0..2 {
+            let s = t.enter(root, epoch);
+            t.record_at(
+                stage,
+                Some(s.id()),
+                epoch,
+                Instant::now(),
+                Duration::from_micros(2),
+            );
+            s.finish();
+        }
+        registry
+    }
+
+    #[test]
+    fn serves_metrics_snapshot_and_epochs() {
+        let registry = live_registry();
+        let srv = MetricsServer::start("127.0.0.1:0", &registry).unwrap();
+        let addr = srv.addr();
+
+        let metrics = http_get(addr, "/metrics").unwrap();
+        assert_eq!(metrics, registry.snapshot().to_prometheus());
+        assert!(metrics.contains("ivm_session_batches 3"));
+
+        let snap = http_get(addr, "/snapshot.json").unwrap();
+        let parsed = Json::parse(&snap).expect("snapshot.json parses");
+        assert!(parsed.get("counters").is_some());
+
+        let epochs = http_get(addr, "/epochs.json").unwrap();
+        let parsed = Json::parse(&epochs).expect("epochs.json parses");
+        assert_eq!(parsed.get("epochs").unwrap().as_arr().unwrap().len(), 2);
+
+        assert!(http_get(addr, "/nope").unwrap().contains("unknown route"));
+        assert!(http_get(addr, "/").unwrap().contains("/metrics"));
+    }
+
+    #[test]
+    fn drop_stops_the_server_and_frees_the_port() {
+        let registry = MetricsRegistry::new();
+        let srv = MetricsServer::start("127.0.0.1:0", &registry).unwrap();
+        let addr = srv.addr();
+        drop(srv);
+        // The listener is closed: either connect fails outright or the
+        // connection is never answered.
+        match TcpStream::connect(addr) {
+            Err(_) => {}
+            Ok(mut s) => {
+                let _ = s.set_read_timeout(Some(Duration::from_millis(300)));
+                let _ = write!(s, "GET /metrics HTTP/1.1\r\n\r\n");
+                let mut out = String::new();
+                assert!(
+                    s.read_to_string(&mut out).is_err() || out.is_empty(),
+                    "a dropped server must not answer"
+                );
+            }
+        }
+    }
+}

@@ -1,7 +1,8 @@
 //! A tiny self-contained JSON value — the offline build environment has
-//! no serde, and the telemetry surface only needs *emission*, never
-//! parsing. Object fields keep insertion order so snapshot and bench
-//! output stay diffable run-to-run.
+//! no serde. Emission is the primary surface; [`Json::parse`] exists so
+//! tests can round-trip flight-recorder dumps and endpoint responses
+//! without a dependency. Object fields keep insertion order so snapshot
+//! and bench output stay diffable run-to-run.
 
 use std::fmt::Write as _;
 
@@ -55,6 +56,53 @@ impl Json {
         out
     }
 
+    /// Parse a complete JSON document; `None` on any syntax error or
+    /// trailing garbage. Strict enough for round-trip tests (strings
+    /// support the escapes [`escape`] emits plus `\/`, `\b`, `\f`, and
+    /// `\uXXXX` including surrogate pairs).
+    pub fn parse(s: &str) -> Option<Json> {
+        let b = s.as_bytes();
+        let (v, mut i) = parse_value(b, skip_ws(b, 0))?;
+        i = skip_ws(b, i);
+        if i == b.len() {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    /// Look up a field of an object by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
@@ -93,6 +141,144 @@ impl Json {
                     v.write(out);
                 }
                 out.push('}');
+            }
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() && matches!(b[i], b' ' | b'\t' | b'\n' | b'\r') {
+        i += 1;
+    }
+    i
+}
+
+fn parse_value(b: &[u8], i: usize) -> Option<(Json, usize)> {
+    match *b.get(i)? {
+        b'n' => b
+            .get(i..i + 4)
+            .filter(|s| *s == b"null")
+            .map(|_| (Json::Null, i + 4)),
+        b't' => b
+            .get(i..i + 4)
+            .filter(|s| *s == b"true")
+            .map(|_| (Json::Bool(true), i + 4)),
+        b'f' => b
+            .get(i..i + 5)
+            .filter(|s| *s == b"false")
+            .map(|_| (Json::Bool(false), i + 5)),
+        b'"' => parse_string(b, i).map(|(s, j)| (Json::Str(s), j)),
+        b'[' => {
+            let mut items = Vec::new();
+            let mut j = skip_ws(b, i + 1);
+            if b.get(j) == Some(&b']') {
+                return Some((Json::Arr(items), j + 1));
+            }
+            loop {
+                let (v, k) = parse_value(b, j)?;
+                items.push(v);
+                j = skip_ws(b, k);
+                match b.get(j)? {
+                    b',' => j = skip_ws(b, j + 1),
+                    b']' => return Some((Json::Arr(items), j + 1)),
+                    _ => return None,
+                }
+            }
+        }
+        b'{' => {
+            let mut fields = Vec::new();
+            let mut j = skip_ws(b, i + 1);
+            if b.get(j) == Some(&b'}') {
+                return Some((Json::Obj(fields), j + 1));
+            }
+            loop {
+                let (key, k) = parse_string(b, j)?;
+                j = skip_ws(b, k);
+                if b.get(j) != Some(&b':') {
+                    return None;
+                }
+                let (v, k) = parse_value(b, skip_ws(b, j + 1))?;
+                fields.push((key, v));
+                j = skip_ws(b, k);
+                match b.get(j)? {
+                    b',' => j = skip_ws(b, j + 1),
+                    b'}' => return Some((Json::Obj(fields), j + 1)),
+                    _ => return None,
+                }
+            }
+        }
+        b'-' | b'0'..=b'9' => {
+            let mut j = i + 1;
+            while j < b.len() && matches!(b[j], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+                j += 1;
+            }
+            std::str::from_utf8(&b[i..j])
+                .ok()?
+                .parse::<f64>()
+                .ok()
+                .filter(|v| v.is_finite())
+                .map(|v| (Json::Num(v), j))
+        }
+        _ => None,
+    }
+}
+
+fn parse_string(b: &[u8], i: usize) -> Option<(String, usize)> {
+    if b.get(i) != Some(&b'"') {
+        return None;
+    }
+    let mut out = String::new();
+    let mut j = i + 1;
+    loop {
+        match *b.get(j)? {
+            b'"' => return Some((out, j + 1)),
+            b'\\' => {
+                j += 1;
+                match *b.get(j)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = std::str::from_utf8(b.get(j + 1..j + 5)?).ok()?;
+                        let cp = u32::from_str_radix(hex, 16).ok()?;
+                        j += 4;
+                        // Surrogate pair: a high surrogate must be
+                        // followed by an escaped low surrogate.
+                        let cp = if (0xD800..0xDC00).contains(&cp) {
+                            if b.get(j + 1..j + 3)? != b"\\u" {
+                                return None;
+                            }
+                            let hex2 = std::str::from_utf8(b.get(j + 3..j + 7)?).ok()?;
+                            let lo = u32::from_str_radix(hex2, 16).ok()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return None;
+                            }
+                            j += 6;
+                            0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            cp
+                        };
+                        out.push(char::from_u32(cp)?);
+                    }
+                    _ => return None,
+                }
+                j += 1;
+            }
+            c if c < 0x20 => return None,
+            _ => {
+                // Consume one UTF-8 scalar (input is a &str, so bytes
+                // are valid UTF-8 — find the next char boundary).
+                let start = j;
+                j += 1;
+                while j < b.len() && (b[j] & 0xC0) == 0x80 {
+                    j += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..j]).ok()?);
             }
         }
     }
@@ -144,5 +330,45 @@ mod tests {
     fn integral_floats_render_without_decimal_point() {
         assert_eq!(Json::num(1e6).render(), "1000000");
         assert_eq!(Json::num(1e16).render(), "10000000000000000");
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let doc = Json::obj()
+            .field("name", Json::str("tri\"an\\gle\nμ"))
+            .field("n", Json::num(42.0))
+            .field("frac", Json::num(-0.5))
+            .field("exp", Json::num(1.5e3))
+            .field("rows", Json::Arr(vec![Json::Bool(true), Json::Null]))
+            .field("empty_obj", Json::obj())
+            .field("empty_arr", Json::Arr(vec![]));
+        let back = Json::parse(&doc.render()).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_unicode_escapes() {
+        let v = Json::parse(" { \"a\" : [ 1 , \"\\u00e9\\ud83d\\ude00\" ] } ").unwrap();
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].as_str(), Some("é😀"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "nul",
+            "1 2",
+            "\"\\x\"",
+            "{\"a\" 1}",
+            "\"\\ud800\"",
+            "[1]]",
+        ] {
+            assert!(Json::parse(bad).is_none(), "should reject {bad:?}");
+        }
     }
 }

@@ -10,8 +10,22 @@
 //!   (setup path); the handles are shared atomics, so hot-path updates
 //!   are single relaxed RMW instructions. Engines hold `Option`al
 //!   handles: with no registry attached they pay nothing at all.
-//! - [`Tracer`] / [`Span`] — batch-lifecycle event log in a bounded
-//!   ring buffer (oldest events drop; [`Tracer::dropped`] counts them).
+//! - [`Tracer`] / [`Span`] — causal span log in a bounded ring buffer
+//!   (oldest spans drop; [`Tracer::dropped`] counts them). Spans carry
+//!   an id, a parent id, and an *epoch* tag; labels are interned
+//!   ([`LabelId`]) so the hot path never allocates. An ambient
+//!   thread-local context links nested spans automatically, and
+//!   explicit `(parent, epoch)` handoff joins worker threads into the
+//!   same epoch tree.
+//! - [`EpochWaterfall`] — folds the span ring back into one latency
+//!   tree per epoch: self vs. child time, critical path, queue wait vs.
+//!   compute, and an ASCII rendering.
+//! - [`FlightRecorder`] — on a failure path (shard poisoning, worker
+//!   panic, subscriber eviction), dumps the last K epochs of spans plus
+//!   a full snapshot as one JSON post-mortem document.
+//! - [`MetricsServer`] — a dependency-free `TcpListener` endpoint
+//!   serving `/metrics` (Prometheus text), `/snapshot.json`, and
+//!   `/epochs.json` from a live registry.
 //! - [`MetricsSnapshot`] — frozen copy with two exporters reading the
 //!   same data: Prometheus text exposition
 //!   ([`MetricsSnapshot::to_prometheus`]) and a JSON document
@@ -22,16 +36,22 @@
 //! `ivm.dataflow.op.3.apply_ns` or `ivm.fleet.shard2.queue_depth`
 //! (dots become `_` in the Prometheus exposition).
 
+mod flight;
+mod http;
 mod json;
 mod ns;
 mod registry;
 mod snapshot;
 mod trace;
+mod waterfall;
 
+pub use flight::{FlightRecorder, DEFAULT_KEEP_EPOCHS};
+pub use http::{http_get, MetricsServer};
 pub use json::{escape as json_escape, Json};
 pub use ns::Namespace;
 pub use registry::{
     bucket_index, bucket_upper, Counter, Gauge, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS,
 };
 pub use snapshot::{prometheus_name, HistogramSnapshot, MetricsSnapshot};
-pub use trace::{Span, TraceEvent, Tracer};
+pub use trace::{LabelId, Span, TraceEvent, Tracer};
+pub use waterfall::{fmt_ns, EpochWaterfall, StageRow};

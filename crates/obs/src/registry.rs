@@ -229,9 +229,40 @@ impl MetricsRegistry {
     }
 
     /// Open a [`Span`] on the registry's tracer; its wall time is logged
-    /// when dropped or [`Span::finish`]ed.
-    pub fn span(&self, label: impl Into<String>) -> Span {
+    /// when dropped or [`Span::finish`]ed. Interns the label on every
+    /// call — hot paths should intern once via [`Tracer::intern`] and
+    /// use the tracer directly.
+    pub fn span(&self, label: &str) -> Span {
         self.0.tracer.span(label)
+    }
+
+    /// Drop every series whose name starts with `prefix`, across
+    /// counters, gauges, and histograms; returns how many were removed.
+    /// Live handles held elsewhere keep working — they just stop being
+    /// exported. This is how churned per-entity series (an evicted
+    /// subscriber's `…sub{id}.*`) are kept from growing the export
+    /// without bound.
+    pub fn prune_prefix(&self, prefix: &str) -> usize {
+        let mut removed = 0;
+        {
+            let mut m = locked(&self.0.counters);
+            let before = m.len();
+            m.retain(|k, _| !k.starts_with(prefix));
+            removed += before - m.len();
+        }
+        {
+            let mut m = locked(&self.0.gauges);
+            let before = m.len();
+            m.retain(|k, _| !k.starts_with(prefix));
+            removed += before - m.len();
+        }
+        {
+            let mut m = locked(&self.0.histograms);
+            let before = m.len();
+            m.retain(|k, _| !k.starts_with(prefix));
+            removed += before - m.len();
+        }
+        removed
     }
 
     /// A point-in-time copy of every metric, safe to take while writers
@@ -272,6 +303,23 @@ mod tests {
         g.add(5);
         g.dec();
         assert_eq!(reg.gauge("depth").get(), 4);
+    }
+
+    #[test]
+    fn prune_prefix_removes_matching_series_only() {
+        let reg = MetricsRegistry::new();
+        reg.counter("ivm.serve.sub3.notify_ns");
+        reg.gauge("ivm.serve.sub3.queue_depth");
+        reg.histogram("ivm.serve.sub3.lag");
+        reg.gauge("ivm.serve.sub30.queue_depth");
+        reg.counter("ivm.serve.epochs").add(7);
+        // The trailing dot keeps sub30 out of sub3's blast radius.
+        assert_eq!(reg.prune_prefix("ivm.serve.sub3."), 3);
+        let m = reg.snapshot();
+        assert!(!m.counters.contains_key("ivm.serve.sub3.notify_ns"));
+        assert!(!m.gauges.contains_key("ivm.serve.sub3.queue_depth"));
+        assert!(m.gauges.contains_key("ivm.serve.sub30.queue_depth"));
+        assert_eq!(m.counter("ivm.serve.epochs"), 7);
     }
 
     #[test]

@@ -1,18 +1,52 @@
-//! Batch-lifecycle tracing: named [`Span`]s append to a bounded
-//! ring-buffer event log. Unlike the metric atomics this takes a short
-//! mutex per *span* (not per tuple) — spans wrap whole batch phases, so
-//! contention is proportional to batch rate, and the ring discards the
-//! oldest events instead of growing without bound.
+//! Epoch-causal tracing: spans with ids, parent ids, and an epoch tag,
+//! appended to a bounded ring-buffer event log.
+//!
+//! Unlike the metric atomics this takes a short mutex per *span* (not
+//! per tuple) — spans wrap whole batch phases, so contention is
+//! proportional to batch rate, and the ring discards the oldest events
+//! instead of growing without bound.
+//!
+//! # Causality model
+//!
+//! Each ingestion epoch opens one **root** span ([`Tracer::enter`] at
+//! the outermost observed layer — the session or the serve node), and
+//! every pipeline stage underneath — router consolidate/partition,
+//! per-shard queue wait and worker apply, per-operator engine time, hub
+//! advance, per-subscriber notify — records a **child** span carrying
+//! the root's epoch. Parentage flows through a thread-local ambient
+//! context: opening a span installs it as the current parent for the
+//! thread, and restores the previous one when it finishes, so nested
+//! stages link up without threading ids through every call signature.
+//! Worker threads join an epoch explicitly via [`Tracer::enter_at`]
+//! with the context the router shipped alongside the job.
+//!
+//! Labels are **interned** ([`Tracer::intern`] → [`LabelId`]): the hot
+//! path records a `Copy` id, never allocates a `String` per span. The
+//! [`crate::EpochWaterfall`] reconstructor turns the flat ring back
+//! into per-epoch latency trees.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// One completed span.
+/// An interned span label: a dense index into the owning tracer's label
+/// table. Intern once at attach/setup time, record with the `Copy` id on
+/// the hot path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LabelId(u32);
+
+/// One completed span, with its label resolved back to text.
 #[derive(Clone, Debug)]
 pub struct TraceEvent {
-    /// What happened, e.g. `enqueue seq=3` or `drain`.
+    /// Unique id within this tracer (never reused; ids start at 1).
+    pub id: u64,
+    /// The enclosing span's id, `None` for an epoch root.
+    pub parent: Option<u64>,
+    /// The ingestion epoch this span belongs to.
+    pub epoch: u64,
+    /// What happened, e.g. `session.ingest` or `shard2.apply`.
     pub label: String,
     /// Start offset from the tracer's creation instant.
     pub start: Duration,
@@ -20,76 +54,236 @@ pub struct TraceEvent {
     pub elapsed: Duration,
 }
 
-#[derive(Debug)]
-struct TracerInner {
-    epoch: Instant,
-    capacity: usize,
-    events: Mutex<VecDeque<TraceEvent>>,
-    dropped: AtomicU64,
+impl TraceEvent {
+    /// Start offset in nanoseconds (saturating).
+    pub fn start_ns(&self) -> u64 {
+        self.start.as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Duration in nanoseconds (saturating).
+    pub fn elapsed_ns(&self) -> u64 {
+        self.elapsed.as_nanos().min(u64::MAX as u128) as u64
+    }
 }
 
-/// Bounded event log. Cloning shares the buffer.
+/// Compact ring entry: label as an interned id, parent 0 = none.
+#[derive(Clone, Copy, Debug)]
+struct SpanRecord {
+    id: u64,
+    parent: u64,
+    epoch: u64,
+    label: LabelId,
+    start: Duration,
+    elapsed: Duration,
+}
+
+/// The thread's current (tracer identity, open span, epoch). Tracer
+/// identity keeps two registries in one thread (common in tests) from
+/// adopting each other's parents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct AmbientCtx {
+    tracer: usize,
+    span: u64,
+    epoch: u64,
+}
+
+thread_local! {
+    static CTX: Cell<Option<AmbientCtx>> = const { Cell::new(None) };
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    origin: Instant,
+    capacity: usize,
+    events: Mutex<VecDeque<SpanRecord>>,
+    /// Interned labels; a `LabelId` indexes here. Bounded by the number
+    /// of distinct pipeline stages (a few dozen), so linear-scan intern
+    /// is fine — and it only runs on setup paths anyway.
+    labels: Mutex<Vec<Arc<str>>>,
+    dropped: AtomicU64,
+    next_id: AtomicU64,
+}
+
+/// Bounded causal event log. Cloning shares the buffer.
 #[derive(Clone, Debug)]
 pub struct Tracer(Arc<TracerInner>);
 
 impl Default for Tracer {
     fn default() -> Self {
-        Tracer::with_capacity(1024)
+        Tracer::with_capacity(4096)
     }
 }
 
 impl Tracer {
-    /// A tracer retaining at most `capacity` most-recent events.
+    /// A tracer retaining at most `capacity` most-recent spans.
     pub fn with_capacity(capacity: usize) -> Self {
         Tracer(Arc::new(TracerInner {
-            epoch: Instant::now(),
+            origin: Instant::now(),
             capacity: capacity.max(1),
             events: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 4096))),
             dropped: AtomicU64::new(0),
+            next_id: AtomicU64::new(1),
+            labels: Mutex::new(Vec::new()),
         }))
     }
 
-    /// Open a span; it records itself on drop (or [`Span::finish`]).
-    pub fn span(&self, label: impl Into<String>) -> Span {
+    fn identity(&self) -> usize {
+        Arc::as_ptr(&self.0) as usize
+    }
+
+    fn next_id(&self) -> u64 {
+        self.0.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Intern `label`, returning its stable id. Idempotent; meant for
+    /// setup paths (attach/observe), not per-span.
+    pub fn intern(&self, label: &str) -> LabelId {
+        let mut labels = self.0.labels.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(i) = labels.iter().position(|l| &**l == label) {
+            return LabelId(i as u32);
+        }
+        labels.push(Arc::from(label));
+        LabelId((labels.len() - 1) as u32)
+    }
+
+    /// The text behind an interned id (empty if the id is foreign).
+    pub fn label(&self, id: LabelId) -> String {
+        let labels = self.0.labels.lock().unwrap_or_else(|e| e.into_inner());
+        labels
+            .get(id.0 as usize)
+            .map(|l| l.to_string())
+            .unwrap_or_default()
+    }
+
+    /// This thread's open (span id, epoch) on *this* tracer, if any —
+    /// what a router captures to ship alongside a cross-thread job.
+    pub fn current_ctx(&self) -> Option<(u64, u64)> {
+        CTX.with(|c| c.get())
+            .filter(|ctx| ctx.tracer == self.identity())
+            .map(|ctx| (ctx.span, ctx.epoch))
+    }
+
+    /// Open the span for one observed layer: a **child** of the thread's
+    /// ambient span when one is open on this tracer (e.g. a session
+    /// ingest running under a serve-node root), otherwise an epoch
+    /// **root** tagged `epoch`. Installs itself as the ambient parent
+    /// until finished.
+    pub fn enter(&self, label: LabelId, epoch: u64) -> Span {
+        match self.current_ctx() {
+            Some((parent, ambient_epoch)) => self.open(label, Some(parent), ambient_epoch),
+            None => self.open(label, None, epoch),
+        }
+    }
+
+    /// Open a span under an explicit parent and epoch — how a worker
+    /// thread joins an epoch whose root lives on the caller thread.
+    /// Installs itself as the ambient parent until finished.
+    pub fn enter_at(&self, label: LabelId, parent: u64, epoch: u64) -> Span {
+        self.open(label, Some(parent), epoch)
+    }
+
+    /// Open a child span iff this thread has an ambient span open on
+    /// this tracer; `None` otherwise. The gate for interior stages
+    /// (engine, hub, notify) that should only trace under a root.
+    pub fn child_span(&self, label: LabelId) -> Option<Span> {
+        self.current_ctx()
+            .map(|(parent, epoch)| self.open(label, Some(parent), epoch))
+    }
+
+    /// Convenience for ad-hoc spans: interns `label` (setup-path cost)
+    /// and opens via [`Self::enter`] with epoch 0.
+    pub fn span(&self, label: &str) -> Span {
+        let id = self.intern(label);
+        self.enter(id, 0)
+    }
+
+    fn open(&self, label: LabelId, parent: Option<u64>, epoch: u64) -> Span {
+        let id = self.next_id();
+        let prev_ctx = CTX.with(|c| {
+            c.replace(Some(AmbientCtx {
+                tracer: self.identity(),
+                span: id,
+                epoch,
+            }))
+        });
         Span {
             tracer: self.clone(),
-            label: label.into(),
+            id,
+            parent,
+            epoch,
+            label,
             start: Instant::now(),
+            prev_ctx,
             armed: true,
         }
     }
 
-    /// Record a completed event directly (spans use this internally).
-    pub fn record(&self, label: String, start: Instant, elapsed: Duration) {
+    /// Record a completed span directly from measurements the caller
+    /// already took (no extra clock reads): the post-hoc path for
+    /// queue-wait gaps and per-operator running-clock segments.
+    /// Returns the span's id.
+    pub fn record_at(
+        &self,
+        label: LabelId,
+        parent: Option<u64>,
+        epoch: u64,
+        start: Instant,
+        elapsed: Duration,
+    ) -> u64 {
+        let id = self.next_id();
+        self.push(SpanRecord {
+            id,
+            parent: parent.unwrap_or(0),
+            epoch,
+            label,
+            start: start.saturating_duration_since(self.0.origin),
+            elapsed,
+        });
+        id
+    }
+
+    fn push(&self, rec: SpanRecord) {
         let mut events = self.0.events.lock().unwrap_or_else(|e| e.into_inner());
         if events.len() >= self.0.capacity {
             events.pop_front();
             self.0.dropped.fetch_add(1, Ordering::Relaxed);
         }
-        events.push_back(TraceEvent {
-            label,
-            start: start.saturating_duration_since(self.0.epoch),
-            elapsed,
-        });
+        events.push_back(rec);
     }
 
-    /// Copy of the retained events, oldest first.
+    /// Copy of the retained spans, oldest first, labels resolved.
     pub fn events(&self) -> Vec<TraceEvent> {
+        let labels: Vec<Arc<str>> = self
+            .0
+            .labels
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
         self.0
             .events
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .iter()
-            .cloned()
+            .map(|r| TraceEvent {
+                id: r.id,
+                parent: (r.parent != 0).then_some(r.parent),
+                epoch: r.epoch,
+                label: labels
+                    .get(r.label.0 as usize)
+                    .map(|l| l.to_string())
+                    .unwrap_or_default(),
+                start: r.start,
+                elapsed: r.elapsed,
+            })
             .collect()
     }
 
-    /// How many events the ring has discarded since creation.
+    /// How many spans the ring has discarded since creation.
     pub fn dropped(&self) -> u64 {
         self.0.dropped.load(Ordering::Relaxed)
     }
 
-    /// Discard all retained events (the dropped count keeps its total).
+    /// Discard all retained spans (the dropped count keeps its total).
     pub fn clear(&self) {
         self.0
             .events
@@ -99,42 +293,74 @@ impl Tracer {
     }
 }
 
-/// RAII guard measuring one phase: created by [`Tracer::span`], logs
-/// its wall time when finished or dropped.
+/// RAII guard measuring one phase: created by [`Tracer::enter`] /
+/// [`Tracer::enter_at`] / [`Tracer::child_span`], logs its wall time
+/// when finished or dropped, and keeps the thread's ambient parent
+/// pointing at itself meanwhile.
 #[derive(Debug)]
 pub struct Span {
     tracer: Tracer,
-    label: String,
+    id: u64,
+    parent: Option<u64>,
+    epoch: u64,
+    label: LabelId,
     start: Instant,
+    prev_ctx: Option<AmbientCtx>,
     armed: bool,
 }
 
 impl Span {
+    /// This span's id — the parent for children recorded post hoc.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The epoch this span is tagged with.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// End the span now and log it (otherwise `Drop` does).
     pub fn finish(mut self) {
-        self.record();
+        self.record(None);
+    }
+
+    /// End the span logging exactly `elapsed` instead of the measured
+    /// wall time — so a stage whose latency is *also* recorded into a
+    /// histogram can log the identical value to both.
+    pub fn finish_with(mut self, elapsed: Duration) {
+        self.record(Some(elapsed));
     }
 
     /// End without logging — for phases that turned out to be no-ops.
     pub fn cancel(mut self) {
+        self.restore_ctx();
         self.armed = false;
     }
 
-    fn record(&mut self) {
+    fn restore_ctx(&mut self) {
+        CTX.with(|c| c.set(self.prev_ctx.take()));
+    }
+
+    fn record(&mut self, elapsed: Option<Duration>) {
         if self.armed {
             self.armed = false;
-            self.tracer.record(
-                std::mem::take(&mut self.label),
-                self.start,
-                self.start.elapsed(),
-            );
+            self.restore_ctx();
+            self.tracer.push(SpanRecord {
+                id: self.id,
+                parent: self.parent.unwrap_or(0),
+                epoch: self.epoch,
+                label: self.label,
+                start: self.start.saturating_duration_since(self.tracer.0.origin),
+                elapsed: elapsed.unwrap_or_else(|| self.start.elapsed()),
+            });
         }
     }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
-        self.record();
+        self.record(None);
     }
 }
 
@@ -155,13 +381,14 @@ mod tests {
         assert_eq!(ev[0].label, "first");
         assert_eq!(ev[1].label, "second");
         assert!(ev[1].start >= ev[0].start);
+        assert!(ev[0].parent.is_none(), "top-level spans are roots");
     }
 
     #[test]
     fn ring_is_bounded_and_counts_drops() {
         let t = Tracer::with_capacity(4);
         for i in 0..10 {
-            t.span(format!("e{i}")).finish();
+            t.span(&format!("e{i}")).finish();
         }
         let ev = t.events();
         assert_eq!(ev.len(), 4);
@@ -171,5 +398,102 @@ mod tests {
         t.clear();
         assert!(t.events().is_empty());
         assert_eq!(t.dropped(), 6);
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_resolves() {
+        let t = Tracer::default();
+        let a = t.intern("router.partition");
+        let b = t.intern("router.partition");
+        let c = t.intern("router.consolidate");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(t.label(a), "router.partition");
+        assert_eq!(t.label(c), "router.consolidate");
+    }
+
+    #[test]
+    fn nesting_links_parents_and_inherits_epoch() {
+        let t = Tracer::default();
+        let root_l = t.intern("root");
+        let mid_l = t.intern("mid");
+        let leaf_l = t.intern("leaf");
+        {
+            let root = t.enter(root_l, 7);
+            assert_eq!(t.current_ctx(), Some((root.id(), 7)));
+            {
+                let mid = t.child_span(mid_l).expect("root is ambient");
+                assert_eq!(mid.epoch(), 7);
+                t.child_span(leaf_l).expect("mid is ambient").finish();
+                mid.finish();
+            }
+            // Ambient context restored to the root after the children.
+            assert_eq!(t.current_ctx(), Some((root.id(), 7)));
+        }
+        assert_eq!(t.current_ctx(), None, "root restored an empty context");
+        let ev = t.events();
+        assert_eq!(ev.len(), 3, "finish order: leaf, mid, root");
+        let (leaf, mid, root) = (&ev[0], &ev[1], &ev[2]);
+        assert_eq!(root.parent, None);
+        assert_eq!(mid.parent, Some(root.id));
+        assert_eq!(leaf.parent, Some(mid.id));
+        assert!(ev.iter().all(|e| e.epoch == 7));
+    }
+
+    #[test]
+    fn enter_at_joins_a_foreign_epoch_and_record_at_is_post_hoc() {
+        let t = Tracer::default();
+        let root_l = t.intern("root");
+        let apply_l = t.intern("apply");
+        let wait_l = t.intern("wait");
+        let root = t.enter(root_l, 3);
+        let (root_id, epoch) = (root.id(), root.epoch());
+        let enqueued = Instant::now();
+        let handle = {
+            let t2 = t.clone();
+            std::thread::spawn(move || {
+                t2.record_at(
+                    wait_l,
+                    Some(root_id),
+                    epoch,
+                    enqueued,
+                    Duration::from_micros(5),
+                );
+                let span = t2.enter_at(apply_l, root_id, epoch);
+                span.finish();
+            })
+        };
+        handle.join().unwrap();
+        root.finish();
+        let ev = t.events();
+        assert_eq!(ev.len(), 3);
+        assert!(ev
+            .iter()
+            .filter(|e| e.label != "root")
+            .all(|e| e.parent == Some(root_id) && e.epoch == 3));
+    }
+
+    #[test]
+    fn two_tracers_on_one_thread_do_not_adopt_each_other() {
+        let a = Tracer::default();
+        let b = Tracer::default();
+        let ra = a.intern("a.root");
+        let sb = b.intern("b.span");
+        let _root = a.enter(ra, 1);
+        assert_eq!(b.current_ctx(), None);
+        assert!(b.child_span(sb).is_none(), "foreign ambient ctx ignored");
+        let span = b.enter(sb, 9);
+        assert_eq!(span.epoch(), 9, "b opens its own root, not a's child");
+        span.finish();
+        let ev = b.events();
+        assert_eq!(ev[0].parent, None);
+    }
+
+    #[test]
+    fn finish_with_logs_the_given_elapsed_exactly() {
+        let t = Tracer::default();
+        let l = t.intern("ingest");
+        t.enter(l, 0).finish_with(Duration::from_nanos(12345));
+        assert_eq!(t.events()[0].elapsed, Duration::from_nanos(12345));
     }
 }

@@ -1,0 +1,460 @@
+//! Per-epoch latency waterfalls reconstructed from the trace ring.
+//!
+//! The tracer stores a flat bounded ring of spans; this module folds it
+//! back into one tree per epoch — root at the observed ingest call,
+//! children at each pipeline stage — and derives the questions the
+//! paper's update-time framing actually asks: where did this epoch's
+//! wall time go (self vs. child time), what chain of stages determined
+//! the end ([`EpochWaterfall::critical_path`]), and how much of the
+//! latency was queue wait rather than compute.
+
+use crate::json::Json;
+use crate::trace::TraceEvent;
+
+/// One stage row of a waterfall, in pre-order (root first, children
+/// sorted by start time).
+#[derive(Clone, Debug)]
+pub struct StageRow {
+    /// The span's id (unique within the tracer).
+    pub id: u64,
+    /// Parent span id; `None` only for the root row.
+    pub parent: Option<u64>,
+    /// Tree depth: 0 for the root.
+    pub depth: usize,
+    /// The stage label, e.g. `shard2.queue_wait`.
+    pub label: String,
+    /// Start offset from the tracer origin, nanoseconds.
+    pub start_ns: u64,
+    /// Wall-clock length, nanoseconds.
+    pub elapsed_ns: u64,
+    /// Time not covered by this stage's direct children (interval
+    /// union, clipped to the stage window) — where concurrent children
+    /// overlap, the overlap is counted once, so `self_ns` stays a true
+    /// "unattributed" residue even over a fork-join fan-out.
+    pub self_ns: u64,
+}
+
+impl StageRow {
+    fn end_ns(&self) -> u64 {
+        self.start_ns.saturating_add(self.elapsed_ns)
+    }
+
+    /// Whether this stage is queue wait rather than work.
+    pub fn is_queue_wait(&self) -> bool {
+        self.label.contains("queue_wait")
+    }
+}
+
+/// One epoch's latency breakdown: the root ingest span and every child
+/// stage recorded under it, as a tree flattened in pre-order.
+#[derive(Clone, Debug)]
+pub struct EpochWaterfall {
+    /// The epoch the root span was tagged with.
+    pub epoch: u64,
+    /// The root span's label (`session.ingest`, `serve.ingest`, …).
+    pub root_label: String,
+    /// The root span's start offset from the tracer origin, ns.
+    pub start_ns: u64,
+    /// The epoch's total wall time — the root span's length, ns.
+    pub total_ns: u64,
+    /// All stages, root first, children ordered by start time.
+    pub stages: Vec<StageRow>,
+    /// Spans of this epoch whose parent was not found (evicted from the
+    /// ring, or recorded out of band). They are excluded from the tree.
+    pub orphans: usize,
+}
+
+/// Merge intervals and return the union length clipped to `[lo, hi]`.
+fn union_within(mut iv: Vec<(u64, u64)>, lo: u64, hi: u64) -> u64 {
+    iv.retain(|&(s, e)| e > lo && s < hi);
+    for (s, e) in iv.iter_mut() {
+        *s = (*s).max(lo);
+        *e = (*e).min(hi);
+    }
+    iv.sort_unstable();
+    let mut covered = 0u64;
+    let mut cur: Option<(u64, u64)> = None;
+    for (s, e) in iv {
+        match &mut cur {
+            Some((_, ce)) if s <= *ce => *ce = (*ce).max(e),
+            _ => {
+                if let Some((cs, ce)) = cur.take() {
+                    covered += ce - cs;
+                }
+                cur = Some((s, e));
+            }
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        covered += ce - cs;
+    }
+    covered
+}
+
+impl EpochWaterfall {
+    /// Reconstruct one waterfall per epoch from the tracer's retained
+    /// spans, oldest epoch first. Epochs whose root span is missing
+    /// (truncated out of the ring, or still open) are skipped — a
+    /// waterfall without its total would be unanchored.
+    pub fn from_events(events: &[TraceEvent]) -> Vec<EpochWaterfall> {
+        let mut epochs: Vec<u64> = events.iter().map(|e| e.epoch).collect();
+        epochs.sort_unstable();
+        epochs.dedup();
+        epochs
+            .into_iter()
+            .filter_map(|epoch| Self::for_epoch(events, epoch))
+            .collect()
+    }
+
+    /// The waterfall of the most recent complete epoch, if any.
+    pub fn latest(events: &[TraceEvent]) -> Option<EpochWaterfall> {
+        Self::from_events(events).pop()
+    }
+
+    /// Reconstruct one epoch's waterfall; `None` if the epoch has no
+    /// root span in `events`.
+    pub fn for_epoch(events: &[TraceEvent], epoch: u64) -> Option<EpochWaterfall> {
+        let in_epoch: Vec<&TraceEvent> = events.iter().filter(|e| e.epoch == epoch).collect();
+        let root = in_epoch.iter().find(|e| e.parent.is_none())?;
+
+        // Pre-order emission over parent links, children by start time.
+        let mut stages: Vec<StageRow> = Vec::with_capacity(in_epoch.len());
+        stages.push(StageRow {
+            id: root.id,
+            parent: None,
+            depth: 0,
+            label: root.label.clone(),
+            start_ns: root.start_ns(),
+            elapsed_ns: root.elapsed_ns(),
+            self_ns: root.elapsed_ns(),
+        });
+        fn emit(in_epoch: &[&TraceEvent], pid: u64, depth: usize, stages: &mut Vec<StageRow>) {
+            let mut kids: Vec<&&TraceEvent> =
+                in_epoch.iter().filter(|e| e.parent == Some(pid)).collect();
+            kids.sort_by_key(|e| (e.start, e.id));
+            for kid in kids {
+                stages.push(StageRow {
+                    id: kid.id,
+                    parent: kid.parent,
+                    depth,
+                    label: kid.label.clone(),
+                    start_ns: kid.start_ns(),
+                    elapsed_ns: kid.elapsed_ns(),
+                    self_ns: kid.elapsed_ns(),
+                });
+                emit(in_epoch, kid.id, depth + 1, stages);
+            }
+        }
+        emit(&in_epoch, root.id, 1, &mut stages);
+        let placed = stages.len();
+
+        // Self time: stage window minus the union of its direct
+        // children's windows (clipped).
+        for i in 0..stages.len() {
+            let (lo, hi) = (stages[i].start_ns, stages[i].end_ns());
+            let child_iv: Vec<(u64, u64)> = stages
+                .iter()
+                .filter(|s| s.parent == Some(stages[i].id))
+                .map(|s| (s.start_ns, s.end_ns()))
+                .collect();
+            if !child_iv.is_empty() {
+                let covered = union_within(child_iv, lo, hi);
+                stages[i].self_ns = stages[i].elapsed_ns.saturating_sub(covered);
+            }
+        }
+
+        Some(EpochWaterfall {
+            epoch,
+            root_label: root.label.clone(),
+            start_ns: root.start_ns(),
+            total_ns: root.elapsed_ns(),
+            stages,
+            orphans: in_epoch.len() - placed,
+        })
+    }
+
+    /// Fraction of the epoch's wall time attributed to traced child
+    /// stages: the interval union of the root's direct children,
+    /// clipped to the root window, over the root's length. 1.0 means
+    /// every nanosecond of the ingest call is accounted to a stage.
+    pub fn coverage(&self) -> f64 {
+        if self.total_ns == 0 {
+            return 1.0;
+        }
+        let root_id = self.stages[0].id;
+        let covered = self.total_ns - // root self = uncovered residue
+            self
+                .stages
+                .iter()
+                .find(|s| s.id == root_id)
+                .map_or(self.total_ns, |s| s.self_ns);
+        covered as f64 / self.total_ns as f64
+    }
+
+    /// The chain of stages that determined when the epoch ended: from
+    /// the root, repeatedly descend into the child whose window ends
+    /// last. Returns the labels, root excluded.
+    pub fn critical_path(&self) -> Vec<&StageRow> {
+        let mut path = Vec::new();
+        let mut pid = self.stages[0].id;
+        while let Some(next) = self
+            .stages
+            .iter()
+            .filter(|s| s.parent == Some(pid))
+            .max_by_key(|s| (s.end_ns(), s.elapsed_ns))
+        {
+            path.push(next);
+            pid = next.id;
+        }
+        path
+    }
+
+    /// Total nanoseconds spent in queue-wait stages this epoch.
+    pub fn queue_wait_ns(&self) -> u64 {
+        self.stages
+            .iter()
+            .filter(|s| s.is_queue_wait())
+            .map(|s| s.elapsed_ns)
+            .sum()
+    }
+
+    /// Total self-time of non-root, non-queue-wait stages — the
+    /// epoch's attributed compute.
+    pub fn compute_ns(&self) -> u64 {
+        self.stages
+            .iter()
+            .skip(1)
+            .filter(|s| !s.is_queue_wait())
+            .map(|s| s.self_ns)
+            .sum()
+    }
+
+    /// Render an ASCII waterfall: one bar per stage, positioned and
+    /// scaled within the root window.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        const WIDTH: usize = 40;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "epoch {} · {} · {} (stage coverage {:.1}%, queue wait {})",
+            self.epoch,
+            self.root_label,
+            fmt_ns(self.total_ns),
+            self.coverage() * 100.0,
+            fmt_ns(self.queue_wait_ns()),
+        );
+        let label_w = self
+            .stages
+            .iter()
+            .skip(1)
+            .map(|s| s.label.len() + 2 * s.depth.saturating_sub(1))
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        let total = self.total_ns.max(1);
+        for s in self.stages.iter().skip(1) {
+            let indent = "  ".repeat(s.depth.saturating_sub(1));
+            let off = ((s.start_ns.saturating_sub(self.start_ns)) as u128 * WIDTH as u128
+                / total as u128) as usize;
+            let off = off.min(WIDTH - 1);
+            let len = (s.elapsed_ns as u128 * WIDTH as u128).div_ceil(total as u128) as usize;
+            let len = len.clamp(1, WIDTH - off);
+            let bar_ch = if s.is_queue_wait() { '~' } else { '#' };
+            let bar: String = std::iter::repeat_n(' ', off)
+                .chain(std::iter::repeat_n(bar_ch, len))
+                .chain(std::iter::repeat_n(' ', WIDTH - off - len))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  {indent}{:<w$} |{bar}| {:>9}",
+                s.label,
+                fmt_ns(s.elapsed_ns),
+                w = label_w - indent.len(),
+            );
+        }
+        out
+    }
+
+    /// The waterfall as a JSON document (for `/epochs.json` and the
+    /// flight recorder).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("epoch", Json::num(self.epoch as f64))
+            .field("root", Json::str(self.root_label.clone()))
+            .field("total_ns", Json::num(self.total_ns as f64))
+            .field("coverage", Json::num(self.coverage()))
+            .field("queue_wait_ns", Json::num(self.queue_wait_ns() as f64))
+            .field("compute_ns", Json::num(self.compute_ns() as f64))
+            .field(
+                "critical_path",
+                Json::Arr(
+                    self.critical_path()
+                        .iter()
+                        .map(|s| Json::str(s.label.clone()))
+                        .collect(),
+                ),
+            )
+            .field(
+                "stages",
+                Json::Arr(
+                    self.stages
+                        .iter()
+                        .map(|s| {
+                            Json::obj()
+                                .field("id", Json::num(s.id as f64))
+                                .field(
+                                    "parent",
+                                    s.parent.map_or(Json::Null, |p| Json::num(p as f64)),
+                                )
+                                .field("depth", Json::num(s.depth as f64))
+                                .field("label", Json::str(s.label.clone()))
+                                .field("start_ns", Json::num(s.start_ns as f64))
+                                .field("elapsed_ns", Json::num(s.elapsed_ns as f64))
+                                .field("self_ns", Json::num(s.self_ns as f64))
+                        })
+                        .collect(),
+                ),
+            )
+            .field("orphans", Json::num(self.orphans as f64))
+    }
+}
+
+/// Human-readable nanoseconds (`412 ns`, `3.1 µs`, `2.45 ms`, `1.20 s`).
+pub fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns} ns"),
+        1_000..=999_999 => format!("{:.1} µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.2} ms", ns as f64 / 1e6),
+        _ => format!("{:.2} s", ns as f64 / 1e9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Tracer;
+    use std::time::{Duration, Instant};
+
+    fn ev(
+        id: u64,
+        parent: Option<u64>,
+        epoch: u64,
+        label: &str,
+        start_ns: u64,
+        elapsed_ns: u64,
+    ) -> TraceEvent {
+        TraceEvent {
+            id,
+            parent,
+            epoch,
+            label: label.into(),
+            start: Duration::from_nanos(start_ns),
+            elapsed: Duration::from_nanos(elapsed_ns),
+        }
+    }
+
+    #[test]
+    fn rebuilds_tree_self_time_and_coverage() {
+        // root [0,1000]; consolidate [0,100]; two concurrent shard
+        // applies [100,600] and [200,900]; merge [900,1000].
+        let events = vec![
+            ev(1, None, 5, "session.ingest", 0, 1000),
+            ev(2, Some(1), 5, "router.consolidate", 0, 100),
+            ev(3, Some(1), 5, "shard0.apply", 100, 500),
+            ev(4, Some(1), 5, "shard1.apply", 200, 700),
+            ev(5, Some(1), 5, "fleet.merge", 900, 100),
+        ];
+        let w = EpochWaterfall::latest(&events).unwrap();
+        assert_eq!(w.epoch, 5);
+        assert_eq!(w.total_ns, 1000);
+        assert_eq!(w.stages.len(), 5);
+        // Children cover [0,100] ∪ [100,600] ∪ [200,900] ∪ [900,1000] =
+        // the whole window; overlap counted once.
+        assert_eq!(w.stages[0].self_ns, 0);
+        assert!((w.coverage() - 1.0).abs() < 1e-9);
+        // Critical path: the child ending last is fleet.merge.
+        let path: Vec<&str> = w.critical_path().iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(path, ["fleet.merge"]);
+    }
+
+    #[test]
+    fn partial_coverage_and_queue_wait_classification() {
+        let events = vec![
+            ev(1, None, 0, "session.ingest", 0, 1000),
+            ev(2, Some(1), 0, "shard0.queue_wait", 0, 300),
+            ev(3, Some(1), 0, "shard0.apply", 300, 200),
+        ];
+        let w = EpochWaterfall::latest(&events).unwrap();
+        assert!((w.coverage() - 0.5).abs() < 1e-9);
+        assert_eq!(w.queue_wait_ns(), 300);
+        assert_eq!(w.compute_ns(), 200);
+        let r = w.render();
+        assert!(r.contains("shard0.queue_wait"), "render lists stages:\n{r}");
+        assert!(r.contains('~'), "queue wait bars are visually distinct");
+    }
+
+    #[test]
+    fn epochs_split_and_rootless_epochs_are_skipped() {
+        let events = vec![
+            ev(1, None, 1, "ingest", 0, 10),
+            ev(2, Some(1), 1, "a", 0, 5),
+            // epoch 2 lost its root to ring truncation:
+            ev(3, Some(99), 2, "b", 20, 5),
+            ev(4, None, 3, "ingest", 40, 10),
+        ];
+        let falls = EpochWaterfall::from_events(&events);
+        assert_eq!(
+            falls.iter().map(|w| w.epoch).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+    }
+
+    #[test]
+    fn orphans_are_counted_not_attached() {
+        let events = vec![
+            ev(1, None, 0, "ingest", 0, 10),
+            ev(2, Some(42), 0, "lost", 0, 5),
+        ];
+        let w = EpochWaterfall::latest(&events).unwrap();
+        assert_eq!(w.stages.len(), 1);
+        assert_eq!(w.orphans, 1);
+    }
+
+    #[test]
+    fn from_live_tracer_round_trips() {
+        let t = Tracer::default();
+        let root_l = t.intern("ingest");
+        let a_l = t.intern("stage.a");
+        let b_l = t.intern("stage.b");
+        for epoch in 0..3u64 {
+            let root = t.enter(root_l, epoch);
+            t.child_span(a_l).unwrap().finish();
+            t.record_at(
+                b_l,
+                Some(root.id()),
+                epoch,
+                Instant::now(),
+                Duration::from_micros(1),
+            );
+            root.finish();
+        }
+        let falls = EpochWaterfall::from_events(&t.events());
+        assert_eq!(falls.len(), 3);
+        for (i, w) in falls.iter().enumerate() {
+            assert_eq!(w.epoch, i as u64);
+            assert_eq!(w.stages.len(), 3);
+            assert_eq!(w.orphans, 0);
+            let json = w.to_json().render();
+            assert!(json.contains("\"critical_path\""));
+        }
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(412), "412 ns");
+        assert_eq!(fmt_ns(3_100), "3.1 µs");
+        assert_eq!(fmt_ns(2_450_000), "2.45 ms");
+        assert_eq!(fmt_ns(1_200_000_000), "1.20 s");
+    }
+}

@@ -61,7 +61,16 @@
 //!
 //! Per-subscriber series use the stable subscription id, not the
 //! position, so identities survive churn; handles allocated before
-//! `observe` are backfilled with their history intact.
+//! `observe` are backfilled with their history intact. When a
+//! subscriber leaves — unsubscribed or evicted — its `sub{id}.*`
+//! series are **pruned** from the registry (an eviction first dumps a
+//! flight-recorder post-mortem with the final snapshot and the recent
+//! epochs' spans), so exports never accumulate dead series under
+//! churn. Each `apply_batch` also records a causal span tree — a
+//! `serve.ingest` root with per-group apply, per-subscriber notify,
+//! and the hub advance as children — reconstructible per epoch via
+//! [`ivm_obs::EpochWaterfall`], and [`ServeNode::serve_metrics`]
+//! exposes the whole registry over a live HTTP scrape endpoint.
 //!
 //! # Quickstart
 //!

@@ -5,11 +5,15 @@ use crate::canon::canonical_key;
 use ivm_core::{EngineError, Maintainer};
 use ivm_data::{Database, FxHashMap, FxHashSet, Relation, Sym, Update};
 use ivm_dataflow::{DeltaBatch, StoreHub};
-use ivm_obs::{Counter, Gauge, Histogram, MetricsRegistry, Namespace};
+use ivm_obs::{
+    Counter, FlightRecorder, Gauge, Histogram, LabelId, MetricsRegistry, MetricsServer, Namespace,
+    Tracer,
+};
 use ivm_query::Query;
 use ivm_ring::Semiring;
 use ivm_session::Session;
 use std::collections::BTreeMap;
+use std::net::SocketAddr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::time::Instant;
@@ -146,6 +150,18 @@ struct ServeObs {
     dedup_hits: Counter,
     store_dedup_hits: Counter,
     evictions: Counter,
+    /// The registry's trace ring: each ingest opens a `serve.ingest`
+    /// root span at the node's epoch, with per-group propagation,
+    /// per-subscriber notify, and the hub advance as child stages — the
+    /// raw material for [`ivm_obs::EpochWaterfall`].
+    tracer: Tracer,
+    root_label: LabelId,
+    group_label: LabelId,
+    notify_label: LabelId,
+    advance_label: LabelId,
+    /// Post-mortem writer: a subscriber eviction dumps the last few
+    /// epochs of spans plus a full snapshot as one JSON document.
+    flight: FlightRecorder,
 }
 
 impl ServeObs {
@@ -178,6 +194,9 @@ pub struct ServeNode<R: Semiring> {
     next_sub: SubId,
     epoch: u64,
     obs: Option<ServeObs>,
+    /// The live scrape endpoint from [`ServeNode::serve_metrics`]; held
+    /// here so the server dies with the node.
+    metrics_server: Option<MetricsServer>,
 }
 
 impl<R: Semiring> ServeNode<R> {
@@ -193,7 +212,30 @@ impl<R: Semiring> ServeNode<R> {
             next_sub: 0,
             epoch: 0,
             obs: None,
+            metrics_server: None,
         }
+    }
+
+    /// Expose the attached registry over HTTP while the node lives: a
+    /// dependency-free scrape endpoint bound to `addr` (use port 0 to
+    /// let the OS pick; the bound address is returned). Serves
+    /// `/metrics` (Prometheus text), `/snapshot.json`, and
+    /// `/epochs.json` (recent per-epoch latency waterfalls). Requires a
+    /// prior [`ServeNode::observe`].
+    pub fn serve_metrics(&mut self, addr: &str) -> Result<SocketAddr, EngineError> {
+        let Some(o) = &self.obs else {
+            return Err(EngineError::NotSupported(
+                "serve_metrics exposes the attached registry over HTTP, but \
+                 no registry is attached; call observe(...) first"
+                    .into(),
+            ));
+        };
+        let server = MetricsServer::start(addr, &o.registry).map_err(|e| {
+            EngineError::NotSupported(format!("serve_metrics({addr:?}) failed to bind: {e}"))
+        })?;
+        let bound = server.addr();
+        self.metrics_server = Some(server);
+        Ok(bound)
     }
 
     /// Attach a metrics registry. Node-level gauges snap to the current
@@ -202,6 +244,7 @@ impl<R: Semiring> ServeNode<R> {
     /// atomics, not new series).
     pub fn observe(&mut self, registry: &MetricsRegistry) {
         let ns = Namespace::new("ivm").child("serve");
+        let tracer = registry.tracer().clone();
         let obs = ServeObs {
             registry: registry.clone(),
             subscribers: ns.gauge(registry, "subscribers"),
@@ -212,6 +255,12 @@ impl<R: Semiring> ServeNode<R> {
             store_dedup_hits: ns.counter(registry, "store_dedup_hits"),
             evictions: ns.counter(registry, "evictions"),
             ns,
+            root_label: tracer.intern("serve.ingest"),
+            group_label: tracer.intern("serve.group_apply"),
+            notify_label: tracer.intern("serve.notify"),
+            advance_label: tracer.intern("hub.advance"),
+            tracer,
+            flight: FlightRecorder::new(registry),
         };
         obs.subscribers.set(self.subscriber_count() as i64);
         obs.groups.set(self.group_count() as i64);
@@ -331,6 +380,10 @@ impl<R: Semiring> ServeNode<R> {
         group.taps.retain(|t| t.id != id);
         if let Some(o) = &self.obs {
             o.subscribers.dec();
+            // A deliberate unsubscribe retires the series immediately —
+            // same rule as eviction, no post-mortem needed.
+            o.registry
+                .prune_prefix(&format!("{}.", o.ns.indexed("sub", id)));
         }
         if group.taps.is_empty() {
             let group = self.groups.remove(&gid).expect("group exists");
@@ -358,18 +411,30 @@ impl<R: Semiring> ServeNode<R> {
             }
         }
         let t0 = self.obs.as_ref().map(|_| Instant::now());
+        // The epoch's root span: every stage below — group propagation,
+        // per-subscriber notify, the hub advance — attaches under it, so
+        // the trace ring can reconstruct this epoch's latency waterfall.
+        let root = self
+            .obs
+            .as_ref()
+            .map(|o| o.tracer.enter(o.root_label, self.epoch));
         self.base.apply_batch(batch);
         let epoch = self.epoch;
-        let mut evicted = 0u64;
+        let mut evicted: Vec<SubId> = Vec::new();
         for group in self.groups.values_mut() {
             let sub_batch: Vec<Update<R>> = batch
                 .iter()
                 .filter(|u| group.rels.contains(&u.relation))
                 .cloned()
                 .collect();
+            let apply_span = self
+                .obs
+                .as_ref()
+                .and_then(|o| o.tracer.child_span(o.group_label));
             // Filtered to the query's own dynamic relations, this cannot
             // be rejected; a propagation error would still surface here.
             let delta = group.session.apply_batch(&sub_batch)?;
+            drop(apply_span);
             let vd = ViewDelta {
                 epoch,
                 view: group.view,
@@ -378,18 +443,23 @@ impl<R: Semiring> ServeNode<R> {
             group.taps.retain_mut(|tap| {
                 let t_notify = Instant::now();
                 let alive = tap.deliver(&vd);
-                tap.notify_ns.record_duration(t_notify.elapsed());
+                let el = t_notify.elapsed();
+                tap.notify_ns.record_duration(el);
+                if let (Some(o), Some(r)) = (&self.obs, &root) {
+                    o.tracer
+                        .record_at(o.notify_label, Some(r.id()), r.epoch(), t_notify, el);
+                }
                 if !alive {
                     // The endpoint is gone, and with it its queue: the
                     // depth gauge settles to the truth.
                     tap.queue_depth.set(0);
-                    evicted += 1;
+                    evicted.push(tap.id);
                 }
                 alive
             });
         }
         // Dead subscribers are gone; their bookkeeping follows.
-        if evicted > 0 {
+        if !evicted.is_empty() {
             let live: FxHashSet<SubId> = self
                 .groups
                 .values()
@@ -409,14 +479,41 @@ impl<R: Semiring> ServeNode<R> {
         }
         // The hub advances LAST: every member engine searched this
         // epoch against the pre-batch shared stores above.
+        let advance_span = self
+            .obs
+            .as_ref()
+            .and_then(|o| o.tracer.child_span(o.advance_label));
         self.hub.advance_batch(&DeltaBatch::from_updates(batch));
+        drop(advance_span);
         self.epoch += 1;
         if let (Some(o), Some(t0)) = (&self.obs, t0) {
+            let elapsed = t0.elapsed();
             o.epochs.inc();
-            o.ingest_ns.record_duration(t0.elapsed());
-            o.evictions.add(evicted);
+            // Histogram and root span log the same elapsed, so waterfall
+            // totals and `ingest_ns` observations agree exactly.
+            o.ingest_ns.record_duration(elapsed);
+            if let Some(root) = root {
+                root.finish_with(elapsed);
+            }
+            o.evictions.add(evicted.len() as u64);
             o.subscribers.set(self.subscriber_count() as i64);
             o.groups.set(self.group_count() as i64);
+            if !evicted.is_empty() {
+                // Post-mortem first (the snapshot still holds the dead
+                // subscribers' final series, and the root span above is
+                // already in the ring so the dump's waterfalls include
+                // the eviction epoch) — then drop their series so the
+                // exports stop carrying dead `sub{id}` forever.
+                let ids: Vec<String> = evicted.iter().map(|id| id.to_string()).collect();
+                o.flight.dump(
+                    "subscriber-eviction",
+                    &format!("sub(s) {} evicted at epoch {epoch}", ids.join(",")),
+                );
+                for &id in &evicted {
+                    o.registry
+                        .prune_prefix(&format!("{}.", o.ns.indexed("sub", id)));
+                }
+            }
         }
         Ok(())
     }

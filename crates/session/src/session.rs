@@ -13,10 +13,13 @@ use ivm_dataflow::{
     DataflowEngine, DataflowStats, JoinStrategy, LearnedCardinalities, ReplanDecision,
     ReplanPolicy, StoreHub,
 };
-use ivm_obs::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
+use ivm_obs::{
+    Counter, Histogram, LabelId, MetricsRegistry, MetricsServer, MetricsSnapshot, Span, Tracer,
+};
 use ivm_query::Query;
 use ivm_ring::Semiring;
 use ivm_shard::{ShardedEngine, ShardedStats};
+use std::net::SocketAddr;
 use std::time::Instant;
 
 /// Configures and builds a [`Session`].
@@ -40,6 +43,7 @@ pub struct SessionBuilder<R: Semiring> {
     forced: Option<EngineKind>,
     adaptive: Option<ReplanPolicy>,
     observe: Option<MetricsRegistry>,
+    serve_metrics: Option<String>,
     shared: Option<StoreHub<R>>,
 }
 
@@ -53,6 +57,7 @@ impl<R: Semiring> SessionBuilder<R> {
             forced: None,
             adaptive: None,
             observe: None,
+            serve_metrics: None,
             shared: None,
         }
     }
@@ -100,6 +105,19 @@ impl<R: Semiring> SessionBuilder<R> {
     /// [`Session::metrics`] returns an empty snapshot.
     pub fn observe(mut self, registry: &MetricsRegistry) -> Self {
         self.observe = Some(registry.clone());
+        self
+    }
+
+    /// Expose the attached registry over HTTP while the session lives:
+    /// a dependency-free scrape endpoint bound to `addr` (use port 0 to
+    /// let the OS pick; [`Session::metrics_addr`] reports the bound
+    /// address). Serves `/metrics` (Prometheus text), `/snapshot.json`
+    /// (the full [`MetricsSnapshot`]), and `/epochs.json` (recent
+    /// per-epoch latency waterfalls). Requires
+    /// [`SessionBuilder::observe`]; the server shuts down when the
+    /// session is dropped.
+    pub fn serve_metrics(mut self, addr: impl Into<String>) -> Self {
+        self.serve_metrics = Some(addr.into());
         self
     }
 
@@ -258,11 +276,34 @@ impl<R: Semiring> SessionBuilder<R> {
                 }
                 Some(SessionObs {
                     registry: registry.clone(),
+                    tracer: registry.tracer().clone(),
+                    root_label: registry.tracer().intern("session.ingest"),
                     ingest_ns: registry.histogram("ivm.session.ingest_ns"),
                     batches: registry.counter("ivm.session.batches"),
                     updates: registry.counter("ivm.session.updates"),
                     replans: registry.counter("ivm.session.replans"),
                 })
+            }
+        };
+        // The scrape endpoint serves whatever the registry holds, so it
+        // needs one attached — and binding can fail (port in use), which
+        // must surface at build time, not as a silently dead endpoint.
+        let metrics_server = match &self.serve_metrics {
+            None => None,
+            Some(addr) => {
+                let Some(registry) = &self.observe else {
+                    return Err(EngineError::NotSupported(
+                        ".serve_metrics() exposes the attached registry over \
+                         HTTP, but no registry is attached; call .observe(...) \
+                         as well"
+                            .into(),
+                    ));
+                };
+                Some(MetricsServer::start(addr, registry).map_err(|e| {
+                    EngineError::NotSupported(format!(
+                        ".serve_metrics({addr:?}) failed to bind: {e}"
+                    ))
+                })?)
             }
         };
         // Join the store hub after preprocessing: the freshly built owned
@@ -325,6 +366,7 @@ impl<R: Semiring> SessionBuilder<R> {
             explain,
             adaptive,
             obs,
+            metrics_server,
             shared_store_hits,
         })
     }
@@ -436,6 +478,14 @@ struct AdaptiveState<R: Semiring> {
 /// itself for [`Session::metrics`] snapshots.
 struct SessionObs {
     registry: MetricsRegistry,
+    /// The registry's trace ring: every ingestion call opens a
+    /// `session.ingest` root span here (epoch = the batch ordinal), and
+    /// downstream stages — router, shard workers, per-operator engine
+    /// time — attach child spans under it, so
+    /// [`ivm_obs::EpochWaterfall`] can reconstruct the epoch's latency
+    /// breakdown.
+    tracer: Tracer,
+    root_label: LabelId,
     /// Wall-clock latency of each ingestion call (backend apply/enqueue
     /// plus adaptive bookkeeping), under `ivm.session.ingest_ns`.
     ingest_ns: Histogram,
@@ -530,6 +580,9 @@ pub struct Session<R: Semiring> {
     explain: Explain,
     adaptive: Option<AdaptiveState<R>>,
     obs: Option<SessionObs>,
+    /// The live scrape endpoint from [`SessionBuilder::serve_metrics`];
+    /// holding it here ties the server's lifetime to the session's.
+    metrics_server: Option<MetricsServer>,
     /// Multiway store slots that adopted an existing [`StoreHub`] store
     /// at build time (0 without [`SessionBuilder::shared_stores`]).
     shared_store_hits: usize,
@@ -582,13 +635,13 @@ impl<R: Semiring> Session<R> {
     /// synchronously and discards the delta, so the calling code stays
     /// engine-agnostic.
     pub fn enqueue_batch(&mut self, batch: &[Update<R>]) -> Result<(), EngineError> {
-        let t0 = self.obs.as_ref().map(|_| Instant::now());
+        let started = self.obs_begin();
         match &mut self.backend {
             Backend::Sharded(e) => e.enqueue_batch(batch).map(|_| ())?,
             other => other.maintainer().apply_batch(batch).map(|_| ())?,
         }
         self.after_ingest(batch)?;
-        self.obs_ingest(batch.len(), t0);
+        self.obs_ingest(batch.len(), started);
         Ok(())
     }
 
@@ -680,12 +733,47 @@ impl<R: Semiring> Session<R> {
         }
     }
 
-    /// Close out one observed ingestion call: latency into the histogram,
-    /// call/tuple counts onto the counters. `t0` is `Some` exactly when a
+    /// The bound address of the live scrape endpoint, if
+    /// [`SessionBuilder::serve_metrics`] started one — the address to
+    /// `curl` when the builder asked for port 0.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_server.as_ref().map(|s| s.addr())
+    }
+
+    /// The per-epoch latency waterfalls reconstructible from the trace
+    /// ring right now, oldest first — one per recent epoch whose
+    /// `session.ingest` root span is still resident. Empty unless the
+    /// session was built with [`SessionBuilder::observe`].
+    pub fn waterfalls(&self) -> Vec<ivm_obs::EpochWaterfall> {
+        match &self.obs {
+            Some(o) => ivm_obs::EpochWaterfall::from_events(&o.tracer.events()),
+            None => Vec::new(),
+        }
+    }
+
+    /// Open one observed ingestion call: a `session.ingest` root span at
+    /// the current epoch (the batch ordinal — `batches` pre-increment),
+    /// installed as the ambient trace context so every downstream stage
+    /// the backend call reaches attaches under it. `Some` exactly when a
     /// registry is attached, so detached sessions never read the clock.
-    fn obs_ingest(&self, updates: usize, t0: Option<Instant>) {
-        if let (Some(o), Some(t0)) = (&self.obs, t0) {
-            o.ingest_ns.record_duration(t0.elapsed());
+    fn obs_begin(&self) -> Option<(Span, Instant)> {
+        self.obs.as_ref().map(|o| {
+            (
+                o.tracer.enter(o.root_label, o.batches.get()),
+                Instant::now(),
+            )
+        })
+    }
+
+    /// Close out one observed ingestion call: latency into the histogram
+    /// and — with exactly the same elapsed value, so waterfall totals and
+    /// `ingest_ns` observations agree to the nanosecond — onto the root
+    /// span; call/tuple counts onto the counters.
+    fn obs_ingest(&self, updates: usize, started: Option<(Span, Instant)>) {
+        if let (Some(o), Some((span, t0))) = (&self.obs, started) {
+            let elapsed = t0.elapsed();
+            o.ingest_ns.record_duration(elapsed);
+            span.finish_with(elapsed);
             o.batches.inc();
             o.updates.add(updates as u64);
         }
@@ -800,10 +888,10 @@ impl<R: Semiring> Maintainer<R> for Session<R> {
     }
 
     fn apply(&mut self, upd: &Update<R>) -> Result<(), EngineError> {
-        let t0 = self.obs.as_ref().map(|_| Instant::now());
+        let started = self.obs_begin();
         self.backend.maintainer().apply(upd)?;
         self.after_ingest(std::slice::from_ref(upd))?;
-        self.obs_ingest(1, t0);
+        self.obs_ingest(1, started);
         Ok(())
     }
 
@@ -811,10 +899,10 @@ impl<R: Semiring> Maintainer<R> for Session<R> {
     /// re-implements ingestion, it only routes to the one trait surface
     /// (plus the adaptive bookkeeping when a policy is armed).
     fn apply_batch(&mut self, batch: &[Update<R>]) -> Result<Relation<R>, EngineError> {
-        let t0 = self.obs.as_ref().map(|_| Instant::now());
+        let started = self.obs_begin();
         let delta = self.backend.maintainer().apply_batch(batch)?;
         self.after_ingest(batch)?;
-        self.obs_ingest(batch.len(), t0);
+        self.obs_ingest(batch.len(), started);
         Ok(delta)
     }
 

@@ -24,14 +24,14 @@ use crate::merge::fold_delta;
 use crate::planner::{ShardPlan, ShardPlanner};
 use crate::router::Router;
 use crate::stats::ShardedStats;
-use crate::worker::{self, Job, Report, WorkerHandle};
+use crate::worker::{self, Job, Report, TraceCtx, WorkerHandle};
 use ivm_core::{EngineError, Maintainer};
 use ivm_data::ops::Lift;
 use ivm_data::{Database, FxHashMap, FxHashSet, Relation, Schema, Sym, Tuple, Update};
 use ivm_dataflow::{
     resolve_strategy, Cardinalities, DataflowEngine, DataflowStats, DeltaBatch, JoinStrategy,
 };
-use ivm_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use ivm_obs::{Counter, FlightRecorder, Gauge, Histogram, LabelId, MetricsRegistry, Tracer};
 use ivm_query::Query;
 use ivm_ring::Semiring;
 use std::sync::mpsc::Receiver;
@@ -89,6 +89,15 @@ struct FleetObs {
     batches: Counter,
     deltas_in: Counter,
     output_delta_tuples: Counter,
+    /// The registry's tracer; router stages become children of whatever
+    /// epoch root is ambient at enqueue time, and the same (parent,
+    /// epoch) pair is shipped to workers in each job's [`TraceCtx`].
+    tracer: Tracer,
+    consolidate_label: LabelId,
+    partition_label: LabelId,
+    /// Post-mortem capture for the fleet's failure paths (shard
+    /// poisoning, worker panic).
+    flight: FlightRecorder,
 }
 
 impl FleetObs {
@@ -297,6 +306,10 @@ impl<R: Semiring> ShardedEngine<R> {
             batches: registry.counter(&format!("{prefix}.batches")),
             deltas_in: registry.counter(&format!("{prefix}.deltas_in")),
             output_delta_tuples: registry.counter(&format!("{prefix}.output_delta_tuples")),
+            tracer: registry.tracer().clone(),
+            consolidate_label: registry.tracer().intern("router.consolidate"),
+            partition_label: registry.tracer().intern("router.partition"),
+            flight: FlightRecorder::new(registry),
         };
         obs.batches.store(merged.batches);
         obs.updates_in.store(merged.updates_in);
@@ -370,12 +383,25 @@ impl<R: Semiring> ShardedEngine<R> {
         let seq = self.next_seq;
         self.next_seq += 1;
         let shards = self.workers.len();
+        let trace_ctx =
+            self.obs
+                .as_ref()
+                .and_then(|o| o.tracer.current_ctx())
+                .map(|(parent, epoch)| TraceCtx {
+                    parent,
+                    epoch,
+                    enqueued: Instant::now(),
+                });
         for (shard, shard_db) in shard_dbs.into_iter().enumerate() {
             self.workers[shard].send(Job::Replan {
                 seq,
                 strategy,
                 cards: cards.clone(),
                 db: shard_db,
+                ctx: trace_ctx.map(|c| TraceCtx {
+                    enqueued: Instant::now(),
+                    ..c
+                }),
             })?;
             if let Some(obs) = &self.obs {
                 obs.per_shard[shard].queue_depth.inc();
@@ -428,17 +454,49 @@ impl<R: Semiring> ShardedEngine<R> {
             obs.router_consolidate_ns
                 .add(t1.duration_since(t0).as_nanos() as u64);
             obs.router_partition_ns.add(t1.elapsed().as_nanos() as u64);
+            // Under an epoch root, the two router stages become child
+            // spans too — recorded post-hoc from the instants the
+            // counter timing already took.
+            if let Some((parent, epoch)) = obs.tracer.current_ctx() {
+                obs.tracer.record_at(
+                    obs.consolidate_label,
+                    Some(parent),
+                    epoch,
+                    t0,
+                    t1.duration_since(t0),
+                );
+                obs.tracer
+                    .record_at(obs.partition_label, Some(parent), epoch, t1, t1.elapsed());
+            }
             let rs = self.router.stats();
             obs.routed.store(rs.routed);
             obs.broadcast_copies.store(rs.broadcast_copies);
             obs.batches_enqueued.inc();
         }
+        // The ambient epoch root (if any) rides along to the workers:
+        // each job's queue-wait and apply spans join this epoch's tree.
+        let trace_ctx =
+            self.obs
+                .as_ref()
+                .and_then(|o| o.tracer.current_ctx())
+                .map(|(parent, epoch)| TraceCtx {
+                    parent,
+                    epoch,
+                    enqueued: Instant::now(),
+                });
         let mut sent = 0usize;
         for (shard, part) in parts.into_iter().enumerate() {
             if part.is_empty() {
                 continue;
             }
-            self.workers[shard].send(Job::Batch { seq, delta: part })?;
+            self.workers[shard].send(Job::Batch {
+                seq,
+                delta: part,
+                ctx: trace_ctx.map(|c| TraceCtx {
+                    enqueued: Instant::now(),
+                    ..c
+                }),
+            })?;
             if let Some(obs) = &self.obs {
                 obs.per_shard[shard].queue_depth.inc();
             }
@@ -549,6 +607,7 @@ impl<R: Semiring> ShardedEngine<R> {
                 self.in_flight.clear();
                 if let Some(obs) = &self.obs {
                     obs.on_poison();
+                    obs.flight.dump("shard-poisoned", &e.to_string());
                 }
                 Err(e)
             }
@@ -584,6 +643,9 @@ impl<R: Semiring> ShardedEngine<R> {
                 self.in_flight.clear();
                 if let Some(obs) = &self.obs {
                     obs.on_poison();
+                    // The post-mortem carries the failing epoch's spans:
+                    // the whole last-K-epochs window plus a snapshot.
+                    obs.flight.dump("shard-failure", &e.to_string());
                 }
                 return Err(e);
             }
@@ -899,6 +961,7 @@ mod tests {
             .send(crate::worker::Job::Batch {
                 seq: 0,
                 delta: rogue,
+                ctx: None,
             })
             .unwrap();
         eng.next_seq = 1;
@@ -978,6 +1041,78 @@ mod tests {
         );
     }
 
+    /// Killing a shard on an observed fleet writes a flight-recorder
+    /// post-mortem: parseable JSON that carries the failing epoch's
+    /// spans (queue wait and the apply that died) plus a snapshot.
+    #[test]
+    fn kill_a_shard_dumps_a_parseable_flight_record() {
+        let q = star2();
+        let mut eng = ShardedEngine::<i64>::new(q, &Database::new(), lift_one, 2).unwrap();
+        let reg = MetricsRegistry::new();
+        eng.observe(&reg, "t.flight").unwrap();
+
+        // An epoch root on the shared tracer, exactly as a session would
+        // open one; the rogue job joins it through its TraceCtx.
+        let tracer = reg.tracer().clone();
+        let root = tracer.enter(tracer.intern("session.ingest"), 7);
+        let ctx = TraceCtx {
+            parent: root.id(),
+            epoch: 7,
+            enqueued: Instant::now(),
+        };
+        let rogue = DeltaBatch::from_updates(&[Update::<i64>::insert(
+            sym("she_rogue_fr"),
+            tup![1i64, 1i64],
+        )]);
+        eng.workers[0]
+            .send(crate::worker::Job::Batch {
+                seq: 0,
+                delta: rogue,
+                ctx: Some(ctx),
+            })
+            .unwrap();
+        eng.next_seq = 1;
+        eng.in_flight.insert(
+            0,
+            Pending {
+                remaining: 1,
+                delta: Relation::new(eng.query.free.clone()),
+                enqueued: Instant::now(),
+                replan: false,
+            },
+        );
+        root.finish();
+        assert!(eng.drain().is_err());
+
+        // The dump names the rogue relation in its detail; find it among
+        // whatever other tests dumped (files are pid+seq unique).
+        let dir = std::path::Path::new("target/flight");
+        let body = std::fs::read_dir(dir)
+            .expect("flight dir exists after a poisoning")
+            .filter_map(|e| std::fs::read_to_string(e.ok()?.path()).ok())
+            .find(|b| b.contains("she_rogue_fr"))
+            .expect("a post-mortem for this failure");
+        let doc = ivm_obs::Json::parse(&body).expect("dump is parseable JSON");
+        assert_eq!(
+            doc.get("reason").and_then(|r| r.as_str()),
+            Some("shard-failure")
+        );
+        let spans = doc.get("spans").and_then(|s| s.as_arr()).unwrap();
+        let in_epoch7 = |label: &str| {
+            spans.iter().any(|s| {
+                s.get("epoch").and_then(|e| e.as_f64()) == Some(7.0)
+                    && s.get("label").and_then(|l| l.as_str()) == Some(label)
+            })
+        };
+        assert!(in_epoch7("session.ingest"), "failing epoch's root span");
+        assert!(in_epoch7("shard0.queue_wait"), "queue-wait span");
+        assert!(in_epoch7("shard0.apply"), "the apply that died");
+        assert!(
+            doc.get("snapshot").is_some(),
+            "post-mortem staples the full metrics snapshot"
+        );
+    }
+
     /// Satellite: a poisoned shard must not leave gauges stuck non-zero
     /// — the queue depths of a dead fleet read zero, not a phantom
     /// backlog.
@@ -993,6 +1128,7 @@ mod tests {
             .send(crate::worker::Job::Batch {
                 seq: 0,
                 delta: rogue,
+                ctx: None,
             })
             .unwrap();
         if let Some(obs) = &eng.obs {

@@ -12,6 +12,7 @@
 use ivm_core::EngineError;
 use ivm_data::{Database, Relation};
 use ivm_dataflow::{Cardinalities, DataflowEngine, DataflowStats, DeltaBatch, JoinStrategy};
+use ivm_obs::{LabelId, Tracer};
 use ivm_ring::Semiring;
 use std::panic::AssertUnwindSafe;
 use std::sync::mpsc::{Receiver, Sender, SyncSender};
@@ -23,6 +24,21 @@ use std::time::{Duration, Instant};
 /// to bound memory per shard.
 pub const QUEUE_DEPTH: usize = 8;
 
+/// Cross-thread trace handoff: the router captures the ambient epoch
+/// root at enqueue time and ships it with the job, so the worker's
+/// queue-wait and apply spans join the same epoch tree even though they
+/// happen on another thread.
+#[derive(Clone, Copy)]
+pub(crate) struct TraceCtx {
+    /// Span id to parent the worker's spans under.
+    pub parent: u64,
+    /// The epoch the spans belong to.
+    pub epoch: u64,
+    /// When the job was enqueued — the queue-wait span runs from here
+    /// to the moment the worker dequeues the job.
+    pub enqueued: Instant,
+}
+
 /// One unit of work for a shard.
 pub(crate) enum Job<R> {
     /// Apply the sub-batch of sequence number `seq`.
@@ -32,6 +48,9 @@ pub(crate) enum Job<R> {
         /// This shard's routed slice of the batch, already consolidated
         /// by the router (applied without re-consolidation).
         delta: DeltaBatch<R>,
+        /// Epoch-trace handoff, present when the enqueue happened under
+        /// an observed epoch root.
+        ctx: Option<TraceCtx>,
     },
     /// Re-lower this shard's plan from learned cardinalities, replaying
     /// the carried database slice. Broadcast to every shard with the
@@ -51,6 +70,8 @@ pub(crate) enum Job<R> {
         cards: Cardinalities,
         /// This shard's slice of the current base state, to replay.
         db: Database<R>,
+        /// Epoch-trace handoff (replans are traced like batches).
+        ctx: Option<TraceCtx>,
     },
     /// Attach a metrics registry to this shard's engine: per-operator
     /// apply time and counter mirrors appear under `{prefix}.*`. Not
@@ -116,6 +137,16 @@ fn thread_cpu_now() -> Option<Duration> {
     None
 }
 
+/// A worker's tracing handles, resolved once when the fleet registry
+/// arrives via [`Job::Observe`]: the shared tracer plus this shard's
+/// interned stage labels — nothing allocates per batch.
+struct WorkerTrace {
+    tracer: Tracer,
+    queue_wait: LabelId,
+    apply: LabelId,
+    replan: LabelId,
+}
+
 /// Time one closure on the thread CPU clock, falling back to wall time.
 fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     match thread_cpu_now() {
@@ -176,6 +207,7 @@ pub(crate) fn spawn<R: Semiring>(
         .name(format!("ivm-shard-{shard}"))
         .spawn(move || {
             let mut busy = Duration::ZERO;
+            let mut trace: Option<WorkerTrace> = None;
             while let Ok(job) = jobs_rx.recv() {
                 // Catch panics so one poisoned shard reports a failure
                 // instead of silently leaving the batch in flight forever
@@ -183,33 +215,66 @@ pub(crate) fn spawn<R: Semiring>(
                 let (seq, outcome) = match job {
                     Job::Observe { registry, prefix } => {
                         engine.observe(&registry, &prefix);
+                        let t = registry.tracer();
+                        trace = Some(WorkerTrace {
+                            queue_wait: t.intern(&format!("shard{shard}.queue_wait")),
+                            apply: t.intern(&format!("shard{shard}.apply")),
+                            replan: t.intern(&format!("shard{shard}.replan")),
+                            tracer: t.clone(),
+                        });
                         continue;
                     }
-                    Job::Batch { seq, delta } => (
-                        seq,
-                        std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    Job::Batch { seq, delta, ctx } => {
+                        // Join the enqueuing epoch's trace: the gap since
+                        // enqueue is this shard's queue wait, and the
+                        // apply span (ambient while the engine runs, so
+                        // per-operator spans nest under it) covers the
+                        // work — even on panic, via the span's Drop.
+                        let span = trace.as_ref().zip(ctx).map(|(tr, c)| {
+                            tr.tracer.record_at(
+                                tr.queue_wait,
+                                Some(c.parent),
+                                c.epoch,
+                                c.enqueued,
+                                c.enqueued.elapsed(),
+                            );
+                            tr.tracer.enter_at(tr.apply, c.parent, c.epoch)
+                        });
+                        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
                             timed(|| engine.apply_delta_batch(&delta))
-                        })),
-                    ),
+                        }));
+                        drop(span);
+                        (seq, outcome)
+                    }
                     Job::Replan {
                         seq,
                         strategy,
                         cards,
                         db,
+                        ctx,
                     } => {
                         // A replan "delta" is empty by construction: the
                         // replay reproduces the shard's exact state.
                         let free = engine.output_relation().schema().clone();
-                        (
-                            seq,
-                            std::panic::catch_unwind(AssertUnwindSafe(|| {
-                                timed(|| {
-                                    engine
-                                        .replan_with_cards(&db, strategy, cards)
-                                        .map(|()| Relation::new(free))
-                                })
-                            })),
-                        )
+                        let span = trace.as_ref().zip(ctx).map(|(tr, c)| {
+                            tr.tracer.record_at(
+                                tr.queue_wait,
+                                Some(c.parent),
+                                c.epoch,
+                                c.enqueued,
+                                c.enqueued.elapsed(),
+                            );
+                            tr.tracer.enter_at(tr.replan, c.parent, c.epoch)
+                        });
+                        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            timed(|| {
+                                engine
+                                    .replan_with_cards(&db, strategy, cards)
+                                    .map(|()| Relation::new(free))
+                            })
+                        }));
+                        drop(span);
+                        (seq, outcome)
                     }
                 };
                 let (delta, spent, dead) = match outcome {
@@ -269,6 +334,7 @@ mod tests {
                 .send(Job::Batch {
                     seq,
                     delta: DeltaBatch::from_updates(&[Update::insert(r, tup![seq as i64, 0i64])]),
+                    ctx: None,
                 })
                 .unwrap();
         }
@@ -295,6 +361,7 @@ mod tests {
                     sym("wrk_unknown"),
                     tup![1i64],
                 )]),
+                ctx: None,
             })
             .unwrap();
         let rep = rx.recv().unwrap();
@@ -304,6 +371,7 @@ mod tests {
             .send(Job::Batch {
                 seq: 1,
                 delta: DeltaBatch::from_updates(&[Update::insert(r, tup![7i64, 7i64])]),
+                ctx: None,
             })
             .unwrap();
         let rep = rx.recv().unwrap();
@@ -325,6 +393,7 @@ mod tests {
                 .send(Job::Batch {
                     seq,
                     delta: DeltaBatch::from_updates(&updates),
+                    ctx: None,
                 })
                 .unwrap();
             let rep = rx.recv().unwrap();

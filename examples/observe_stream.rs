@@ -8,11 +8,17 @@
 //! dashboard line: ingest latency, settle latency, per-shard busy time.
 //! After the stream: the per-operator breakdown of one worker's dataflow,
 //! the session's replan timeline (trigger names and before/after
-//! throughput), and excerpts of the two export formats — Prometheus text
-//! exposition and the JSON snapshot — rendered from the *same* registry.
+//! throughput), a per-epoch latency *waterfall* reconstructed from the
+//! causal trace ring (router consolidate/partition, per-shard queue
+//! wait and apply, per-operator engine time — all under one epoch
+//! root), a curl transcript against the live scrape endpoint the
+//! session serves, and excerpts of the two export formats — Prometheus
+//! text exposition and the JSON snapshot — rendered from the *same*
+//! registry.
 //!
 //! Run: `cargo run --release --example observe_stream`
 
+use ivm::obs::http_get;
 use ivm::{Atom, Database, Maintainer, MetricsRegistry, Query, ReplanPolicy, Session, Update};
 use ivm_data::{sym, tup, vars};
 use ivm_workloads::graphs::EdgeStream;
@@ -38,9 +44,12 @@ fn main() {
         .shards(4)
         .adaptive(ReplanPolicy::default())
         .observe(&registry)
+        .serve_metrics("127.0.0.1:0")
         .build(&Database::new())
         .unwrap();
-    println!("fleet: {}\n", s.describe());
+    println!("fleet: {}", s.describe());
+    let addr = s.metrics_addr().expect("endpoint requested at build");
+    println!("scrape endpoint: http://{addr}/metrics\n");
 
     // Skewed stream: the Zipf hub concentrates work onto few keys, so the
     // per-shard busy times visibly diverge — that imbalance is exactly
@@ -126,6 +135,73 @@ fn main() {
     for (name, v) in m.counters_with_prefix("ivm.fleet.shard0.dataflow.op.") {
         println!("{v:>12}  {name}");
     }
+
+    println!("\n## epoch waterfall (causal trace, synchronous apply)\n");
+    // A few synchronous epochs: `apply_batch` on a fleet enqueues and
+    // settles in one call, so the `session.ingest` root span brackets
+    // the epoch end to end and the per-stage children — router
+    // consolidate/partition, each shard's queue wait and apply, the
+    // per-operator engine time under each apply — account for its wall
+    // time. Pick the best-covered recent epoch to print.
+    let tail = EdgeStream::zipf(400, 9_000, 0.9, 13);
+    for chunk in tail.edges.chunks(1_500) {
+        let batch: Vec<Update<i64>> = chunk
+            .iter()
+            .flat_map(|&(x, y)| {
+                [
+                    Update::insert(names[0], tup![x, y]),
+                    Update::insert(names[1], tup![x, y]),
+                    Update::insert(names[2], tup![x, y]),
+                ]
+            })
+            .collect();
+        s.apply_batch(&batch).unwrap();
+    }
+    let falls = s.waterfalls();
+    let best = falls
+        .iter()
+        .rev()
+        .take(6)
+        .max_by(|a, b| a.coverage().total_cmp(&b.coverage()))
+        .expect("synchronous epochs just ran");
+    print!("{}", best.render());
+    let path: Vec<&str> = best
+        .critical_path()
+        .iter()
+        .map(|st| st.label.as_str())
+        .collect();
+    println!(
+        "\ncoverage {:.1}% | queue wait {} | compute {} | critical path: {}",
+        best.coverage() * 100.0,
+        ivm::obs::fmt_ns(best.queue_wait_ns()),
+        ivm::obs::fmt_ns(best.compute_ns()),
+        path.join(" -> "),
+    );
+    assert!(
+        best.coverage() >= 0.9,
+        "traced stages must cover >=90% of the epoch's wall time, got {:.1}%",
+        best.coverage() * 100.0
+    );
+
+    println!("\n## live scrape endpoint\n");
+    println!("$ curl -s http://{addr}/metrics | head -6");
+    let scraped = http_get(addr, "/metrics").expect("endpoint is live");
+    for line in scraped.lines().take(6) {
+        println!("{line}");
+    }
+    println!("$ curl -s http://{addr}/epochs.json | cut -c1-72");
+    let epochs = http_get(addr, "/epochs.json").expect("endpoint is live");
+    println!("{}", &epochs[..epochs.len().min(72)]);
+    // The endpoint and the in-process snapshot expose one truth.
+    let m_now = s.metrics();
+    let batches_line = format!(
+        "ivm_session_batches {}",
+        m_now.counter("ivm.session.batches")
+    );
+    assert!(
+        scraped.lines().any(|l| l == batches_line),
+        "scrape must agree with the snapshot: {batches_line}"
+    );
 
     println!("\n## replan timeline\n");
     for line in s.explain().to_string().lines() {

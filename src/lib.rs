@@ -45,7 +45,9 @@ pub use ivm_workloads as workloads;
 pub use ivm_core::Maintainer;
 pub use ivm_data::{Batch, Database, Relation, Tuple, Update, Value};
 pub use ivm_dataflow::{DataflowEngine, DeltaBatch, StoreHub};
-pub use ivm_obs::{MetricsRegistry, MetricsSnapshot};
+pub use ivm_obs::{
+    EpochWaterfall, FlightRecorder, MetricsRegistry, MetricsServer, MetricsSnapshot,
+};
 pub use ivm_query::{Atom, Query};
 pub use ivm_ring::{Ring, Semiring};
 pub use ivm_serve::{ServeNode, Subscription, ViewDelta};

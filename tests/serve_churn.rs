@@ -173,6 +173,21 @@ fn dropped_receiver_retires_tap_and_group_and_gauges_settle() {
         0,
         "a dead tap owes nothing"
     );
+    // Pruned, not merely zeroed: the dead tap's series leave the
+    // registry entirely, while the keeper's keep exporting.
+    assert!(
+        !m.gauges
+            .contains_key(&format!("ivm.serve.sub{goner_id}.queue_depth"))
+            && !m
+                .histograms
+                .contains_key(&format!("ivm.serve.sub{goner_id}.notify_ns")),
+        "an evicted subscriber's series must be deregistered"
+    );
+    assert!(
+        m.gauges
+            .contains_key(&format!("ivm.serve.sub{}.queue_depth", keeper.id())),
+        "pruning is per-subscriber, not a blanket sweep"
+    );
 
     // Ingest keeps flowing — including updates to the retired group's
     // relations, which stay declared in the shared base — and the

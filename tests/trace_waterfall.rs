@@ -1,0 +1,213 @@
+//! Well-formedness of the causal trace ring and everything derived from
+//! it: per-epoch waterfalls, the ingest-histogram agreement, and the
+//! live scrape endpoint.
+//!
+//! A 4-shard observed session runs proptest-generated streams through
+//! the async enqueue/drain path, where the router and four worker
+//! threads all record spans into one ring concurrently. Afterwards the
+//! trace must be *causally* coherent, not just present:
+//!
+//! * span ids are unique, and every non-root span's parent exists in
+//!   the ring **with the same epoch tag** (a cross-thread span joined
+//!   the wrong epoch exactly never),
+//! * every ingested batch reconstructs into a waterfall rooted at
+//!   `session.ingest`, with consecutive epoch numbers and no orphans,
+//! * on the synchronous path, waterfall totals equal the
+//!   `ivm.session.ingest_ns` histogram **to the nanosecond** (both
+//!   sides log the same measured elapsed, so this is an identity, not
+//!   a tolerance), and
+//! * `GET /metrics` on the live endpoint returns byte-for-byte the
+//!   exposition of the same snapshot `Session::metrics` reports.
+
+mod common;
+
+use common::{edge_ops, edge_updates, star};
+use ivm::obs::{http_get, EpochWaterfall, Json};
+use ivm::{Database, Maintainer, MetricsRegistry, Session};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn check_trace_well_formed(ops: &[common::EdgeOp], chunk: usize) -> Result<(), TestCaseError> {
+    let q = star("twf_");
+    let registry = MetricsRegistry::new();
+    let mut s = Session::<i64>::builder(q.clone())
+        .shards(4)
+        .observe(&registry)
+        .build(&Database::new())
+        .expect("star is shardable");
+
+    let updates = edge_updates(&q, ops);
+    let mut batches = 0u64;
+    for batch in updates.chunks(chunk) {
+        s.enqueue_batch(batch).expect("valid batch");
+        batches += 1;
+    }
+    s.drain().expect("drain settles the fleet");
+
+    let events = registry.tracer().events();
+    prop_assert_eq!(registry.tracer().dropped(), 0, "ring large enough");
+
+    // Ids unique; every parent resolvable in the same epoch.
+    let mut by_id: HashMap<u64, (u64, Option<u64>)> = HashMap::new();
+    for e in &events {
+        let clash = by_id.insert(e.id, (e.epoch, e.parent));
+        prop_assert!(clash.is_none(), "span id {} assigned twice", e.id);
+    }
+    for e in &events {
+        if let Some(p) = e.parent {
+            let Some(&(p_epoch, _)) = by_id.get(&p) else {
+                return Err(TestCaseError::fail(format!(
+                    "span {} ({}) orphaned: parent {} not in ring",
+                    e.id, e.label, p
+                )));
+            };
+            prop_assert_eq!(
+                p_epoch,
+                e.epoch,
+                "span {} ({}) crossed epochs to its parent",
+                e.id,
+                e.label
+            );
+        }
+    }
+    // Exactly one root per epoch — the session's ingest call.
+    for epoch in 0..batches {
+        let roots: Vec<&str> = events
+            .iter()
+            .filter(|e| e.epoch == epoch && e.parent.is_none())
+            .map(|e| e.label.as_str())
+            .collect();
+        prop_assert_eq!(&roots, &["session.ingest"], "epoch {}", epoch);
+    }
+
+    // Every batch reconstructs: consecutive epochs, nothing dangling.
+    let falls = EpochWaterfall::from_events(&events);
+    prop_assert_eq!(falls.len() as u64, batches);
+    for (i, w) in falls.iter().enumerate() {
+        prop_assert_eq!(w.epoch, i as u64);
+        prop_assert_eq!(w.orphans, 0, "epoch {}", i);
+        prop_assert_eq!(w.stages[0].label.as_str(), "session.ingest");
+        // Stage rows never attribute more than their own window to
+        // children: self time is a residue, not a negative.
+        for st in &w.stages {
+            prop_assert!(st.self_ns <= st.elapsed_ns);
+        }
+    }
+    // The histogram saw the same epochs the ring did.
+    let m = s.metrics();
+    let h = m.histogram("ivm.session.ingest_ns").expect("observed");
+    prop_assert_eq!(h.count, batches);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn concurrent_trace_stays_causally_coherent(
+        ops in edge_ops(3, 6, 1..48),
+        chunk in 1usize..9,
+    ) {
+        check_trace_well_formed(&ops, chunk)?;
+    }
+}
+
+/// On the synchronous path the root span and the `ingest_ns` histogram
+/// log the *same* measured elapsed, so waterfall totals and histogram
+/// sum agree exactly — per epoch and in aggregate.
+#[test]
+fn waterfall_totals_match_ingest_histogram_exactly() {
+    let q = star("twfh_");
+    let registry = MetricsRegistry::new();
+    let mut s = Session::<i64>::builder(q.clone())
+        .observe(&registry)
+        .build(&Database::new())
+        .expect("builds");
+
+    let rels: Vec<_> = q.atoms.iter().map(|a| a.name).collect();
+    for i in 0..5i64 {
+        let batch: Vec<_> = rels
+            .iter()
+            .map(|&r| ivm::Update::insert(r, ivm::data::tup![i, i + 1]))
+            .collect();
+        s.apply_batch(&batch).expect("valid batch");
+    }
+
+    let falls = s.waterfalls();
+    assert_eq!(falls.len(), 5, "one waterfall per synchronous batch");
+    let m = s.metrics();
+    let h = m.histogram("ivm.session.ingest_ns").expect("observed");
+    assert_eq!(h.count, 5);
+    assert_eq!(
+        h.sum_ns,
+        falls.iter().map(|w| w.total_ns).sum::<u64>(),
+        "root spans and histogram observations must be the same numbers"
+    );
+}
+
+/// The live endpoint serves the same truth the in-process snapshot
+/// reports: identical Prometheus text, and JSON routes that parse back
+/// to the same counter values and carry the ring's waterfalls.
+#[test]
+fn scrape_endpoint_agrees_with_snapshot() {
+    let q = star("twfe_");
+    let registry = MetricsRegistry::new();
+    let mut s = Session::<i64>::builder(q.clone())
+        .shards(2)
+        .observe(&registry)
+        .serve_metrics("127.0.0.1:0")
+        .build(&Database::new())
+        .expect("builds with endpoint");
+
+    let rels: Vec<_> = q.atoms.iter().map(|a| a.name).collect();
+    for i in 0..4i64 {
+        let batch: Vec<_> = rels
+            .iter()
+            .map(|&r| ivm::Update::insert(r, ivm::data::tup![i, i + 7]))
+            .collect();
+        s.enqueue_batch(&batch).expect("valid batch");
+    }
+    s.drain().expect("settles");
+
+    let addr = s.metrics_addr().expect("endpoint started");
+    let m = s.metrics();
+
+    // /metrics: byte-for-byte the snapshot's exposition (the fleet is
+    // drained and parked, so nothing moves between the two reads).
+    let prom = http_get(addr, "/metrics").expect("scrape");
+    assert_eq!(prom, m.to_prometheus());
+
+    // /snapshot.json: parses, and the counters agree with the snapshot.
+    let snap = Json::parse(&http_get(addr, "/snapshot.json").expect("scrape")).expect("valid JSON");
+    for name in ["ivm.session.batches", "ivm.session.updates"] {
+        let served = snap
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(|v| v.as_f64());
+        assert_eq!(served, Some(m.counter(name) as f64), "counter {name}");
+    }
+
+    // /epochs.json: parses, one waterfall per ingested batch.
+    let epochs = Json::parse(&http_get(addr, "/epochs.json").expect("scrape")).expect("valid JSON");
+    let falls = epochs
+        .get("epochs")
+        .and_then(|e| e.as_arr())
+        .expect("array");
+    assert_eq!(falls.len(), 4);
+    for w in falls {
+        assert_eq!(
+            w.get("root").and_then(|r| r.as_str()),
+            Some("session.ingest")
+        );
+    }
+}
+
+/// `.serve_metrics` without `.observe` has nothing to expose — the
+/// builder refuses instead of standing up an endpoint that lies.
+#[test]
+fn serve_metrics_requires_observe() {
+    let err = Session::<i64>::builder(star("twfn_"))
+        .serve_metrics("127.0.0.1:0")
+        .build(&Database::new());
+    assert!(err.is_err(), "endpoint without a registry must be refused");
+}
