@@ -30,6 +30,10 @@ pub enum EngineError {
     /// A shard worker of a parallel engine died (panicked or hung up)
     /// before reporting its delta; the engine's state is unrecoverable.
     ShardFailure(String),
+    /// The durable store behind a session failed (journal I/O, a corrupt
+    /// snapshot, a mismatched recovery). Stringified because the
+    /// underlying `io::Error` is neither `Clone` nor `Eq`.
+    Store(String),
 }
 
 impl fmt::Display for EngineError {
@@ -46,6 +50,7 @@ impl fmt::Display for EngineError {
                 write!(f, "updates to {relation} are not constant-time: {detail}")
             }
             EngineError::ShardFailure(m) => write!(f, "shard worker failed: {m}"),
+            EngineError::Store(m) => write!(f, "durable store: {m}"),
         }
     }
 }

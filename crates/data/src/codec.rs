@@ -1,0 +1,354 @@
+//! Binary persistence hooks for the data model: a dependency-free,
+//! length-prefixed codec over [`Value`], [`Tuple`], [`Update`],
+//! [`Relation`], and [`Database`].
+//!
+//! The durable-store crate (`ivm-store`) frames these encodings into
+//! CRC-checked journal records and snapshot files; the hooks live here so
+//! every wire detail about a type sits next to the type itself.
+//!
+//! Two invariants the store layer relies on:
+//!
+//! * **Symbols travel by name.** [`Sym`] is a process-local interning
+//!   id — meaningless in the next process — so the codec writes the
+//!   interned string and re-interns on decode.
+//! * **Decoding never panics.** Every [`Persist::decode`] returns `None`
+//!   on a truncated or malformed buffer (bad tag, non-UTF-8 string,
+//!   length running past the end), because recovery feeds it torn
+//!   journal tails by design.
+
+use crate::database::Database;
+use crate::relation::Relation;
+use crate::schema::{sym, Schema, Sym};
+use crate::tuple::Tuple;
+use crate::update::Update;
+use crate::value::Value;
+use ivm_ring::Semiring;
+use std::sync::Arc;
+
+/// A type with a stable binary encoding.
+///
+/// `encode` appends to `out`; `decode` consumes from the front of `buf`
+/// (advancing the slice) and returns `None` — never panicking — when the
+/// bytes are truncated or malformed.
+pub trait Persist: Sized {
+    /// Append this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decode one value from the front of `buf`, advancing it.
+    fn decode(buf: &mut &[u8]) -> Option<Self>;
+}
+
+/// Encode `value` into a fresh buffer.
+pub fn to_bytes<T: Persist>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.encode(&mut out);
+    out
+}
+
+/// Decode one value from `bytes`, requiring the buffer to be fully
+/// consumed (a trailing-garbage guard for whole-document decoding).
+pub fn from_bytes<T: Persist>(bytes: &[u8]) -> Option<T> {
+    let mut buf = bytes;
+    let v = T::decode(&mut buf)?;
+    buf.is_empty().then_some(v)
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if buf.len() < n {
+        return None;
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Some(head)
+}
+
+impl Persist for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(u32::from_le_bytes(take(buf, 4)?.try_into().ok()?))
+    }
+}
+
+impl Persist for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(u64::from_le_bytes(take(buf, 8)?.try_into().ok()?))
+    }
+}
+
+impl Persist for i64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(i64::from_le_bytes(take(buf, 8)?.try_into().ok()?))
+    }
+}
+
+impl Persist for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let len = u32::decode(buf)? as usize;
+        let bytes = take(buf, len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+impl<T: Persist> Persist for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let len = u32::decode(buf)? as usize;
+        // Guard against a corrupt length forcing a huge allocation: every
+        // element is at least one byte, so `len` can never exceed the
+        // bytes actually present.
+        if len > buf.len() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Some(out)
+    }
+}
+
+impl<A: Persist, B: Persist> Persist for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+/// Interning ids are process-local, so a symbol persists as its name and
+/// re-interns on decode.
+impl Persist for Sym {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.name().encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(sym(&String::decode(buf)?))
+    }
+}
+
+impl Persist for Schema {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.vars().len() as u32).encode(out);
+        for v in self.vars() {
+            v.encode(out);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let len = u32::decode(buf)? as usize;
+        if len > buf.len() {
+            return None;
+        }
+        let mut vars = Vec::with_capacity(len);
+        for _ in 0..len {
+            vars.push(Sym::decode(buf)?);
+        }
+        Some(Schema::new(vars))
+    }
+}
+
+const VALUE_INT: u8 = 0;
+const VALUE_STR: u8 = 1;
+
+impl Persist for Value {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Int(i) => {
+                out.push(VALUE_INT);
+                i.encode(out);
+            }
+            Value::Str(s) => {
+                out.push(VALUE_STR);
+                s.to_string().encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        match *take(buf, 1)?.first()? {
+            VALUE_INT => Some(Value::Int(i64::decode(buf)?)),
+            VALUE_STR => Some(Value::Str(Arc::from(String::decode(buf)?.as_str()))),
+            _ => None,
+        }
+    }
+}
+
+impl Persist for Tuple {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.arity() as u32).encode(out);
+        for v in self.values() {
+            v.encode(out);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let arity = u32::decode(buf)? as usize;
+        if arity > buf.len() {
+            return None;
+        }
+        let mut values = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            values.push(Value::decode(buf)?);
+        }
+        Some(Tuple::new(values))
+    }
+}
+
+impl<R: Persist> Persist for Update<R> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.relation.encode(out);
+        self.tuple.encode(out);
+        self.payload.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(Update {
+            relation: Sym::decode(buf)?,
+            tuple: Tuple::decode(buf)?,
+            payload: R::decode(buf)?,
+        })
+    }
+}
+
+impl<R: Persist + Semiring> Persist for Relation<R> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.schema().encode(out);
+        (self.len() as u32).encode(out);
+        for (t, r) in self.iter() {
+            t.encode(out);
+            r.encode(out);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let schema = Schema::decode(buf)?;
+        let len = u32::decode(buf)? as usize;
+        if len > buf.len() {
+            return None;
+        }
+        let mut rows = Vec::with_capacity(len);
+        for _ in 0..len {
+            rows.push((Tuple::decode(buf)?, R::decode(buf)?));
+        }
+        Some(Relation::from_rows(schema, rows))
+    }
+}
+
+impl<R: Persist + Semiring> Persist for Database<R> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        // Deterministic order: relations sorted by name, so identical
+        // databases encode to identical bytes whatever the hash-map
+        // iteration order of this process happens to be.
+        let mut rels: Vec<(Sym, &Relation<R>)> = self.iter().map(|(s, r)| (*s, r)).collect();
+        rels.sort_by_key(|(s, _)| s.name());
+        (rels.len() as u32).encode(out);
+        for (name, rel) in rels {
+            name.encode(out);
+            rel.encode(out);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let len = u32::decode(buf)? as usize;
+        if len > buf.len() {
+            return None;
+        }
+        let mut db = Database::new();
+        for _ in 0..len {
+            let name = Sym::decode(buf)?;
+            let rel = Relation::decode(buf)?;
+            // Duplicate names in a decoded stream are corruption, not a
+            // reason to panic inside `Database::add`.
+            if db.get(name).is_some() {
+                return None;
+            }
+            db.add(name, rel);
+        }
+        Some(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+
+    #[test]
+    fn primitives_round_trip() {
+        for v in [0i64, -1, i64::MIN, i64::MAX] {
+            assert_eq!(from_bytes::<i64>(&to_bytes(&v)), Some(v));
+        }
+        let s = "héllo → wörld".to_string();
+        assert_eq!(from_bytes::<String>(&to_bytes(&s)), Some(s));
+    }
+
+    #[test]
+    fn sym_round_trips_by_name() {
+        let a = sym("codec_A");
+        let decoded = from_bytes::<Sym>(&to_bytes(&a)).unwrap();
+        assert_eq!(decoded, a);
+        assert_eq!(decoded.name(), "codec_A");
+    }
+
+    #[test]
+    fn update_and_relation_round_trip() {
+        let u = Update::with_payload(sym("codec_R"), tup![1i64, "x"], -3i64);
+        assert_eq!(from_bytes::<Update<i64>>(&to_bytes(&u)), Some(u));
+
+        let schema = Schema::new(crate::vars(["codec_x", "codec_y"]).to_vec());
+        let rel: Relation<i64> = Relation::from_rows(
+            schema,
+            [(tup![1i64, 2i64], 5i64), (tup![3i64, 4i64], -2i64)],
+        );
+        let back = from_bytes::<Relation<i64>>(&to_bytes(&rel)).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.get(&tup![1i64, 2i64]), 5);
+        assert_eq!(back.get(&tup![3i64, 4i64]), -2);
+    }
+
+    #[test]
+    fn truncated_buffers_decode_to_none() {
+        let u = Update::with_payload(sym("codec_T"), tup![7i64, "abc"], 1i64);
+        let bytes = to_bytes(&u);
+        for cut in 0..bytes.len() {
+            let mut buf = &bytes[..cut];
+            assert!(
+                Update::<i64>::decode(&mut buf).is_none(),
+                "truncation at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_value_tag_is_rejected() {
+        let mut bytes = to_bytes(&Value::Int(4));
+        bytes[0] = 9;
+        assert!(from_bytes::<Value>(&bytes).is_none());
+    }
+
+    #[test]
+    fn database_encoding_is_deterministic() {
+        let mut db: Database<i64> = Database::new();
+        let schema = Schema::new(crate::vars(["codec_a", "codec_b"]).to_vec());
+        for name in ["codec_Z", "codec_M", "codec_A"] {
+            let mut rel = Relation::new(schema.clone());
+            rel.apply(tup![1i64, 2i64], &1i64);
+            db.add(sym(name), rel);
+        }
+        assert_eq!(to_bytes(&db), to_bytes(&db.clone()));
+        let back = from_bytes::<Database<i64>>(&to_bytes(&db)).unwrap();
+        assert_eq!(back.size(), db.size());
+    }
+}

@@ -11,6 +11,7 @@
 //! Updates are ordinary tuples with ring payloads: inserts carry positive
 //! values, deletes negative ones, so batches commute (Sec. 2).
 
+pub mod codec;
 pub mod database;
 pub mod hash;
 pub mod ops;
@@ -20,6 +21,7 @@ pub mod tuple;
 pub mod update;
 pub mod value;
 
+pub use codec::Persist;
 pub use database::Database;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use relation::{GroupedIndex, Relation};

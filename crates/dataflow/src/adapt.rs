@@ -84,6 +84,31 @@ impl LearnedCardinalities {
         }
         cards
     }
+
+    /// Export the learned counts for persistence, sorted by relation name
+    /// so identical trackers export identical byte streams.
+    pub fn export(&self) -> Vec<(Sym, u64)> {
+        let mut out: Vec<(Sym, u64)> = self
+            .sizes
+            .iter()
+            .map(|(&rel, &n)| (rel, n as u64))
+            .collect();
+        out.sort_by_key(|(rel, _)| rel.name());
+        out
+    }
+
+    /// Rebuild a tracker from previously [`export`](Self::export)ed
+    /// counts — the warm-restart path: a recovered session resumes with
+    /// the cardinalities it had learned before the kill instead of
+    /// starting blind.
+    pub fn import(counts: impl IntoIterator<Item = (Sym, u64)>) -> Self {
+        LearnedCardinalities {
+            sizes: counts
+                .into_iter()
+                .map(|(rel, n)| (rel, n as usize))
+                .collect(),
+        }
+    }
 }
 
 /// Which of the policy's three triggers fired a replan. The session's

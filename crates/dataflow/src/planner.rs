@@ -51,6 +51,29 @@ pub enum JoinStrategy {
     Multiway,
 }
 
+impl JoinStrategy {
+    /// A stable one-byte tag for persistence (snapshot files outlive the
+    /// process, so `as u8` on the enum ordering would be too fragile).
+    pub fn tag(self) -> u8 {
+        match self {
+            JoinStrategy::Auto => 0,
+            JoinStrategy::LeftDeep => 1,
+            JoinStrategy::Multiway => 2,
+        }
+    }
+
+    /// Decode a [`JoinStrategy::tag`]; `None` for unknown bytes (a
+    /// corrupt or future-version snapshot must not panic).
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(JoinStrategy::Auto),
+            1 => Some(JoinStrategy::LeftDeep),
+            2 => Some(JoinStrategy::Multiway),
+            _ => None,
+        }
+    }
+}
+
 /// Lower `q` with the default strategy and no statistics.
 pub fn lower<R: Semiring>(q: &Query, lift: Lift<R>) -> Dataflow<R> {
     lower_with(q, lift, JoinStrategy::Auto, &Cardinalities::none())

@@ -63,6 +63,11 @@ enum Sink<R> {
     /// Channel to a [`Subscription`]; a dropped receiver evicts the
     /// subscriber on the next delivery.
     Channel(mpsc::Sender<ViewDelta<R>>),
+    /// Bounded channel to a [`Subscription`]: a full queue — the
+    /// subscriber fell `capacity` epochs behind — evicts it instead of
+    /// letting its backlog grow without bound (back-pressure by
+    /// eviction; the node never blocks on a slow consumer).
+    Bounded(mpsc::SyncSender<ViewDelta<R>>),
 }
 
 /// One subscriber's delivery endpoint inside a group.
@@ -83,6 +88,17 @@ impl<R: Semiring> Tap<R> {
             Sink::Callback(cb) => catch_unwind(AssertUnwindSafe(|| cb(vd))).is_ok(),
             Sink::Channel(tx) => {
                 if tx.send(vd.clone()).is_ok() {
+                    self.queue_depth.inc();
+                    true
+                } else {
+                    false
+                }
+            }
+            // Never blocks: a full queue (Err(Full)) reports the
+            // subscriber dead the same way a dropped receiver does, and
+            // the shared eviction path handles both.
+            Sink::Bounded(tx) => {
+                if tx.try_send(vd.clone()).is_ok() {
                     self.queue_depth.inc();
                     true
                 } else {
@@ -278,6 +294,31 @@ impl<R: Semiring> ServeNode<R> {
     pub fn subscribe(&mut self, query: Query) -> Result<Subscription<R>, EngineError> {
         let (tx, rx) = mpsc::channel();
         let id = self.add_tap(query, Sink::Channel(tx))?;
+        let gid = self.sub_group[&id];
+        let group = &self.groups[&gid];
+        let tap = group.taps.iter().find(|t| t.id == id).expect("just added");
+        Ok(Subscription {
+            id,
+            rx,
+            queue_depth: tap.queue_depth.clone(),
+        })
+    }
+
+    /// [`ServeNode::subscribe`] with a bounded queue: at most `capacity`
+    /// undrained deliveries (clamped to ≥ 1) may accumulate in the
+    /// returned [`Subscription`]. A subscriber that falls further behind
+    /// is **evicted** at the next delivery — through the same path a
+    /// dropped receiver takes (its `sub{id}.queue_depth` gauge settles to
+    /// 0, its series are pruned, the eviction counter and flight-recorder
+    /// post-mortem fire) — so one slow consumer can neither block ingest
+    /// nor grow an unbounded backlog.
+    pub fn subscribe_bounded(
+        &mut self,
+        query: Query,
+        capacity: usize,
+    ) -> Result<Subscription<R>, EngineError> {
+        let (tx, rx) = mpsc::sync_channel(capacity.max(1));
+        let id = self.add_tap(query, Sink::Bounded(tx))?;
         let gid = self.sub_group[&id];
         let group = &self.groups[&gid];
         let tap = group.taps.iter().find(|t| t.id == id).expect("just added");

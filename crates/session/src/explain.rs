@@ -165,6 +165,11 @@ pub struct Explain {
     /// Every adaptive re-lowering this session performed, in stream
     /// order: batch index, old/new plan, and the policy trigger.
     pub replans: Vec<ReplanEvent>,
+    /// Set when this session came back through
+    /// [`crate::SessionBuilder::recover`]: the snapshot epoch it warm-
+    /// started from and how much journal tail it replayed. `None` for a
+    /// session built fresh.
+    pub recovered: Option<String>,
 }
 
 impl Explain {
@@ -209,6 +214,9 @@ impl std::fmt::Display for Explain {
         }
         if let Some(ad) = &self.adaptive {
             writeln!(f, "adaptive: {ad}")?;
+        }
+        if let Some(rec) = &self.recovered {
+            writeln!(f, "recovered: {rec}")?;
         }
         if !self.replans.is_empty() {
             writeln!(f, "replans:  {} (timeline below)", self.replans.len())?;

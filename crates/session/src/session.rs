@@ -8,7 +8,7 @@ use ivm_core::{
     EagerFactEngine, EagerListEngine, EngineError, LazyFactEngine, LazyListEngine, Maintainer,
 };
 use ivm_data::ops::{lift_one, Lift};
-use ivm_data::{Database, FxHashSet, Relation, Sym, Tuple, Update};
+use ivm_data::{Database, FxHashSet, Persist, Relation, Sym, Tuple, Update};
 use ivm_dataflow::{
     DataflowEngine, DataflowStats, JoinStrategy, LearnedCardinalities, ReplanDecision,
     ReplanPolicy, StoreHub,
@@ -19,7 +19,9 @@ use ivm_obs::{
 use ivm_query::Query;
 use ivm_ring::Semiring;
 use ivm_shard::{ShardedEngine, ShardedStats};
+use ivm_store::{record_recovery_failure, Recovered, SnapshotDoc, Store};
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Configures and builds a [`Session`].
@@ -45,6 +47,19 @@ pub struct SessionBuilder<R: Semiring> {
     observe: Option<MetricsRegistry>,
     serve_metrics: Option<String>,
     shared: Option<StoreHub<R>>,
+    /// `(store directory, monomorphized append hook)` — the hook captures
+    /// the `R: Persist` bound at [`SessionBuilder::durable`] time, so the
+    /// write-ahead path in the `Persist`-agnostic ingestion code can
+    /// journal without constraining every session payload type.
+    durable: Option<(PathBuf, JournalAppend<R>)>,
+}
+
+/// The monomorphized journal-append hook a durable session carries (see
+/// [`SessionBuilder::durable`] for why it is a `fn` pointer).
+type JournalAppend<R> = fn(&mut Store, u64, &[Update<R>]);
+
+fn journal_append<R: Semiring + Persist>(store: &mut Store, epoch: u64, batch: &[Update<R>]) {
+    store.append(epoch, batch);
 }
 
 impl<R: Semiring> SessionBuilder<R> {
@@ -59,6 +74,7 @@ impl<R: Semiring> SessionBuilder<R> {
             observe: None,
             serve_metrics: None,
             shared: None,
+            durable: None,
         }
     }
 
@@ -141,6 +157,19 @@ impl<R: Semiring> SessionBuilder<R> {
         self
     }
 
+    /// Make the session durable: start a **new** journal (and snapshot
+    /// slot) in the directory at `path`, created if missing — any
+    /// previous history there is discarded (resume one with
+    /// [`SessionBuilder::recover`] instead).
+    ///
+    /// Every ingestion call is then journaled *write-ahead*: the batch is
+    /// appended and fsynced under a fresh epoch before the backend sees
+    /// it, so a crash mid-apply loses nothing that was acknowledged.
+    /// [`Session::snapshot`] consolidates the history into one atomic
+    /// snapshot file and truncates the journal behind it, bounding
+    /// recovery time by the tail since the last snapshot rather than
+    /// total history. With [`SessionBuilder::observe`] attached, the
+    /// store publishes `ivm.store.*` series (append/fsync latency,
     /// Arm adaptive replanning under `policy`.
     ///
     /// The session then mirrors the base state it feeds the engine,
@@ -350,6 +379,25 @@ impl<R: Semiring> SessionBuilder<R> {
                 }
             }
         };
+        // Stand up the durable store last: once it exists, every epoch the
+        // session acknowledges is journaled, so nothing built above may
+        // still fail. `durable()` starts a fresh history by contract.
+        let durable = match &self.durable {
+            None => None,
+            Some((path, append)) => {
+                let mut store =
+                    Store::create(path).map_err(|e| EngineError::Store(e.to_string()))?;
+                if let Some(registry) = &self.observe {
+                    store.observe(registry);
+                }
+                Some(DurableState {
+                    store,
+                    epoch: 0,
+                    mirror: mirror_db(&self.query, db),
+                    append: *append,
+                })
+            }
+        };
         let explain = Explain {
             query: format!("{:?}", self.query),
             classification: cls.clone(),
@@ -360,6 +408,7 @@ impl<R: Semiring> SessionBuilder<R> {
             fallback,
             adaptive: adaptive_note,
             replans: Vec::new(),
+            recovered: None,
         };
         Ok(Session {
             backend,
@@ -368,6 +417,7 @@ impl<R: Semiring> SessionBuilder<R> {
             obs,
             metrics_server,
             shared_store_hits,
+            durable,
         })
     }
 
@@ -430,6 +480,191 @@ impl<R: Semiring> SessionBuilder<R> {
     }
 }
 
+impl<R: Semiring + Persist> SessionBuilder<R> {
+    /// Make the session durable: start a **new** journal (and snapshot
+    /// slot) in the directory at `path`, created if missing — any
+    /// previous history there is discarded (resume one with
+    /// [`SessionBuilder::recover`] instead).
+    ///
+    /// Every ingestion call is then journaled *write-ahead*: the batch is
+    /// appended and fsynced under a fresh epoch before the backend sees
+    /// it, so a crash mid-apply loses nothing that was acknowledged.
+    /// [`Session::snapshot`] consolidates the history into one atomic
+    /// snapshot file and truncates the journal behind it, bounding
+    /// recovery time by the tail since the last snapshot rather than
+    /// total history. With [`SessionBuilder::observe`] attached, the
+    /// store publishes `ivm.store.*` series (append/fsync latency,
+    /// journal/snapshot bytes, record/commit/snapshot counts).
+    pub fn durable(mut self, path: impl Into<PathBuf>) -> Self {
+        self.durable = Some((path.into(), journal_append::<R>));
+        self
+    }
+
+    /// Resume the durable history at `path`: load the newest valid
+    /// snapshot, rebuild the backend *warm* over its base, replay the
+    /// journal tail beyond it through the ordinary batch path, and keep
+    /// journaling where the pre-kill session left off.
+    ///
+    /// Warm means warm: the snapshot's base holds the full pre-kill
+    /// contents, so plan lowering orders by exactly the cardinalities the
+    /// dead session had learned — no blind build, no first-data replan —
+    /// and the persisted strategy tag re-lowers the plan if a pre-kill
+    /// adaptive replan had switched it. The rebuilt view is cross-checked
+    /// against the snapshot's recorded view before any tail replays.
+    /// [`crate::Explain::recovered`] records the snapshot epoch and tail
+    /// length.
+    ///
+    /// `db` is the replay source when no snapshot was ever taken: pass
+    /// the database the original session was built over (the common
+    /// streaming case passes the same empty database).
+    ///
+    /// Failures — a corrupt snapshot, a mismatched query, a rebuilt view
+    /// that disagrees with the recorded one — surface as
+    /// [`EngineError::Store`]; with a registry attached they also bump
+    /// `ivm.store.recovery_failures` and write a flight-recorder dump, so
+    /// the post-mortem survives the process that could not start. A torn
+    /// journal *tail* is not a failure: replay stops at the last valid
+    /// record and the note lands in `explain()`.
+    pub fn recover(
+        mut self,
+        path: impl Into<PathBuf>,
+        db: &Database<R>,
+    ) -> Result<Session<R>, EngineError> {
+        let path: PathBuf = path.into();
+        let observe = self.observe.clone();
+        let fail = |msg: String| {
+            if let Some(registry) = &observe {
+                record_recovery_failure(registry, &msg);
+            }
+            EngineError::Store(msg)
+        };
+        let Recovered {
+            store,
+            snapshot,
+            tail,
+            torn,
+        } = Store::recover::<R>(&path)
+            .map_err(|e| fail(format!("recovering {}: {e}", path.display())))?;
+        if let Some(s) = &snapshot {
+            if s.query_name != self.query.name.name() {
+                return Err(fail(format!(
+                    "snapshot at {} was taken for query {:?}, not {:?}",
+                    path.display(),
+                    s.query_name,
+                    self.query.name.name()
+                )));
+            }
+        }
+        let snap_epoch = snapshot.as_ref().map_or(0, |s| s.epoch);
+        let strategy_tag = snapshot.as_ref().map_or(0, |s| s.strategy_tag);
+        let persisted_cards = snapshot
+            .as_ref()
+            .map(|s| s.cards.clone())
+            .unwrap_or_default();
+        let (mut base, recorded_view) = match snapshot {
+            Some(s) => (s.base, Some(s.view)),
+            None => (mirror_db(&self.query, db), None),
+        };
+        // Build fresh over the snapshot base — informed lowering, since
+        // the base holds the exact pre-kill contents. The builder's own
+        // durable arm must not run (it would truncate the history we are
+        // recovering); the recovered store is installed below instead.
+        self.durable = None;
+        let mut session = self.build(&base)?;
+        // A pre-kill adaptive replan may have switched the resolved
+        // strategy away from what selection lowers; the persisted tag
+        // re-lowers the plan from the persisted cardinalities so the
+        // recovered session runs the *pre-kill* plan, not the default.
+        if let Some(strategy) = JoinStrategy::from_tag(strategy_tag) {
+            if strategy != JoinStrategy::Auto {
+                let mut cards = ivm_dataflow::Cardinalities::none();
+                for (rel, n) in &persisted_cards {
+                    cards.set(*rel, *n as usize);
+                }
+                match &mut session.backend {
+                    Backend::Dataflow(e) if e.resolved_strategy() != strategy => {
+                        e.replan_with_cards(&base, strategy, cards)?;
+                    }
+                    Backend::Sharded(e) if e.resolved_strategy() != strategy => {
+                        e.replan_with_cards(&base, strategy, &cards)?;
+                    }
+                    _ => {}
+                }
+                let kind = session.backend.kind();
+                session.explain.engine = kind;
+                session.explain.cost = cost_profile(session.explain.classification.class, kind);
+            }
+        }
+        // Cross-check before any tail replays: rebuilt from the same base,
+        // the view must match the snapshot's recorded contents exactly —
+        // a disagreement means the snapshot is lying about one of them.
+        if let Some(view) = &recorded_view {
+            let rebuilt = session.output();
+            let agrees =
+                rebuilt.len() == view.len() && view.iter().all(|(t, r)| &rebuilt.get(t) == r);
+            if !agrees {
+                return Err(fail(format!(
+                    "rebuilt view disagrees with the snapshot's recorded view \
+                     ({} tuples rebuilt vs {} recorded)",
+                    rebuilt.len(),
+                    view.len()
+                )));
+            }
+        }
+        // Replay the tail through the ordinary batch path — recovery is
+        // just another update stream. A batch the backend rejected
+        // pre-kill fails identically on replay (validation is
+        // deterministic) and is skipped, exactly as the live path did.
+        let mut replayed_epochs = 0u64;
+        let mut replayed_updates = 0u64;
+        let mut last_epoch = snap_epoch;
+        for (epoch, batch) in &tail {
+            last_epoch = (*epoch).max(last_epoch);
+            replayed_epochs += 1;
+            if session.backend.maintainer().apply_batch(batch).is_ok() {
+                session.after_ingest(batch)?;
+                base.apply_batch(batch);
+                replayed_updates += batch.len() as u64;
+            }
+        }
+        session.drain()?;
+        let mut store = store;
+        if let Some(registry) = &observe {
+            store.observe(registry);
+            registry.counter("ivm.store.recoveries").inc();
+            registry
+                .counter("ivm.store.replayed_epochs")
+                .add(replayed_epochs);
+            registry
+                .counter("ivm.store.replayed_updates")
+                .add(replayed_updates);
+        }
+        session.durable = Some(DurableState {
+            store,
+            epoch: last_epoch,
+            mirror: base,
+            append: journal_append::<R>,
+        });
+        let torn_note = torn
+            .map(|t| format!("; journal tail torn ({t})"))
+            .unwrap_or_default();
+        session.explain.recovered = Some(if recorded_view.is_some() {
+            format!(
+                "warm restart from snapshot epoch {snap_epoch}; replayed \
+                 {replayed_epochs} journaled epochs ({replayed_updates} \
+                 updates){torn_note}"
+            )
+        } else {
+            format!(
+                "cold recovery (no snapshot on disk); replayed \
+                 {replayed_epochs} journaled epochs ({replayed_updates} \
+                 updates){torn_note}"
+            )
+        });
+        Ok(session)
+    }
+}
+
 impl EngineKind {
     /// Whether auto-selection may fall back to dataflow when this kind
     /// fails to build (the generic engines never fail on query shape).
@@ -471,6 +706,26 @@ struct AdaptiveState<R: Semiring> {
     window_started: Instant,
     /// Updates ingested in the current window (the numerator).
     window_updates: u64,
+}
+
+/// The persistence bookkeeping behind [`SessionBuilder::durable`] /
+/// [`SessionBuilder::recover`].
+///
+/// The session owns the store; every acknowledged ingestion call advances
+/// `epoch` and journals write-ahead through `append`. The mirror tracks
+/// the base relations the backend accepted — it becomes the snapshot's
+/// base (kept separately from the adaptive mirror, which only exists when
+/// a policy is armed).
+struct DurableState<R: Semiring> {
+    store: Store,
+    /// The last journaled epoch — one per acknowledged ingestion call,
+    /// advancing even for batches the backend then rejects (replay hits
+    /// the same deterministic rejection and skips them).
+    epoch: u64,
+    /// The base relations as of the last *accepted* batch — the snapshot's
+    /// replay source.
+    mirror: Database<R>,
+    append: JournalAppend<R>,
 }
 
 /// The session-level metric handles behind [`SessionBuilder::observe`]:
@@ -586,6 +841,9 @@ pub struct Session<R: Semiring> {
     /// Multiway store slots that adopted an existing [`StoreHub`] store
     /// at build time (0 without [`SessionBuilder::shared_stores`]).
     shared_store_hits: usize,
+    /// The durable store behind [`SessionBuilder::durable`] /
+    /// [`SessionBuilder::recover`]; `None` for in-memory sessions.
+    durable: Option<DurableState<R>>,
 }
 
 impl<R: Semiring> Session<R> {
@@ -636,10 +894,12 @@ impl<R: Semiring> Session<R> {
     /// engine-agnostic.
     pub fn enqueue_batch(&mut self, batch: &[Update<R>]) -> Result<(), EngineError> {
         let started = self.obs_begin();
+        self.journal_ingest(batch)?;
         match &mut self.backend {
             Backend::Sharded(e) => e.enqueue_batch(batch).map(|_| ())?,
             other => other.maintainer().apply_batch(batch).map(|_| ())?,
         }
+        self.durable_accepted(batch);
         self.after_ingest(batch)?;
         self.obs_ingest(batch.len(), started);
         Ok(())
@@ -779,6 +1039,31 @@ impl<R: Semiring> Session<R> {
         }
     }
 
+    /// Write-ahead journaling for one ingestion call: append the batch
+    /// under a fresh epoch and fsync it *before* the backend sees it, so
+    /// an acknowledged epoch can never be lost to a crash mid-apply. The
+    /// epoch advances even when the backend later rejects the batch —
+    /// replay hits the same deterministic rejection and skips it, keeping
+    /// epoch numbering identical across lives. A no-op for in-memory
+    /// sessions.
+    fn journal_ingest(&mut self, batch: &[Update<R>]) -> Result<(), EngineError> {
+        let Some(d) = self.durable.as_mut() else {
+            return Ok(());
+        };
+        d.epoch += 1;
+        (d.append)(&mut d.store, d.epoch, batch);
+        d.store
+            .commit()
+            .map_err(|e| EngineError::Store(e.to_string()))
+    }
+
+    /// Durable mirror bookkeeping after a batch the backend accepted.
+    fn durable_accepted(&mut self, batch: &[Update<R>]) {
+        if let Some(d) = self.durable.as_mut() {
+            d.mirror.apply_batch(batch);
+        }
+    }
+
     /// Adaptive bookkeeping after a batch the backend *accepted*: apply
     /// it to the mirror, refresh the learned cardinalities, and consult
     /// the policy — re-lowering the plan (and recording the event in
@@ -869,6 +1154,59 @@ impl<R: Semiring> Session<R> {
     }
 }
 
+impl<R: Semiring + Persist> Session<R> {
+    /// Consolidate the session's durable history: drain pending work,
+    /// write one atomic snapshot (base relations, maintained view,
+    /// learned cardinalities, resolved strategy), and truncate the
+    /// journal behind it — after this call, recovery time is bounded by
+    /// the tail ingested *since*, not by total history. Returns the
+    /// consolidated epoch. Errors unless the session is durable.
+    pub fn snapshot(&mut self) -> Result<u64, EngineError> {
+        if self.durable.is_none() {
+            return Err(EngineError::NotSupported(
+                "snapshot() needs a durable session; build with \
+                 .durable(path) or .recover(path, db)"
+                    .into(),
+            ));
+        }
+        self.drain()?;
+        let strategy_tag = match &self.backend {
+            Backend::Dataflow(e) => e.resolved_strategy().tag(),
+            Backend::Sharded(e) => e.resolved_strategy().tag(),
+            _ => 0,
+        };
+        let query_name = self.backend.maintainer_ref().query().name.name();
+        let view = self.output();
+        let d = self.durable.as_mut().expect("checked above");
+        let mut cards: Vec<(Sym, u64)> =
+            d.mirror.iter().map(|(s, r)| (*s, r.len() as u64)).collect();
+        cards.sort_by_key(|(s, _)| s.name());
+        let doc = SnapshotDoc {
+            epoch: d.epoch,
+            query_name,
+            strategy_tag,
+            cards,
+            base: d.mirror.clone(),
+            view,
+        };
+        d.store
+            .snapshot(&doc)
+            .map_err(|e| EngineError::Store(e.to_string()))?;
+        Ok(doc.epoch)
+    }
+
+    /// The last journaled epoch (one per acknowledged ingestion call);
+    /// `None` for in-memory sessions.
+    pub fn journal_epoch(&self) -> Option<u64> {
+        self.durable.as_ref().map(|d| d.epoch)
+    }
+
+    /// Durable journal size in bytes; `None` for in-memory sessions.
+    pub fn journal_bytes(&self) -> Option<u64> {
+        self.durable.as_ref().map(|d| d.store.journal_bytes())
+    }
+}
+
 /// A short human-readable label of the plan a backend runs, for replan
 /// events (the engine kind, plus the per-shard strategy for fleets).
 fn plan_label<R: Semiring>(backend: &Backend<R>) -> String {
@@ -889,7 +1227,9 @@ impl<R: Semiring> Maintainer<R> for Session<R> {
 
     fn apply(&mut self, upd: &Update<R>) -> Result<(), EngineError> {
         let started = self.obs_begin();
+        self.journal_ingest(std::slice::from_ref(upd))?;
         self.backend.maintainer().apply(upd)?;
+        self.durable_accepted(std::slice::from_ref(upd));
         self.after_ingest(std::slice::from_ref(upd))?;
         self.obs_ingest(1, started);
         Ok(())
@@ -900,7 +1240,9 @@ impl<R: Semiring> Maintainer<R> for Session<R> {
     /// (plus the adaptive bookkeeping when a policy is armed).
     fn apply_batch(&mut self, batch: &[Update<R>]) -> Result<Relation<R>, EngineError> {
         let started = self.obs_begin();
+        self.journal_ingest(batch)?;
         let delta = self.backend.maintainer().apply_batch(batch)?;
+        self.durable_accepted(batch);
         self.after_ingest(batch)?;
         self.obs_ingest(batch.len(), started);
         Ok(delta)

@@ -1,0 +1,343 @@
+//! The append-only, epoch-tagged update journal.
+//!
+//! File layout: an 8-byte magic header, then records back to back. Each
+//! record is
+//!
+//! ```text
+//! [u32 payload length][u32 crc32(payload)][payload]
+//! payload = u64 epoch ++ Vec<Update<R>> (ivm_data::codec encoding)
+//! ```
+//!
+//! Appends buffer in memory; [`Journal::commit`] writes every buffered
+//! record and issues **one** `fsync` for all of them — group commit. A
+//! crash loses at most the uncommitted buffer (both the journal and the
+//! downstream view miss those epochs consistently); it can also tear the
+//! last committed record mid-write, which is why [`Journal::replay`]
+//! stops at the first record whose length prefix runs past the file or
+//! whose CRC disagrees, reporting the valid prefix length so the writer
+//! can resume exactly there.
+
+use crate::crc::crc32;
+use crate::StoreError;
+use ivm_data::codec::Persist;
+use ivm_data::Update;
+use ivm_ring::Semiring;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// First bytes of every journal file.
+pub const JOURNAL_MAGIC: &[u8; 8] = b"IVMJRNL1";
+
+/// The write half: an open journal file plus the group-commit buffer.
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+    /// Encoded records appended since the last commit.
+    pending: Vec<u8>,
+    pending_records: usize,
+    /// Durable file length (header + committed records).
+    committed_bytes: u64,
+}
+
+/// What [`Journal::replay`] read back: every decodable record in order,
+/// and where the valid prefix ends.
+pub struct Replay<R> {
+    /// `(epoch, batch)` per record, in append order.
+    pub records: Vec<(u64, Vec<Update<R>>)>,
+    /// File offset one past the last valid record — the resume point for
+    /// [`Journal::open_at`] (equals the file length when nothing tore).
+    pub valid_bytes: u64,
+    /// Why replay stopped early, if it did (torn length prefix, CRC
+    /// mismatch, undecodable payload). `None` for a clean tail.
+    pub torn: Option<String>,
+}
+
+impl<R> Replay<R> {
+    /// Updates across all replayed records.
+    pub fn update_count(&self) -> usize {
+        self.records.iter().map(|(_, b)| b.len()).sum()
+    }
+}
+
+impl Journal {
+    /// Create (or truncate to empty) the journal at `path` and write the
+    /// header. This starts a **new** durable history.
+    pub fn create(path: impl Into<PathBuf>) -> Result<Journal, StoreError> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        file.write_all(JOURNAL_MAGIC)?;
+        file.sync_data()?;
+        Ok(Journal {
+            path,
+            file,
+            pending: Vec::new(),
+            pending_records: 0,
+            committed_bytes: JOURNAL_MAGIC.len() as u64,
+        })
+    }
+
+    /// Open an existing journal for appending, discarding everything past
+    /// `valid_bytes` (the torn tail [`Journal::replay`] reported). The
+    /// next committed record lands exactly after the last valid one.
+    pub fn open_at(path: impl Into<PathBuf>, valid_bytes: u64) -> Result<Journal, StoreError> {
+        let path = path.into();
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let valid = valid_bytes.max(JOURNAL_MAGIC.len() as u64);
+        file.set_len(valid)?;
+        let mut journal = Journal {
+            path,
+            file,
+            pending: Vec::new(),
+            pending_records: 0,
+            committed_bytes: valid,
+        };
+        journal.file.seek(SeekFrom::Start(valid))?;
+        Ok(journal)
+    }
+
+    /// Buffer one epoch's batch. Nothing touches the disk until
+    /// [`Journal::commit`]; many epochs may share one commit.
+    pub fn append<R: Semiring + Persist>(&mut self, epoch: u64, batch: &[Update<R>]) {
+        let mut payload = Vec::with_capacity(16 + batch.len() * 16);
+        epoch.encode(&mut payload);
+        (batch.len() as u32).encode(&mut payload);
+        for u in batch {
+            u.encode(&mut payload);
+        }
+        (payload.len() as u32).encode(&mut self.pending);
+        crc32(&payload).encode(&mut self.pending);
+        self.pending.extend_from_slice(&payload);
+        self.pending_records += 1;
+    }
+
+    /// Write every buffered record and make them durable with a single
+    /// `fsync`. Returns the number of bytes written (0 when nothing was
+    /// pending — no fsync is issued for an empty buffer).
+    pub fn commit(&mut self) -> Result<usize, StoreError> {
+        if self.pending.is_empty() {
+            return Ok(0);
+        }
+        let bytes = self.pending.len();
+        self.file.write_all(&self.pending)?;
+        self.file.sync_data()?;
+        self.committed_bytes += bytes as u64;
+        self.pending.clear();
+        self.pending_records = 0;
+        Ok(bytes)
+    }
+
+    /// Drop every committed record (keeping the header) — called after a
+    /// snapshot consolidated them. Uncommitted appends survive: they
+    /// describe epochs *after* the snapshot.
+    pub fn truncate(&mut self) -> Result<(), StoreError> {
+        let header = JOURNAL_MAGIC.len() as u64;
+        self.file.set_len(header)?;
+        self.file.seek(SeekFrom::Start(header))?;
+        self.file.sync_data()?;
+        self.committed_bytes = header;
+        Ok(())
+    }
+
+    /// Durable journal size in bytes (header included).
+    pub fn committed_bytes(&self) -> u64 {
+        self.committed_bytes
+    }
+
+    /// Records buffered but not yet committed.
+    pub fn pending_records(&self) -> usize {
+        self.pending_records
+    }
+
+    /// The file this journal writes.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Read every valid record back from `path`, stopping cleanly at the
+    /// first torn or corrupt one. A missing file replays as empty (a
+    /// store that never committed). A present file with a wrong header is
+    /// an error — that is not a journal.
+    pub fn replay<R: Semiring + Persist>(path: &Path) -> Result<Replay<R>, StoreError> {
+        let mut file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Replay {
+                    records: Vec::new(),
+                    valid_bytes: 0,
+                    torn: None,
+                })
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.len() < JOURNAL_MAGIC.len() || &bytes[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
+            return Err(StoreError::Corrupt(format!(
+                "{} does not start with the journal magic",
+                path.display()
+            )));
+        }
+        let mut records = Vec::new();
+        let mut offset = JOURNAL_MAGIC.len();
+        let mut torn = None;
+        while offset < bytes.len() {
+            let rest = &bytes[offset..];
+            if rest.len() < 8 {
+                torn = Some(format!("torn record header at offset {offset}"));
+                break;
+            }
+            let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+            if rest.len() < 8 + len {
+                torn = Some(format!(
+                    "torn record at offset {offset}: length {len} runs past the file"
+                ));
+                break;
+            }
+            let payload = &rest[8..8 + len];
+            if crc32(payload) != crc {
+                torn = Some(format!("crc mismatch at offset {offset}"));
+                break;
+            }
+            let mut buf = payload;
+            let decoded = (|| {
+                let epoch = u64::decode(&mut buf)?;
+                let n = u32::decode(&mut buf)? as usize;
+                if n > buf.len() {
+                    return None;
+                }
+                let mut batch = Vec::with_capacity(n);
+                for _ in 0..n {
+                    batch.push(Update::<R>::decode(&mut buf)?);
+                }
+                buf.is_empty().then_some((epoch, batch))
+            })();
+            match decoded {
+                Some(rec) => records.push(rec),
+                None => {
+                    // The CRC held but the payload is not ours (e.g. a
+                    // future codec version): same clean stop as a tear.
+                    torn = Some(format!("undecodable record payload at offset {offset}"));
+                    break;
+                }
+            }
+            offset += 8 + len;
+        }
+        Ok(Replay {
+            records,
+            valid_bytes: offset as u64,
+            torn,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivm_data::{sym, tup};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ivm-journal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("journal.ivm")
+    }
+
+    fn batch(i: i64) -> Vec<Update<i64>> {
+        vec![
+            Update::insert(sym("jt_R"), tup![i, i + 1]),
+            Update::with_payload(sym("jt_R"), tup![i, i], -1),
+        ]
+    }
+
+    #[test]
+    fn append_commit_replay_round_trips() {
+        let path = tmp("roundtrip");
+        let mut j = Journal::create(&path).unwrap();
+        for e in 0..5u64 {
+            j.append(e, &batch(e as i64));
+        }
+        assert_eq!(j.pending_records(), 5);
+        let written = j.commit().unwrap();
+        assert!(written > 0);
+        assert_eq!(j.pending_records(), 0);
+
+        let replay = Journal::replay::<i64>(&path).unwrap();
+        assert!(replay.torn.is_none());
+        assert_eq!(replay.records.len(), 5);
+        assert_eq!(replay.valid_bytes, j.committed_bytes());
+        for (e, (epoch, b)) in replay.records.iter().enumerate() {
+            assert_eq!(*epoch, e as u64);
+            assert_eq!(b, &batch(e as i64));
+        }
+    }
+
+    #[test]
+    fn uncommitted_appends_are_not_durable() {
+        let path = tmp("uncommitted");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(0, &batch(0));
+        j.commit().unwrap();
+        j.append(1, &batch(1)); // never committed
+        let replay = Journal::replay::<i64>(&path).unwrap();
+        assert_eq!(replay.records.len(), 1, "only the committed epoch");
+        assert!(replay.torn.is_none());
+    }
+
+    #[test]
+    fn truncate_resets_to_header_and_appends_resume() {
+        let path = tmp("truncate");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(0, &batch(0));
+        j.commit().unwrap();
+        j.truncate().unwrap();
+        assert_eq!(j.committed_bytes(), JOURNAL_MAGIC.len() as u64);
+        j.append(7, &batch(7));
+        j.commit().unwrap();
+        let replay = Journal::replay::<i64>(&path).unwrap();
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.records[0].0, 7);
+    }
+
+    #[test]
+    fn open_at_discards_the_torn_tail() {
+        let path = tmp("openat");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(0, &batch(0));
+        j.commit().unwrap();
+        let valid = j.committed_bytes();
+        drop(j);
+        // Simulate a tear: garbage after the valid prefix.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0xAB; 5]).unwrap();
+        drop(f);
+        let replay = Journal::replay::<i64>(&path).unwrap();
+        assert_eq!(replay.valid_bytes, valid);
+        assert!(replay.torn.is_some());
+        let mut j = Journal::open_at(&path, replay.valid_bytes).unwrap();
+        j.append(1, &batch(1));
+        j.commit().unwrap();
+        let replay = Journal::replay::<i64>(&path).unwrap();
+        assert!(replay.torn.is_none(), "{:?}", replay.torn);
+        assert_eq!(replay.records.len(), 2);
+    }
+
+    #[test]
+    fn missing_file_replays_empty_but_bad_magic_errors() {
+        let path = tmp("magic");
+        let missing = path.with_file_name("nope.ivm");
+        let replay = Journal::replay::<i64>(&missing).unwrap();
+        assert!(replay.records.is_empty() && replay.torn.is_none());
+        std::fs::write(&path, b"NOTMAGIC....").unwrap();
+        assert!(matches!(
+            Journal::replay::<i64>(&path),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+}

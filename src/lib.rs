@@ -14,6 +14,7 @@
 //! | engines | [`core`] | per-class maintenance engines (view trees, cascades, CQAPs) |
 //! | runtime | [`dataflow`] | generic batched delta-dataflow engine for arbitrary CQs |
 //! | scale-out | [`shard`] | hash-partitioned parallel shards with async batch ingestion |
+//! | durability | [`store`] | epoch-tagged update journal, consolidated snapshots, warm recovery |
 //! | front door | [`session`] | classify → select → one uniform [`Session`] handle |
 //! | serving | [`serve`] | one ingest stream fanned out to many live views ([`ServeNode`]) |
 //! | kernels | [`ivme`], [`oumv`] | specialized triangle/q-hierarchical kernels, lower bounds |
@@ -40,6 +41,7 @@ pub use ivm_ring as ring;
 pub use ivm_serve as serve;
 pub use ivm_session as session;
 pub use ivm_shard as shard;
+pub use ivm_store as store;
 pub use ivm_workloads as workloads;
 
 pub use ivm_core::Maintainer;
@@ -56,3 +58,4 @@ pub use ivm_session::{
     SessionBuilder,
 };
 pub use ivm_shard::ShardedEngine;
+pub use ivm_store::{SnapshotDoc, Store};

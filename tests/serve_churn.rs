@@ -233,6 +233,94 @@ fn dropped_receiver_retires_tap_and_group_and_gauges_settle() {
     assert_eq!(node.group_count(), 0);
 }
 
+/// A bounded subscription back-pressures instead of buffering without
+/// limit: a slow consumer that never drains fills its `capacity`-deep
+/// queue, the first overflowing delivery evicts it through the same
+/// path as any other failing subscriber, and the queue-depth gauge
+/// reads the bound right up to the eviction — then leaves the registry.
+#[test]
+fn bounded_subscriber_overflow_evicts_and_gauges_read_the_bound() {
+    let registry = MetricsRegistry::new();
+    let mut node = ServeNode::<i64>::new();
+    node.observe(&registry);
+
+    let tri = triangle("svb_");
+    // Sibling on the same deduped engine: overflow must be private.
+    let mut keeper = node.subscribe(tri.clone()).unwrap();
+    let slow = node.subscribe_bounded(tri.clone(), 2).unwrap();
+    let slow_id = slow.id();
+    assert_eq!(node.group_count(), 1, "bounded taps join the same group");
+    assert_eq!(node.subscriber_count(), 2);
+
+    // Only the triangle's relation is declared — filter the stream.
+    let e = sym("svb_E");
+    let tri_stream: Vec<Update<i64>> = stream("svb_")
+        .into_iter()
+        .filter(|u| u.relation == e)
+        .collect();
+    let mut chunks = tri_stream.chunks(4);
+
+    // Two epochs fit the bound exactly; the slow tap never drains.
+    for expected_depth in [1i64, 2] {
+        node.apply_batch(chunks.next().unwrap()).unwrap();
+        assert!(keeper.try_next().is_some());
+        let m = registry.snapshot();
+        assert_eq!(
+            m.gauge(&format!("ivm.serve.sub{slow_id}.queue_depth")),
+            expected_depth,
+            "undrained deliveries pile up to the bound"
+        );
+        assert!(node.is_subscribed(slow_id));
+    }
+
+    // The third delivery overflows: evicted, pruned, sibling untouched.
+    node.apply_batch(chunks.next().unwrap()).unwrap();
+    assert!(!node.is_subscribed(slow_id), "overflow evicts the slow tap");
+    assert!(
+        keeper.try_next().is_some(),
+        "the keeper never misses a beat"
+    );
+    assert_eq!(node.subscriber_count(), 1);
+    assert_eq!(node.group_count(), 1, "the sibling keeps the engine alive");
+
+    let m = registry.snapshot();
+    assert_eq!(m.counter("ivm.serve.evictions"), 1);
+    assert_eq!(m.gauge("ivm.serve.subscribers"), 1);
+    assert!(
+        !m.gauges
+            .contains_key(&format!("ivm.serve.sub{slow_id}.queue_depth")),
+        "the evicted tap's series must be deregistered"
+    );
+
+    // The two in-bound deliveries were real — the receiver still holds
+    // them even though the sender is gone.
+    let mut slow = slow;
+    assert_eq!(slow.try_next().map(|vd| vd.epoch), Some(0));
+    assert_eq!(slow.try_next().map(|vd| vd.epoch), Some(1));
+    assert!(
+        slow.try_next().is_none(),
+        "the overflowing epoch was dropped"
+    );
+
+    // Ingest never stalled and the keeper's view stays exact.
+    for batch in chunks {
+        node.apply_batch(batch).unwrap();
+        assert!(keeper.try_next().is_some());
+    }
+    let m = registry.snapshot();
+    assert_eq!(m.counter("ivm.serve.epochs"), 8, "ingest never stalled");
+    let mut mirror = Database::<i64>::new();
+    mirror.create(e, tri.atoms[0].schema.clone());
+    mirror.apply_batch(&tri_stream);
+    let mut ref_tri = Session::<i64>::builder(tri).build(&mirror).unwrap();
+    let got = node.view(keeper.id()).expect("keeper is live");
+    let expect = ref_tri.output();
+    assert_eq!(got.len(), expect.len());
+    for (t, p) in expect.iter() {
+        assert_eq!(&got.get(t), p, "keeper view at {t:?}");
+    }
+}
+
 /// A resubscription after total churn builds a fresh engine from the
 /// node's *current* base — the stream ingested while nobody listened is
 /// still reflected, because the base outlives every group.
