@@ -1,0 +1,328 @@
+//! **Sec 3.3**: the dataflow ↔ heavy-light crossover on skewed triangle
+//! update streams, measured at the engine layer and exercised end to end
+//! through the adaptive session.
+//!
+//! Two engine rows ingest the same Zipf-skewed base and are then probed
+//! with hub-edge insert/delete pairs — the worst case the heavy-light
+//! partition exists for. `dataflow-wcoj` pays the delta pass: each hub
+//! update intersects two Θ(N)-sized lists, so its per-update work grows
+//! ~N on these probes. `heavy-light` answers the same deltas in
+//! O(N^max(ε,1−ε)) amortized — O(√N) at ε = ½ — so the gap between the
+//! rows *widens* with N: that widening is the crossover the adaptive
+//! session's family comparison is calibrated against.
+//!
+//! The last section drives a `Session` that was *forced* onto the
+//! worst-case-optimal dataflow plan with an adaptive policy armed, then
+//! streams a flat prefix followed by a hub burst. The policy's learned
+//! degree sketch must spot the skew and swap the engine family
+//! mid-stream (≥ 1 `FamilyShift` in `explain().replans`), and the final
+//! maintained count must equal a from-scratch oracle over the mirrored
+//! base — the end-to-end acceptance that re-selection is not just fast
+//! but *invisible* in the output.
+//!
+//! Run: `cargo run --release -p ivm-bench --bin hl_crossover`
+//! Also emits `BENCH_hl.json` (path override: `BENCH_HL_JSON`) so CI
+//! records the crossover trajectory run over run.
+
+use ivm_bench::{bench_doc, fmt, ns_per, ratio, scaled, time, Json, Table};
+use ivm_core::Maintainer;
+use ivm_data::ops::{eval_join_aggregate, lift_one};
+use ivm_data::{tup, Database, Relation, Sym, Tuple, Update};
+use ivm_dataflow::{DataflowEngine, JoinStrategy};
+use ivm_hl::HeavyLightEngine;
+use ivm_ivme::{Rel, TriangleMaintainer};
+use ivm_query::examples;
+use ivm_session::{EngineKind, ReplanPolicy, ReplanTrigger, Session};
+use ivm_workloads::graphs::EdgeStream;
+
+/// The three triangle relations of `examples::triangle_count()`, in
+/// atom order.
+fn names() -> [Sym; 3] {
+    let q = examples::triangle_count();
+    [q.atoms[0].name, q.atoms[1].name, q.atoms[2].name]
+}
+
+/// The worst-case-optimal dataflow plan behind the kernel bench
+/// interface; work is its delta-pass counters.
+struct Wcoj {
+    eng: DataflowEngine<i64>,
+    names: [Sym; 3],
+}
+
+impl TriangleMaintainer for Wcoj {
+    fn apply(&mut self, rel: Rel, x: u64, y: u64, m: i64) {
+        self.eng
+            .apply_batch(&[Update::with_payload(self.names[rel.index()], tup![x, y], m)])
+            .unwrap();
+    }
+
+    fn count(&self) -> i64 {
+        self.eng.output_relation().get(&Tuple::empty())
+    }
+
+    fn work(&self) -> u64 {
+        let s = self.eng.stats();
+        s.deltas_in + s.multiway_seeds + s.multiway_probes + s.output_delta_tuples
+    }
+
+    fn name(&self) -> &'static str {
+        "dataflow-wcoj"
+    }
+}
+
+/// The generic heavy-light engine behind the same interface.
+struct Hl {
+    eng: HeavyLightEngine<i64>,
+    names: [Sym; 3],
+}
+
+impl TriangleMaintainer for Hl {
+    fn apply(&mut self, rel: Rel, x: u64, y: u64, m: i64) {
+        self.eng
+            .apply_batch(&[Update::with_payload(self.names[rel.index()], tup![x, y], m)])
+            .unwrap();
+    }
+
+    fn count(&self) -> i64 {
+        *self.eng.count()
+    }
+
+    fn work(&self) -> u64 {
+        self.eng.stats().work
+    }
+
+    fn name(&self) -> &'static str {
+        "heavy-light"
+    }
+}
+
+/// Load a Zipf-skewed base of `n` edges, then probe with hub-edge
+/// insert/delete pairs; returns (probe work/update, probe ns/update).
+fn probe_hub(eng: &mut dyn TriangleMaintainer, n: usize, probes: usize) -> (f64, f64) {
+    let stream = EdgeStream::zipf((n / 8).max(32) as u64, n, 0.9, 3);
+    for &(a, b) in &stream.edges {
+        eng.apply(Rel::R, a, b, 1);
+        eng.apply(Rel::S, a, b, 1);
+        eng.apply(Rel::T, a, b, 1);
+    }
+    let w0 = eng.work();
+    let (_, d) = time(|| {
+        for i in 0..probes {
+            let rel = Rel::ALL[i % 3];
+            eng.apply(rel, 0, 0, 1);
+            eng.apply(rel, 0, 0, -1);
+        }
+    });
+    let ops = probes * 2;
+    (
+        eng.work().saturating_sub(w0) as f64 / ops as f64,
+        ns_per(d, ops),
+    )
+}
+
+struct Row {
+    engine: &'static str,
+    works: Vec<f64>,
+    ns: Vec<f64>,
+}
+
+fn main() {
+    let q = examples::triangle_count();
+    let rels = names();
+    let sizes = [
+        scaled(2_000, 250),
+        scaled(8_000, 1_000),
+        scaled(32_000, 4_000),
+    ];
+    let probes = scaled(400, 40);
+
+    println!(
+        "# Heavy-light vs WCOJ-delta crossover on hub updates (work = inner-loop ops/update)\n"
+    );
+    let mut table = Table::new(&[
+        "engine", "N1 work", "N2 work", "N3 work", "N1 ns", "N2 ns", "N3 ns",
+    ]);
+
+    let mut rows: Vec<Row> = Vec::new();
+    for label in ["dataflow-wcoj", "heavy-light"] {
+        let mut works = Vec::new();
+        let mut ns = Vec::new();
+        for &n in &sizes {
+            let mut eng: Box<dyn TriangleMaintainer> = match label {
+                "dataflow-wcoj" => Box::new(Wcoj {
+                    eng: DataflowEngine::new_with_strategy(
+                        q.clone(),
+                        &Database::new(),
+                        lift_one,
+                        JoinStrategy::Multiway,
+                    )
+                    .unwrap(),
+                    names: rels,
+                }),
+                _ => Box::new(Hl {
+                    eng: HeavyLightEngine::new(q.clone(), &Database::new(), lift_one).unwrap(),
+                    names: rels,
+                }),
+            };
+            let (w, t) = probe_hub(eng.as_mut(), n, probes);
+            works.push(w);
+            ns.push(t);
+        }
+        table.row(vec![
+            label.to_string(),
+            fmt(works[0]),
+            fmt(works[1]),
+            fmt(works[2]),
+            fmt(ns[0]),
+            fmt(ns[1]),
+            fmt(ns[2]),
+        ]);
+        rows.push(Row {
+            engine: label,
+            works,
+            ns,
+        });
+    }
+    table.print();
+
+    let work_speedup = ratio(rows[0].works[2], rows[1].works[2]);
+    let ns_speedup = ratio(rows[0].ns[2], rows[1].ns[2]);
+    println!(
+        "\nhub-probe speedup @N3 (wcoj / heavy-light): {}x work, {}x wall",
+        fmt(work_speedup),
+        fmt(ns_speedup)
+    );
+    assert!(
+        work_speedup > 1.0,
+        "heavy-light must beat the WCOJ delta pass on skewed hub updates \
+         (got {work_speedup}x)"
+    );
+
+    // ---------------------------------------------------------------
+    // Adaptive end-to-end: forced dataflow, hub burst, family shift.
+    // ---------------------------------------------------------------
+    let hub_partners = scaled(600, 80) as i64;
+    let anchor = 1_000_000i64;
+    let mut session = Session::<i64>::builder(q.clone())
+        .engine(EngineKind::DataflowMultiway)
+        .adaptive(ReplanPolicy {
+            min_batches_between: 2,
+            min_replay_fraction: 0.01,
+            family_cost_ratio: 2.0,
+            ..ReplanPolicy::default()
+        })
+        .build(&Database::new())
+        .unwrap();
+    let mut mirror: Database<i64> = Database::new();
+    for atom in &q.atoms {
+        if mirror.get(atom.name).is_none() {
+            mirror.create(atom.name, atom.schema.clone());
+        }
+    }
+    let ingest = |s: &mut Session<i64>, mirror: &mut Database<i64>, batch: Vec<Update<i64>>| {
+        s.apply_batch(&batch).unwrap();
+        for u in &batch {
+            mirror.apply(u);
+        }
+    };
+    // Flat prefix: no skew, the dataflow plan is fine where it is.
+    let flat = EdgeStream::zipf(512, scaled(1_200, 150), 0.0, 7);
+    for chunk in flat.edges.chunks(64) {
+        let batch: Vec<Update<i64>> = chunk
+            .iter()
+            .flat_map(|&(a, b)| (0..3).map(move |r| Update::with_payload(rels[r], tup![a, b], 1)))
+            .collect();
+        ingest(&mut session, &mut mirror, batch);
+    }
+    // Hub burst: every wedge R(0,v)·S(v,anchor)·T(anchor,0) closes a
+    // triangle through one hub key, driving d_max past the family bound.
+    let (_, burst_d) = time(|| {
+        for v in 1..=hub_partners {
+            let batch = vec![
+                Update::with_payload(rels[0], tup![0i64, v], 1),
+                Update::with_payload(rels[1], tup![v, anchor], 1),
+                Update::with_payload(rels[2], tup![anchor, 0i64], 1),
+            ];
+            ingest(&mut session, &mut mirror, batch);
+        }
+    });
+
+    let shifts: Vec<u64> = session
+        .explain()
+        .replans
+        .iter()
+        .filter(|e| e.trigger == ReplanTrigger::FamilyShift)
+        .map(|e| e.batch_index)
+        .collect();
+    assert!(
+        !shifts.is_empty(),
+        "the hub burst must trigger at least one mid-stream family shift; \
+         replans: {:?}",
+        session.explain().replans
+    );
+    assert_eq!(
+        session.engine_kind(),
+        EngineKind::HeavyLight,
+        "the session must end on the heavy-light family"
+    );
+
+    // From-scratch oracle over the mirrored base.
+    let per_atom: Vec<&Relation<i64>> = q.atoms.iter().map(|a| mirror.relation(a.name)).collect();
+    let expect = eval_join_aggregate(&per_atom, &q.free, lift_one);
+    let got = session.output();
+    assert_eq!(
+        got.get(&Tuple::empty()),
+        expect.get(&Tuple::empty()),
+        "post-shift view must equal the from-scratch oracle"
+    );
+
+    println!(
+        "\nadaptive session: {} family shift(s) at batch indices {:?}; \
+         final count {} ≡ oracle; hub burst of {} wedges ingested in {} ns",
+        shifts.len(),
+        shifts,
+        got.get(&Tuple::empty()),
+        hub_partners,
+        fmt(burst_d.as_nanos() as f64),
+    );
+
+    let doc = bench_doc("hl_crossover")
+        .field(
+            "sizes",
+            Json::Arr(sizes.iter().map(|&n| Json::num(n as f64)).collect()),
+        )
+        .field("probe_updates", Json::num((probes * 2) as f64))
+        .field(
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj()
+                            .field("engine", Json::str(r.engine))
+                            .field(
+                                "work_per_update",
+                                Json::Arr(r.works.iter().map(|&w| Json::num(w)).collect()),
+                            )
+                            .field(
+                                "ns_per_update",
+                                Json::Arr(r.ns.iter().map(|&v| Json::num(v)).collect()),
+                            )
+                    })
+                    .collect(),
+            ),
+        )
+        .field("hub_probe_work_speedup_at_n3", Json::num(work_speedup))
+        .field("hub_probe_ns_speedup_at_n3", Json::num(ns_speedup))
+        .field(
+            "adaptive",
+            Json::obj()
+                .field("family_shifts", Json::num(shifts.len() as f64))
+                .field(
+                    "shift_batch_indices",
+                    Json::Arr(shifts.iter().map(|&b| Json::num(b as f64)).collect()),
+                )
+                .field("final_engine", Json::str("HeavyLight"))
+                .field("final_count_matches_oracle", Json::Bool(true)),
+        );
+    ivm_bench::write_bench_json("BENCH_HL_JSON", "BENCH_hl.json", &doc);
+}

@@ -28,9 +28,72 @@
 use crate::cost::{self, Cardinalities};
 use crate::graph::DataflowStats;
 use crate::planner::{resolve_strategy, JoinStrategy};
-use ivm_data::{Database, FxHashMap, Sym};
+use ivm_data::{Database, FxHashMap, FxHashSet, Sym, Update, Value};
 use ivm_query::Query;
 use ivm_ring::Semiring;
+
+/// Exact per-key degree tracking for one binary relation: which distinct
+/// partners each first-column key currently has. This is the statistic
+/// the heavy-light family thresholds on (a key is *heavy* when its degree
+/// reaches N^ε), so the adaptive layer tracks it the same way it tracks
+/// relation sizes — from the mirrored base state it already owns.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DegreeSketch {
+    rows: FxHashMap<Value, FxHashSet<Value>>,
+}
+
+impl DegreeSketch {
+    /// Record the post-update presence of pair `(x, y)`.
+    pub fn set_present(&mut self, x: &Value, y: &Value, present: bool) {
+        if present {
+            self.rows.entry(x.clone()).or_default().insert(y.clone());
+        } else if let Some(row) = self.rows.get_mut(x) {
+            row.remove(y);
+            if row.is_empty() {
+                self.rows.remove(x);
+            }
+        }
+    }
+
+    /// The current degree (distinct present partners) of `x`.
+    pub fn degree(&self, x: &Value) -> u64 {
+        self.rows.get(x).map_or(0, |r| r.len() as u64)
+    }
+
+    /// The largest degree of any key — the skew statistic the family
+    /// policy compares against the N^ε sublinear bound.
+    pub fn max_degree(&self) -> u64 {
+        self.rows
+            .values()
+            .map(|r| r.len() as u64)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// How many keys have degree ≥ `threshold` (the would-be heavy set).
+    pub fn keys_at_least(&self, threshold: u64) -> usize {
+        self.rows
+            .values()
+            .filter(|r| r.len() as u64 >= threshold)
+            .count()
+    }
+
+    /// Per-key degrees sorted by key, for persistence: identical sketches
+    /// export identical byte streams.
+    pub fn export(&self) -> Vec<(Value, u64)> {
+        let mut out: Vec<(Value, u64)> = self
+            .rows
+            .iter()
+            .map(|(k, r)| (k.clone(), r.len() as u64))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
 
 /// Live per-relation cardinalities, learned from the update stream.
 ///
@@ -39,9 +102,13 @@ use ivm_ring::Semiring;
 /// [`LearnedCardinalities::refresh`] after each applied batch, which
 /// snapshots every query relation's *live* size — exact, and O(#atoms)
 /// per batch because relation sizes are O(1) reads.
+/// Degree sketches are only kept for binary relations — the shape the
+/// heavy-light family partitions — so the per-batch tracking cost stays
+/// proportional to the updates that could actually shift the family.
 #[derive(Clone, Debug, Default)]
 pub struct LearnedCardinalities {
     sizes: FxHashMap<Sym, usize>,
+    degrees: FxHashMap<Sym, DegreeSketch>,
 }
 
 impl LearnedCardinalities {
@@ -107,7 +174,79 @@ impl LearnedCardinalities {
                 .into_iter()
                 .map(|(rel, n)| (rel, n as usize))
                 .collect(),
+            degrees: FxHashMap::default(),
         }
+    }
+
+    /// Track per-key degrees through a batch that has already been
+    /// applied to `db`: each touched pair's sketch entry is set to its
+    /// *post-state* presence, so replaying the same update twice (or a
+    /// whole consolidated batch out of order) converges to the same
+    /// sketch. Only binary atoms of `q` are tracked.
+    pub fn observe_batch<R: Semiring>(&mut self, db: &Database<R>, q: &Query, batch: &[Update<R>]) {
+        for upd in batch {
+            if upd.tuple.arity() != 2 {
+                continue;
+            }
+            if !q.atoms.iter().any(|a| a.name == upd.relation) {
+                continue;
+            }
+            let present = db.get(upd.relation).is_some_and(|r| r.contains(&upd.tuple));
+            self.degrees.entry(upd.relation).or_default().set_present(
+                upd.tuple.at(0),
+                upd.tuple.at(1),
+                present,
+            );
+        }
+    }
+
+    /// Rebuild every binary relation's degree sketch from the base state
+    /// in one scan — the recovery path: a restored session gets its exact
+    /// heavy-hitter picture back without replaying the stream that
+    /// produced it.
+    pub fn rebuild_degrees<R: Semiring>(&mut self, db: &Database<R>, q: &Query) {
+        self.degrees.clear();
+        for atom in &q.atoms {
+            if atom.schema.arity() != 2 {
+                continue;
+            }
+            let Some(rel) = db.get(atom.name) else {
+                continue;
+            };
+            let sketch = self.degrees.entry(atom.name).or_default();
+            for (t, _) in rel.iter() {
+                sketch.set_present(t.at(0), t.at(1), true);
+            }
+        }
+    }
+
+    /// The degree sketch of `relation`, when one is tracked.
+    pub fn degree_sketch(&self, relation: Sym) -> Option<&DegreeSketch> {
+        self.degrees.get(&relation)
+    }
+
+    /// The largest per-key degree across every tracked relation — the
+    /// skew statistic [`ReplanPolicy::decide_family`] weighs against the
+    /// N^ε sublinear bound.
+    pub fn max_degree_any(&self) -> u64 {
+        self.degrees
+            .values()
+            .map(|s| s.max_degree())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Export every tracked degree sketch for persistence, sorted by
+    /// relation name (and by key within each sketch).
+    pub fn export_degrees(&self) -> Vec<(Sym, Vec<(Value, u64)>)> {
+        let mut out: Vec<(Sym, Vec<(Value, u64)>)> = self
+            .degrees
+            .iter()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(&rel, s)| (rel, s.export()))
+            .collect();
+        out.sort_by_key(|(rel, _)| rel.name());
+        out
     }
 }
 
@@ -124,6 +263,9 @@ pub enum ReplanTrigger {
     /// Predicted cost ratio of running vs. fresh orders crossed the
     /// threshold.
     CostRatio,
+    /// Learned skew crossed the N^ε boundary: the *engine family*
+    /// switched (dataflow ↔ heavy-light), not just the plan within one.
+    FamilyShift,
 }
 
 impl ReplanTrigger {
@@ -133,8 +275,43 @@ impl ReplanTrigger {
             ReplanTrigger::FirstData => "first-data",
             ReplanTrigger::Blowup => "blowup",
             ReplanTrigger::CostRatio => "cost-ratio",
+            ReplanTrigger::FamilyShift => "family-shift",
         }
     }
+}
+
+/// The two backend *families* the adaptive layer can re-select between
+/// mid-stream. Strategy replans re-lower orders within the dataflow
+/// family; a family shift tears the backend down and rebuilds the other
+/// kind from the mirrored base, carrying the learned statistics across.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineFamily {
+    /// Delta-dataflow (left-deep or worst-case-optimal multiway).
+    Dataflow,
+    /// Heavy-light partitioned IVMε maintenance.
+    HeavyLight,
+}
+
+impl std::fmt::Display for EngineFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EngineFamily::Dataflow => "dataflow",
+            EngineFamily::HeavyLight => "heavy-light",
+        })
+    }
+}
+
+/// A family-shift verdict: rebuild the backend as `to`, seeded with the
+/// learned `cards`, for the stated `reason`.
+#[derive(Clone, Debug)]
+pub struct FamilyDecision {
+    /// The family to rebuild as.
+    pub to: EngineFamily,
+    /// The learned snapshot for the rebuild's lowering (dataflow only
+    /// consults it, but carrying it keeps the contract uniform).
+    pub cards: Cardinalities,
+    /// Human-readable trigger, recorded in the session's replan events.
+    pub reason: String,
 }
 
 impl std::fmt::Display for ReplanTrigger {
@@ -200,6 +377,15 @@ pub struct ReplanPolicy {
     /// Binary-join tuples per (input + output) delta tuple in the window
     /// before the left-deep → multiway switch fires.
     pub blowup_factor: f64,
+    /// Skew margin for the cross-family switch: dataflow → heavy-light
+    /// fires when the largest learned key degree reaches
+    /// `family_cost_ratio × N^max(ε,1−ε)` (a delta pass pays O(d_max) per
+    /// hub update where heavy-light pays O(N^max(ε,1−ε))); the reverse
+    /// switch fires when the degree falls to `1/family_cost_ratio` of the
+    /// bound, so the band between is hysteresis.
+    pub family_cost_ratio: f64,
+    /// The ε the family comparison (and a heavy-light rebuild) uses.
+    pub eps: f64,
 }
 
 impl Default for ReplanPolicy {
@@ -209,6 +395,8 @@ impl Default for ReplanPolicy {
             min_replay_fraction: 0.1,
             min_cost_ratio: 1.5,
             blowup_factor: 8.0,
+            family_cost_ratio: 4.0,
+            eps: 0.5,
         }
     }
 }
@@ -311,6 +499,73 @@ impl ReplanPolicy {
             });
         }
         None
+    }
+}
+
+impl ReplanPolicy {
+    /// Decide whether the backend *family* should switch — the
+    /// cross-family counterpart of [`decide`](Self::decide), consulted
+    /// first by adaptive sessions whose query admits the heavy-light
+    /// engine.
+    ///
+    /// The comparison is the heavy-light complexity argument read off the
+    /// learned statistics: a delta-dataflow pass pays O(d_max) work for an
+    /// update touching the most skewed key, while the partitioned engine
+    /// bounds every update by O(N^max(ε,1−ε)). When the observed `d_max`
+    /// exceeds that bound by `family_cost_ratio`, skew has made the
+    /// dataflow family the wrong one; when it falls below the bound by
+    /// the same ratio, the auxiliary views stop paying for themselves.
+    /// Both directions share [`decide`](Self::decide)'s double gate
+    /// (hysteresis clock and replay amortization) because a family shift
+    /// replays the whole base too.
+    pub fn decide_family(
+        &self,
+        current: EngineFamily,
+        hl_eligible: bool,
+        learned: &LearnedCardinalities,
+        window_updates: u64,
+        batches_since_replan: u64,
+    ) -> Option<FamilyDecision> {
+        if !hl_eligible || !learned.has_data() {
+            return None;
+        }
+        if batches_since_replan < self.min_batches_between
+            || (window_updates as f64) < self.min_replay_fraction * learned.total_size() as f64
+        {
+            return None;
+        }
+        let n = learned.total_size().max(1) as f64;
+        let bound = n.powf(self.eps.max(1.0 - self.eps)).max(1.0);
+        let d_max = learned.max_degree_any() as f64;
+        match current {
+            EngineFamily::Dataflow if d_max >= self.family_cost_ratio * bound => {
+                Some(FamilyDecision {
+                    to: EngineFamily::HeavyLight,
+                    cards: learned.to_cardinalities(),
+                    reason: format!(
+                        "learned skew: max key degree {d_max:.0} ≥ {:.1}× the \
+                         N^max(ε,1−ε) bound {bound:.0} (N={n:.0}, ε={}); \
+                         switching to the heavy-light family for sublinear \
+                         amortized updates",
+                        self.family_cost_ratio, self.eps
+                    ),
+                })
+            }
+            EngineFamily::HeavyLight if d_max * self.family_cost_ratio <= bound => {
+                Some(FamilyDecision {
+                    to: EngineFamily::Dataflow,
+                    cards: learned.to_cardinalities(),
+                    reason: format!(
+                        "skew subsided: max key degree {d_max:.0} ≤ the \
+                         N^max(ε,1−ε) bound {bound:.0} / {:.1} (N={n:.0}, \
+                         ε={}); the auxiliary views no longer pay for \
+                         themselves, returning to the dataflow family",
+                        self.family_cost_ratio, self.eps
+                    ),
+                })
+            }
+            _ => None,
+        }
     }
 }
 
@@ -543,6 +798,109 @@ mod tests {
                 &DataflowStats::default(),
                 1_000,
             )
+            .is_none());
+    }
+
+    #[test]
+    fn degree_sketch_tracks_post_state_presence() {
+        let q = chain();
+        let r = sym("ad_R");
+        let mut db: Database<i64> = Database::new();
+        db.create(r, q.atoms[0].schema.clone());
+        let mut learned = LearnedCardinalities::new();
+        let mut batch = vec![
+            Update::insert(r, tup![0i64, 1i64]),
+            Update::insert(r, tup![0i64, 2i64]),
+            Update::insert(r, tup![5i64, 1i64]),
+        ];
+        db.apply_batch(&batch);
+        learned.observe_batch(&db, &q, &batch);
+        let sketch = learned.degree_sketch(r).unwrap();
+        assert_eq!(sketch.degree(&Value::from(0i64)), 2);
+        assert_eq!(sketch.max_degree(), 2);
+        assert_eq!(learned.max_degree_any(), 2);
+        assert_eq!(sketch.keys_at_least(2), 1);
+        // A delete drops the pair; multiplicity bumps don't change degree.
+        batch = vec![
+            Update::delete(r, tup![0i64, 2i64]),
+            Update::insert(r, tup![5i64, 1i64]),
+        ];
+        db.apply_batch(&batch);
+        learned.observe_batch(&db, &q, &batch);
+        let sketch = learned.degree_sketch(r).unwrap();
+        assert_eq!(sketch.degree(&Value::from(0i64)), 1);
+        assert_eq!(sketch.degree(&Value::from(5i64)), 1);
+        // Rebuilding from the base gives the identical sketch (and the
+        // identical sorted export), so recovery re-learns nothing.
+        let observed = learned.export_degrees();
+        let mut rebuilt = LearnedCardinalities::new();
+        rebuilt.rebuild_degrees(&db, &q);
+        assert_eq!(rebuilt.export_degrees(), observed);
+    }
+
+    #[test]
+    fn family_shift_follows_learned_skew_with_hysteresis() {
+        let q = chain();
+        let policy = ReplanPolicy {
+            min_batches_between: 4,
+            ..ReplanPolicy::default()
+        };
+        let r = sym("ad_R");
+        let mut db: Database<i64> = Database::new();
+        for atom in &q.atoms {
+            db.create(atom.name, atom.schema.clone());
+        }
+        // 100 tuples, all sharing one hub key: d_max = 100 ≫ 4·√100.
+        let batch: Vec<Update<i64>> = (0..100i64)
+            .map(|i| Update::insert(r, tup![0i64, i]))
+            .collect();
+        db.apply_batch(&batch);
+        let mut learned = LearnedCardinalities::new();
+        learned.refresh(&db, &q);
+        learned.observe_batch(&db, &q, &batch);
+
+        // Ineligible queries never shift family.
+        assert!(policy
+            .decide_family(EngineFamily::Dataflow, false, &learned, 100, 100)
+            .is_none());
+        // The double gate applies: young clock or thin window → stand.
+        assert!(policy
+            .decide_family(EngineFamily::Dataflow, true, &learned, 100, 2)
+            .is_none());
+        assert!(policy
+            .decide_family(EngineFamily::Dataflow, true, &learned, 3, 100)
+            .is_none());
+        let dec = policy
+            .decide_family(EngineFamily::Dataflow, true, &learned, 100, 100)
+            .expect("hub skew past both gates must shift the family");
+        assert_eq!(dec.to, EngineFamily::HeavyLight);
+        assert!(dec.reason.contains("heavy-light"));
+        assert_eq!(dec.cards.get(r), 100);
+        // Already heavy-light: the same skew is where we want to be.
+        assert!(policy
+            .decide_family(EngineFamily::HeavyLight, true, &learned, 100, 100)
+            .is_none());
+
+        // Skew subsides (degree-1 keys only): heavy-light returns to
+        // dataflow, but dataflow itself sits happily in the band.
+        let mut flat_db: Database<i64> = Database::new();
+        for atom in &q.atoms {
+            flat_db.create(atom.name, atom.schema.clone());
+        }
+        let flat: Vec<Update<i64>> = (0..100i64)
+            .map(|i| Update::insert(r, tup![i, i + 1]))
+            .collect();
+        flat_db.apply_batch(&flat);
+        let mut calm = LearnedCardinalities::new();
+        calm.refresh(&flat_db, &q);
+        calm.observe_batch(&flat_db, &q, &flat);
+        assert_eq!(calm.max_degree_any(), 1);
+        let back = policy
+            .decide_family(EngineFamily::HeavyLight, true, &calm, 100, 100)
+            .expect("flat degrees must return to dataflow");
+        assert_eq!(back.to, EngineFamily::Dataflow);
+        assert!(policy
+            .decide_family(EngineFamily::Dataflow, true, &calm, 100, 100)
             .is_none());
     }
 

@@ -77,7 +77,10 @@ pub mod graph;
 pub mod multiway;
 pub mod planner;
 
-pub use adapt::{LearnedCardinalities, ReplanDecision, ReplanPolicy, ReplanTrigger};
+pub use adapt::{
+    DegreeSketch, EngineFamily, FamilyDecision, LearnedCardinalities, ReplanDecision, ReplanPolicy,
+    ReplanTrigger,
+};
 pub use batch::DeltaBatch;
 pub use cost::Cardinalities;
 pub use engine::DataflowEngine;

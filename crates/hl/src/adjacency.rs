@@ -1,0 +1,144 @@
+//! `Value`-keyed adjacency storage with payloads in a semiring.
+//!
+//! The generic counterpart of `ivm_ivme`'s raw-`u64` `Adjacency`: one
+//! binary relation indexed both ways, with per-key degrees (distinct
+//! present partners) read in O(1) — the quantity the heavy-light
+//! partition thresholds on.
+
+use ivm_data::{FxHashMap, Value};
+use ivm_ring::Semiring;
+
+/// One binary relation `rel(x, y) ↦ R`, indexed by both columns.
+#[derive(Clone, Debug)]
+pub struct Adj<R> {
+    fwd: FxHashMap<Value, FxHashMap<Value, R>>,
+    bwd: FxHashMap<Value, FxHashMap<Value, R>>,
+    len: usize,
+}
+
+impl<R: Semiring> Default for Adj<R> {
+    fn default() -> Self {
+        Adj {
+            fwd: FxHashMap::default(),
+            bwd: FxHashMap::default(),
+            len: 0,
+        }
+    }
+}
+
+impl<R: Semiring> Adj<R> {
+    /// Accumulate `m` onto `(x, y)` and return the new forward degree of
+    /// `x`. Zero payloads are pruned so degrees count *present* pairs.
+    /// Callers skip zero `m` (a no-op update would still allocate keys).
+    pub fn apply(&mut self, x: &Value, y: &Value, m: &R) -> usize {
+        Self::accumulate(&mut self.bwd, y, x, m, &mut 0);
+        let mut delta = 0isize;
+        let deg = Self::accumulate(&mut self.fwd, x, y, m, &mut delta);
+        self.len = (self.len as isize + delta) as usize;
+        deg
+    }
+
+    fn accumulate(
+        side: &mut FxHashMap<Value, FxHashMap<Value, R>>,
+        a: &Value,
+        b: &Value,
+        m: &R,
+        delta: &mut isize,
+    ) -> usize {
+        let row = side.entry(a.clone()).or_default();
+        let had = row.contains_key(b);
+        let e = row.entry(b.clone()).or_insert_with(R::zero);
+        e.add_assign(m);
+        if e.is_zero() {
+            row.remove(b);
+            if had {
+                *delta -= 1;
+            }
+        } else if !had {
+            *delta += 1;
+        }
+        let deg = row.len();
+        if deg == 0 {
+            side.remove(a);
+        }
+        deg
+    }
+
+    /// The payload at `(x, y)` (zero when absent).
+    pub fn get(&self, x: &Value, y: &Value) -> R {
+        self.fwd
+            .get(x)
+            .and_then(|row| row.get(y))
+            .cloned()
+            .unwrap_or_else(R::zero)
+    }
+
+    /// Distinct present partners of `x` in the first column.
+    pub fn deg_fwd(&self, x: &Value) -> usize {
+        self.fwd.get(x).map_or(0, |row| row.len())
+    }
+
+    /// Distinct present partners of `y` in the second column.
+    pub fn deg_bwd(&self, y: &Value) -> usize {
+        self.bwd.get(y).map_or(0, |row| row.len())
+    }
+
+    /// The partners (and payloads) of `x`: all `(y, rel(x, y))`.
+    pub fn row(&self, x: &Value) -> impl Iterator<Item = (&Value, &R)> {
+        self.fwd.get(x).into_iter().flatten()
+    }
+
+    /// The reverse partners of `y`: all `(x, rel(x, y))`.
+    pub fn col(&self, y: &Value) -> impl Iterator<Item = (&Value, &R)> {
+        self.bwd.get(y).into_iter().flatten()
+    }
+
+    /// Every distinct first-column key.
+    pub fn keys_fwd(&self) -> impl Iterator<Item = &Value> {
+        self.fwd.keys()
+    }
+
+    /// Every present `(x, y, payload)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, &Value, &R)> {
+        self.fwd
+            .iter()
+            .flat_map(|(x, row)| row.iter().map(move |(y, m)| (x, y, m)))
+    }
+
+    /// Present pairs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// No present pairs.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivm_data::Value;
+
+    fn v(n: i64) -> Value {
+        Value::Int(n)
+    }
+
+    #[test]
+    fn degrees_track_present_pairs_not_multiplicities() {
+        let mut adj: Adj<i64> = Adj::default();
+        assert_eq!(adj.apply(&v(1), &v(2), &3), 1);
+        assert_eq!(adj.apply(&v(1), &v(3), &1), 2);
+        // Bumping an existing pair's multiplicity leaves the degree alone.
+        assert_eq!(adj.apply(&v(1), &v(2), &4), 2);
+        assert_eq!(adj.get(&v(1), &v(2)), 7);
+        assert_eq!(adj.deg_bwd(&v(2)), 1);
+        assert_eq!(adj.len(), 2);
+        // Cancelling to zero removes the pair from both indexes.
+        assert_eq!(adj.apply(&v(1), &v(2), &-7), 1);
+        assert_eq!(adj.get(&v(1), &v(2)), 0);
+        assert_eq!(adj.deg_bwd(&v(2)), 0);
+        assert_eq!(adj.len(), 1);
+    }
+}

@@ -1,0 +1,19 @@
+//! Heavy-light partitioned maintenance — generic IVMε (paper Sec. 3.3).
+//!
+//! `ivm_ivme` proves the complexity story on a raw-`u64` triangle kernel;
+//! this crate is the *engine family* version: the same heavy-light
+//! partition, hysteresis band, auxiliary `H⋈L` views, and lazy global
+//! rebalancing, but over [`ivm_data`] tuples with any ring payload and
+//! behind the common [`ivm_core::Maintainer`] trait — so the session
+//! layer can auto-select it, `explain()` it, adaptively swap to or away
+//! from it mid-stream, and persist/recover it like every other backend.
+//!
+//! Amortized single-tuple updates cost O(N^max(ε,1−ε)) — O(√N) at the
+//! default ε = ½ — against O(N^{1+min(ε,1−ε)}) auxiliary space, the
+//! worst-case-optimal tradeoff for triangle-class cyclic queries.
+
+pub mod adjacency;
+pub mod engine;
+
+pub use adjacency::Adj;
+pub use engine::{admits, HeavyLightEngine, HlStats};

@@ -131,6 +131,10 @@ impl<const D: usize> Semiring for Covar<D> {
             && self.q.iter().all(|row| row.iter().all(|v| *v == 0.0))
     }
 
+    fn try_neg(&self) -> Option<Self> {
+        Some(Ring::neg(self))
+    }
+
     fn add_assign(&mut self, other: &Self) {
         self.c += other.c;
         for i in 0..D {

@@ -17,6 +17,8 @@ macro_rules! int_ring {
             fn is_zero(&self) -> bool { *self == 0 }
             #[inline]
             fn add_assign(&mut self, other: &Self) { *self = self.wrapping_add(*other); }
+            #[inline]
+            fn try_neg(&self) -> Option<Self> { Some(self.wrapping_neg()) }
         }
 
         impl Ring for $t {
@@ -83,6 +85,10 @@ impl Semiring for F64 {
     #[inline]
     fn is_zero(&self) -> bool {
         self.0 == 0.0
+    }
+    #[inline]
+    fn try_neg(&self) -> Option<Self> {
+        Some(F64::new(-self.0))
     }
 }
 

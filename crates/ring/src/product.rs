@@ -32,6 +32,10 @@ impl<A: Semiring, B: Semiring> Semiring for (A, B) {
         self.0.add_assign(&other.0);
         self.1.add_assign(&other.1);
     }
+    #[inline]
+    fn try_neg(&self) -> Option<Self> {
+        Some((self.0.try_neg()?, self.1.try_neg()?))
+    }
 }
 
 impl<A: Ring, B: Ring> Ring for (A, B) {
@@ -75,6 +79,10 @@ impl<A: Semiring, B: Semiring, C: Semiring> Semiring for (A, B, C) {
         self.0.add_assign(&other.0);
         self.1.add_assign(&other.1);
         self.2.add_assign(&other.2);
+    }
+    #[inline]
+    fn try_neg(&self) -> Option<Self> {
+        Some((self.0.try_neg()?, self.1.try_neg()?, self.2.try_neg()?))
     }
 }
 

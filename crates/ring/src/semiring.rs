@@ -38,6 +38,23 @@ pub trait Semiring: Clone + Debug + PartialEq + Send + Sync + 'static {
     fn add_assign(&mut self, other: &Self) {
         *self = self.plus(other);
     }
+
+    /// The additive inverse, when this semiring actually has one — i.e.
+    /// when the implementation is a [`Ring`] in disguise. `None` by
+    /// default.
+    ///
+    /// This exists for engines that are generic over `Semiring` at the
+    /// API surface but fundamentally need subtraction internally (the
+    /// heavy-light engine transfers view contributions with sign when a
+    /// key migrates across the partition boundary). Such an engine probes
+    /// `try_neg` at *build* time and refuses inverse-less payload types
+    /// with a typed error, instead of forcing a `Ring` bound through
+    /// every caller. Every `Ring` instance in this workspace overrides it
+    /// to `Some(self.neg())`; a lawful implementation either has inverses
+    /// for all values or for none.
+    fn try_neg(&self) -> Option<Self> {
+        None
+    }
 }
 
 /// A commutative ring: a [`Semiring`] with additive inverses.

@@ -68,6 +68,12 @@ pub struct Classification {
     /// The access pattern satisfies Thm 4.8 (hierarchical + free- and
     /// input-dominant after fracturing).
     pub tractable_cqap: bool,
+    /// The heavy-light (IVMε) engine admits this query: a triangle-class
+    /// cycle of three distinct binary relations with no free variables,
+    /// the shape with sublinear O(N^max(ε,1−ε)) amortized updates
+    /// (Sec. 3.3). Feeds both auto-selection and the adaptive layer's
+    /// cross-family replanning.
+    pub hl_eligible: bool,
 }
 
 /// Run every dichotomy analysis on `q`.
@@ -79,6 +85,7 @@ pub fn classify(q: &Query) -> Classification {
     let acyclic = is_acyclic(q);
     let free_connex = acyclic && is_free_connex(q);
     let self_join_free = q.is_self_join_free();
+    let hl_eligible = ivm_hl::admits(q);
     let class = if tractable_cqap {
         QueryClass::CqapTractable
     } else if q_hierarchical {
@@ -97,6 +104,7 @@ pub fn classify(q: &Query) -> Classification {
         self_join_free,
         has_access_pattern,
         tractable_cqap,
+        hl_eligible,
     }
 }
 
@@ -133,6 +141,15 @@ mod tests {
         let c = classify(&examples::edge_triangle_listing_cqap());
         assert!(c.has_access_pattern && !c.tractable_cqap);
         assert_eq!(c.class, QueryClass::Cyclic);
+    }
+
+    #[test]
+    fn hl_eligibility_is_reported() {
+        // The distinct-relation triangle is the heavy-light shape; the
+        // self-join triangle and the acyclic chain are not.
+        assert!(classify(&examples::triangle_count()).hl_eligible);
+        assert!(!classify(&examples::triangle_detect_cqap()).hl_eligible);
+        assert!(!classify(&examples::path3_query()).hl_eligible);
     }
 
     #[test]

@@ -58,6 +58,12 @@ pub fn cost_profile(class: QueryClass, engine: EngineKind) -> CostProfile {
                      (no binary intermediates)",
             delay: "O(1) from the materialized view",
         },
+        EngineKind::HeavyLight => CostProfile {
+            preprocessing: "O(N^{1+min(\u{3b5},1\u{2212}\u{3b5})}) heavy-light views",
+            update: "O(N^max(\u{3b5},1\u{2212}\u{3b5})) amortized per single-tuple \
+                     update (sublinear; \u{221a}N at \u{3b5}=\u{bd})",
+            delay: "O(1) from the maintained aggregate",
+        },
         EngineKind::Sharded => match class {
             QueryClass::Cyclic => CostProfile {
                 preprocessing: "O(|D|) split across shards",
@@ -170,6 +176,10 @@ pub struct Explain {
     /// started from and how much journal tail it replayed. `None` for a
     /// session built fresh.
     pub recovered: Option<String>,
+    /// Live heavy-light partition state (\u{3b5}, threshold \u{3b8}, per-relation
+    /// heavy/light part sizes), refreshed on every ingest while the
+    /// heavy-light engine is the backend. `None` otherwise.
+    pub heavy_light: Option<String>,
 }
 
 impl Explain {
@@ -217,6 +227,9 @@ impl std::fmt::Display for Explain {
         }
         if let Some(rec) = &self.recovered {
             writeln!(f, "recovered: {rec}")?;
+        }
+        if let Some(hl) = &self.heavy_light {
+            writeln!(f, "sublinear: {hl}")?;
         }
         if !self.replans.is_empty() {
             writeln!(f, "replans:  {} (timeline below)", self.replans.len())?;

@@ -37,6 +37,10 @@ pub enum EngineKind {
     DataflowLeftDeep,
     /// `ivm_dataflow::DataflowEngine`, worst-case-optimal multiway join.
     DataflowMultiway,
+    /// `ivm_hl::HeavyLightEngine` — heavy-light partitioned IVMε
+    /// maintenance with O(N^max(ε,1−ε)) amortized updates for
+    /// triangle-class cyclic queries over a ring.
+    HeavyLight,
     /// `ivm_shard::ShardedEngine` — one dataflow per shard behind a
     /// routing facade.
     Sharded,
@@ -52,6 +56,7 @@ impl std::fmt::Display for EngineKind {
             EngineKind::Cqap => "cqap (fractured view trees)",
             EngineKind::DataflowLeftDeep => "dataflow (left-deep delta joins)",
             EngineKind::DataflowMultiway => "dataflow (worst-case-optimal multiway)",
+            EngineKind::HeavyLight => "heavy-light (IVM\u{3b5} partitioned)",
             EngineKind::Sharded => "sharded dataflow fleet",
         })
     }
@@ -113,6 +118,15 @@ pub fn select(cls: &Classification, shards: Option<usize>) -> Selection {
                      delta joins bound per-batch work by O(|δQ|)-style terms"
                 .into(),
         },
+        QueryClass::Cyclic if cls.hl_eligible => Selection {
+            kind: EngineKind::HeavyLight,
+            reason: "triangle-class cycle: heavy-light partitioned \
+                     maintenance (IVM\u{3b5}) amortizes single-tuple updates \
+                     to O(N^max(\u{3b5},1\u{2212}\u{3b5})) \u{2014} sublinear, where any \
+                     join-at-a-time delta pass can be forced to \u{3a9}(N) \
+                     (Sec. 3.3)"
+                .into(),
+        },
         QueryClass::Cyclic => Selection {
             kind: EngineKind::DataflowMultiway,
             reason: "cyclic hypergraph: the worst-case-optimal multiway \
@@ -133,10 +147,21 @@ mod tests {
         let pick = |q: &ivm_query::Query| select(&classify(q), None).kind;
         assert_eq!(pick(&examples::fig3_query()), EngineKind::EagerFact);
         assert_eq!(pick(&examples::retailer_query().0), EngineKind::EagerFact);
-        assert_eq!(
-            pick(&examples::triangle_count()),
-            EngineKind::DataflowMultiway
+        assert_eq!(pick(&examples::triangle_count()), EngineKind::HeavyLight);
+        // A cyclic query outside the heavy-light shape (self-join
+        // triangle stripped of its access pattern) still goes multiway.
+        let [a, b, c] = ivm_data::vars(["sel_tA", "sel_tB", "sel_tC"]);
+        let e = ivm_data::sym("sel_tE");
+        let self_join_tri = ivm_query::Query::new(
+            "sel_tri",
+            [],
+            vec![
+                ivm_query::Atom::new(e, [a, b]),
+                ivm_query::Atom::new(e, [b, c]),
+                ivm_query::Atom::new(e, [c, a]),
+            ],
         );
+        assert_eq!(pick(&self_join_tri), EngineKind::DataflowMultiway);
         assert_eq!(pick(&examples::triangle_detect_cqap()), EngineKind::Cqap);
         assert_eq!(pick(&examples::path3_query()), EngineKind::DataflowLeftDeep);
         assert_eq!(pick(&examples::ex51_query()), EngineKind::DataflowLeftDeep);

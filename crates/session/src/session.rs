@@ -10,9 +10,10 @@ use ivm_core::{
 use ivm_data::ops::{lift_one, Lift};
 use ivm_data::{Database, FxHashSet, Persist, Relation, Sym, Tuple, Update};
 use ivm_dataflow::{
-    DataflowEngine, DataflowStats, JoinStrategy, LearnedCardinalities, ReplanDecision,
-    ReplanPolicy, StoreHub,
+    DataflowEngine, DataflowStats, EngineFamily, FamilyDecision, JoinStrategy,
+    LearnedCardinalities, ReplanDecision, ReplanPolicy, ReplanTrigger, StoreHub,
 };
+use ivm_hl::HeavyLightEngine;
 use ivm_obs::{
     Counter, Histogram, LabelId, MetricsRegistry, MetricsServer, MetricsSnapshot, Span, Tracer,
 };
@@ -47,19 +48,41 @@ pub struct SessionBuilder<R: Semiring> {
     observe: Option<MetricsRegistry>,
     serve_metrics: Option<String>,
     shared: Option<StoreHub<R>>,
-    /// `(store directory, monomorphized append hook)` — the hook captures
-    /// the `R: Persist` bound at [`SessionBuilder::durable`] time, so the
-    /// write-ahead path in the `Persist`-agnostic ingestion code can
-    /// journal without constraining every session payload type.
-    durable: Option<(PathBuf, JournalAppend<R>)>,
+    /// `(store directory, monomorphized append hook, snapshot hook)` —
+    /// the hooks capture the `R: Persist` bound at
+    /// [`SessionBuilder::durable`] time, so the write-ahead path in the
+    /// `Persist`-agnostic ingestion code can journal (and auto-snapshot)
+    /// without constraining every session payload type.
+    durable: Option<(PathBuf, JournalAppend<R>, SnapshotFn<R>)>,
+    /// Journal-bytes threshold for automatic snapshot consolidation (see
+    /// [`SessionBuilder::auto_snapshot`]).
+    auto_snapshot: Option<u64>,
 }
+
+/// The strategy tag a heavy-light-backed session persists in its
+/// snapshots. Disjoint from every [`JoinStrategy::tag`] value, so
+/// [`JoinStrategy::from_tag`] returns `None` for it and recovery routes
+/// it through *family* reconciliation instead of plan re-lowering — a
+/// recovered session re-lowers to exactly the engine family the dead
+/// session was running.
+const HL_STRATEGY_TAG: u8 = 7;
 
 /// The monomorphized journal-append hook a durable session carries (see
 /// [`SessionBuilder::durable`] for why it is a `fn` pointer).
 type JournalAppend<R> = fn(&mut Store, u64, &[Update<R>]);
 
+/// The monomorphized snapshot hook behind
+/// [`SessionBuilder::auto_snapshot`] — same pattern as [`JournalAppend`]:
+/// [`Session::snapshot`] needs `R: Persist`, the ingestion paths that
+/// trigger it do not.
+type SnapshotFn<R> = fn(&mut Session<R>) -> Result<u64, EngineError>;
+
 fn journal_append<R: Semiring + Persist>(store: &mut Store, epoch: u64, batch: &[Update<R>]) {
     store.append(epoch, batch);
+}
+
+fn snapshot_hook<R: Semiring + Persist>(session: &mut Session<R>) -> Result<u64, EngineError> {
+    session.snapshot()
 }
 
 impl<R: Semiring> SessionBuilder<R> {
@@ -75,6 +98,7 @@ impl<R: Semiring> SessionBuilder<R> {
             serve_metrics: None,
             shared: None,
             durable: None,
+            auto_snapshot: None,
         }
     }
 
@@ -245,7 +269,7 @@ impl<R: Semiring> SessionBuilder<R> {
             }
         }
         let cls = classify(&self.query);
-        let selection = match self.forced {
+        let mut selection = match self.forced {
             Some(kind) => Selection {
                 kind,
                 reason: "forced by the caller (auto-selection bypassed)".into(),
@@ -253,6 +277,22 @@ impl<R: Semiring> SessionBuilder<R> {
             None => select(&cls, self.shards),
         };
         let forced = self.forced.is_some();
+        // A store hub shares multiway trie stores, which the heavy-light
+        // engine does not keep — joining it would silently share nothing.
+        // Demote an auto-selected heavy-light to the multiway dataflow
+        // plan the hub can dedup (a *forced* heavy-light is honored; the
+        // hub hook is then a no-op, same as for every specialized engine).
+        if self.shared.is_some() && !forced && selection.kind == EngineKind::HeavyLight {
+            selection = Selection {
+                kind: EngineKind::DataflowMultiway,
+                reason: format!(
+                    "{} — demoted to the multiway dataflow plan: \
+                     .shared_stores() dedups multiway trie stores, which \
+                     the heavy-light engine does not keep",
+                    selection.reason
+                ),
+            };
+        }
         let mut fallback = None;
         let mut backend =
             match Self::build_backend(selection.kind, &self.query, db, self.lift, self.shards) {
@@ -301,6 +341,7 @@ impl<R: Semiring> SessionBuilder<R> {
                 match &mut backend {
                     Backend::Dataflow(e) => e.observe(registry, "ivm.dataflow"),
                     Backend::Sharded(s) => s.observe(registry, "ivm.fleet")?,
+                    Backend::HeavyLight(e) => e.observe(registry, "ivm.hl"),
                     _ => {}
                 }
                 Some(SessionObs {
@@ -353,7 +394,10 @@ impl<R: Semiring> SessionBuilder<R> {
         let (adaptive_note, adaptive) = match self.adaptive {
             None => (None, None),
             Some(policy) => {
-                if matches!(backend, Backend::Dataflow(_) | Backend::Sharded(_)) {
+                if matches!(
+                    backend,
+                    Backend::Dataflow(_) | Backend::Sharded(_) | Backend::HeavyLight(_)
+                ) {
                     (
                         Some(format!("armed ({policy:?}); replans are recorded below")),
                         Some(AdaptiveState {
@@ -361,6 +405,11 @@ impl<R: Semiring> SessionBuilder<R> {
                             learned: LearnedCardinalities::new(),
                             mirror: mirror_db(&self.query, db),
                             query: self.query.clone(),
+                            lift: self.lift,
+                            // Cross-family re-selection needs both the
+                            // query shape (a triangle-class cycle) and a
+                            // payload the heavy-light views can subtract.
+                            hl_eligible: cls.hl_eligible && R::one().try_neg().is_some(),
                             batch_index: 0,
                             batches_since_replan: 0,
                             window_base: DataflowStats::default(),
@@ -382,9 +431,17 @@ impl<R: Semiring> SessionBuilder<R> {
         // Stand up the durable store last: once it exists, every epoch the
         // session acknowledges is journaled, so nothing built above may
         // still fail. `durable()` starts a fresh history by contract.
+        if self.auto_snapshot.is_some() && self.durable.is_none() {
+            return Err(EngineError::NotSupported(
+                ".auto_snapshot() consolidates the durable journal, but the \
+                 session is in-memory; call .durable(path) (or .recover) as \
+                 well"
+                    .into(),
+            ));
+        }
         let durable = match &self.durable {
             None => None,
-            Some((path, append)) => {
+            Some((path, append, snap)) => {
                 let mut store =
                     Store::create(path).map_err(|e| EngineError::Store(e.to_string()))?;
                 if let Some(registry) = &self.observe {
@@ -395,6 +452,7 @@ impl<R: Semiring> SessionBuilder<R> {
                     epoch: 0,
                     mirror: mirror_db(&self.query, db),
                     append: *append,
+                    auto_snapshot: self.auto_snapshot.map(|bytes| (bytes, *snap)),
                 })
             }
         };
@@ -409,8 +467,9 @@ impl<R: Semiring> SessionBuilder<R> {
             adaptive: adaptive_note,
             replans: Vec::new(),
             recovered: None,
+            heavy_light: None,
         };
-        Ok(Session {
+        let mut session = Session {
             backend,
             explain,
             adaptive,
@@ -418,7 +477,9 @@ impl<R: Semiring> SessionBuilder<R> {
             metrics_server,
             shared_store_hits,
             durable,
-        })
+        };
+        session.refresh_hl_note();
+        Ok(session)
     }
 
     fn build_backend(
@@ -458,6 +519,9 @@ impl<R: Semiring> SessionBuilder<R> {
                 }
                 Backend::Cqap(eng)
             }
+            EngineKind::HeavyLight => {
+                Backend::HeavyLight(HeavyLightEngine::new(query.clone(), db, lift)?)
+            }
             EngineKind::DataflowLeftDeep => Backend::Dataflow(DataflowEngine::new_with_strategy(
                 query.clone(),
                 db,
@@ -496,7 +560,19 @@ impl<R: Semiring + Persist> SessionBuilder<R> {
     /// store publishes `ivm.store.*` series (append/fsync latency,
     /// journal/snapshot bytes, record/commit/snapshot counts).
     pub fn durable(mut self, path: impl Into<PathBuf>) -> Self {
-        self.durable = Some((path.into(), journal_append::<R>));
+        self.durable = Some((path.into(), journal_append::<R>, snapshot_hook::<R>));
+        self
+    }
+
+    /// Consolidate the journal automatically: whenever it grows past
+    /// `journal_bytes`, the next acknowledged ingestion call runs
+    /// [`Session::snapshot`] before returning — bounding both recovery
+    /// time and on-disk history without any caller-side bookkeeping
+    /// (clamped to ≥ 1 byte; manual snapshots remain available and reset
+    /// the same journal). Requires [`SessionBuilder::durable`] (or
+    /// [`SessionBuilder::recover`]); an in-memory build refuses it.
+    pub fn auto_snapshot(mut self, journal_bytes: u64) -> Self {
+        self.auto_snapshot = Some(journal_bytes.max(1));
         self
     }
 
@@ -561,6 +637,10 @@ impl<R: Semiring + Persist> SessionBuilder<R> {
             .as_ref()
             .map(|s| s.cards.clone())
             .unwrap_or_default();
+        let persisted_degrees = snapshot
+            .as_ref()
+            .map(|s| s.degrees.clone())
+            .unwrap_or_default();
         let (mut base, recorded_view) = match snapshot {
             Some(s) => (s.base, Some(s.view)),
             None => (mirror_db(&self.query, db), None),
@@ -570,7 +650,76 @@ impl<R: Semiring + Persist> SessionBuilder<R> {
         // durable arm must not run (it would truncate the history we are
         // recovering); the recovered store is installed below instead.
         self.durable = None;
+        let auto_snapshot = self.auto_snapshot.take();
+        let lift = self.lift;
+        let query = self.query.clone();
         let mut session = self.build(&base)?;
+        // Family reconciliation before plan re-lowering: the persisted
+        // tag names the engine *family* the dead session was running. A
+        // pre-kill cross-family replan can leave the fresh build on the
+        // other family; rebuild from the snapshot base so the recovered
+        // session re-lowers to exactly the pre-kill family.
+        let reconciled = match (strategy_tag == HL_STRATEGY_TAG, &session.backend) {
+            (true, Backend::HeavyLight(_)) | (false, Backend::Dataflow(_)) => false,
+            (true, _) => {
+                session.backend = Backend::HeavyLight(
+                    HeavyLightEngine::new(query.clone(), &base, lift).map_err(|e| {
+                        fail(format!("re-lowering the persisted heavy-light family: {e}"))
+                    })?,
+                );
+                true
+            }
+            (false, Backend::HeavyLight(_)) => {
+                // Tag 0 (no strategy persisted) defaults to the multiway
+                // plan auto-selection lowers for this query class.
+                let strategy = match JoinStrategy::from_tag(strategy_tag) {
+                    Some(s) if s != JoinStrategy::Auto => s,
+                    _ => JoinStrategy::Multiway,
+                };
+                session.backend = Backend::Dataflow(DataflowEngine::new_with_strategy(
+                    query.clone(),
+                    &base,
+                    lift,
+                    strategy,
+                )?);
+                true
+            }
+            (false, _) => false,
+        };
+        if reconciled {
+            if let Some(registry) = &observe {
+                match &mut session.backend {
+                    Backend::Dataflow(e) => e.observe(registry, "ivm.dataflow"),
+                    Backend::HeavyLight(e) => e.observe(registry, "ivm.hl"),
+                    _ => {}
+                }
+            }
+            let kind = session.backend.kind();
+            session.explain.engine = kind;
+            session.explain.cost = cost_profile(session.explain.classification.class, kind);
+            session.refresh_hl_note();
+        }
+        // The persisted per-key degree sketch plays the same role for the
+        // learned statistics that the recorded view plays for the engine
+        // state: rebuilt from the same base, the sketch must agree — and
+        // importing it warm means an adaptive recovered session sees the
+        // exact skew evidence the dead one had learned, so the tail
+        // replay performs zero family re-selection.
+        if !persisted_degrees.is_empty() {
+            let mut fresh = LearnedCardinalities::new();
+            fresh.rebuild_degrees(&base, &query);
+            if fresh.export_degrees() != persisted_degrees {
+                return Err(fail(
+                    "rebuilt per-key degree sketch disagrees with the \
+                     snapshot's recorded one"
+                        .into(),
+                ));
+            }
+        }
+        if let Some(st) = session.adaptive.as_mut() {
+            st.learned.refresh(&base, &st.query);
+            st.learned.rebuild_degrees(&base, &st.query);
+        }
         // A pre-kill adaptive replan may have switched the resolved
         // strategy away from what selection lowers; the persisted tag
         // re-lowers the plan from the persisted cardinalities so the
@@ -644,6 +793,7 @@ impl<R: Semiring + Persist> SessionBuilder<R> {
             epoch: last_epoch,
             mirror: base,
             append: journal_append::<R>,
+            auto_snapshot: auto_snapshot.map(|bytes| (bytes, snapshot_hook::<R> as SnapshotFn<R>)),
         });
         let torn_note = torn
             .map(|t| format!("; journal tail torn ({t})"))
@@ -689,6 +839,13 @@ struct AdaptiveState<R: Semiring> {
     learned: LearnedCardinalities,
     mirror: Database<R>,
     query: Query,
+    /// The builder's payload lifting, kept so a cross-family replan can
+    /// rebuild the new backend from the mirror mid-stream.
+    lift: Lift<R>,
+    /// Whether the query (a triangle-class cycle) *and* the payload (a
+    /// ring — the heavy-light views subtract) admit the heavy-light
+    /// family; gates [`ReplanPolicy::decide_family`] entirely.
+    hl_eligible: bool,
     /// Accepted ingestion calls since the session was built — single
     /// updates count as one-update batches (the index recorded in replan
     /// events).
@@ -726,6 +883,11 @@ struct DurableState<R: Semiring> {
     /// replay source.
     mirror: Database<R>,
     append: JournalAppend<R>,
+    /// `(journal-bytes threshold, monomorphized snapshot hook)` — when
+    /// the journal grows past the threshold, the next acknowledged
+    /// ingestion call consolidates it via [`Session::snapshot`]
+    /// automatically. `None` leaves snapshotting fully manual.
+    auto_snapshot: Option<(u64, SnapshotFn<R>)>,
 }
 
 /// The session-level metric handles behind [`SessionBuilder::observe`]:
@@ -773,6 +935,7 @@ enum Backend<R: Semiring> {
     LazyList(LazyListEngine<R>),
     Cqap(CqapEngine<R>),
     Dataflow(DataflowEngine<R>),
+    HeavyLight(HeavyLightEngine<R>),
     Sharded(ShardedEngine<R>),
 }
 
@@ -791,6 +954,7 @@ impl<R: Semiring> Backend<R> {
                 JoinStrategy::Multiway => EngineKind::DataflowMultiway,
                 _ => EngineKind::DataflowLeftDeep,
             },
+            Backend::HeavyLight(_) => EngineKind::HeavyLight,
             Backend::Sharded(_) => EngineKind::Sharded,
         }
     }
@@ -803,6 +967,7 @@ impl<R: Semiring> Backend<R> {
             Backend::LazyList(e) => e,
             Backend::Cqap(e) => e,
             Backend::Dataflow(e) => e,
+            Backend::HeavyLight(e) => e,
             Backend::Sharded(e) => e,
         }
     }
@@ -815,6 +980,7 @@ impl<R: Semiring> Backend<R> {
             Backend::LazyList(e) => e,
             Backend::Cqap(e) => e,
             Backend::Dataflow(e) => e,
+            Backend::HeavyLight(e) => e,
             Backend::Sharded(e) => e,
         }
     }
@@ -878,6 +1044,7 @@ impl<R: Semiring> Session<R> {
     pub fn describe(&self) -> String {
         match &self.backend {
             Backend::Dataflow(e) => e.plan(),
+            Backend::HeavyLight(e) => e.plan(),
             Backend::Sharded(e) => e.describe(),
             _ => self.explain.engine.to_string(),
         }
@@ -901,7 +1068,9 @@ impl<R: Semiring> Session<R> {
         }
         self.durable_accepted(batch);
         self.after_ingest(batch)?;
+        self.refresh_hl_note();
         self.obs_ingest(batch.len(), started);
+        self.maybe_auto_snapshot()?;
         Ok(())
     }
 
@@ -958,6 +1127,7 @@ impl<R: Semiring> Session<R> {
     pub fn resident_tuples(&self) -> Option<usize> {
         match &self.backend {
             Backend::Dataflow(e) => Some(e.resident_tuples()),
+            Backend::HeavyLight(e) => Some(e.resident_tuples()),
             _ => None,
         }
     }
@@ -1064,6 +1234,31 @@ impl<R: Semiring> Session<R> {
         }
     }
 
+    /// Keep [`Explain::heavy_light`] describing the live partition — the
+    /// ε threshold and heavy/light part sizes move with the data, so the
+    /// note is refreshed after every ingestion call (and cleared when a
+    /// family shift leaves the heavy-light engine).
+    fn refresh_hl_note(&mut self) {
+        self.explain.heavy_light = hl_note(&self.backend);
+    }
+
+    /// Consolidate the journal when it has outgrown the
+    /// [`SessionBuilder::auto_snapshot`] threshold. Runs after the batch
+    /// is acknowledged, so the snapshot always covers it; a no-op for
+    /// in-memory sessions and below the threshold.
+    fn maybe_auto_snapshot(&mut self) -> Result<(), EngineError> {
+        let Some(d) = self.durable.as_ref() else {
+            return Ok(());
+        };
+        let Some((threshold, snap)) = d.auto_snapshot else {
+            return Ok(());
+        };
+        if d.store.journal_bytes() >= threshold {
+            snap(self)?;
+        }
+        Ok(())
+    }
+
     /// Adaptive bookkeeping after a batch the backend *accepted*: apply
     /// it to the mirror, refresh the learned cardinalities, and consult
     /// the policy — re-lowering the plan (and recording the event in
@@ -1076,6 +1271,11 @@ impl<R: Semiring> Session<R> {
         // update targets a known dynamic relation the mirror holds.
         st.mirror.apply_batch(batch);
         st.learned.refresh(&st.mirror, &st.query);
+        if st.hl_eligible {
+            // Per-key degrees feed the family comparison only; skip the
+            // sketch upkeep entirely when no family shift can ever fire.
+            st.learned.observe_batch(&st.mirror, &st.query, batch);
+        }
         st.batch_index += 1;
         st.batches_since_replan += 1;
         st.window_updates += batch.len() as u64;
@@ -1094,6 +1294,83 @@ impl<R: Semiring> Session<R> {
         };
         if let Some(last) = self.explain.replans.last_mut() {
             last.after_tps = Some(window_tps);
+        }
+
+        // Cross-family re-selection first: when the learned degree skew
+        // says the *family* is wrong, re-deriving atom orders inside the
+        // current family cannot help. The single-threaded dataflow and
+        // heavy-light backends can swap (a fleet cannot — workers own
+        // their engines, and the heavy-light engine is single-threaded).
+        let current_family = match &self.backend {
+            Backend::Dataflow(_) => Some(EngineFamily::Dataflow),
+            Backend::HeavyLight(_) => Some(EngineFamily::HeavyLight),
+            _ => None,
+        };
+        if let Some(current) = current_family {
+            if let Some(decision) = st.policy.decide_family(
+                current,
+                st.hl_eligible,
+                &st.learned,
+                st.window_updates,
+                st.batches_since_replan,
+            ) {
+                let FamilyDecision { to, cards, reason } = decision;
+                let from = plan_label(&self.backend);
+                // Rebuild the new family's backend from the mirror — the
+                // ground truth of everything the old backend accepted —
+                // so the swap is a replay, not a guess. Lowering (and the
+                // heavy-light partition threshold) comes out informed:
+                // the mirror holds the live sizes the stats learned.
+                self.backend = match to {
+                    EngineFamily::HeavyLight => {
+                        Backend::HeavyLight(HeavyLightEngine::new_with_eps(
+                            st.query.clone(),
+                            &st.mirror,
+                            st.lift,
+                            st.policy.eps,
+                        )?)
+                    }
+                    EngineFamily::Dataflow => Backend::Dataflow(DataflowEngine::new_with_cards(
+                        st.query.clone(),
+                        &st.mirror,
+                        st.lift,
+                        JoinStrategy::Multiway,
+                        cards,
+                    )?),
+                };
+                if let Some(o) = &self.obs {
+                    // Re-attach the fresh backend under the same prefixes;
+                    // both engines backfill from the registry so counters
+                    // stay cumulative across the family swap.
+                    match &mut self.backend {
+                        Backend::Dataflow(e) => e.observe(&o.registry, "ivm.dataflow"),
+                        Backend::HeavyLight(e) => e.observe(&o.registry, "ivm.hl"),
+                        _ => {}
+                    }
+                    o.replans.inc();
+                }
+                let kind = self.backend.kind();
+                self.explain.replans.push(ReplanEvent {
+                    batch_index: st.batch_index,
+                    from,
+                    to: plan_label(&self.backend),
+                    trigger: ReplanTrigger::FamilyShift,
+                    reason,
+                    before_tps: window_tps,
+                    after_tps: None,
+                });
+                self.explain.engine = kind;
+                self.explain.cost = cost_profile(self.explain.classification.class, kind);
+                self.explain.heavy_light = hl_note(&self.backend);
+                st.batches_since_replan = 0;
+                st.window_base = match &self.backend {
+                    Backend::Dataflow(e) => e.stats(),
+                    _ => DataflowStats::default(),
+                };
+                st.window_started = Instant::now();
+                st.window_updates = 0;
+                return Ok(());
+            }
         }
 
         let (resolved, lowered, stats) = match &self.backend {
@@ -1173,19 +1450,33 @@ impl<R: Semiring + Persist> Session<R> {
         let strategy_tag = match &self.backend {
             Backend::Dataflow(e) => e.resolved_strategy().tag(),
             Backend::Sharded(e) => e.resolved_strategy().tag(),
+            Backend::HeavyLight(_) => HL_STRATEGY_TAG,
             _ => 0,
         };
-        let query_name = self.backend.maintainer_ref().query().name.name();
+        let query = self.backend.maintainer_ref().query().clone();
+        let query_name = query.name.name();
         let view = self.output();
         let d = self.durable.as_mut().expect("checked above");
         let mut cards: Vec<(Sym, u64)> =
             d.mirror.iter().map(|(s, r)| (*s, r.len() as u64)).collect();
         cards.sort_by_key(|(s, _)| s.name());
+        // Persist the per-key degree sketches alongside the sizes —
+        // recovery imports them so a recovered adaptive session sees the
+        // same skew evidence the dead one had learned, and performs zero
+        // family re-selection. Recomputed fresh from the durable mirror
+        // (one scan) so the snapshot never depends on whether a policy
+        // was armed.
+        let degrees = {
+            let mut fresh = LearnedCardinalities::new();
+            fresh.rebuild_degrees(&d.mirror, &query);
+            fresh.export_degrees()
+        };
         let doc = SnapshotDoc {
             epoch: d.epoch,
             query_name,
             strategy_tag,
             cards,
+            degrees,
             base: d.mirror.clone(),
             view,
         };
@@ -1216,7 +1507,27 @@ fn plan_label<R: Semiring>(backend: &Backend<R>) -> String {
             e.shards(),
             e.resolved_strategy()
         ),
+        Backend::HeavyLight(e) => e.plan(),
         other => other.kind().to_string(),
+    }
+}
+
+/// The `sublinear:` line of `explain()` — the ε/θ partition parameters
+/// and the amortized bound they buy, plus the live view-space cost. The
+/// engine line already carries the per-relation part sizes via
+/// [`HeavyLightEngine::plan`]; this row states what they *mean*.
+fn hl_note<R: Semiring>(backend: &Backend<R>) -> Option<String> {
+    match backend {
+        Backend::HeavyLight(e) => {
+            let eps = e.eps();
+            Some(format!(
+                "ε={eps}, θ={}, O(N^{}) amortized updates, {} view entries",
+                e.threshold(),
+                eps.max(1.0 - eps),
+                e.view_entries(),
+            ))
+        }
+        _ => None,
     }
 }
 
@@ -1231,7 +1542,9 @@ impl<R: Semiring> Maintainer<R> for Session<R> {
         self.backend.maintainer().apply(upd)?;
         self.durable_accepted(std::slice::from_ref(upd));
         self.after_ingest(std::slice::from_ref(upd))?;
+        self.refresh_hl_note();
         self.obs_ingest(1, started);
+        self.maybe_auto_snapshot()?;
         Ok(())
     }
 
@@ -1244,7 +1557,9 @@ impl<R: Semiring> Maintainer<R> for Session<R> {
         let delta = self.backend.maintainer().apply_batch(batch)?;
         self.durable_accepted(batch);
         self.after_ingest(batch)?;
+        self.refresh_hl_note();
         self.obs_ingest(batch.len(), started);
+        self.maybe_auto_snapshot()?;
         Ok(delta)
     }
 
@@ -1285,11 +1600,50 @@ mod tests {
     }
 
     #[test]
-    fn triangle_auto_selects_multiway() {
+    fn triangle_auto_selects_heavy_light() {
         let q = examples::triangle_count();
         let s = Session::<i64>::builder(q).build(&Database::new()).unwrap();
+        assert_eq!(s.engine_kind(), EngineKind::HeavyLight);
+        assert!(s.describe().contains("HeavyLight"), "{}", s.describe());
+        // The live partition report is in explain() from the start.
+        let rendered = s.explain().to_string();
+        assert!(rendered.contains("sublinear:"), "{rendered}");
+        assert!(rendered.contains("\u{3b5}="), "{rendered}");
+    }
+
+    /// A self-join triangle shares one relation across atoms, which the
+    /// heavy-light rotation refuses — the cyclic class still lands on
+    /// the worst-case-optimal multiway plan.
+    #[test]
+    fn self_join_triangle_still_selects_multiway() {
+        let [a, b, c] = ivm_data::vars(["sjt_A", "sjt_B", "sjt_C"]);
+        let e = sym("sjt_E");
+        let q = Query::new(
+            "sjt_tri",
+            [],
+            vec![
+                ivm_query::Atom::new(e, [a, b]),
+                ivm_query::Atom::new(e, [b, c]),
+                ivm_query::Atom::new(e, [c, a]),
+            ],
+        );
+        let s = Session::<i64>::builder(q).build(&Database::new()).unwrap();
         assert_eq!(s.engine_kind(), EngineKind::DataflowMultiway);
-        assert!(s.describe().contains("MultiwayJoin"), "{}", s.describe());
+    }
+
+    /// A payload without additive inverses (a semiring, not a ring)
+    /// cannot run the heavy-light views; auto-selection falls back to
+    /// the generic dataflow engine and says so.
+    #[test]
+    fn inverse_free_payload_falls_back_to_dataflow() {
+        use ivm_ring::BoolSemiring;
+        let q = examples::triangle_count();
+        let s = Session::<BoolSemiring>::builder(q)
+            .build(&Database::new())
+            .unwrap();
+        assert_eq!(s.engine_kind(), EngineKind::DataflowMultiway);
+        let fb = s.explain().fallback.as_deref().unwrap();
+        assert!(fb.contains("ring"), "{fb}");
     }
 
     #[test]
@@ -1614,6 +1968,11 @@ mod tests {
                 min_replay_fraction: 0.1,
                 min_cost_ratio: 1.5,
                 blowup_factor: 2.0,
+                // This test exercises the *strategy*-level trigger; park
+                // the family comparison (the hub skew would otherwise
+                // shift the whole session to heavy-light first).
+                family_cost_ratio: f64::INFINITY,
+                ..ReplanPolicy::default()
             })
             .build(&Database::new())
             .unwrap();
@@ -1784,6 +2143,183 @@ mod tests {
         ])
         .unwrap();
         assert!(s.metrics().is_empty());
+    }
+
+    /// A triangle query with three distinct relations, for the
+    /// cross-family tests below.
+    fn tri3(prefix: &str) -> (Query, Sym, Sym, Sym) {
+        let [a, b, c] = ivm_data::vars([
+            format!("{prefix}A").as_str(),
+            format!("{prefix}B").as_str(),
+            format!("{prefix}C").as_str(),
+        ]);
+        let (rn, sn, tn) = (
+            sym(format!("{prefix}R").as_str()),
+            sym(format!("{prefix}S").as_str()),
+            sym(format!("{prefix}T").as_str()),
+        );
+        let q = Query::new(
+            format!("{prefix}tri").as_str(),
+            [],
+            vec![
+                ivm_query::Atom::new(rn, [a, b]),
+                ivm_query::Atom::new(sn, [b, c]),
+                ivm_query::Atom::new(tn, [c, a]),
+            ],
+        );
+        (q, rn, sn, tn)
+    }
+
+    /// An aggressive policy for the family-shift tests: the hysteresis
+    /// gates are lowered so a handful of small batches suffices.
+    fn eager_family_policy() -> ReplanPolicy {
+        ReplanPolicy {
+            min_batches_between: 2,
+            min_replay_fraction: 0.01,
+            family_cost_ratio: 2.0,
+            ..ReplanPolicy::default()
+        }
+    }
+
+    /// The tentpole's adaptive acceptance shape: a session forced onto
+    /// the dataflow family sees learned degree skew, swaps the whole
+    /// backend family to heavy-light mid-stream (a [`ReplanTrigger::
+    /// FamilyShift`] event in `explain().replans`), keeps the exact
+    /// count — and when the skew subsides, swaps back.
+    #[test]
+    fn adaptive_session_swaps_engine_family_and_back() {
+        let (q, rn, sn, tn) = tri3("fsw_");
+        let registry = MetricsRegistry::new();
+        let mut s = Session::<i64>::builder(q.clone())
+            .engine(EngineKind::DataflowMultiway)
+            .adaptive(eager_family_policy())
+            .observe(&registry)
+            .build(&Database::new())
+            .unwrap();
+        assert_eq!(s.engine_kind(), EngineKind::DataflowMultiway);
+        let mut db: Database<i64> = Database::new();
+        for atom in &q.atoms {
+            db.create(atom.name, atom.schema.clone());
+        }
+        // Hub skew: every v closes the triangle (0, v, 1000), so R's key
+        // 0 accumulates degree ≫ √N while the count tracks exactly.
+        let mut fired_at = None;
+        for round in 0..4i64 {
+            let mut batch: Vec<Update<i64>> = (0..10i64)
+                .flat_map(|i| {
+                    let v = 1 + round * 10 + i;
+                    [
+                        Update::insert(rn, tup![0i64, v]),
+                        Update::insert(sn, tup![v, 1000i64]),
+                    ]
+                })
+                .collect();
+            if round == 0 {
+                batch.push(Update::insert(tn, tup![1000i64, 0i64]));
+            }
+            s.apply_batch(&batch).unwrap();
+            db.apply_batch(&batch);
+            if fired_at.is_none() && s.engine_kind() == EngineKind::HeavyLight {
+                fired_at = Some(round);
+            }
+        }
+        assert_eq!(s.engine_kind(), EngineKind::HeavyLight, "{}", s.explain());
+        let shift = s
+            .explain()
+            .replans
+            .iter()
+            .find(|ev| ev.trigger == ReplanTrigger::FamilyShift)
+            .expect("a family-shift event must be recorded");
+        assert!(shift.reason.contains("skew"), "{}", shift.reason);
+        assert!(shift.to.contains("HeavyLight"), "{}", shift.to);
+        assert!(
+            fired_at.is_some(),
+            "the swap must happen mid-stream, not at the end"
+        );
+        // The swapped-in engine maintains the same view: 40 triangles.
+        assert_eq!(s.output().get(&Tuple::empty()), 40);
+        assert!(s.explain().to_string().contains("[family-shift]"));
+        assert!(s.explain().heavy_light.is_some());
+        assert!(registry.snapshot().counter("ivm.hl.updates") > 0);
+
+        // Skew subsides: remove the hub, leave a flat edge set — the
+        // auxiliary views stop paying for themselves and the session
+        // returns to the dataflow family, still agreeing with the
+        // from-scratch oracle (zero triangles remain).
+        let deletes: Vec<Update<i64>> = (1..41i64)
+            .map(|v| Update::delete(rn, tup![0i64, v]))
+            .collect();
+        s.apply_batch(&deletes).unwrap();
+        db.apply_batch(&deletes);
+        for round in 0..4i64 {
+            let batch: Vec<Update<i64>> = (0..30i64)
+                .map(|i| {
+                    let v = 2000 + round * 30 + i;
+                    Update::insert(rn, tup![v, v])
+                })
+                .collect();
+            s.apply_batch(&batch).unwrap();
+            db.apply_batch(&batch);
+        }
+        assert_eq!(
+            s.engine_kind(),
+            EngineKind::DataflowMultiway,
+            "{}",
+            s.explain()
+        );
+        assert!(s.explain().heavy_light.is_none());
+        let shifts: Vec<_> = s
+            .explain()
+            .replans
+            .iter()
+            .filter(|ev| ev.trigger == ReplanTrigger::FamilyShift)
+            .collect();
+        assert!(shifts.len() >= 2, "{}", s.explain());
+        assert!(
+            shifts.last().unwrap().reason.contains("subsided"),
+            "{}",
+            shifts.last().unwrap().reason
+        );
+        // Final view identical to a from-scratch oracle over the same db.
+        let mut oracle = Session::<i64>::builder(q).build(&db).unwrap();
+        assert_eq!(
+            s.output().get(&Tuple::empty()),
+            oracle.output().get(&Tuple::empty())
+        );
+        assert_eq!(s.output().get(&Tuple::empty()), 0);
+    }
+
+    /// Sharded fleets cannot swap families (workers own their engines):
+    /// the family comparison must stay silent for them even under the
+    /// same skew that flips a single-threaded session.
+    #[test]
+    fn sharded_sessions_never_family_shift() {
+        let (q, rn, sn, tn) = tri3("fshard_");
+        let mut s = Session::<i64>::builder(q)
+            .shards(2)
+            .adaptive(eager_family_policy())
+            .build(&Database::new())
+            .unwrap();
+        for round in 0..4i64 {
+            let mut batch: Vec<Update<i64>> = (0..10i64)
+                .flat_map(|i| {
+                    let v = 1 + round * 10 + i;
+                    [
+                        Update::insert(rn, tup![0i64, v]),
+                        Update::insert(sn, tup![v, 1000i64]),
+                    ]
+                })
+                .collect();
+            batch.push(Update::insert(tn, tup![1000i64, 0i64]));
+            s.apply_batch(&batch).unwrap();
+        }
+        s.drain().unwrap();
+        assert_eq!(s.engine_kind(), EngineKind::Sharded);
+        assert!(s
+            .explain()
+            .replans
+            .iter()
+            .all(|ev| ev.trigger != ReplanTrigger::FamilyShift));
     }
 
     #[test]

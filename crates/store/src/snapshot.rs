@@ -16,14 +16,17 @@
 use crate::crc::crc32;
 use crate::StoreError;
 use ivm_data::codec::Persist;
-use ivm_data::{Database, Relation, Sym};
+use ivm_data::{Database, Relation, Sym, Value};
 use ivm_ring::Semiring;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::Path;
 
-/// First bytes of every snapshot file.
-pub const SNAPSHOT_MAGIC: &[u8; 8] = b"IVMSNAP1";
+/// First bytes of every snapshot file. The trailing digit is the format
+/// version: bumped to 2 when the per-key degree sketch joined the
+/// payload, so a snapshot written by an older build is refused as
+/// unreadable instead of silently misdecoded.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"IVMSNAP2";
 
 /// The snapshot file's name inside a store directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.ivm";
@@ -43,6 +46,13 @@ pub struct SnapshotDoc<R: Semiring> {
     pub strategy_tag: u8,
     /// The learned per-relation cardinalities at snapshot time.
     pub cards: Vec<(Sym, u64)>,
+    /// The per-key first-column degree sketch of every binary relation,
+    /// `(relation, [(key, degree)])` sorted by relation and key — the
+    /// skew evidence behind cross-family engine selection. Recovery
+    /// cross-checks it against the sketch rebuilt from `base` and warms
+    /// the recovered session's learned statistics from the same base, so
+    /// no family re-selection fires on replay.
+    pub degrees: Vec<(Sym, Vec<(Value, u64)>)>,
     /// The full base database — the replay source for the journal tail.
     pub base: Database<R>,
     /// The maintained view at `epoch`, for recovery cross-checking.
@@ -55,6 +65,7 @@ impl<R: Semiring + Persist> Persist for SnapshotDoc<R> {
         self.query_name.encode(out);
         (self.strategy_tag as u32).encode(out);
         self.cards.encode(out);
+        self.degrees.encode(out);
         self.base.encode(out);
         self.view.encode(out);
     }
@@ -65,6 +76,7 @@ impl<R: Semiring + Persist> Persist for SnapshotDoc<R> {
             query_name: String::decode(buf)?,
             strategy_tag: u8::try_from(u32::decode(buf)?).ok()?,
             cards: Vec::decode(buf)?,
+            degrees: Vec::decode(buf)?,
             base: Database::decode(buf)?,
             view: Relation::decode(buf)?,
         })
@@ -164,6 +176,7 @@ mod tests {
             query_name: "snap_q".into(),
             strategy_tag: 2,
             cards: vec![(e, 2)],
+            degrees: vec![(e, vec![(1i64.into(), 1), (2i64.into(), 1)])],
             base,
             view,
         }
@@ -180,6 +193,10 @@ mod tests {
         assert_eq!(back.query_name, "snap_q");
         assert_eq!(back.strategy_tag, 2);
         assert_eq!(back.cards, vec![(sym("snap_E"), 2)]);
+        assert_eq!(
+            back.degrees,
+            vec![(sym("snap_E"), vec![(1i64.into(), 1), (2i64.into(), 1)])]
+        );
         assert_eq!(back.base.size(), 2);
         assert_eq!(back.view.get(&Tuple::empty()), 2);
     }

@@ -265,6 +265,7 @@ mod tests {
             query_name: "st_q".into(),
             strategy_tag: 1,
             cards: vec![(e, 3)],
+            degrees: Vec::new(),
             base,
             view: Relation::new(Schema::new([])),
         };
@@ -304,6 +305,7 @@ mod tests {
             query_name: "st_q".into(),
             strategy_tag: 0,
             cards: Vec::new(),
+            degrees: Vec::new(),
             base: Database::new(),
             view: Relation::new(Schema::new([])),
         };

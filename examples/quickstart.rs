@@ -44,14 +44,18 @@ fn main() {
     println!("\nafter deleting R(1, 10):");
     session.for_each_output(&mut |t, m| println!("  Q{t:?} ↦ {m}"));
 
-    // ── 2. A cyclic query auto-selects the worst-case-optimal plan.
+    // ── 2. The triangle count admits the heavy-light IVMε family:
+    // sublinear O(√N) amortized updates via degree partitioning. (A
+    // cyclic query outside the triangle class — or one whose payload
+    // lacks additive inverses — auto-selects the worst-case-optimal
+    // multiway dataflow plan instead.)
     let tri = ivm_query::examples::triangle_count();
     let (tr, ts, tt) = (sym("tri_R"), sym("tri_S"), sym("tri_T"));
     let mut session = Session::<i64>::builder(tri)
         .build(&Database::new())
         .unwrap();
     println!("\n{}\n", session.explain());
-    assert_eq!(session.engine_kind(), EngineKind::DataflowMultiway);
+    assert_eq!(session.engine_kind(), EngineKind::HeavyLight);
     let batch: Vec<Update<i64>> = [(1i64, 2i64), (2, 3), (3, 1)]
         .into_iter()
         .flat_map(|(a, b)| [tr, ts, tt].map(|rel| Update::insert(rel, tup![a, b])))

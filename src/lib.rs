@@ -13,6 +13,7 @@
 //! | telemetry | [`obs`] | lock-free metrics registry, histograms, tracer, Prometheus/JSON export |
 //! | engines | [`core`] | per-class maintenance engines (view trees, cascades, CQAPs) |
 //! | runtime | [`dataflow`] | generic batched delta-dataflow engine for arbitrary CQs |
+//! | sublinear | [`hl`] | heavy-light partitioned IVMε engine for triangle-class queries |
 //! | scale-out | [`shard`] | hash-partitioned parallel shards with async batch ingestion |
 //! | durability | [`store`] | epoch-tagged update journal, consolidated snapshots, warm recovery |
 //! | front door | [`session`] | classify → select → one uniform [`Session`] handle |
@@ -33,6 +34,7 @@
 pub use ivm_core as core;
 pub use ivm_data as data;
 pub use ivm_dataflow as dataflow;
+pub use ivm_hl as hl;
 pub use ivm_ivme as ivme;
 pub use ivm_obs as obs;
 pub use ivm_oumv as oumv;
@@ -47,6 +49,7 @@ pub use ivm_workloads as workloads;
 pub use ivm_core::Maintainer;
 pub use ivm_data::{Batch, Database, Relation, Tuple, Update, Value};
 pub use ivm_dataflow::{DataflowEngine, DeltaBatch, StoreHub};
+pub use ivm_hl::HeavyLightEngine;
 pub use ivm_obs::{
     EpochWaterfall, FlightRecorder, MetricsRegistry, MetricsServer, MetricsSnapshot,
 };

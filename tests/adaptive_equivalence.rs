@@ -25,13 +25,16 @@
 mod common;
 
 use common::{
-    edge_ops_default, edge_updates, four_cycle, mirror_db, oracle_db, outputs_match, star,
-    triangle, EdgeOp,
+    edge_ops, edge_ops_default, edge_updates, four_cycle, mirror_db, oracle_db, outputs_match,
+    star, triangle, triangle3, EdgeOp,
 };
+use ivm::{EngineKind, Session};
 use ivm_core::Maintainer;
 use ivm_data::ops::{eval_join_aggregate, lift_one};
 use ivm_data::Relation;
-use ivm_dataflow::{Cardinalities, DataflowEngine, DataflowStats, JoinStrategy};
+use ivm_dataflow::{
+    Cardinalities, DataflowEngine, DataflowStats, JoinStrategy, ReplanPolicy, ReplanTrigger,
+};
 use ivm_query::Query;
 use ivm_shard::ShardedEngine;
 use ivm_workloads::RetailerGen;
@@ -171,6 +174,67 @@ proptest! {
     ) {
         let start = if start_multiway { JoinStrategy::Multiway } else { JoinStrategy::LeftDeep };
         check_shape_with_replans(&four_cycle("ae_"), &ops, chunk, &[r1, r2], start)?;
+    }
+
+    /// Cross-family adaptive sessions on the 3-relation triangle: a
+    /// `family_cost_ratio` below 1 makes the dataflow → heavy-light and
+    /// heavy-light → dataflow hysteresis bands *overlap*, so with the
+    /// clocks floored the session is free to swap engine families at
+    /// every batch boundary the stream's skew happens to license —
+    /// the adversarial schedule for the mid-stream rebuild-from-mirror
+    /// path. Whatever family it lands on, the maintained output must
+    /// stay ≡ the oracle after every batch, every shift must move
+    /// between the two families in the comparison's domain, and the
+    /// shift log must be exactly the `FamilyShift`-triggered suffix the
+    /// session reports. (The deterministic ≥ 1-shift acceptance lives
+    /// with the session's unit tests; here the schedule is generated.)
+    #[test]
+    fn cross_family_oscillation_agrees(
+        ops in edge_ops(3, 4, 0..48),
+        chunk in 1usize..9,
+    ) {
+        let q = triangle3("ae_");
+        let updates = edge_updates(&q, &ops);
+        let mut mirror = mirror_db(&q);
+        let mut s = Session::<i64>::builder(q.clone())
+            .adaptive(ReplanPolicy {
+                min_batches_between: 1,
+                min_replay_fraction: 0.0,
+                family_cost_ratio: 0.5,
+                ..ReplanPolicy::default()
+            })
+            .build(&mirror)
+            .unwrap();
+        prop_assert_eq!(s.engine_kind(), EngineKind::HeavyLight);
+        for (no, batch) in updates.chunks(chunk.max(1)).enumerate() {
+            s.apply_batch(batch).unwrap();
+            for u in batch {
+                mirror.apply(u);
+            }
+            let expect = oracle_db(&q, &mirror);
+            outputs_match(&s.output(), &expect, &format!("cross-family batch {no}"))?;
+            prop_assert!(
+                matches!(
+                    s.engine_kind(),
+                    EngineKind::HeavyLight
+                        | EngineKind::DataflowMultiway
+                        | EngineKind::DataflowLeftDeep
+                ),
+                "batch {}: family comparison left its domain: {:?}",
+                no,
+                s.engine_kind()
+            );
+        }
+        for ev in &s.explain().replans {
+            if ev.trigger == ReplanTrigger::FamilyShift {
+                prop_assert!(
+                    ev.to.contains("HeavyLight") != ev.from.contains("HeavyLight"),
+                    "family shift that did not change family: {} -> {}",
+                    ev.from,
+                    ev.to
+                );
+            }
+        }
     }
 
     /// Acyclic star (fully partitioned) under replans.

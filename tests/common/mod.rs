@@ -47,6 +47,28 @@ pub fn triangle(prefix: &str) -> Query {
     )
 }
 
+/// The cyclic triangle count over THREE DISTINCT relations,
+/// `Q() = Σ R(a,b)·S(b,c)·T(c,a)` over `{prefix}3R/{prefix}3S/
+/// {prefix}3T` — the shape the heavy-light IVMε engine family admits
+/// (the self-join [`triangle`] shares one relation across atoms, which
+/// the heavy-light rotation refuses).
+pub fn triangle3(prefix: &str) -> Query {
+    let [a, b, c] = ivm_data::vars([
+        format!("{prefix}3A").as_str(),
+        format!("{prefix}3B").as_str(),
+        format!("{prefix}3C").as_str(),
+    ]);
+    Query::new(
+        format!("{prefix}tri3").as_str(),
+        [],
+        vec![
+            Atom::new(sym(format!("{prefix}3R").as_str()), [a, b]),
+            Atom::new(sym(format!("{prefix}3S").as_str()), [b, c]),
+            Atom::new(sym(format!("{prefix}3T").as_str()), [c, a]),
+        ],
+    )
+}
+
 /// The cyclic 4-cycle `Q() = Σ R(a,b)·S(b,c)·T(c,d)·U(d,a)` over four
 /// distinct relations `{prefix}4R…{prefix}4U`. Shard plans partition two
 /// relations and broadcast the other two — the replication path.

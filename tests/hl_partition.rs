@@ -1,0 +1,218 @@
+//! Heavy-light (IVMε) partition-invariant harness for the generic
+//! engine behind `EngineKind::HeavyLight`.
+//!
+//! Three properties, checked after *every* batch of generated
+//! mixed-sign streams:
+//!
+//! 1. **Partition invariants** — the hysteresis band holds: every heavy
+//!    key has degree > θ, every light key degree < 2θ
+//!    ([`HeavyLightEngine::check_partition`]).
+//! 2. **View invariants** — the three auxiliary HL views equal a
+//!    from-scratch recompute over the current partition
+//!    ([`HeavyLightEngine::check_views`]) — so the lazy global
+//!    rebalances and per-key migrations never leave a stale entry.
+//! 3. **Output equivalence** — the maintained count equals the
+//!    from-scratch join-aggregate oracle over a mirrored base.
+//!
+//! The whole grid of ε values is exercised (ε = 0 makes nearly every
+//! key heavy, ε = 1 nearly every key light — the two degenerate
+//! partitions bracket the O(√N) optimum at ε = ½), and preprocessing is
+//! pinned to streaming: an engine built over a preloaded base must be
+//! indistinguishable from one that ingested the same tuples as updates.
+//!
+//! Shapes, stream strategies, and the oracle live in `tests/common`.
+
+mod common;
+
+use common::{edge_ops, edge_updates, mirror_db, oracle_db, outputs_match, triangle3, EdgeOp};
+use ivm::{HeavyLightEngine, Maintainer};
+use ivm_data::ops::lift_one;
+use ivm_data::{sym, tup, Update};
+use proptest::prelude::*;
+
+/// The ε grid every property runs over: both degenerate partitions, the
+/// optimum, and two asymmetric points.
+const EPS_GRID: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+/// Assert every invariant the engine exposes, plus oracle equality.
+fn assert_invariants(
+    eng: &mut HeavyLightEngine<i64>,
+    mirror: &ivm::Database<i64>,
+    ctx: &str,
+) -> Result<(), TestCaseError> {
+    if let Err(e) = eng.check_partition() {
+        return Err(TestCaseError::fail(format!("{ctx}: partition: {e}")));
+    }
+    if let Err(e) = eng.check_views() {
+        return Err(TestCaseError::fail(format!("{ctx}: views: {e}")));
+    }
+    let expect = oracle_db(eng.query(), mirror);
+    let q = eng.query().clone();
+    outputs_match(&eng.output(), &expect, &format!("{ctx} ({:?})", q.name))
+}
+
+/// Drive one generated stream through an engine at `eps`, checking all
+/// three properties at every batch boundary.
+fn check_stream(eps: f64, ops: &[EdgeOp], chunk: usize) -> Result<(), TestCaseError> {
+    let q = triangle3("hp_");
+    let updates = edge_updates(&q, ops);
+    let mut mirror = mirror_db(&q);
+    let mut eng = HeavyLightEngine::<i64>::new_with_eps(q.clone(), &mirror, lift_one, eps).unwrap();
+    for (no, batch) in updates.chunks(chunk.max(1)).enumerate() {
+        eng.apply_batch(batch).unwrap();
+        for u in batch {
+            mirror.apply(u);
+        }
+        assert_invariants(&mut eng, &mirror, &format!("ε={eps} batch {no}"))?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Partition + view invariants and oracle equality under mixed-sign
+    /// duplicate-heavy streams, across the whole ε grid.
+    #[test]
+    fn invariants_hold_at_every_eps(
+        ops in edge_ops(3, 4, 0..48),
+        chunk in 1usize..9,
+        eps_idx in 0usize..EPS_GRID.len(),
+    ) {
+        check_stream(EPS_GRID[eps_idx], &ops, chunk)?;
+    }
+
+    /// A wider key domain reaches past the tiny-N regime where θ clamps
+    /// to 1: rebalances and heavy/light migrations actually fire here,
+    /// and the invariants must survive them.
+    #[test]
+    fn invariants_hold_under_wide_domains(
+        ops in edge_ops(3, 12, 16..96),
+        chunk in 1usize..13,
+        eps_idx in 0usize..EPS_GRID.len(),
+    ) {
+        check_stream(EPS_GRID[eps_idx], &ops, chunk)?;
+    }
+
+    /// Preprocessing ≡ streaming: an engine built over a preloaded base
+    /// must agree — output, partition, views — with one that started
+    /// empty and ingested the prefix as updates, and both stay ≡ the
+    /// oracle over the suffix.
+    #[test]
+    fn preloaded_build_is_indistinguishable_from_streaming(
+        ops in edge_ops(3, 5, 8..64),
+        cut_raw in 0usize..64,
+        chunk in 1usize..9,
+        eps_idx in 0usize..EPS_GRID.len(),
+    ) {
+        let eps = EPS_GRID[eps_idx];
+        let q = triangle3("hp_");
+        let updates = edge_updates(&q, &ops);
+        let cut = cut_raw % (updates.len() + 1);
+
+        let mut mirror = mirror_db(&q);
+        let mut streamed =
+            HeavyLightEngine::<i64>::new_with_eps(q.clone(), &mirror, lift_one, eps).unwrap();
+        if cut > 0 {
+            streamed.apply_batch(&updates[..cut]).unwrap();
+        }
+        for u in &updates[..cut] {
+            mirror.apply(u);
+        }
+        let mut preloaded =
+            HeavyLightEngine::<i64>::new_with_eps(q.clone(), &mirror, lift_one, eps).unwrap();
+        assert_invariants(&mut preloaded, &mirror, &format!("ε={eps} preload"))?;
+        outputs_match(
+            &preloaded.output(),
+            &streamed.output(),
+            "preloaded vs streamed at the cut",
+        )?;
+
+        for (no, batch) in updates[cut..].chunks(chunk.max(1)).enumerate() {
+            streamed.apply_batch(batch).unwrap();
+            preloaded.apply_batch(batch).unwrap();
+            for u in batch {
+                mirror.apply(u);
+            }
+            assert_invariants(&mut streamed, &mirror, &format!("ε={eps} streamed {no}"))?;
+            assert_invariants(&mut preloaded, &mirror, &format!("ε={eps} preloaded {no}"))?;
+        }
+    }
+}
+
+/// Deterministic rebalance exercise: grow a hub far past the size-drift
+/// trigger, then delete it back down. Migrations and global rebalances
+/// must both fire, and every invariant must hold at each step — this is
+/// the lazy-rebalance ≡ oracle acceptance in a shape whose counters we
+/// can assert on.
+#[test]
+fn hub_growth_and_collapse_forces_migrations_and_rebalances() {
+    let q = triangle3("hpr_");
+    let (r, s, t) = (sym("hpr_3R"), sym("hpr_3S"), sym("hpr_3T"));
+    let mut mirror = mirror_db(&q);
+    let mut eng = HeavyLightEngine::<i64>::new(q.clone(), &mirror, lift_one).unwrap();
+
+    let step = |eng: &mut HeavyLightEngine<i64>,
+                mirror: &mut ivm::Database<i64>,
+                batch: Vec<Update<i64>>,
+                ctx: &str| {
+        eng.apply_batch(&batch).unwrap();
+        for u in &batch {
+            mirror.apply(u);
+        }
+        eng.check_partition()
+            .unwrap_or_else(|e| panic!("{ctx}: {e}"));
+        eng.check_views().unwrap_or_else(|e| panic!("{ctx}: {e}"));
+        let expect = oracle_db(&q, mirror);
+        let got = eng.output();
+        assert_eq!(got.len(), expect.len(), "{ctx}: sizes");
+        for (tp, p) in expect.iter() {
+            assert_eq!(&got.get(tp), p, "{ctx} at {tp:?}");
+        }
+    };
+
+    // Grow: node 0 becomes an S-hub with `v` partners as T closes the
+    // cycle — each batch adds triangles and pushes N across 2× drifts.
+    for v in 1..=60i64 {
+        let batch = vec![
+            Update::with_payload(r, tup![v, 0i64], 1),
+            Update::with_payload(s, tup![0i64, v], 1),
+            Update::with_payload(t, tup![v, v], 1),
+        ];
+        step(&mut eng, &mut mirror, batch, &format!("grow {v}"));
+    }
+    let grown = eng.stats();
+    assert!(
+        grown.migrations > 0,
+        "a 60-partner hub must cross the 2θ promotion band: {grown:?}"
+    );
+    assert!(
+        grown.rebalances > 0,
+        "180 pairs from 0 must cross the 2× size-drift trigger: {grown:?}"
+    );
+    assert!(
+        eng.heavy_counts().iter().sum::<usize>() > 0,
+        "the hub key must be resident in a heavy set"
+    );
+
+    // Collapse: retract whole triangles; the hub's degree falls through
+    // θ (the demotion path, with its signed view transfer, runs) and the
+    // base shrinks past the half-size drift trigger.
+    for v in 1..=55i64 {
+        let batch = vec![
+            Update::with_payload(r, tup![v, 0i64], -1),
+            Update::with_payload(s, tup![0i64, v], -1),
+            Update::with_payload(t, tup![v, v], -1),
+        ];
+        step(&mut eng, &mut mirror, batch, &format!("collapse {v}"));
+    }
+    let shrunk = eng.stats();
+    assert!(
+        shrunk.migrations > grown.migrations,
+        "the hub must demote on the way down: {shrunk:?}"
+    );
+    assert!(
+        shrunk.rebalances > grown.rebalances,
+        "dropping 165 of 180 pairs re-crosses the drift trigger: {shrunk:?}"
+    );
+}

@@ -20,9 +20,9 @@ mod common;
 
 use common::{
     clamped_updates, edge_ops_default, edge_updates, mirror_db, oracle_db, outputs_match, star,
-    triangle, wide_ops,
+    triangle, triangle3, wide_ops,
 };
-use ivm::{Database, Maintainer, Session, Update};
+use ivm::{Database, EngineKind, Maintainer, Session, Update};
 use ivm_data::{sym, tup};
 use ivm_dataflow::{ReplanPolicy, ReplanTrigger};
 use ivm_obs::MetricsRegistry;
@@ -511,4 +511,200 @@ fn recovery_refuses_a_snapshot_from_another_query() {
         "must name the asked query: {msg}"
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// 3. Heavy-light family persistence
+// ---------------------------------------------------------------------
+
+/// The snapshot's strategy tag names the engine *family*: a killed
+/// heavy-light session comes back on the heavy-light engine with its
+/// per-key degree sketch rebuilt warm, so the tail replay (and further
+/// ingestion) performs **zero** family re-selection — and the recovered
+/// view stays ≡ the never-killed oracle.
+#[test]
+fn heavy_light_recovery_is_warm_with_zero_family_reselection() {
+    let q = triangle3("srhl_");
+    let (rn, sn, tn) = (sym("srhl_3R"), sym("srhl_3S"), sym("srhl_3T"));
+    let policy = ReplanPolicy {
+        min_batches_between: 1,
+        min_replay_fraction: 0.0,
+        ..ReplanPolicy::default()
+    };
+    let empty = mirror_db(&q);
+    let dir = scratch("hl-warm");
+    let mut first = Session::<i64>::builder(q.clone())
+        .adaptive(policy)
+        .durable(&dir)
+        .build(&empty)
+        .unwrap();
+    assert_eq!(first.engine_kind(), EngineKind::HeavyLight);
+    // Hub skew: every v closes the triangle (0, v, 9). The skew is what
+    // keeps the family comparison pinned on heavy-light.
+    let hub = |v: i64| {
+        vec![
+            Update::insert(rn, tup![0i64, v]),
+            Update::insert(sn, tup![v, 9000i64]),
+        ]
+    };
+    first
+        .apply_batch(&[Update::insert(tn, tup![9000i64, 0i64])])
+        .unwrap();
+    for v in 1..=12i64 {
+        first.apply_batch(&hub(v)).unwrap();
+    }
+    first.snapshot().unwrap();
+    // Two journaled epochs beyond the snapshot — the replayed tail.
+    for v in 13..=14i64 {
+        first.apply_batch(&hub(v)).unwrap();
+    }
+    let pre_kill_plan = first.describe();
+    assert!(first.explain().replans.is_empty(), "{}", first.explain());
+    drop(first);
+
+    let mut second = Session::<i64>::builder(q.clone())
+        .adaptive(policy)
+        .recover(&dir, &empty)
+        .unwrap();
+    assert_eq!(second.engine_kind(), EngineKind::HeavyLight);
+    assert_eq!(
+        second.describe(),
+        pre_kill_plan,
+        "pre-kill partition restored"
+    );
+    assert!(
+        second.explain().replans.is_empty(),
+        "recovery must not re-select the family: {}",
+        second.explain()
+    );
+    // Keep streaming: the warm degree sketch means the policy still sees
+    // the pre-kill skew — no family shift fires now either.
+    for v in 15..=18i64 {
+        second.apply_batch(&hub(v)).unwrap();
+    }
+    assert!(
+        second.explain().replans.is_empty(),
+        "warm statistics must prevent any post-recovery family shift: {}",
+        second.explain()
+    );
+    assert_eq!(second.output().get(&ivm_data::Tuple::empty()), 18);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The opposite direction: a session whose adaptive policy had shifted
+/// *away* from heavy-light to the dataflow family pre-kill must recover
+/// on the dataflow family — auto-selection would lower heavy-light for
+/// the query, and the persisted tag overrides it.
+#[test]
+fn family_shifted_session_recovers_on_the_dataflow_family() {
+    let q = triangle3("srfs_");
+    let rn = sym("srfs_3R");
+    let policy = ReplanPolicy {
+        min_batches_between: 2,
+        min_replay_fraction: 0.01,
+        family_cost_ratio: 2.0,
+        ..ReplanPolicy::default()
+    };
+    let empty = mirror_db(&q);
+    let dir = scratch("hl-shifted");
+    let mut first = Session::<i64>::builder(q.clone())
+        .adaptive(policy)
+        .durable(&dir)
+        .build(&empty)
+        .unwrap();
+    assert_eq!(first.engine_kind(), EngineKind::HeavyLight);
+    // Flat, wide streams: max degree stays 1 while N grows, so the
+    // auxiliary views stop paying for themselves.
+    for round in 0..4i64 {
+        let batch: Vec<Update<i64>> = (0..30i64)
+            .map(|i| Update::insert(rn, tup![round * 30 + i, round * 30 + i]))
+            .collect();
+        first.apply_batch(&batch).unwrap();
+    }
+    assert_eq!(
+        first.engine_kind(),
+        EngineKind::DataflowMultiway,
+        "flat data must shift the family to dataflow: {}",
+        first.explain()
+    );
+    assert!(first
+        .explain()
+        .replans
+        .iter()
+        .any(|ev| ev.trigger == ReplanTrigger::FamilyShift));
+    first.snapshot().unwrap();
+    drop(first);
+
+    let second = Session::<i64>::builder(q.clone())
+        .adaptive(policy)
+        .recover(&dir, &empty)
+        .unwrap();
+    assert_eq!(
+        second.engine_kind(),
+        EngineKind::DataflowMultiway,
+        "the persisted family overrides auto-selection: {}",
+        second.explain()
+    );
+    assert!(second.explain().replans.is_empty(), "{}", second.explain());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// 4. Automatic snapshot consolidation
+// ---------------------------------------------------------------------
+
+/// `.auto_snapshot(bytes)` keeps the journal bounded without manual
+/// `snapshot()` calls: every ingestion call that leaves the journal past
+/// the threshold consolidates it, so recovery replays (almost) nothing.
+#[test]
+fn auto_snapshot_bounds_the_journal_and_recovery_replays_nothing() {
+    let q = triangle3("sras_");
+    let (rn, sn, tn) = (sym("sras_3R"), sym("sras_3S"), sym("sras_3T"));
+    let empty = mirror_db(&q);
+    let dir = scratch("auto-snap");
+    let mut s = Session::<i64>::builder(q.clone())
+        .durable(&dir)
+        .auto_snapshot(1)
+        .build(&empty)
+        .unwrap();
+    // An empty journal still holds its file header; "consolidated" means
+    // back to exactly that baseline.
+    let baseline = s.journal_bytes().unwrap();
+    for i in 1..=5i64 {
+        s.apply_batch(&[
+            Update::insert(rn, tup![i, i + 1]),
+            Update::insert(sn, tup![i + 1, i + 2]),
+            Update::insert(tn, tup![i + 2, i]),
+        ])
+        .unwrap();
+        assert_eq!(
+            s.journal_bytes(),
+            Some(baseline),
+            "a 1-byte threshold consolidates after every batch"
+        );
+    }
+    drop(s);
+
+    let registry = MetricsRegistry::new();
+    let second = Session::<i64>::builder(q.clone())
+        .observe(&registry)
+        .recover(&dir, &empty)
+        .unwrap();
+    let m = registry.snapshot();
+    assert_eq!(m.counter("ivm.store.replayed_epochs"), 0);
+    assert_eq!(second.journal_epoch(), Some(5));
+    let note = second.explain().recovered.as_deref().unwrap();
+    assert!(note.contains("snapshot epoch 5"), "{note}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An in-memory session cannot consolidate a journal it does not have.
+#[test]
+fn auto_snapshot_without_durable_is_refused() {
+    let q = triangle3("srasx_");
+    let err = Session::<i64>::builder(q)
+        .auto_snapshot(1 << 20)
+        .build(&Database::new())
+        .unwrap_err();
+    assert!(err.to_string().contains("durable"), "{err}");
 }
